@@ -1,0 +1,1 @@
+"""pytest-benchmark targets for the paper's evaluation (see DESIGN.md)."""

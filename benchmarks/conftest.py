@@ -1,0 +1,34 @@
+"""Benchmark-suite fixtures: pre-joined worlds, reused across benchmarks.
+
+The benchmark policy is the paper's RSA-1024; keys come from the process
+cache in :mod:`repro.bench.fixtures` so only the measured operations pay
+crypto cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fixtures
+from repro.core.policy import SecurityPolicy
+
+BENCH_POLICY = SecurityPolicy(rsa_bits=1024).validate()
+
+
+@pytest.fixture(scope="module")
+def plain_pair():
+    """(net, sender, receiver) joined on a plain broker."""
+    net, broker, clients = fixtures.build_plain_world(
+        n_clients=2, seed=b"bench-plain-pair")
+    fixtures.join_plain(clients)
+    return net, clients[0], clients[1]
+
+
+@pytest.fixture(scope="module")
+def secure_pair():
+    """(net, sender, receiver) joined on a secure broker, warm caches."""
+    net, admin, broker, clients = fixtures.build_secure_world(
+        n_clients=2, policy=BENCH_POLICY, seed=b"bench-secure-pair",
+        joined=True)
+    clients[0].secure_msg_peer(str(clients[1].peer_id), "bench", "warmup")
+    return net, clients[0], clients[1]

@@ -1,0 +1,55 @@
+"""A2 — policy ablations: key size, cipher suite, wrap algorithm, plus
+the signed-advertisement validation cache (DESIGN.md ablation 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fixtures, format_policy_ablation, policy_ablation
+from repro.core.policy import SecurityPolicy
+from repro.crypto import envelope
+
+
+@pytest.mark.parametrize("label,policy", [
+    ("rsa1024-chacha-oaep", SecurityPolicy(rsa_bits=1024)),
+    ("rsa1024-aescbc-v15", SecurityPolicy(
+        rsa_bits=1024, envelope_suite="aes128-cbc",
+        envelope_wrap=envelope.WRAP_V15,
+        signature_scheme="rsa-pkcs1v15-sha256")),
+    ("rsa2048-chacha-oaep", SecurityPolicy(rsa_bits=2048)),
+])
+def test_bench_secure_msg_by_policy(benchmark, label, policy):
+    net, admin, broker, clients = fixtures.build_secure_world(
+        n_clients=2, policy=policy.validate(),
+        seed=b"bench-a2-" + label.encode(), joined=True)
+    alice, bob = clients
+    text = "z" * 10_000
+    alice.secure_msg_peer(str(bob.peer_id), "bench", "warmup")
+    benchmark.pedantic(
+        lambda: alice.secure_msg_peer(str(bob.peer_id), "bench", text),
+        rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cache-on", "cache-off"])
+def test_bench_adv_validation_cache(benchmark, cache):
+    """DESIGN.md ablation 4: caching signed-advertisement validation."""
+    policy = SecurityPolicy(rsa_bits=1024, cache_validated_advs=cache)
+    net, admin, broker, clients = fixtures.build_secure_world(
+        n_clients=2, policy=policy,
+        seed=b"bench-cache-%d" % cache, joined=True)
+    alice, bob = clients
+    alice.secure_msg_peer(str(bob.peer_id), "bench", "warmup")
+    benchmark.pedantic(
+        lambda: alice.secure_msg_peer(str(bob.peer_id), "bench", "hi"),
+        rounds=5, iterations=1)
+
+
+def test_a2_report(capsys):
+    rows = policy_ablation()
+    with capsys.disabled():
+        print()
+        print(format_policy_ablation(rows))
+    by_label = {r.label: r for r in rows}
+    # bigger keys must cost more on the join (more RSA work)
+    assert (by_label["rsa2048+chacha(oaep)"].join_secure_s
+            > by_label["rsa1024+chacha(oaep)"].join_secure_s)

@@ -1,0 +1,82 @@
+"""A1 — crypto micro-benchmarks (the primitives E1/E2 are built from)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fixtures import cached_keypair
+from repro.crypto import envelope, pkcs1, signing
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.modes import CBC
+from repro.crypto.sha2 import SHA256, sha256
+
+KP1024 = cached_keypair(1024, "bench-micro")
+KP2048 = cached_keypair(2048, "bench-micro")
+MSG = b"m" * 1024
+DRBG = HmacDrbg(b"bench-micro")
+
+
+class TestRsa:
+    def test_bench_rsa1024_sign_pss(self, benchmark):
+        benchmark(lambda: pkcs1.sign_pss(KP1024.private, MSG, drbg=DRBG))
+
+    def test_bench_rsa1024_verify_pss(self, benchmark):
+        sig = pkcs1.sign_pss(KP1024.private, MSG)
+        benchmark(lambda: pkcs1.verify_pss(KP1024.public, MSG, sig))
+
+    def test_bench_rsa2048_sign_pss(self, benchmark):
+        benchmark(lambda: pkcs1.sign_pss(KP2048.private, MSG, drbg=DRBG))
+
+    def test_bench_rsa1024_oaep_wrap(self, benchmark):
+        benchmark(lambda: pkcs1.encrypt_oaep(KP1024.public, b"k" * 32, drbg=DRBG))
+
+    def test_bench_rsa1024_oaep_unwrap(self, benchmark):
+        ct = pkcs1.encrypt_oaep(KP1024.public, b"k" * 32)
+        benchmark(lambda: pkcs1.decrypt_oaep(KP1024.private, ct))
+
+
+class TestSymmetric:
+    @pytest.mark.parametrize("size", [1_024, 65_536])
+    def test_bench_chacha20(self, benchmark, size):
+        key, nonce, data = b"k" * 32, b"n" * 12, b"d" * size
+        benchmark(lambda: chacha20_xor(key, nonce, data))
+
+    @pytest.mark.parametrize("size", [1_024, 65_536])
+    def test_bench_aes_cbc(self, benchmark, size):
+        cbc = CBC(b"k" * 16)
+        data, iv = b"d" * size, b"i" * 16
+        benchmark(lambda: cbc.encrypt(data, iv))
+
+    @pytest.mark.parametrize("size", [1_024, 65_536])
+    def test_bench_sha256_accelerated(self, benchmark, size):
+        data = b"d" * size
+        benchmark(lambda: sha256(data))
+
+    def test_bench_sha256_pure(self, benchmark):
+        data = b"d" * 1_024
+        benchmark(lambda: SHA256(data).digest())
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize("size", [1_024, 65_536])
+    def test_bench_envelope_seal(self, benchmark, size):
+        data = b"d" * size
+        benchmark(lambda: envelope.seal(KP1024.public, data, drbg=DRBG))
+
+    def test_bench_envelope_open(self, benchmark):
+        env = envelope.seal(KP1024.public, b"d" * 1_024)
+        benchmark(lambda: envelope.open_(KP1024.private, env))
+
+
+class TestCbidCheck:
+    def test_bench_cbid_check(self, benchmark):
+        """DESIGN.md ablation 3: the CBID check is ~free vs a signature."""
+        from repro.jxta.ids import cbid_from_key, matches_key
+
+        cbid = cbid_from_key(KP1024.public)
+        benchmark(lambda: matches_key(cbid, KP1024.public))
+
+    def test_bench_signature_verify_for_contrast(self, benchmark):
+        sig = signing.sign(KP1024.private, MSG)
+        benchmark(lambda: signing.verify(KP1024.public, MSG, sig))

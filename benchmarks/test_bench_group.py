@@ -1,0 +1,40 @@
+"""A3 — secureMsgPeerGroup scaling with group size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fixtures, format_group_scaling, group_scaling
+from benchmarks.conftest import BENCH_POLICY
+
+
+@pytest.mark.parametrize("members", [2, 4, 8])
+def test_bench_secure_group_send(benchmark, members):
+    net, admin, broker, clients = fixtures.build_secure_world(
+        n_clients=members, policy=BENCH_POLICY,
+        seed=b"bench-a3-%d" % members, joined=True)
+    sender = clients[0]
+    sender.secure_msg_peer_group("bench", "warmup")
+    benchmark.pedantic(
+        lambda: sender.secure_msg_peer_group("bench", "hello group"),
+        rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("members", [2, 4, 8])
+def test_bench_plain_group_send(benchmark, members):
+    net, broker, clients = fixtures.build_plain_world(
+        n_clients=members, seed=b"bench-a3p-%d" % members)
+    fixtures.join_plain(clients)
+    sender = clients[0]
+    benchmark.pedantic(
+        lambda: sender.send_msg_peer_group("bench", "hello group"),
+        rounds=3, iterations=1)
+
+
+def test_a3_report(capsys):
+    points = group_scaling(group_sizes=(2, 4, 8), policy=BENCH_POLICY)
+    with capsys.disabled():
+        print()
+        print(format_group_scaling(points))
+    # linear-ish scaling: 8 members cost more than 2
+    assert points[-1].secure_s > points[0].secure_s

@@ -1,0 +1,54 @@
+"""E1 — the §5 join-overhead experiment (paper: 81.76 %).
+
+Benchmarks the two join paths separately (pytest-benchmark needs one
+operation per target) and asserts the overhead relation in a summary
+test that prints the paper-style row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fixtures, format_join_overhead, join_overhead
+from repro.bench.experiments import PAPER_JOIN_OVERHEAD_PCT
+from benchmarks.conftest import BENCH_POLICY
+
+
+def _fresh_plain_join():
+    net, broker, clients = fixtures.build_plain_world(
+        n_clients=1, seed=b"bench-e1-plain")
+    client = clients[0]
+    client.connect("broker:0")
+    client.login("user0", "pw0")
+
+
+def _fresh_secure_join():
+    net, admin, broker, clients = fixtures.build_secure_world(
+        n_clients=1, policy=BENCH_POLICY, seed=b"bench-e1-secure")
+    client = clients[0]
+    client.secure_connect("broker:0")
+    client.secure_login("user0", "pw0")
+
+
+def test_bench_plain_join(benchmark):
+    """connect + login (the insecure baseline of E1)."""
+    benchmark.pedantic(_fresh_plain_join, rounds=5, iterations=1)
+
+
+def test_bench_secure_join(benchmark):
+    """secureConnection + secureLogin (the paper's §4.2)."""
+    benchmark.pedantic(_fresh_secure_join, rounds=5, iterations=1)
+
+
+def test_e1_overhead_report(capsys):
+    """Regenerate the §5 sentence and check the qualitative claim:
+    the secure join costs measurably more, in the same order of
+    magnitude regime the paper reports (tens of percent to a few x)."""
+    result = join_overhead(policy=BENCH_POLICY, repeats=3)
+    with capsys.disabled():
+        print()
+        print(format_join_overhead(result))
+    assert result.overhead_pct > 0, "secure join must cost more than plain"
+    # sanity ceiling: if secure join were >100x plain something regressed
+    assert result.overhead_pct < 10_000
+    assert result.paper_overhead_pct == PAPER_JOIN_OVERHEAD_PCT

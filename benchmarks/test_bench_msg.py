@@ -1,0 +1,43 @@
+"""E2 — Figure 2: secureMsgPeer overhead vs message data length."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_msg_overhead, msg_overhead_curve
+from benchmarks.conftest import BENCH_POLICY
+
+SIZES = (100, 1_000, 10_000, 100_000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_plain_msg(benchmark, plain_pair, size):
+    """sendMsgPeer at each Figure-2 data length."""
+    net, alice, bob = plain_pair
+    text = "x" * size
+    benchmark.pedantic(
+        lambda: alice.send_msg_peer(str(bob.peer_id), "bench", text),
+        rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_secure_msg(benchmark, secure_pair, size):
+    """secureMsgPeer at each Figure-2 data length."""
+    net, alice, bob = secure_pair
+    text = "x" * size
+    benchmark.pedantic(
+        lambda: alice.secure_msg_peer(str(bob.peer_id), "bench", text),
+        rounds=5, iterations=1)
+
+
+def test_figure2_shape(capsys):
+    """The reproducible claim of Figure 2: relative overhead is high for
+    small messages and falls as the data length grows."""
+    curve = msg_overhead_curve(sizes=(100, 1_000, 10_000, 100_000, 1_000_000),
+                               policy=BENCH_POLICY, repeats=3)
+    with capsys.disabled():
+        print()
+        print(format_msg_overhead(curve))
+    assert curve.monotone_decreasing_tail(), (
+        "overhead must fall with message size (Figure 2)")
+    assert curve.points[0].overhead_pct > curve.points[-1].overhead_pct * 2

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""The §2.3 threat analysis, executed.
+
+Runs each vulnerability the paper lists against BOTH stacks side by side:
+
+1. eavesdropping the login password and chat,
+2. advertisement forgery by a legitimate insider,
+3. a fake broker behind DNS spoofing,
+4. login replay,
+5. in-flight message tampering,
+6. a compromised member key (handled by the revocation extension).
+
+For each attack the plain JXTA-Overlay primitives fall over and the
+security-aware primitives hold — which is precisely the paper's claim.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from repro.attacks import (
+    Eavesdropper,
+    FakeBroker,
+    LoginReplayer,
+    TamperCampaign,
+    byte_substitution,
+    forge_pipe_advertisement,
+    forge_signed_advertisement,
+    spoof_dns,
+)
+from repro.core import Administrator, SecureBroker, SecureClientPeer, SecurityPolicy
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import BrokerAuthenticationError, SecurityError
+from repro.jxta.messages import Message
+from repro.overlay import Broker, ClientPeer
+from repro.sim import SimNetwork
+
+POLICY = SecurityPolicy(rsa_bits=1024)
+
+
+def verdict(attack: str, plain_outcome: str, secure_outcome: str) -> None:
+    print(f"{attack:28s} plain: {plain_outcome:34s} secure: {secure_outcome}")
+
+
+def build_plain():
+    root = HmacDrbg(b"attack-plain")
+    net = SimNetwork()
+    from repro.overlay import UserDatabase
+
+    db = UserDatabase(root.fork(b"db"))
+    db.register_user("alice", "pw-a", {"g"})
+    db.register_user("bob", "pw-b", {"g"})
+    broker = Broker(net, "broker:0", db, root.fork(b"br"), name="B0")
+    alice = ClientPeer(net, "peer:alice", root.fork(b"al"), name="alice")
+    bob = ClientPeer(net, "peer:bob", root.fork(b"bo"), name="bob")
+    return root, net, broker, alice, bob
+
+
+def build_secure():
+    root = HmacDrbg(b"attack-secure")
+    net = SimNetwork()
+    admin = Administrator(root.fork(b"admin"), bits=POLICY.rsa_bits)
+    admin.register_user("alice", "pw-a", {"g"})
+    admin.register_user("bob", "pw-b", {"g"})
+    broker = SecureBroker.create(net, "broker:0", admin, root.fork(b"br"),
+                                 name="B0", policy=POLICY)
+    alice = SecureClientPeer(net, "peer:alice", root.fork(b"al"),
+                             admin.credential, name="alice", policy=POLICY)
+    bob = SecureClientPeer(net, "peer:bob", root.fork(b"bo"),
+                           admin.credential, name="bob", policy=POLICY)
+    return root, net, admin, broker, alice, bob
+
+
+# 1. ---- eavesdropping ---------------------------------------------------------
+_, net, _, alice, bob = build_plain()
+spy = Eavesdropper().attach(net)
+alice.connect("broker:0"); alice.login("alice", "pw-a")
+bob.connect("broker:0"); bob.login("bob", "pw-b")
+alice.send_msg_peer(str(bob.peer_id), "g", "meet at noon")
+plain_out = (f"password {'LEAKED' if spy.saw_text('pw-a') else 'safe'}, "
+             f"chat {'LEAKED' if spy.saw_text('meet at noon') else 'safe'}")
+
+_, snet, _, _, salice, sbob = build_secure()
+sspy = Eavesdropper().attach(snet)
+salice.secure_connect("broker:0"); salice.secure_login("alice", "pw-a")
+sbob.secure_connect("broker:0"); sbob.secure_login("bob", "pw-b")
+salice.secure_msg_peer(str(sbob.peer_id), "g", "meet at noon")
+secure_out = (f"password {'LEAKED' if sspy.saw_text('pw-a') else 'safe'}, "
+              f"chat {'LEAKED' if sspy.saw_text('meet at noon') else 'safe'}")
+verdict("1. eavesdropping", plain_out, secure_out)
+
+# 2. ---- advertisement forgery ---------------------------------------------------
+root, net, _, alice, bob = build_plain()
+alice.connect("broker:0"); alice.login("alice", "pw-a")
+bob.connect("broker:0"); bob.login("bob", "pw-b")
+from repro.jxta.endpoint import Endpoint
+
+stolen = []
+mallory_ep = Endpoint(net, "peer:mallory")
+mallory_ep.on("pipe_data", lambda m, s: stolen.append(m) or None)
+forged = forge_pipe_advertisement(str(bob.peer_id), "g", "peer:mallory",
+                                  root.fork(b"forge"))
+push = Message("adv_push"); push.add_xml("adv", forged)
+net.send("peer:mallory", "peer:alice", push.to_wire())
+alice.send_msg_peer(str(bob.peer_id), "g", "for bob only")
+plain_out = "messages HIJACKED" if stolen else "safe"
+
+root, snet, _, _, salice, sbob = build_secure()
+salice.secure_connect("broker:0"); salice.secure_login("alice", "pw-a")
+sbob.secure_connect("broker:0"); sbob.secure_login("bob", "pw-b")
+sforged = forge_signed_advertisement(str(sbob.peer_id), "g", "peer:mallory2",
+                                     salice.keystore, root.fork(b"f2"))
+salice.control.cache.publish(sforged)
+try:
+    salice.secure_msg_peer(str(sbob.peer_id), "g", "for bob only")
+    secure_out = "messages HIJACKED"
+except SecurityError:
+    secure_out = "forgery rejected (CBID)"
+verdict("2. advertisement forgery", plain_out, secure_out)
+
+# 3. ---- fake broker (DNS spoofing) ----------------------------------------------
+root, net, _, alice, _ = build_plain()
+fake = FakeBroker(net, "broker:fake", root.fork(b"fk"))
+net.add_interceptor(spoof_dns("broker:0", "broker:fake"))
+alice.connect("broker:0"); alice.login("alice", "pw-a")
+plain_out = ("password HARVESTED by impostor" if fake.harvested
+             else "safe")
+
+root, snet, _, _, salice, _ = build_secure()
+sfake = FakeBroker(snet, "broker:fake", root.fork(b"fk"))
+snet.add_interceptor(spoof_dns("broker:0", "broker:fake"))
+try:
+    salice.secure_connect("broker:0")
+    secure_out = "fooled"
+except BrokerAuthenticationError:
+    secure_out = "impostor rejected (step 6/7)"
+verdict("3. fake broker / DNS spoof", plain_out, secure_out)
+
+# 4. ---- login replay ---------------------------------------------------------------
+root, net, broker, alice, _ = build_plain()
+replayer = LoginReplayer("peer:mallory").attach(net)
+net.register("peer:mallory", lambda f: None)
+alice.connect("broker:0"); alice.login("alice", "pw-a")
+wins = LoginReplayer.successes(replayer.replay_all(net))
+plain_out = "replay ACCEPTED (impersonation)" if wins else "safe"
+
+root, snet, _, sbroker, salice, _ = build_secure()
+sreplayer = LoginReplayer("peer:mallory").attach(snet)
+snet.register("peer:mallory", lambda f: None)
+salice.secure_connect("broker:0"); salice.secure_login("alice", "pw-a")
+swins = LoginReplayer.successes(sreplayer.replay_all(snet))
+secure_out = ("replay ACCEPTED" if swins
+              else f"blocked by sid ({sbroker.sids.replays_blocked} attempts)")
+verdict("4. login replay", plain_out, secure_out)
+
+# 5. ---- in-flight tampering ---------------------------------------------------------
+root, net, _, alice, bob = build_plain()
+alice.connect("broker:0"); alice.login("alice", "pw-a")
+bob.connect("broker:0"); bob.login("bob", "pw-b")
+received = []
+bob.events.subscribe("message_received", lambda **kw: received.append(kw["text"]))
+with TamperCampaign(net) as campaign:
+    campaign.install(byte_substitution(b"noon", b"dawn"))
+    alice.send_msg_peer(str(bob.peer_id), "g", "meet at noon")
+plain_out = (f"delivered ALTERED text {received[0]!r}" if received
+             else "dropped")
+
+root, snet, _, _, salice, sbob = build_secure()
+salice.secure_connect("broker:0"); salice.secure_login("alice", "pw-a")
+sbob.secure_connect("broker:0"); sbob.secure_login("bob", "pw-b")
+sreceived, srejected = [], []
+sbob.events.subscribe("secure_message_received",
+                      lambda **kw: sreceived.append(kw["text"]))
+sbob.events.subscribe("message_rejected", lambda **kw: srejected.append(kw))
+with TamperCampaign(snet) as campaign:
+    from repro.attacks import bit_flipper
+
+    campaign.install(bit_flipper(dst_filter="peer:bob"))
+    salice.secure_msg_peer(str(sbob.peer_id), "g", "meet at noon")
+secure_out = ("delivered ALTERED text" if sreceived
+              else "tampering detected, message refused")
+verdict("5. message tampering", plain_out, secure_out)
+
+# 6. ---- compromised member (revocation, §6 further work) --------------------------
+root, snet, _, sbroker, salice, sbob = build_secure()
+salice.secure_connect("broker:0"); salice.secure_login("alice", "pw-a")
+sbob.secure_connect("broker:0"); sbob.secure_login("bob", "pw-b")
+salice.secure_msg_peer(str(sbob.peer_id), "g", "before compromise")  # works
+sbroker.revocations.revoke(str(sbob.peer_id))   # bob's key leaked: revoke
+sbroker.publish_revocations()
+try:
+    salice.secure_msg_peer(str(sbob.peer_id), "g", "after compromise")
+    secure_out = "still trusted bob"
+except SecurityError:
+    secure_out = "revoked credential refused"
+verdict("6. compromised member", "no concept of revocation", secure_out)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §5 cost study (E1 + E2/Figure 2) plus ablations.
+
+Prints, in order:
+
+* **E1** — join overhead (plain connect+login vs secureConnection+
+  secureLogin), across three link profiles.  The paper reports 81.76%
+  on its 2009 Java/JCE testbed; the measured ratio depends on how much
+  the *plain* join costs, so the link-profile sweep shows the regime
+  dependence explicitly.
+* **E2** — Figure 2: secureMsgPeer overhead vs message size.  The shape
+  (high for small messages, falling as transmission dominates) is the
+  reproducible claim.
+* Ablations A2-A4 from DESIGN.md.
+
+Run:  python examples/overhead_study.py [--quick]
+"""
+
+import sys
+
+from repro.bench import (
+    baseline_comparison,
+    format_baselines,
+    format_group_scaling,
+    format_join_overhead,
+    format_msg_overhead,
+    format_policy_ablation,
+    group_scaling,
+    join_overhead,
+    msg_overhead_curve,
+    policy_ablation,
+)
+from repro.sim.latency import PROFILES
+
+quick = "--quick" in sys.argv
+
+print("=" * 72)
+print("E1: join overhead across link profiles (paper: 81.76 %)")
+print("=" * 72)
+for name in ("loopback", "lan2009", "campus", "wan-adsl"):
+    result = join_overhead(link=PROFILES[name], link_name=name,
+                           repeats=2 if quick else 3)
+    print(format_join_overhead(result))
+    print()
+
+print("=" * 72)
+print("E2: Figure 2 — secureMsgPeer overhead vs data length")
+print("=" * 72)
+sizes = (100, 1_000, 10_000, 100_000) if quick else \
+    (100, 1_000, 10_000, 100_000, 1_000_000)
+print(format_msg_overhead(msg_overhead_curve(sizes=sizes,
+                                             repeats=2 if quick else 3)))
+print()
+
+print("=" * 72)
+print("Ablations (DESIGN.md A2-A4)")
+print("=" * 72)
+print(format_group_scaling(group_scaling(
+    group_sizes=(2, 4, 8) if quick else (2, 4, 8, 16))))
+print()
+print(format_baselines(baseline_comparison(
+    message_counts=(1, 5, 10) if quick else (1, 2, 5, 10, 50)),
+    size_bytes=1_000))
+print()
+print(format_policy_ablation(policy_ablation()))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Secure file distribution with an active adversary on the wire.
+
+A publisher shares a document with a work group while:
+
+* an eavesdropper records every frame (and gets only ciphertext),
+* an insider tries to advertise a poisoned file under the publisher's
+  identity (rejected by the CBID binding),
+* the integrity of each download is checked against the signed offer.
+
+Run:  python examples/secure_file_exchange.py
+"""
+
+from repro.attacks import Eavesdropper, forge_signed_advertisement
+from repro.core import Administrator, SecureBroker, SecureClientPeer, SecurityPolicy
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import SecurityError
+from repro.sim import SimNetwork
+from repro.sim.latency import CAMPUS
+
+root = HmacDrbg(b"file-exchange")
+network = SimNetwork(link=CAMPUS)
+policy = SecurityPolicy(rsa_bits=1024)
+
+admin = Administrator(root.fork(b"admin"), bits=1024)
+for user in ("pat", "quinn", "insider"):
+    admin.register_user(user, f"{user}-pw", groups={"team"})
+
+broker = SecureBroker.create(network, "broker:0", admin, root.fork(b"broker"),
+                             name="team-broker", policy=policy)
+
+peers = {}
+for user in ("pat", "quinn", "insider"):
+    peer = SecureClientPeer(network, f"peer:{user}", root.fork(user.encode()),
+                            admin.credential, name=user, policy=policy)
+    peer.secure_connect("broker:0")
+    peer.secure_login(user, f"{user}-pw")
+    peers[user] = peer
+pat, quinn, insider = peers["pat"], peers["quinn"], peers["insider"]
+
+# the wire is hostile from the start
+spy = Eavesdropper().attach(network)
+
+# --- publish ------------------------------------------------------------------
+report = ("QUARTERLY REPORT — internal only\n" + "metrics, metrics...\n" * 100).encode()
+offer = pat.secure_publish_file("team", "q3-report.txt", report)
+print(f"pat published {offer.file_name!r} ({offer.size} B), "
+      f"sha256={offer.sha256_hex[:16]}...")
+
+# --- insider tries to shadow the offer -------------------------------------------
+forged = forge_signed_advertisement(str(pat.peer_id), "team", "peer:insider",
+                                    insider.keystore, root.fork(b"forge"))
+try:
+    quinn.validator.validate(forged, now=network.clock.now)
+    print("FORGERY ACCEPTED — this must not happen")
+except SecurityError as exc:
+    print(f"insider's forged offer rejected: {type(exc).__name__}")
+
+# --- download with validation ------------------------------------------------------
+offers = quinn.secure_search_files(group="team")
+print(f"quinn sees validated offers: {[o.file_name for o in offers]}")
+content = quinn.secure_request_file(str(pat.peer_id), "team", "q3-report.txt")
+assert content == report
+print(f"quinn downloaded {len(content)} B; digest matched the signed offer")
+
+# --- what did the spy get? ------------------------------------------------------------
+leaked = spy.saw_bytes(b"QUARTERLY REPORT")
+print(f"eavesdropper captured {len(spy)} frames, {spy.total_bytes} B total; "
+      f"report visible: {'YES' if leaked else 'no — ciphertext only'}")
+
+# --- publisher swaps the file after advertising (supply-chain move) --------------------
+pat.files.add("q3-report.txt", b"totally different bytes")
+try:
+    quinn.secure_request_file(str(pat.peer_id), "team", "q3-report.txt")
+    print("silent content swap went UNDETECTED")
+except SecurityError:
+    print("content swap after publication detected via the signed digest")

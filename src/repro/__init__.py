@@ -1,0 +1,44 @@
+"""repro — a from-scratch reproduction of "A Security-aware Approach to
+JXTA-Overlay Primitives" (Arnedo-Moreno, Matsuo, Barolli, Xhafa; ICPP
+Workshops 2009).
+
+Layers, bottom-up:
+
+* :mod:`repro.crypto`   — RSA/PKCS#1, AES, ChaCha20-Poly1305, SHA-256,
+  HMAC, HMAC-DRBG, hybrid envelopes (all from scratch; oracles in tests)
+* :mod:`repro.xmllib`   — element tree, parser, serializer, C14N
+* :mod:`repro.dsig`     — XMLdsig enveloped signatures
+* :mod:`repro.sim`      — virtual clock, scheduler, link-modeled network
+* :mod:`repro.jxta`     — JXTA core: ids/CBIDs, advertisements, pipes,
+  discovery, TLS/CBJX transport baselines
+* :mod:`repro.overlay`  — JXTA-Overlay middleware (Client/Broker/Control)
+* :mod:`repro.core`     — the paper's contribution: secureConnection,
+  secureLogin, signed advertisements, secureMsgPeer(+Group), and the §6
+  further-work extensions
+* :mod:`repro.attacks`  — executable §2.3 threat models
+* :mod:`repro.bench`    — the §5 evaluation (E1, E2/Figure 2) + ablations
+
+Quickstart: see ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Administrator, SecureBroker, SecureClientPeer, SecurityPolicy
+from repro.overlay import Broker, ClientPeer, UserDatabase
+from repro.scenario import BuiltScenario, Scenario
+from repro.sim import SimNetwork, VirtualClock
+
+__all__ = [
+    "__version__",
+    "Administrator",
+    "SecureBroker",
+    "SecureClientPeer",
+    "SecurityPolicy",
+    "Broker",
+    "ClientPeer",
+    "UserDatabase",
+    "SimNetwork",
+    "VirtualClock",
+    "Scenario",
+    "BuiltScenario",
+]

@@ -1,0 +1,38 @@
+"""Adversary models for the §2.3 threat analysis.
+
+Each module implements one of the paper's stated JXTA-Overlay
+vulnerabilities as executable code, so the test suite can demonstrate
+that (a) the plain primitives really are vulnerable and (b) the secure
+primitives really close the hole.
+"""
+
+from repro.attacks.eavesdropper import Eavesdropper
+from repro.attacks.fake_broker import FakeBroker, spoof_dns
+from repro.attacks.forger import (
+    forge_file_advertisement,
+    forge_pipe_advertisement,
+    forge_signed_advertisement,
+    tamper_signed_advertisement,
+)
+from repro.attacks.mitm import (
+    DroppingInterceptor,
+    TamperCampaign,
+    bit_flipper,
+    byte_substitution,
+)
+from repro.attacks.replay import LoginReplayer
+
+__all__ = [
+    "Eavesdropper",
+    "FakeBroker",
+    "spoof_dns",
+    "LoginReplayer",
+    "forge_pipe_advertisement",
+    "forge_file_advertisement",
+    "forge_signed_advertisement",
+    "tamper_signed_advertisement",
+    "byte_substitution",
+    "bit_flipper",
+    "DroppingInterceptor",
+    "TamperCampaign",
+]

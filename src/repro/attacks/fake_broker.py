@@ -1,0 +1,113 @@
+"""Fake broker / DNS-spoofing attack (§2.3 threat 3).
+
+"Client peers never check the broker legitimacy before authenticating.
+There is no guarantee that a broker is a legitimate one even in the case
+of well-known identifiers, since traffic may be redirected to a fake one
+via methods such as DNS spoofing."
+
+Two pieces:
+
+* :class:`FakeBroker` — a malicious endpoint that answers the broker
+  protocol and harvests whatever credentials clients send it.  Against
+  plain ``login`` it captures the password; against ``secureConnection``
+  it can only present a credential the administrator never signed (or a
+  stolen-but-keyless legitimate credential), which clients reject.
+* :func:`spoof_dns` — an interceptor that redirects traffic aimed at the
+  real broker to the fake one, modelling cache poisoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import secure_connection as sc
+from repro.core.credentials import Credential, self_signed_credential
+from repro.core.keystore import Keystore
+from repro.crypto.drbg import HmacDrbg
+from repro.jxta.endpoint import Endpoint
+from repro.jxta.messages import Message
+from repro.sim.network import Frame, Interceptor, SimNetwork
+
+
+class FakeBroker:
+    """Impersonates a broker; records every credential clients leak."""
+
+    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
+                 name: str = "totally-legit-broker",
+                 stolen_credential: Credential | None = None) -> None:
+        self.endpoint = Endpoint(network, address)
+        self.drbg = drbg
+        self.name = name
+        #: harvested (username, password) pairs from plain logins
+        self.harvested: list[tuple[str, str]] = []
+        #: secure login envelopes we received but cannot open
+        self.opaque_blobs: list[dict] = []
+        # The fake broker's own key + self-signed "credential" — the best
+        # forgery possible without SK_Adm.
+        self.keystore = Keystore.generate(1024, drbg.fork(b"fake-keys"))
+        forged = self_signed_credential(
+            self.keystore.keys.private, self.keystore.keys.public,
+            name=name, not_before=0.0, not_after=1e12,
+            drbg=drbg.fork(b"forge"))
+        self.keystore.install_anchor(forged)
+        if stolen_credential is not None:
+            # An attacker does not respect keystore invariants: it presents
+            # a credential for a key it does not hold.
+            self.keystore.chain = [stolen_credential]
+        else:
+            self.keystore.install_chain([forged])
+        self.endpoint.on("connect_req", self._fn_connect)
+        self.endpoint.on("login_req", self._fn_login)
+        self.endpoint.on(sc.CONNECT_REQ, self._fn_secure_connect)
+        self.endpoint.on("secure_login_req", self._fn_secure_login)
+
+    # -- plain protocol: the attack that WORKS -----------------------------
+
+    def _fn_connect(self, message: Message, src: str) -> Message:
+        out = Message("connect_ok")
+        out.add_text("broker_id", "urn:jxta:uuid-" + "00" * 16)
+        out.add_text("broker_name", self.name)
+        return out
+
+    def _fn_login(self, message: Message, src: str) -> Message:
+        # Harvest, then accept so the victim suspects nothing.
+        self.harvested.append(
+            (message.get_text("username"), message.get_text("password")))
+        out = Message("login_ok")
+        out.add_json("groups", [])
+        out.add_text("peer_id", "urn:jxta:uuid-" + "00" * 16)
+        return out
+
+    # -- secure protocol: the attack that FAILS ------------------------------
+
+    def _fn_secure_connect(self, message: Message, src: str) -> Message:
+        """Answer with our forged/stolen chain.  With a forged chain the
+        admin signature check fails; with a stolen legitimate credential
+        the challenge signature cannot verify (we lack SK_Br)."""
+        chall = message.get_bytes("chall")
+        return sc.build_connect_response(
+            chall, sid="ffff" * 16, broker_key=self.keystore.keys.private,
+            broker_chain=self.keystore.chain,
+            scheme="rsa-pss-sha256", drbg=self.drbg)
+
+    def _fn_secure_login(self, message: Message, src: str) -> Message:
+        # All we can do is hoard ciphertext we cannot decrypt.
+        self.opaque_blobs.append(message.get_json("envelope"))
+        out = Message("secure_login_fail")
+        out.add_text("reason", "try again later")
+        return out
+
+
+def spoof_dns(real_broker: str, fake_broker: str) -> Interceptor:
+    """An interceptor redirecting ``real_broker``-bound frames to the fake.
+
+    Models DNS cache poisoning: the client *believes* it is talking to the
+    well-known broker address.
+    """
+
+    def interceptor(frame: Frame) -> Frame | None:
+        if frame.dst == real_broker:
+            return replace(frame, dst=fake_broker)
+        return frame
+
+    return interceptor

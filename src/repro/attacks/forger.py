@@ -1,0 +1,76 @@
+"""Advertisement forgery (§2.3 threat 2).
+
+"Any legitimate user may forge advertisements with no fear of reprisal.
+No integrity or source authenticity is maintained.  Such advertisements
+will be distributed and accepted by all group members."
+
+The forger is itself a *legitimate* (authenticated) user — the threat is
+insider misbehaviour, not network intrusion.  It crafts advertisements
+claiming to be another peer, e.g. redirecting the victim's input pipe to
+the forger's own address (message hijacking) or advertising a poisoned
+file under the victim's identity.
+"""
+
+from __future__ import annotations
+
+from repro.core.signed_advertisement import sign_advertisement
+from repro.jxta.advertisements import FileAdvertisement, PipeAdvertisement
+from repro.jxta.ids import JxtaID, parse_id, random_pipe_id
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.sha2 import sha256
+from repro.xmllib import Element
+
+
+def forge_pipe_advertisement(victim_peer_id: str, group: str,
+                             attacker_address: str,
+                             drbg: HmacDrbg) -> Element:
+    """A pipe advertisement that hijacks the victim's messages.
+
+    Anyone resolving the victim's pipe from this forgery will deliver
+    their (plain) messages to the attacker's endpoint instead.
+    """
+    adv = PipeAdvertisement(
+        peer_id=parse_id(victim_peer_id, "peer"),
+        pipe_id=random_pipe_id(drbg),
+        group=group,
+        address=attacker_address)
+    return adv.to_element()
+
+
+def forge_file_advertisement(victim_peer_id: str, group: str,
+                             file_name: str, poisoned_content: bytes) -> Element:
+    """A file offer published under the victim's identity."""
+    adv = FileAdvertisement(
+        peer_id=parse_id(victim_peer_id, "peer"),
+        file_name=file_name,
+        size=len(poisoned_content),
+        sha256_hex=sha256(poisoned_content).hex(),
+        group=group)
+    return adv.to_element()
+
+
+def forge_signed_advertisement(victim_peer_id: str, group: str,
+                               attacker_address: str,
+                               attacker_keystore, drbg: HmacDrbg) -> Element:
+    """The attacker's best try against the *secure* scheme: sign the
+    forged advertisement with its own (legitimately credentialed) key.
+
+    Validation still fails: the advertisement's PeerId is the victim's
+    CBID, which can never match the attacker credential's subject — the
+    CBID binding is exactly what makes the id unforgeable.
+    """
+    element = forge_pipe_advertisement(victim_peer_id, group,
+                                       attacker_address, drbg)
+    sign_advertisement(element, attacker_keystore.keys.private,
+                       attacker_keystore.chain, drbg=drbg)
+    return element
+
+
+def tamper_signed_advertisement(element: Element, new_address: str) -> Element:
+    """Modify a field of a legitimately signed advertisement in transit."""
+    copy = element.deep_copy()
+    target = copy.find("Address")
+    if target is None:
+        target = copy.add("Address")
+    target.text = new_address
+    return copy

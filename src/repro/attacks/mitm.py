@@ -1,0 +1,77 @@
+"""Active man-in-the-middle: frame tampering and substitution.
+
+Complements the passive eavesdropper: interceptors that rewrite message
+content in flight.  Against plain chat the victim receives the altered
+text with no way to notice; against secureMsgPeer the envelope/signature
+checks reject the tampered message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.network import Frame, Interceptor, SimNetwork
+
+
+def byte_substitution(needle: bytes, replacement: bytes) -> Interceptor:
+    """Replace ``needle`` with ``replacement`` in every frame payload."""
+
+    def interceptor(frame: Frame) -> Frame:
+        if needle in frame.payload:
+            return replace(frame, payload=frame.payload.replace(needle, replacement))
+        return frame
+
+    return interceptor
+
+
+def bit_flipper(dst_filter: str | None = None, position: int = -1) -> Interceptor:
+    """Flip one bit of matching frames (integrity-check exerciser)."""
+
+    def interceptor(frame: Frame) -> Frame:
+        if dst_filter is not None and frame.dst != dst_filter:
+            return frame
+        payload = bytearray(frame.payload)
+        if not payload:
+            return frame
+        payload[position] ^= 0x01
+        return replace(frame, payload=bytes(payload))
+
+    return interceptor
+
+
+@dataclass
+class DroppingInterceptor:
+    """Drops frames matching a destination (availability attack)."""
+
+    dst_filter: str
+    dropped: list[Frame] = field(default_factory=list)
+
+    def __call__(self, frame: Frame) -> Frame | None:
+        if frame.dst == self.dst_filter:
+            self.dropped.append(frame)
+            return None
+        return frame
+
+
+class TamperCampaign:
+    """Convenience wrapper: install interceptors, count effects, remove."""
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+        self._installed: list[Interceptor] = []
+
+    def install(self, interceptor: Interceptor) -> Interceptor:
+        self.network.add_interceptor(interceptor)
+        self._installed.append(interceptor)
+        return interceptor
+
+    def teardown(self) -> None:
+        for interceptor in self._installed:
+            self.network.remove_interceptor(interceptor)
+        self._installed.clear()
+
+    def __enter__(self) -> "TamperCampaign":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.teardown()

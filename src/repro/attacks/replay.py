@@ -1,0 +1,68 @@
+"""Login replay attack (§4.2.2's motivation).
+
+"Otherwise, an attacker can reuse any authentication attempt from other
+client peers to impersonate them.  The attacker need not know the content
+of the encrypted message to perform this kind of attack; it is enough
+that it contains a valid username and password that will be accepted by
+the broker."
+
+The attacker records login frames off the wire (it *cannot* read them)
+and replays them verbatim from its own address.  Against a hypothetical
+sid-less secure login this would succeed; against the paper's protocol
+the broker consumed the sid during the victim's login, so the replay is
+rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError, ReproError
+from repro.jxta.messages import Message
+from repro.sim.network import Frame, SimNetwork
+
+
+@dataclass
+class LoginReplayer:
+    """Tap that records login frames and can replay them later."""
+
+    attacker_address: str
+    captured: list[Frame] = field(default_factory=list)
+    login_types: tuple[str, ...] = ("login_req", "secure_login_req")
+
+    def observe(self, frame: Frame) -> None:
+        try:
+            msg = Message.from_wire(frame.payload)
+        except ReproError:
+            return
+        if msg.msg_type in self.login_types:
+            self.captured.append(frame)
+
+    def attach(self, network: SimNetwork) -> "LoginReplayer":
+        network.add_tap(self)
+        return self
+
+    def replay_all(self, network: SimNetwork) -> list[Message]:
+        """Resend every captured login blob from the attacker's address.
+
+        Returns the broker's responses (the attacker's haul: a
+        ``login_ok``/``secure_login_ok`` here would mean impersonation).
+        """
+        responses = []
+        # snapshot: the tap is still attached, so the replays themselves
+        # get captured — iterating the live list would never terminate
+        for frame in list(self.captured):
+            try:
+                raw = network.request(self.attacker_address, frame.dst,
+                                      frame.payload)
+            except NetworkError:
+                continue
+            try:
+                responses.append(Message.from_wire(raw))
+            except ReproError:
+                continue
+        return responses
+
+    @staticmethod
+    def successes(responses: list[Message]) -> list[Message]:
+        return [r for r in responses if r.msg_type in ("login_ok", "secure_login_ok")]

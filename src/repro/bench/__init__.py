@@ -1,0 +1,41 @@
+"""Benchmark harness reproducing the paper's evaluation (section 5).
+
+* **E1** — join overhead (the 81.76% number): :func:`join_overhead`
+* **E2** — Figure 2, secureMsgPeer overhead vs data length:
+  :func:`msg_overhead_curve`
+* **A1-A4** — the DESIGN.md ablations.
+
+``python -m repro.bench`` (or ``examples/overhead_study.py``) prints the
+full report; ``benchmarks/`` wraps the same functions in pytest-benchmark
+targets.
+"""
+
+from repro.bench.experiments import (
+    PAPER_JOIN_OVERHEAD_PCT,
+    baseline_comparison,
+    group_scaling,
+    join_overhead,
+    msg_overhead_curve,
+    policy_ablation,
+)
+from repro.bench.report import (
+    format_baselines,
+    format_group_scaling,
+    format_join_overhead,
+    format_msg_overhead,
+    format_policy_ablation,
+)
+
+__all__ = [
+    "PAPER_JOIN_OVERHEAD_PCT",
+    "join_overhead",
+    "msg_overhead_curve",
+    "group_scaling",
+    "baseline_comparison",
+    "policy_ablation",
+    "format_join_overhead",
+    "format_msg_overhead",
+    "format_group_scaling",
+    "format_baselines",
+    "format_policy_ablation",
+]

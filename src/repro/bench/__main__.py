@@ -1,0 +1,43 @@
+"""``python -m repro.bench``: run every experiment and print the report."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    baseline_comparison,
+    format_baselines,
+    format_group_scaling,
+    format_join_overhead,
+    format_msg_overhead,
+    format_policy_ablation,
+    group_scaling,
+    join_overhead,
+    msg_overhead_curve,
+    policy_ablation,
+)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    print(format_join_overhead(join_overhead(repeats=2 if quick else 3)))
+    print()
+    sizes = (100, 1_000, 10_000, 100_000) if quick else (100, 1_000, 10_000, 100_000, 1_000_000)
+    curve = msg_overhead_curve(sizes=sizes, repeats=2 if quick else 3)
+    print(format_msg_overhead(curve))
+    print()
+    from repro.bench.figures import render_figure2
+
+    print(render_figure2(curve))
+    print()
+    print(format_group_scaling(group_scaling(group_sizes=(2, 4, 8) if quick else (2, 4, 8, 16))))
+    print()
+    counts = (1, 5, 10) if quick else (1, 2, 5, 10, 50)
+    print(format_baselines(baseline_comparison(message_counts=counts), size_bytes=1_000))
+    print()
+    print(format_policy_ablation(policy_ablation()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,51 @@
+"""Terminal rendering of the paper's Figure 2.
+
+A log-x scatter of overhead%% vs message size, drawn with unicode block
+characters — enough to eyeball the falling curve the paper plots, with
+the exact numbers in the accompanying table from
+:func:`repro.bench.report.format_msg_overhead`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import MsgOverheadCurve
+
+_HEIGHT = 12
+_BAR = "█"
+
+
+def render_figure2(curve: MsgOverheadCurve, height: int = _HEIGHT) -> str:
+    """Bar chart: one column per measured size, height ∝ overhead %."""
+    if not curve.points:
+        return "(no data)"
+    values = [p.overhead_pct for p in curve.points]
+    top = max(values)
+    if top <= 0:
+        return "(all overheads non-positive)"
+    col_width = 9
+    rows: list[str] = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        cells = []
+        for value in values:
+            cells.append((_BAR * 3).center(col_width) if value >= threshold
+                         else " " * col_width)
+        label = f"{threshold:8.0f}% |" if level in (height, 1) or level % 3 == 0 \
+            else " " * 9 + " |"
+        rows.append(label + "".join(cells))
+    axis = " " * 9 + " +" + "-" * (col_width * len(values))
+    labels = " " * 11 + "".join(
+        _format_size(p.size_bytes).center(col_width) for p in curve.points)
+    header = ("secureMsgPeer overhead vs data length "
+              f"(link={curve.link_name}, RSA-{curve.rsa_bits})")
+    return "\n".join([header, *rows, axis, labels])
+
+
+def _format_size(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n // 1_000_000}MB"
+    if n >= 1_000:
+        return f"{n // 1_000}kB"
+    return f"{n}B"

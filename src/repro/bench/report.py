@@ -1,0 +1,83 @@
+"""Rendering experiment results as the rows/series the paper reports."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    BaselineComparisonPoint,
+    GroupScalePoint,
+    JoinOverheadResult,
+    MsgOverheadCurve,
+    PolicyAblationRow,
+)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.3f} ms"
+
+
+def format_join_overhead(result: JoinOverheadResult) -> str:
+    """E1 — the §5 sentence, ours vs the paper's 81.76%."""
+    lines = [
+        "E1: network join overhead (connect+login vs secureConnection+secureLogin)",
+        f"  link={result.link_name}  rsa={result.rsa_bits}  cpu_scale={result.cpu_scale}",
+        f"  plain join : {_ms(result.plain_s)}",
+        f"  secure join: {_ms(result.secure_s)}",
+        f"  overhead   : {result.overhead_pct:8.2f} %   (paper: {result.paper_overhead_pct:.2f} %)",
+    ]
+    return "\n".join(lines)
+
+
+def format_msg_overhead(curve: MsgOverheadCurve) -> str:
+    """E2 — Figure 2 as a text series."""
+    lines = [
+        "E2 (Figure 2): secureMsgPeer overhead vs data length",
+        f"  link={curve.link_name}  rsa={curve.rsa_bits}  cpu_scale={curve.cpu_scale}",
+        f"  {'size (B)':>10}  {'plain':>12}  {'secure':>12}  {'overhead %':>11}",
+    ]
+    for p in curve.points:
+        lines.append(
+            f"  {p.size_bytes:>10}  {_ms(p.plain_s)}  {_ms(p.secure_s)}"
+            f"  {p.overhead_pct:>10.1f}%")
+    shape = "falls with size (matches Figure 2)" if curve.monotone_decreasing_tail() \
+        else "NOT falling monotonically — investigate"
+    lines.append(f"  shape: overhead {shape}")
+    return "\n".join(lines)
+
+
+def format_group_scaling(points: list[GroupScalePoint]) -> str:
+    lines = [
+        "A3: group messaging scaling (sendMsgPeerGroup vs secure variant)",
+        f"  {'members':>8}  {'plain':>12}  {'secure':>12}  {'overhead %':>11}",
+    ]
+    for p in points:
+        lines.append(
+            f"  {p.group_size:>8}  {_ms(p.plain_s)}  {_ms(p.secure_s)}"
+            f"  {p.overhead_pct:>10.1f}%")
+    return "\n".join(lines)
+
+
+def format_baselines(points: list[BaselineComparisonPoint],
+                     size_bytes: int) -> str:
+    lines = [
+        f"A4: N-message conversation cost ({size_bytes} B payloads)",
+        f"  {'N':>5}  {'stateless':>12}  {'TLS(ch.)':>12}  {'CBJX':>12}  winner",
+    ]
+    for p in points:
+        best = min(("stateless", p.stateless_s), ("tls", p.tls_s),
+                   ("cbjx*", p.cbjx_s), key=lambda kv: kv[1])[0]
+        lines.append(
+            f"  {p.n_messages:>5}  {_ms(p.stateless_s)}  {_ms(p.tls_s)}"
+            f"  {_ms(p.cbjx_s)}  {best}")
+    lines.append("  (*CBJX provides no confidentiality — cheaper but weaker)")
+    return "\n".join(lines)
+
+
+def format_policy_ablation(rows: list[PolicyAblationRow]) -> str:
+    lines = [
+        "A2: policy ablation (key size / suite)",
+        f"  {'policy':>24}  {'secure join':>14}  {'secure msg':>14}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r.label:>24}  {_ms(r.join_secure_s)}  {_ms(r.msg_secure_s)}")
+    return "\n".join(lines)

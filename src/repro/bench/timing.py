@@ -1,0 +1,67 @@
+"""Measuring protocol operations in simulated time.
+
+The model (see :mod:`repro.sim.clock`): an operation's virtual duration is
+
+    T = wall_cpu * cpu_scale + network_time
+
+where ``wall_cpu`` is the *measured* real time of the synchronous call
+(all crypto on both sides executes in-process during the call) and
+``network_time`` is the modeled link transit accumulated by the simulated
+network during the call.  ``cpu_scale`` lets experiments impersonate
+slower hosts (the paper used a 1.2 GHz Pentium M).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.network import SimNetwork
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """One measured operation."""
+
+    wall_cpu_s: float
+    network_s: float
+    cpu_scale: float
+
+    @property
+    def total_s(self) -> float:
+        return self.wall_cpu_s * self.cpu_scale + self.network_s
+
+
+def timed_call(network: SimNetwork, fn: Callable[[], object],
+               cpu_scale: float = 1.0) -> OpTiming:
+    """Run ``fn`` and split its cost into CPU and modeled network time."""
+    net0 = network.clock.network_time
+    t0 = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - t0
+    return OpTiming(
+        wall_cpu_s=wall,
+        network_s=network.clock.network_time - net0,
+        cpu_scale=cpu_scale,
+    )
+
+
+def repeat_timed(network: SimNetwork, fn: Callable[[], object],
+                 repeats: int, cpu_scale: float = 1.0,
+                 warmup: int = 1) -> list[OpTiming]:
+    """Warm up (JIT-ish caches, advertisement validation) then measure."""
+    for _ in range(warmup):
+        fn()
+    return [timed_call(network, fn, cpu_scale) for _ in range(repeats)]
+
+
+def mean_total(timings: list[OpTiming]) -> float:
+    return sum(t.total_s for t in timings) / len(timings) if timings else 0.0
+
+
+def overhead_pct(secure_s: float, plain_s: float) -> float:
+    """The paper's metric: extra cost of the secure variant, in percent."""
+    if plain_s <= 0:
+        raise ValueError("plain baseline duration must be positive")
+    return (secure_s - plain_s) / plain_s * 100.0

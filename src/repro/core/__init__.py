@@ -1,0 +1,54 @@
+"""The paper's contribution: security-aware JXTA-Overlay primitives.
+
+Implements section 4 end to end — system setup (administrator trust root,
+broker credentials), secureConnection, secureLogin, signed advertisements
+with transparent credential distribution, secureMsgPeer /
+secureMsgPeerGroup — plus the §6 further-work extensions (secure file
+sharing and secure executable primitives) built from the same blocks.
+"""
+
+from repro.core.admin import Administrator
+from repro.core.credentials import (
+    Credential,
+    issue_credential,
+    self_signed_credential,
+    validate_chain,
+)
+from repro.core.keystore import Keystore
+from repro.core.revocation import (
+    RevocationChecker,
+    RevocationList,
+    RevocationRegistry,
+    RevokedCredentialError,
+)
+from repro.core.policy import DEFAULT_POLICY, ERA_2009_POLICY, SecurityPolicy
+from repro.core.secure_broker import SecureBroker
+from repro.core.secure_client import SecureClientPeer
+from repro.core.session import SidStore
+from repro.core.signed_advertisement import (
+    AdvertisementValidator,
+    ValidatedAdvertisement,
+    sign_advertisement,
+)
+
+__all__ = [
+    "Administrator",
+    "Credential",
+    "issue_credential",
+    "self_signed_credential",
+    "validate_chain",
+    "Keystore",
+    "SecurityPolicy",
+    "DEFAULT_POLICY",
+    "ERA_2009_POLICY",
+    "SecureBroker",
+    "SecureClientPeer",
+    "SidStore",
+    "AdvertisementValidator",
+    "ValidatedAdvertisement",
+    "sign_advertisement",
+    "RevocationRegistry",
+    "RevocationChecker",
+    "RevocationList",
+    "RevokedCredentialError",
+]

@@ -1,0 +1,73 @@
+"""The administrator: trust root of the secure JXTA-Overlay network (§4.1).
+
+"The JXTA-Overlay administrator generates a key pair and a self-signed
+credential, thus acting as trusted party by all peers.  This is a
+sensible stance, since the system administrator is the entity that
+grants access to the network by creating usernames and passwords."
+
+The administrator operates **offline**: it provisions brokers with
+credentials and distributes its self-signed credential to every entity at
+deployment time.  It never appears on the simulated network.
+"""
+
+from __future__ import annotations
+
+from repro.core.credentials import Credential, issue_credential, self_signed_credential
+from repro.core.keystore import Keystore
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PublicKey, generate_keypair
+from repro.overlay.database import UserDatabase
+
+#: default credential lifetimes (virtual seconds)
+ADMIN_LIFETIME = 10 * 365 * 86400.0
+BROKER_LIFETIME = 365 * 86400.0
+
+
+class Administrator:
+    """Adm: key pair, Cred_Adm^Adm, broker credential issuance, user DB."""
+
+    def __init__(self, drbg: HmacDrbg, bits: int = 1024, name: str = "admin",
+                 now: float = 0.0, lifetime: float = ADMIN_LIFETIME,
+                 keys=None) -> None:
+        self._drbg = drbg
+        self.name = name
+        self.keystore = Keystore(
+            keys if keys is not None
+            else generate_keypair(bits, drbg=drbg.fork(b"admin-keys")))
+        anchor = self_signed_credential(
+            self.keystore.keys.private, self.keystore.keys.public,
+            name=name, not_before=now, not_after=now + lifetime,
+            drbg=drbg.fork(b"admin-self-sign"))
+        self.keystore.install_anchor(anchor)
+        self.keystore.install_chain([anchor])
+        #: the central user database the administrator maintains (§2.1)
+        self.database = UserDatabase(drbg.fork(b"database"))
+
+    @property
+    def credential(self) -> Credential:
+        """Cred_Adm^Adm — distributed to every peer at deployment."""
+        return self.keystore.require_anchor()
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keystore.keys.public
+
+    def issue_broker_credential(self, broker_key: PublicKey, broker_name: str,
+                                now: float = 0.0,
+                                lifetime: float = BROKER_LIFETIME) -> Credential:
+        """Cred_Br^Adm: only legitimate brokers can ever hold one."""
+        return issue_credential(
+            issuer_key=self.keystore.keys.private,
+            issuer_id=self.keystore.cbid,
+            issuer_name=self.name,
+            subject_key=broker_key,
+            subject_name=broker_name,
+            not_before=now,
+            not_after=now + lifetime,
+            drbg=self._drbg.fork(b"issue-" + broker_name.encode()),
+        )
+
+    def register_user(self, username: str, password: str,
+                      groups: set[str] | list[str] = ()) -> None:
+        """Provision an end user (out-of-band, §2.1)."""
+        self.database.register_user(username, password, groups)

@@ -1,0 +1,201 @@
+"""Credentials: Cred_i^j — peer *i*'s credential issued by *j* (§4 notation).
+
+A credential is an XML document binding a subject peer id (a CBID) and a
+human-readable name to a public key, signed by the issuer with an
+enveloped XMLdsig signature:
+
+.. code-block:: xml
+
+    <Credential>
+      <Subject>urn:jxta:cbid-...</Subject>
+      <SubjectName>alice</SubjectName>
+      <Issuer>urn:jxta:cbid-...</Issuer>
+      <IssuerName>broker-0</IssuerName>
+      <PublicKey>{"kty":"RSA",...}</PublicKey>
+      <NotBefore>0.0</NotBefore>
+      <NotAfter>86400.0</NotAfter>
+      <Signature>...</Signature>
+    </Credential>
+
+Trust is a two-level chain exactly as §4.1 sets it up: the administrator
+self-signs ``Cred_Adm^Adm``; brokers hold ``Cred_Br^Adm``; clients earn
+``Cred_Cl^Br`` from secureLogin.  Subjects are **crypto-based ids**: a
+credential whose subject id is not the CBID of its public key is invalid
+by construction, independent of any signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import public_key_from_text, public_key_to_text
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.dsig import sign_element, verify_element
+from repro.errors import (
+    CBIDMismatchError,
+    CredentialError,
+    InvalidKeyError,
+    InvalidSignatureError,
+    XMLDsigError,
+    XMLError,
+)
+from repro.jxta.ids import JxtaID, cbid_from_key, matches_key, parse_id
+from repro.xmllib import Element
+
+CREDENTIAL_TAG = "Credential"
+
+
+@dataclass(frozen=True)
+class Credential:
+    """An issued, signed identity credential."""
+
+    subject_id: JxtaID
+    subject_name: str
+    issuer_id: JxtaID
+    issuer_name: str
+    public_key: PublicKey
+    not_before: float
+    not_after: float
+    #: the signed XML document (kept verbatim so signatures stay valid)
+    element: Element
+
+    @property
+    def self_signed(self) -> bool:
+        return self.subject_id == self.issuer_id
+
+    # -- codec ---------------------------------------------------------------
+
+    @classmethod
+    def from_element(cls, element: Element) -> "Credential":
+        """Parse (without verifying) a credential document."""
+        if element.tag != CREDENTIAL_TAG:
+            raise CredentialError(f"expected <{CREDENTIAL_TAG}>, got <{element.tag}>")
+        try:
+            subject_id = parse_id(element.find_required("Subject").text, "peer")
+            issuer_id = parse_id(element.find_required("Issuer").text, "peer")
+            public_key = public_key_from_text(element.find_required("PublicKey").text)
+            not_before = float(element.find_required("NotBefore").text)
+            not_after = float(element.find_required("NotAfter").text)
+        except (XMLError, InvalidKeyError, ValueError) as exc:
+            raise CredentialError(f"malformed credential: {exc}") from exc
+        return cls(
+            subject_id=subject_id,
+            subject_name=element.findtext("SubjectName"),
+            issuer_id=issuer_id,
+            issuer_name=element.findtext("IssuerName"),
+            public_key=public_key,
+            not_before=not_before,
+            not_after=not_after,
+            element=element.deep_copy(),
+        )
+
+    def to_element(self) -> Element:
+        return self.element.deep_copy()
+
+    # -- verification ------------------------------------------------------------
+
+    def check_validity_window(self, now: float) -> None:
+        if now < self.not_before:
+            raise CredentialError(
+                f"credential for {self.subject_name!r} not yet valid "
+                f"(now={now}, not_before={self.not_before})")
+        if now > self.not_after:
+            raise CredentialError(
+                f"credential for {self.subject_name!r} expired "
+                f"(now={now}, not_after={self.not_after})")
+
+    def check_cbid(self) -> None:
+        """The subject id must be the CBID of the enclosed public key."""
+        if not matches_key(self.subject_id, self.public_key):
+            raise CBIDMismatchError(
+                f"credential subject {self.subject_id} is not the CBID of "
+                f"its public key")
+
+    def verify(self, issuer_key: PublicKey, now: float) -> None:
+        """Full check: CBID binding, validity window, issuer signature."""
+        self.check_cbid()
+        self.check_validity_window(now)
+        try:
+            verify_element(self.element, issuer_key)
+        except (XMLDsigError, InvalidSignatureError) as exc:
+            raise CredentialError(
+                f"credential for {self.subject_name!r} has an invalid "
+                f"issuer signature: {exc}") from exc
+
+
+def issue_credential(issuer_key: PrivateKey, issuer_id: JxtaID, issuer_name: str,
+                     subject_key: PublicKey, subject_name: str,
+                     not_before: float, not_after: float,
+                     drbg: HmacDrbg | None = None) -> Credential:
+    """Create and sign a credential for ``subject_key``.
+
+    The subject id is *derived*, never supplied: it is the CBID of the
+    subject's public key, which is what makes impersonation by id
+    unforgeable without the matching private key.
+    """
+    if not_after <= not_before:
+        raise CredentialError("credential validity window is empty")
+    subject_id = cbid_from_key(subject_key)
+    element = Element(CREDENTIAL_TAG)
+    element.add("Subject", text=str(subject_id))
+    element.add("SubjectName", text=subject_name)
+    element.add("Issuer", text=str(issuer_id))
+    element.add("IssuerName", text=issuer_name)
+    element.add("PublicKey", text=public_key_to_text(subject_key))
+    element.add("NotBefore", text=repr(not_before))
+    element.add("NotAfter", text=repr(not_after))
+    sign_element(element, issuer_key, drbg=drbg)
+    return Credential.from_element(element)
+
+
+def self_signed_credential(keys_private: PrivateKey, keys_public: PublicKey,
+                           name: str, not_before: float, not_after: float,
+                           drbg: HmacDrbg | None = None) -> Credential:
+    """The administrator's trust root: Cred_Adm^Adm."""
+    own_id = cbid_from_key(keys_public)
+    return issue_credential(
+        issuer_key=keys_private, issuer_id=own_id, issuer_name=name,
+        subject_key=keys_public, subject_name=name,
+        not_before=not_before, not_after=not_after, drbg=drbg)
+
+
+# ---------------------------------------------------------------------------
+# Credential chains
+# ---------------------------------------------------------------------------
+
+def validate_chain(chain: list[Credential], trust_anchor: Credential,
+                   now: float) -> Credential:
+    """Validate a leaf-first credential chain against the trust anchor.
+
+    ``chain[0]`` is the end entity; each ``chain[i]`` must be signed by
+    the key in ``chain[i+1]``; the last link must be signed by the trust
+    anchor (the administrator's self-signed credential).  Returns the leaf
+    credential on success.
+    """
+    if not chain:
+        raise CredentialError("empty credential chain")
+    if len(chain) > 4:
+        raise CredentialError(f"credential chain too long ({len(chain)})")
+    anchor_key = trust_anchor.public_key
+    for i, cred in enumerate(chain):
+        issuer_key = chain[i + 1].public_key if i + 1 < len(chain) else anchor_key
+        cred.verify(issuer_key, now)
+        if i + 1 < len(chain) and cred.issuer_id != chain[i + 1].subject_id:
+            raise CredentialError(
+                f"chain link {i}: issuer id {cred.issuer_id} does not match "
+                f"the next credential's subject {chain[i + 1].subject_id}")
+    last = chain[-1]
+    if last.issuer_id != trust_anchor.subject_id:
+        raise CredentialError(
+            f"chain root issuer {last.issuer_id} is not the trust anchor "
+            f"{trust_anchor.subject_id}")
+    return chain[0]
+
+
+def chain_to_elements(chain: list[Credential]) -> list[Element]:
+    return [c.to_element() for c in chain]
+
+
+def chain_from_elements(elements: list[Element]) -> list[Credential]:
+    return [Credential.from_element(e) for e in elements]

@@ -1,0 +1,75 @@
+"""Per-entity key material and trust state.
+
+Every secure entity (administrator, broker, client) holds a
+:class:`Keystore`: its own key pair, its own credential (+ chain up to
+the administrator), the trust anchor, and a cache of *validated* peer
+credentials.  Unlike JXTA's PSE, this keystore is format-agnostic — the
+constraint the paper calls out in section 3 and designs around.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import KeyPair, generate_keypair
+from repro.errors import CredentialError
+from repro.core.credentials import Credential
+from repro.jxta.ids import JxtaID, cbid_from_key
+
+
+class Keystore:
+    """Key pair + credentials + trust anchor for one secure entity."""
+
+    def __init__(self, keys: KeyPair) -> None:
+        self.keys = keys
+        #: this entity's CBID (derived, never chosen)
+        self.cbid: JxtaID = cbid_from_key(keys.public)
+        #: this entity's own credential chain, leaf first (set after issuance)
+        self.chain: list[Credential] = []
+        #: the administrator's self-signed credential (trust root)
+        self.trust_anchor: Credential | None = None
+        #: peer id URN -> credential validated against the anchor
+        self._validated: dict[str, Credential] = {}
+
+    @classmethod
+    def generate(cls, bits: int, drbg: HmacDrbg) -> "Keystore":
+        return cls(generate_keypair(bits, drbg=drbg))
+
+    # -- own identity -----------------------------------------------------
+
+    @property
+    def credential(self) -> Credential:
+        if not self.chain:
+            raise CredentialError("this entity has no credential yet")
+        return self.chain[0]
+
+    def install_chain(self, chain: list[Credential]) -> None:
+        if not chain:
+            raise CredentialError("cannot install an empty chain")
+        if chain[0].public_key != self.keys.public:
+            raise CredentialError("leaf credential does not match our key")
+        self.chain = list(chain)
+
+    def install_anchor(self, anchor: Credential) -> None:
+        if not anchor.self_signed:
+            raise CredentialError("trust anchor must be self-signed")
+        self.trust_anchor = anchor
+
+    def require_anchor(self) -> Credential:
+        if self.trust_anchor is None:
+            raise CredentialError("no trust anchor installed")
+        return self.trust_anchor
+
+    # -- validated-peer cache -----------------------------------------------
+
+    def remember_peer(self, credential: Credential) -> None:
+        self._validated[str(credential.subject_id)] = credential
+
+    def recall_peer(self, peer_id: str) -> Credential | None:
+        return self._validated.get(peer_id)
+
+    def forget_peer(self, peer_id: str) -> None:
+        self._validated.pop(peer_id, None)
+
+    @property
+    def validated_count(self) -> int:
+        return len(self._validated)

@@ -1,0 +1,63 @@
+"""Security policy: the tunables of the secure extension.
+
+The paper fixes one concrete instantiation (RSA + wrapped-key encryption
++ XMLdsig); the policy object makes every choice explicit so the ablation
+benchmarks (DESIGN.md A2/A4 and §5's cost study) can vary them without
+touching protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.crypto import envelope, signing
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """Knobs of the secure primitives."""
+
+    #: RSA modulus size for client/broker keys
+    rsa_bits: int = 1024
+    #: symmetric suite inside E_PK envelopes
+    envelope_suite: str = envelope.DEFAULT_SUITE
+    #: RSA key-wrap algorithm inside E_PK envelopes
+    envelope_wrap: str = envelope.WRAP_OAEP
+    #: signature scheme for S_SK
+    signature_scheme: str = signing.DEFAULT_SCHEME
+    #: lifetime of broker-issued client credentials (virtual seconds)
+    credential_lifetime: float = 86400.0
+    #: challenge size for secureConnection (bytes)
+    challenge_bytes: int = 32
+    #: cache signed-advertisement validation results by (peer, group)
+    cache_validated_advs: bool = True
+    #: refuse plain primitives once the secure session is up
+    enforce_secure_messaging: bool = False
+
+    def validate(self) -> "SecurityPolicy":
+        if self.envelope_suite not in envelope.SUITES:
+            raise PolicyError(f"unknown envelope suite {self.envelope_suite!r}")
+        if self.envelope_wrap not in (envelope.WRAP_OAEP, envelope.WRAP_V15):
+            raise PolicyError(f"unknown wrap algorithm {self.envelope_wrap!r}")
+        if self.signature_scheme not in (signing.SCHEME_PSS, signing.SCHEME_V15):
+            raise PolicyError(f"unknown signature scheme {self.signature_scheme!r}")
+        if self.challenge_bytes < 16:
+            raise PolicyError("challenges below 16 bytes are guessable")
+        if self.credential_lifetime <= 0:
+            raise PolicyError("credential lifetime must be positive")
+        return self
+
+    def with_(self, **changes) -> "SecurityPolicy":
+        return replace(self, **changes).validate()
+
+
+#: the paper's configuration, modern defaults
+DEFAULT_POLICY = SecurityPolicy().validate()
+
+#: era-faithful 2009 JCE-style configuration (PKCS#1 v1.5 + AES-CBC)
+ERA_2009_POLICY = SecurityPolicy(
+    envelope_suite="aes128-cbc",
+    envelope_wrap=envelope.WRAP_V15,
+    signature_scheme=signing.SCHEME_V15,
+).validate()

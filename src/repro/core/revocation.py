@@ -1,0 +1,169 @@
+"""Credential revocation (a §6 "further work" feature).
+
+Broker-issued credentials expire, but between issuance and expiry a key
+may be compromised or a user banned.  This module adds a signed
+**revocation list**: the issuer (administrator for broker credentials, a
+broker for client credentials) publishes an XML document listing revoked
+credential subjects; validators consult an up-to-date list before
+accepting a chain.
+
+The list is itself an XMLdsig-signed document, distributed through the
+same advertisement machinery as everything else — consistent with the
+paper's design philosophy of reusing the existing primitives for
+security metadata.
+
+Document shape::
+
+    <RevocationList>
+      <Issuer>urn:jxta:cbid-...</Issuer>
+      <IssuedAt>123.0</IssuedAt>
+      <Serial>4</Serial>
+      <Revoked><Subject>urn:jxta:cbid-...</Subject>...</Revoked>
+      <Signature>...</Signature>
+    </RevocationList>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.credentials import Credential
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.dsig import sign_element, verify_element
+from repro.errors import (
+    CredentialError,
+    InvalidSignatureError,
+    SecurityError,
+    XMLDsigError,
+    XMLError,
+)
+from repro.jxta.ids import JxtaID, parse_id
+from repro.xmllib import Element
+
+REVOCATION_LIST_TAG = "RevocationList"
+
+
+class RevokedCredentialError(SecurityError):
+    """A credential chain contains a revoked subject."""
+
+
+@dataclass
+class RevocationList:
+    """A parsed, signature-carrying revocation list."""
+
+    issuer_id: JxtaID
+    issued_at: float
+    serial: int
+    revoked: set[str]
+    element: Element = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def build(cls, issuer_key: PrivateKey, issuer_id: JxtaID,
+              revoked: set[str], issued_at: float, serial: int,
+              drbg: HmacDrbg | None = None) -> "RevocationList":
+        element = Element(REVOCATION_LIST_TAG)
+        element.add("Issuer", text=str(issuer_id))
+        element.add("IssuedAt", text=repr(issued_at))
+        element.add("Serial", text=str(serial))
+        holder = element.add("Revoked")
+        for subject in sorted(revoked):
+            holder.add("Subject", text=subject)
+        sign_element(element, issuer_key, drbg=drbg)
+        return cls(issuer_id=issuer_id, issued_at=issued_at, serial=serial,
+                   revoked=set(revoked), element=element)
+
+    @classmethod
+    def from_element(cls, element: Element) -> "RevocationList":
+        if element.tag != REVOCATION_LIST_TAG:
+            raise CredentialError(
+                f"expected <{REVOCATION_LIST_TAG}>, got <{element.tag}>")
+        try:
+            issuer_id = parse_id(element.find_required("Issuer").text, "peer")
+            issued_at = float(element.find_required("IssuedAt").text)
+            serial = int(element.find_required("Serial").text)
+            holder = element.find_required("Revoked")
+        except (XMLError, ValueError) as exc:
+            raise CredentialError(f"malformed revocation list: {exc}") from exc
+        revoked = {child.text for child in holder.findall("Subject")}
+        return cls(issuer_id=issuer_id, issued_at=issued_at, serial=serial,
+                   revoked=revoked, element=element.deep_copy())
+
+    def verify(self, issuer_key: PublicKey) -> None:
+        """Check the issuer signature over the list."""
+        try:
+            verify_element(self.element, issuer_key)
+        except (XMLDsigError, InvalidSignatureError) as exc:
+            raise CredentialError(
+                f"revocation list signature invalid: {exc}") from exc
+
+    def is_revoked(self, subject_id: JxtaID | str) -> bool:
+        return str(subject_id) in self.revoked
+
+
+class RevocationRegistry:
+    """Issuer-side state: the evolving revocation set with serial numbers."""
+
+    def __init__(self, issuer_key: PrivateKey, issuer_id: JxtaID,
+                 drbg: HmacDrbg | None = None) -> None:
+        self._issuer_key = issuer_key
+        self._issuer_id = issuer_id
+        self._drbg = drbg
+        self._revoked: set[str] = set()
+        self._serial = 0
+
+    def revoke(self, credential_or_subject: Credential | JxtaID | str) -> None:
+        if isinstance(credential_or_subject, Credential):
+            subject = str(credential_or_subject.subject_id)
+        else:
+            subject = str(credential_or_subject)
+        self._revoked.add(subject)
+
+    def reinstate(self, subject: JxtaID | str) -> None:
+        self._revoked.discard(str(subject))
+
+    def is_revoked(self, subject: JxtaID | str) -> bool:
+        return str(subject) in self._revoked
+
+    @property
+    def revoked_count(self) -> int:
+        return len(self._revoked)
+
+    def current_list(self, now: float) -> RevocationList:
+        """Sign and return the current list (bumps the serial)."""
+        self._serial += 1
+        return RevocationList.build(
+            self._issuer_key, self._issuer_id, self._revoked,
+            issued_at=now, serial=self._serial, drbg=self._drbg)
+
+
+class RevocationChecker:
+    """Validator-side: holds the freshest verified list per issuer."""
+
+    def __init__(self) -> None:
+        self._lists: dict[str, RevocationList] = {}
+
+    def update(self, rl: RevocationList, issuer_key: PublicKey) -> bool:
+        """Verify and install ``rl``; stale serials are ignored.
+
+        Returns ``True`` if the list was accepted as newer.
+        """
+        rl.verify(issuer_key)
+        current = self._lists.get(str(rl.issuer_id))
+        if current is not None and current.serial >= rl.serial:
+            return False
+        self._lists[str(rl.issuer_id)] = rl
+        return True
+
+    def check_chain(self, chain: list[Credential]) -> None:
+        """Raise :class:`RevokedCredentialError` if any subject in the
+        chain appears on its issuer's revocation list."""
+        for cred in chain:
+            rl = self._lists.get(str(cred.issuer_id))
+            if rl is not None and rl.is_revoked(cred.subject_id):
+                raise RevokedCredentialError(
+                    f"credential for {cred.subject_name!r} "
+                    f"({cred.subject_id}) was revoked by its issuer")
+
+    def known_issuers(self) -> list[str]:
+        return sorted(self._lists)

@@ -1,0 +1,576 @@
+"""The security-aware client peer: the paper's extended primitives.
+
+:class:`SecureClientPeer` is a stock Client Module plus the §4 extension:
+
+* ``secure_connect`` — challenge/response broker authentication,
+* ``secure_login`` — replay-protected, signed + encrypted login that
+  yields a broker-issued credential ``Cred_Cl^Br``,
+* **signed advertisements** — every advertisement this client publishes
+  carries an XMLdsig signature and the credential chain (transparent key
+  distribution),
+* ``secure_msg_peer`` / ``secure_msg_peer_group`` — stateless encrypted
+  and signed messaging (§4.3),
+* ``secure_publish_file`` / ``secure_request_file`` and
+  ``secure_submit_task`` — the further-work extensions of §6, built from
+  the same building blocks ("any message exchange can be secured using an
+  approach similar to that defined for messenger primitives").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core import secure_connection as sc
+from repro.core import secure_exec as sx
+from repro.core import secure_filesharing as sf
+from repro.core import secure_login as sl
+from repro.core import secure_messaging as sm
+from repro.core.credentials import Credential
+from repro.core.keystore import Keystore
+from repro.core.revocation import RevocationChecker, RevocationList
+from repro.core.policy import DEFAULT_POLICY, SecurityPolicy
+from repro.core.signed_advertisement import (
+    AdvertisementValidator,
+    ValidatedAdvertisement,
+    sign_advertisement,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import (
+    BrokerAuthenticationError,
+    NetworkError,
+    CredentialError,
+    DiscoveryError,
+    NotConnectedError,
+    OverlayError,
+    PolicyError,
+    PrimitiveError,
+    SecurityError,
+    TamperedMessageError,
+)
+from repro.jxta.advertisements import FileAdvertisement, PipeAdvertisement
+from repro.jxta.messages import Message
+from repro.overlay.client import ClientPeer
+from repro.overlay.primitives import primitive
+from repro.sim.network import SimNetwork
+from repro.xmllib import Element
+
+#: how many recent message nonces each peer remembers (duplicate damping)
+NONCE_WINDOW = 1024
+
+
+class SecureClientPeer(ClientPeer):
+    """Client Module + the secure primitive set."""
+
+    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
+                 trust_anchor: Credential, name: str = "",
+                 policy: SecurityPolicy = DEFAULT_POLICY,
+                 keystore: Keystore | None = None) -> None:
+        super().__init__(network, address, drbg, name=name)
+        self.policy = policy.validate()
+        # §4.1: "At boot time, a key pair PK_Cl and SK_Cl are created."
+        self.keystore = keystore if keystore is not None else Keystore.generate(
+            policy.rsa_bits, drbg.fork(b"client-keys"))
+        # §4.1: "Each client peer is provided with a copy of Cred_Adm^Adm."
+        self.keystore.install_anchor(trust_anchor)
+        # A secure peer's id IS its CBID — the key-authenticity anchor.
+        self.peer_id = self.keystore.cbid
+        self.revocation_checker = RevocationChecker()
+        self.validator = AdvertisementValidator(
+            trust_anchor, enable_cache=policy.cache_validated_advs,
+            revocation=self.revocation_checker)
+        #: sid from the last secureConnection, consumed by secureLogin
+        self.sid: str | None = None
+        self.broker_credential: Credential | None = None
+        self._broker_chain: list[Credential] = []
+        self._seen_nonces: OrderedDict[bytes, None] = OrderedDict()
+        #: usernames allowed to run tasks here (None = any validated user)
+        self.task_acl: set[str] | None = None
+        self._install_secure_functions()
+
+    def _install_secure_functions(self) -> None:
+        ep = self.control.endpoint
+        ep.on(sf.FILE_REQ, self._fn_secure_file_request)
+        ep.on(sx.TASK_REQ, self._fn_secure_task_request)
+        ep.on("revocation_push", self._fn_revocation_push)
+
+    # ======================================================================
+    # credential revocation (further work, §6)
+    # ======================================================================
+
+    def _accept_revocation_list(self, element: Element) -> bool:
+        """Verify a pushed/fetched revocation list against the broker key."""
+        if self.broker_credential is None:
+            return False
+        try:
+            rl = RevocationList.from_element(element)
+        except SecurityError:
+            self.metrics.incr("client.bad_revocation_list")
+            return False
+        if rl.issuer_id != self.broker_credential.subject_id:
+            self.metrics.incr("client.foreign_revocation_list")
+            return False
+        try:
+            return self.revocation_checker.update(
+                rl, self.broker_credential.public_key)
+        except SecurityError:
+            self.metrics.incr("client.bad_revocation_list")
+            return False
+
+    def _fn_revocation_push(self, message: Message, src: str) -> None:
+        if self._accept_revocation_list(message.get_xml("rl")):
+            self.metrics.incr("client.revocation_updates")
+        return None
+
+    @primitive("discovery", secure=True)
+    def fetch_revocations(self) -> bool:
+        """fetch_revocations: pull the broker's signed revocation list."""
+        self._require_broker()
+        resp = self._broker_request(Message("revocation_req"))
+        if resp.msg_type != "revocation_resp":
+            return False
+        return self._accept_revocation_list(resp.get_xml("rl"))
+
+    # ======================================================================
+    # credential renewal (further work, §6)
+    # ======================================================================
+
+    @primitive("discovery", secure=True)
+    def secure_renew_credential(self) -> Credential:
+        """secure_renew_credential: obtain a fresh Cred_Cl^Br.
+
+        Must run while the current credential is still valid (the broker
+        verifies the whole chain).  On success the new credential replaces
+        the old one and all group pipe advertisements are re-published
+        under the fresh chain.
+        """
+        from repro.core.secure_rpc import seal_signed_request
+
+        self._require_login()
+        if not self.keystore.chain or self.broker_credential is None:
+            raise SecurityError("renewal requires an active credential")
+        body = Element("RenewRequest")
+        body.add("PeerId", text=str(self.peer_id))
+        from repro.utils.encoding import b64encode
+
+        body.add("Nonce", text=b64encode(self.control.drbg.generate(16)))
+        body.add("Timestamp", text=repr(self.clock.now))
+        env = seal_signed_request(
+            body, self.keystore, self.broker_credential.public_key,
+            self.policy, self.control.drbg,
+            b"jxta-overlay-renew-credential")
+        request = Message("renew_req")
+        request.add_json("envelope", env)
+        resp = self._broker_request(request)
+        if resp.msg_type != "renew_ok":
+            reason = resp.get_text("reason") if resp.has("reason") else resp.msg_type
+            raise SecurityError(f"credential renewal refused: {reason}")
+        fresh = Credential.from_element(resp.get_xml("credential"))
+        fresh.verify(self.broker_credential.public_key, self.clock.now)
+        if fresh.public_key != self.keystore.keys.public:
+            raise CredentialError("renewed credential is for a different key")
+        self.keystore.install_chain([fresh, *self._broker_chain])
+        # Republish pipe advertisements so peers see the fresh chain.
+        for group, pipe in self.input_pipes.items():
+            adv = PipeAdvertisement(
+                peer_id=self.peer_id, pipe_id=pipe.pipe_id, group=group,
+                address=self.address)
+            self._publish(self._prepare_adv_element(adv))
+        self.events.emit("credential_issued", credential=fresh)
+        return fresh
+
+    # ======================================================================
+    # secureConnection (§4.2.1)
+    # ======================================================================
+
+    @primitive("discovery", secure=True)
+    def secure_connect(self, broker_address: str) -> Credential:
+        """secureConnection: authenticate the broker before trusting it.
+
+        Runs the §4.2.1 challenge/response.  On success stores the sid and
+        the broker's validated credential and returns the latter; on
+        failure emits ``broker_rejected`` and raises
+        :class:`BrokerAuthenticationError`.
+        """
+        anchor = self.keystore.require_anchor()
+        chall = sc.build_challenge(self.control.drbg, self.policy.challenge_bytes)
+        self.broker_address = broker_address
+        try:
+            resp = self.control.endpoint.request(
+                broker_address, sc.build_connect_request(chall))
+            verification = sc.verify_connect_response(
+                resp, chall, anchor, self.clock.now)
+        except (BrokerAuthenticationError, NotConnectedError, OverlayError,
+                NetworkError) as exc:
+            self.broker_address = None
+            self.events.emit("broker_rejected", broker=broker_address,
+                             reason=str(exc))
+            if isinstance(exc, BrokerAuthenticationError):
+                raise
+            raise BrokerAuthenticationError(
+                f"secureConnection to {broker_address!r} failed: {exc}") from exc
+        self.sid = verification.sid
+        self.broker_credential = verification.broker_credential
+        self._broker_chain = verification.broker_chain
+        self.events.emit("connected", broker=broker_address,
+                         broker_name=verification.broker_credential.subject_name)
+        return verification.broker_credential
+
+    # ======================================================================
+    # secureLogin (§4.2.2)
+    # ======================================================================
+
+    @primitive("discovery", secure=True)
+    def secure_login(self, username: str, password: str) -> list[str]:
+        """secureLogin: join the network and obtain Cred_Cl^Br.
+
+        Requires a prior :meth:`secure_connect` (the sid).  The login blob
+        is signed with SK_Cl and sealed to PK_Br together with the sid.
+        On success the broker-issued credential is validated, installed,
+        and every subsequent advertisement this client publishes is
+        signed.
+        """
+        self._require_broker()
+        if self.sid is None or self.broker_credential is None:
+            raise SecurityError("secure_login requires a completed secure_connect")
+        doc = sl.build_login_document(
+            username, password, self.keystore.keys,
+            peer_name=self.name, peer_address=self.address,
+            scheme=self.policy.signature_scheme, drbg=self.control.drbg)
+        request = sl.seal_login_request(
+            doc, self.sid, self.broker_credential.public_key,
+            suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
+            drbg=self.control.drbg)
+        sid_used, self.sid = self.sid, None  # one shot, even on failure
+        resp = self._broker_request(request)
+        try:
+            credential, groups = sl.parse_login_response(resp)
+        except SecurityError:
+            self.events.emit("login_failed", username=username, reason=resp.msg_type)
+            raise
+        # Validate what the broker issued before trusting it.
+        credential.verify(self.broker_credential.public_key, self.clock.now)
+        if credential.public_key != self.keystore.keys.public:
+            raise CredentialError("broker issued a credential for a different key")
+        if credential.subject_name != username:
+            raise CredentialError("broker issued a credential for a different user")
+        self.keystore.install_chain([credential, *self._broker_chain])
+        self.username = username
+        self.groups = list(groups)
+        for group in self.groups:
+            self._open_and_publish_pipe(group)
+        self.events.emit("credential_issued", credential=credential)
+        self.events.emit("logged_in", username=username, groups=list(self.groups))
+        return list(self.groups)
+
+    # ======================================================================
+    # secure group management (further work, §6)
+    # ======================================================================
+
+    def _secure_group_op(self, op: str, group: str,
+                         description: str = "") -> list[str]:
+        from repro.core import secure_groups as sg
+
+        self._require_login()
+        if not self.keystore.chain or self.broker_credential is None:
+            raise SecurityError(f"secure group {op} requires a credential")
+        request, nonce = sg.build_group_op(
+            op, group, self.keystore, self.broker_credential.public_key,
+            self.policy, self.control.drbg, self.clock.now,
+            description=description)
+        resp = self._broker_request(request)
+        return sg.parse_group_op_response(
+            resp, self.keystore, self.broker_credential.public_key,
+            nonce, self.policy)
+
+    @primitive("group", secure=True)
+    def secure_create_group(self, name: str, description: str = "") -> list[str]:
+        """secure_create_group: authenticated group creation.
+
+        Unlike the plain primitive, the broker acts for the *credential
+        subject*, not the frame source address."""
+        members = self._secure_group_op("create", name, description)
+        if name not in self.groups:
+            self.groups.append(name)
+            self._open_and_publish_pipe(name)
+        self.events.emit("group_created", group=name)
+        return members
+
+    @primitive("group", secure=True)
+    def secure_join_group(self, name: str) -> list[str]:
+        """secure_join_group: authenticated membership; returns members."""
+        members = self._secure_group_op("join", name)
+        if name not in self.groups:
+            self.groups.append(name)
+            self._open_and_publish_pipe(name)
+        self.events.emit("group_joined", group=name, members=members)
+        return members
+
+    @primitive("group", secure=True)
+    def secure_leave_group(self, name: str) -> None:
+        """secure_leave_group: authenticated resignation."""
+        self._secure_group_op("leave", name)
+        if name in self.groups:
+            self.groups.remove(name)
+        pipe = self.input_pipes.pop(name, None)
+        if pipe is not None:
+            self.control.pipes.close_pipe(pipe.pipe_id)
+        self.events.emit("group_left", group=name)
+
+    # ======================================================================
+    # signed advertisements (§4.1 / ref [15])
+    # ======================================================================
+
+    def _prepare_adv_element(self, adv) -> Element:
+        """Sign every advertisement once we hold a credential chain."""
+        element = adv.to_element()
+        if self.keystore.chain:
+            sign_advertisement(
+                element, self.keystore.keys.private, self.keystore.chain,
+                sig_alg=self.policy.signature_scheme, drbg=self.control.drbg)
+        return element
+
+    def _resolve_validated_pipe(self, peer_id: str, group: str) -> ValidatedAdvertisement:
+        """Steps 1-3 of §4.3.1: fetch and validate the signed pipe adv."""
+        element = self._resolve_pipe(peer_id, group)
+        validated = self.validator.validate(element, self.clock.now)
+        if not isinstance(validated.advertisement, PipeAdvertisement):
+            raise SecurityError(
+                f"expected a signed PipeAdvertisement from {peer_id}")
+        return validated
+
+    # ======================================================================
+    # secureMsgPeer / secureMsgPeerGroup (§4.3)
+    # ======================================================================
+
+    @primitive("messenger", secure=True)
+    def secure_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+        """secureMsgPeer: E_PK_Cl2(m, S_SK_Cl1(m)) through the group pipe.
+
+        Validates the recipient's signed pipe advertisement first (a
+        tampered advertisement aborts the send, per step 2), then seals
+        and signs the message.  Stateless: no handshake, no session.
+        """
+        self._require_login()
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        validated = self._resolve_validated_pipe(peer_id, group)
+        payload = sm.build_payload(
+            from_peer=str(self.peer_id), group=group, text=text,
+            nonce=self.control.drbg.generate(16), timestamp=self.clock.now)
+        message = sm.seal_message(
+            payload, self.keystore.keys.private,
+            validated.credential.public_key,
+            suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
+            scheme=self.policy.signature_scheme, drbg=self.control.drbg)
+        pipe_adv = validated.advertisement
+        assert isinstance(pipe_adv, PipeAdvertisement)
+        return self.control.output_pipe(pipe_adv).send(message)
+
+    @primitive("messenger", secure=True)
+    def secure_msg_peer_group(self, group: str, text: str) -> int:
+        """secureMsgPeerGroup: iteratively secureMsgPeer to each member."""
+        self._require_login()
+        delivered = 0
+        for member in self.group_members(group):
+            if member == str(self.peer_id):
+                continue
+            try:
+                if self.secure_msg_peer(member, group, text):
+                    delivered += 1
+            except (SecurityError, OverlayError, DiscoveryError) as exc:
+                self.metrics.incr("client.secure_group_send_miss")
+                self.events.emit("message_rejected", peer_id=member,
+                                 reason=f"group send skip: {exc}")
+        return delivered
+
+    # -- receive side ----------------------------------------------------------
+
+    def _nonce_fresh(self, nonce: bytes) -> bool:
+        if nonce in self._seen_nonces:
+            return False
+        self._seen_nonces[nonce] = None
+        while len(self._seen_nonces) > NONCE_WINDOW:
+            self._seen_nonces.popitem(last=False)
+        return True
+
+    def _on_pipe_message(self, inner: Message, src: str) -> None:
+        if inner.msg_type == sm.SECURE_CHAT:
+            self._handle_secure_chat(inner, src)
+            return
+        if inner.msg_type == "chat" and self.policy.enforce_secure_messaging:
+            self.metrics.incr("client.plain_chat_refused")
+            self.events.emit(
+                "message_rejected", peer_id=src,
+                reason="policy requires secure messaging")
+            return
+        super()._on_pipe_message(inner, src)
+
+    def _handle_secure_chat(self, inner: Message, src: str) -> None:
+        """Steps 5-7 of §4.3.1 on the receiving peer."""
+        try:
+            opened = sm.open_message(inner, self.keystore.keys.private)
+            if not self._nonce_fresh(opened.nonce):
+                raise TamperedMessageError("duplicate message nonce (replay?)")
+            if opened.group not in self.groups:
+                raise TamperedMessageError(
+                    f"message targets group {opened.group!r} we are not in")
+            sender = self._resolve_validated_pipe(opened.from_peer, opened.group)
+            opened.verify_sender(sender.credential.public_key)
+        except (SecurityError, OverlayError, DiscoveryError) as exc:
+            self.metrics.incr("client.secure_chat_rejected")
+            self.events.emit("message_rejected", peer_id=src, reason=str(exc))
+            return
+        self.metrics.incr("client.secure_chat_accepted")
+        self.events.emit(
+            "secure_message_received",
+            from_peer=opened.from_peer,
+            from_user=sender.credential.subject_name,
+            group=opened.group,
+            text=opened.text,
+        )
+
+    # ======================================================================
+    # secure file sharing (further work, §6)
+    # ======================================================================
+
+    @primitive("file", secure=True)
+    def secure_publish_file(self, group: str, file_name: str,
+                            content: bytes) -> FileAdvertisement:
+        """secure_publish_file: publish_file with a signed advertisement."""
+        # The base primitive already routes through _prepare_adv_element,
+        # which signs once a credential chain is installed.
+        if not self.keystore.chain:
+            raise SecurityError("secure_publish_file requires a credential")
+        return self.publish_file(group, file_name, content)
+
+    @primitive("file", secure=True)
+    def secure_search_files(self, group: str | None = None,
+                            peer_id: str | None = None) -> list[FileAdvertisement]:
+        """secure_search_files: return only *validated* file offers."""
+        self._require_login()
+        elements = self.search_advertisements(
+            adv_type="FileAdvertisement", peer_id=peer_id, group=group)
+        validated: list[FileAdvertisement] = []
+        for element in elements:
+            try:
+                result = self.validator.validate(element, self.clock.now)
+            except SecurityError as exc:
+                self.metrics.incr("client.file_adv_rejected")
+                self.events.emit("message_rejected", peer_id=peer_id or "",
+                                 reason=f"file advertisement rejected: {exc}")
+                continue
+            if isinstance(result.advertisement, FileAdvertisement):
+                validated.append(result.advertisement)
+        self.events.emit("file_list_received",
+                         files=[f.file_name for f in validated])
+        return validated
+
+    @primitive("file", secure=True)
+    def secure_request_file(self, peer_id: str, group: str,
+                            file_name: str) -> bytes:
+        """secure_request_file: authenticated, encrypted file transfer.
+
+        The request is signed by us (with our chain attached) and sealed
+        to the owner; the response comes back sealed to us and signed by
+        the owner.  Content integrity is checked against the *validated*
+        file advertisement's digest.
+        """
+        self._require_login()
+        if not self.keystore.chain:
+            raise SecurityError("secure_request_file requires a credential")
+        owner = self._resolve_validated_pipe(peer_id, group)
+        owner_pipe = owner.advertisement
+        assert isinstance(owner_pipe, PipeAdvertisement)
+        request = sf.build_file_request(
+            file_name=file_name, group=group, keystore=self.keystore,
+            owner_key=owner.credential.public_key, policy=self.policy,
+            drbg=self.control.drbg, now=self.clock.now)
+        resp = self.control.endpoint.request(owner_pipe.address, request)
+        content = sf.parse_file_response(
+            resp, self.keystore, owner.credential.public_key, policy=self.policy)
+        expected = self._validated_file_digest(peer_id, group, file_name)
+        if expected is not None:
+            from repro.crypto.sha2 import sha256
+
+            if sha256(content).hex() != expected:
+                self.events.emit("file_transfer_failed", file_name=file_name,
+                                 reason="digest mismatch")
+                raise SecurityError(
+                    f"file {file_name!r} does not match its signed advertisement")
+        self.events.emit("file_received", file_name=file_name, size=len(content))
+        return content
+
+    def _validated_file_digest(self, peer_id: str, group: str,
+                               file_name: str) -> str | None:
+        for entry in self.control.cache.find(
+                "FileAdvertisement", peer_id=peer_id, group=group):
+            parsed = entry.parsed
+            if getattr(parsed, "file_name", None) != file_name:
+                continue
+            try:
+                validated = self.validator.validate(entry.element, self.clock.now)
+            except SecurityError:
+                continue
+            adv = validated.advertisement
+            if isinstance(adv, FileAdvertisement):
+                return adv.sha256_hex
+        return None
+
+    def _fn_secure_file_request(self, message: Message, src: str) -> Message:
+        return sf.handle_file_request(
+            message, keystore=self.keystore, files=self.files,
+            validator=self.validator, policy=self.policy,
+            drbg=self.control.drbg, now=self.clock.now,
+            metrics=self.metrics)
+
+    # ======================================================================
+    # secure executable primitives (further work, §6)
+    # ======================================================================
+
+    def set_task_acl(self, usernames: set[str] | None) -> None:
+        """Restrict who may run tasks here (None = any validated user)."""
+        self.task_acl = set(usernames) if usernames is not None else None
+
+    @primitive("executable", secure=True)
+    def secure_submit_task(self, peer_id: str, group: str, task_name: str,
+                           argument: str) -> str:
+        """secure_submit_task: authenticated, encrypted remote execution.
+
+        The §6 further-work set: the request is signed and sealed; the
+        executor validates the requester's credential chain and checks its
+        ACL before running anything.
+        """
+        self._require_login()
+        if not self.keystore.chain:
+            raise SecurityError("secure_submit_task requires a credential")
+        executor = self._resolve_validated_pipe(peer_id, group)
+        executor_pipe = executor.advertisement
+        assert isinstance(executor_pipe, PipeAdvertisement)
+        request = sx.build_task_request(
+            task_name=task_name, argument=argument, keystore=self.keystore,
+            executor_key=executor.credential.public_key, policy=self.policy,
+            drbg=self.control.drbg, now=self.clock.now)
+        self.events.emit("task_submitted", peer_id=peer_id, task=task_name)
+        resp = self.control.endpoint.request(executor_pipe.address, request)
+        result = sx.parse_task_response(
+            resp, self.keystore, executor.credential.public_key, policy=self.policy)
+        self.events.emit("task_result", peer_id=peer_id, task=task_name,
+                         result=result)
+        return result
+
+    def _fn_secure_task_request(self, message: Message, src: str) -> Message:
+        return sx.handle_task_request(
+            message, keystore=self.keystore, tasks=self.task_functions,
+            acl=self.task_acl, policy=self.policy, drbg=self.control.drbg,
+            now=self.clock.now, metrics=self.metrics)
+
+    # ======================================================================
+    # policy enforcement over the plain primitives
+    # ======================================================================
+
+    def send_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+        if self.policy.enforce_secure_messaging:
+            raise PolicyError(
+                "plain send_msg_peer is disabled by the security policy; "
+                "use secure_msg_peer")
+        return super().send_msg_peer(peer_id, group, text)

@@ -1,0 +1,117 @@
+"""secureConnection (§4.2.1): challenge/response broker authentication.
+
+Wire shape (faithful to the paper's steps 3 and 5)::
+
+    Cl -> Br : { chall }
+    Cl <- Br : { sid, S_SK_Br(chall), Cred_Br^Adm }
+
+The client concludes the broker is legitimate iff (a) the returned
+credential chain validates against the administrator anchor, and (b) the
+challenge signature verifies under the credential's public key.  This
+module holds the message codecs and the client-side verification logic;
+the broker half lives in :class:`repro.core.secure_broker.SecureBroker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.credentials import (
+    Credential,
+    chain_from_elements,
+    chain_to_elements,
+    validate_chain,
+)
+from repro.crypto import signing
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PrivateKey
+from repro.errors import (
+    BrokerAuthenticationError,
+    CredentialError,
+    InvalidSignatureError,
+    JxtaError,
+)
+from repro.jxta.messages import Message
+from repro.overlay.control import pack_results, unpack_results
+
+CONNECT_REQ = "secure_connect_req"
+CONNECT_RESP = "secure_connect_resp"
+CONNECT_FAIL = "secure_connect_fail"
+
+
+def build_challenge(drbg: HmacDrbg, n_bytes: int) -> bytes:
+    """Step 2: the client chooses a random challenge."""
+    if n_bytes < 16:
+        raise ValueError("challenge must be at least 16 bytes")
+    return drbg.generate(n_bytes)
+
+
+def build_connect_request(chall: bytes) -> Message:
+    msg = Message(CONNECT_REQ)
+    msg.add_bytes("chall", chall)
+    return msg
+
+
+def parse_connect_request(message: Message) -> bytes:
+    return message.get_bytes("chall")
+
+
+def build_connect_response(chall: bytes, sid: str, broker_key: PrivateKey,
+                           broker_chain: list[Credential],
+                           scheme: str, drbg: HmacDrbg | None = None) -> Message:
+    """Steps 4-5: sign the challenge and attach sid + credential chain."""
+    msg = Message(CONNECT_RESP)
+    msg.add_text("sid", sid)
+    msg.add_bytes("chall_sig", signing.sign(broker_key, chall, scheme=scheme, drbg=drbg))
+    msg.add_text("scheme", scheme)
+    msg.add_xml("chain", pack_results(chain_to_elements(broker_chain)))
+    return msg
+
+
+@dataclass(frozen=True)
+class BrokerVerification:
+    """What the client learns from a successful secureConnection."""
+
+    sid: str
+    broker_credential: Credential
+    broker_chain: list[Credential]
+
+
+def verify_connect_response(message: Message, chall: bytes,
+                            trust_anchor: Credential,
+                            now: float) -> BrokerVerification:
+    """Steps 6-9: validate the broker's credential and challenge signature.
+
+    Raises :class:`BrokerAuthenticationError` on any failure; the paper's
+    conclusion for each failing check is preserved in the error text.
+    """
+    if message.msg_type != CONNECT_RESP:
+        raise BrokerAuthenticationError(
+            f"unexpected response {message.msg_type!r} to secureConnection")
+    try:
+        sid = message.get_text("sid")
+        sig = message.get_bytes("chall_sig")
+        scheme = message.get_text("scheme")
+        chain = chain_from_elements(unpack_results(message.get_xml("chain")))
+    except (JxtaError, CredentialError) as exc:
+        raise BrokerAuthenticationError(f"malformed secureConnection response: {exc}") from exc
+
+    # Step 6: credential authenticity via the administrator's public key.
+    try:
+        broker_cred = validate_chain(chain, trust_anchor, now)
+    except CredentialError as exc:
+        raise BrokerAuthenticationError(
+            f"Br is not a legitimate broker: {exc}") from exc
+
+    # Step 7: challenge signature under PK_Br (possession of SK_Br).
+    try:
+        signing.verify(broker_cred.public_key, chall, sig, scheme=scheme)
+    except InvalidSignatureError as exc:
+        raise BrokerAuthenticationError(
+            f"Br does not possess SK_Br and is an impersonator: {exc}") from exc
+
+    if not sid:
+        raise BrokerAuthenticationError("broker returned an empty session id")
+    # Step 8: both checks succeeded -> legitimate broker.  Step 9: store.
+    return BrokerVerification(sid=sid, broker_credential=broker_cred,
+                              broker_chain=chain)

@@ -1,0 +1,103 @@
+"""Secure file-sharing primitives (further work of §6, built per §4.3).
+
+Protocol::
+
+    Requester -> Owner : E_PK_owner( S_SK_req(FileRequest), chain_req )
+    Requester <- Owner : E_PK_req( S_SK_owner(FileResponse{content}) )
+
+The owner validates the requester's credential chain before serving
+(so only authenticated network members can pull files) and may check the
+requester against the advertisement's group.  Content travels encrypted
+and owner-signed; the requester additionally checks the digest from the
+validated file advertisement (done by the caller).
+"""
+
+from __future__ import annotations
+
+from repro.core.keystore import Keystore
+from repro.core.policy import SecurityPolicy
+from repro.core.secure_rpc import (
+    open_signed_request,
+    open_signed_response,
+    seal_signed_request,
+    seal_signed_response,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PublicKey
+from repro.errors import JxtaError, SecurityError
+from repro.jxta.messages import Message
+from repro.overlay.filesharing import FileStore
+from repro.sim.metrics import Metrics
+from repro.utils.encoding import b64decode, b64encode
+from repro.xmllib import Element
+
+FILE_REQ = "secure_file_req"
+FILE_RESP = "secure_file_resp"
+FILE_FAIL = "secure_file_fail"
+
+_AAD_REQ = b"jxta-overlay-secure-file-req"
+_AAD_RESP = b"jxta-overlay-secure-file-resp"
+
+
+def build_file_request(file_name: str, group: str, keystore: Keystore,
+                       owner_key: PublicKey, policy: SecurityPolicy,
+                       drbg: HmacDrbg, now: float) -> Message:
+    body = Element("FileRequest")
+    body.add("FileName", text=file_name)
+    body.add("Group", text=group)
+    body.add("RequesterId", text=str(keystore.cbid))
+    body.add("Nonce", text=b64encode(drbg.generate(16)))
+    body.add("Timestamp", text=repr(now))
+    env = seal_signed_request(body, keystore, owner_key, policy, drbg, _AAD_REQ)
+    msg = Message(FILE_REQ)
+    msg.add_json("envelope", env)
+    return msg
+
+
+def handle_file_request(message: Message, keystore: Keystore, files: FileStore,
+                        validator, policy: SecurityPolicy, drbg: HmacDrbg,
+                        now: float, metrics: Metrics) -> Message:
+    """Owner side: validate the requester, then serve the (sealed) file."""
+    def fail(reason: str) -> Message:
+        metrics.incr("secure_file.refused")
+        out = Message(FILE_FAIL)
+        out.add_text("reason", reason)
+        return out
+
+    try:
+        opened = open_signed_request(
+            message.get_json("envelope"), keystore, now, _AAD_REQ, "FileRequest")
+    except (SecurityError, JxtaError) as exc:
+        return fail(f"request rejected: {exc}")
+    body = opened.body
+    if body.findtext("RequesterId") != str(opened.requester.subject_id):
+        return fail("requester id does not match the credential")
+    file_name = body.findtext("FileName")
+    if file_name not in files:
+        return fail(f"no file named {file_name!r}")
+    content = files.get(file_name)
+    resp_body = Element("FileResponse")
+    resp_body.add("FileName", text=file_name)
+    resp_body.add("Nonce", text=body.findtext("Nonce"))  # binds resp to req
+    resp_body.add("Content", text=b64encode(content))
+    env = seal_signed_response(resp_body, keystore.keys.private,
+                               opened.requester.public_key, policy, drbg,
+                               _AAD_RESP)
+    metrics.incr("secure_file.served")
+    out = Message(FILE_RESP)
+    out.add_json("envelope", env)
+    return out
+
+
+def parse_file_response(message: Message, keystore: Keystore,
+                        owner_key: PublicKey, policy: SecurityPolicy) -> bytes:
+    """Requester side: unseal and verify the owner-signed content."""
+    if message.msg_type == FILE_FAIL:
+        raise SecurityError(
+            f"secure file transfer refused: {message.get_text('reason')}")
+    if message.msg_type != FILE_RESP:
+        raise SecurityError(f"unexpected response {message.msg_type!r}")
+    body = open_signed_response(
+        message.get_json("envelope"), keystore.keys.private, owner_key,
+        _AAD_RESP, "FileResponse")
+    return b64decode(body.findtext("Content"))

@@ -1,0 +1,174 @@
+"""Secure group-management primitives (§6 applied to the group set).
+
+The plain group functions authenticate requests *by sender address* —
+fine against outsiders on a trusted LAN, worthless against an insider
+injecting frames with a forged source.  The secure variants carry a
+signed request with the requester's credential chain, sealed to the
+broker; the broker acts only for the authenticated subject, never the
+frame address.
+
+One generic exchange covers create/join/leave::
+
+    Cl -> Br : { E_PK_Br( S_SK_Cl(GroupOp{op, group}), chain_Cl ) }
+    Cl <- Br : { E_PK_Cl( S_SK_Br(GroupOpResult) ) }
+"""
+
+from __future__ import annotations
+
+from repro.core.keystore import Keystore
+from repro.core.policy import SecurityPolicy
+from repro.core.secure_rpc import (
+    open_signed_request,
+    open_signed_response,
+    seal_signed_request,
+    seal_signed_response,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PublicKey
+from repro.errors import JxtaError, SecurityError
+from repro.jxta.messages import Message
+from repro.utils.encoding import b64encode
+from repro.xmllib import Element
+
+GROUP_OP_REQ = "secure_group_op_req"
+GROUP_OP_RESP = "secure_group_op_resp"
+GROUP_OP_FAIL = "secure_group_op_fail"
+
+_AAD_REQ = b"jxta-overlay-secure-group-req"
+_AAD_RESP = b"jxta-overlay-secure-group-resp"
+
+VALID_OPS = ("create", "join", "leave")
+
+
+def build_group_op(op: str, group: str, keystore: Keystore,
+                   broker_key: PublicKey, policy: SecurityPolicy,
+                   drbg: HmacDrbg, now: float,
+                   description: str = "") -> tuple[Message, str]:
+    """Returns (request message, nonce) — the nonce binds the response."""
+    if op not in VALID_OPS:
+        raise SecurityError(f"unknown group operation {op!r}")
+    nonce = b64encode(drbg.generate(16))
+    body = Element("GroupOp")
+    body.add("Op", text=op)
+    body.add("Group", text=group)
+    body.add("Description", text=description)
+    body.add("RequesterId", text=str(keystore.cbid))
+    body.add("Nonce", text=nonce)
+    body.add("Timestamp", text=repr(now))
+    env = seal_signed_request(body, keystore, broker_key, policy, drbg,
+                              _AAD_REQ)
+    msg = Message(GROUP_OP_REQ)
+    msg.add_json("envelope", env)
+    return msg, nonce
+
+
+def handle_group_op(message: Message, broker) -> Message:
+    """Broker side: authenticate the request, then run the operation.
+
+    ``broker`` is a :class:`repro.core.secure_broker.SecureBroker`; the
+    import is avoided to keep the dependency one-way.
+    """
+    metrics = broker.metrics
+
+    def fail(reason: str) -> Message:
+        metrics.incr("fn.secure_group.refused")
+        out = Message(GROUP_OP_FAIL)
+        out.add_text("reason", reason)
+        return out
+
+    try:
+        opened = open_signed_request(
+            message.get_json("envelope"), broker.keystore,
+            broker.clock.now, _AAD_REQ, "GroupOp")
+    except (SecurityError, JxtaError) as exc:
+        return fail(f"request rejected: {exc}")
+    subject = str(opened.requester.subject_id)
+    if broker.revocations.is_revoked(subject):
+        return fail("subject credential is revoked")
+    session = broker.connected.get(subject)
+    if session is None or session.username != opened.requester.subject_name:
+        return fail("no matching authenticated session")
+
+    body = opened.body
+    op = body.findtext("Op")
+    group_name = body.findtext("Group")
+    if not group_name:
+        return fail("group name must be non-empty")
+
+    import json
+
+    if op == "create":
+        if group_name in broker.groups:
+            return fail(f"group {group_name!r} already exists")
+        from repro.jxta.advertisements import GroupAdvertisement
+        from repro.jxta.ids import random_group_id
+
+        group = broker.groups.create(
+            random_group_id(broker.control.drbg), group_name,
+            body.findtext("Description"))
+        broker.database.register_group(group_name)
+        broker.database.assign_group(session.username, group_name)
+        group.add_member(subject)
+        adv = GroupAdvertisement(
+            peer_id=broker.peer_id, group_id=group.group_id,
+            name=group_name, description=body.findtext("Description"))
+        broker.control.cache.publish_advertisement(adv)
+        broker._sync_to_peers(adv.to_element())
+        members = sorted(group.members)
+    elif op == "join":
+        group = broker.groups.get_or_none(group_name)
+        if group is None:
+            return fail(f"unknown group {group_name!r}")
+        group.add_member(subject)
+        broker.database.assign_group(session.username, group_name)
+        joined = Message("peer_joined")
+        joined.add_text("group", group_name)
+        joined.add_text("peer_id", subject)
+        joined.add_text("username", session.username)
+        broker._push_to_group_members(group_name, joined, exclude_peer=subject)
+        members = sorted(group.members)
+    elif op == "leave":
+        group = broker.groups.get_or_none(group_name)
+        if group is None:
+            return fail(f"unknown group {group_name!r}")
+        group.remove_member(subject)
+        broker.database.revoke_group(session.username, group_name)
+        left = Message("peer_left")
+        left.add_text("group", group_name)
+        left.add_text("peer_id", subject)
+        broker._push_to_group_members(group_name, left, exclude_peer=subject)
+        members = sorted(group.members)
+    else:
+        return fail(f"unknown group operation {op!r}")
+
+    metrics.incr(f"fn.secure_group.{op}")
+    resp_body = Element("GroupOpResult")
+    resp_body.add("Op", text=op)
+    resp_body.add("Group", text=group_name)
+    resp_body.add("Nonce", text=body.findtext("Nonce"))
+    resp_body.add("Members", text=json.dumps(members))
+    env = seal_signed_response(resp_body, broker.keystore.keys.private,
+                               opened.requester.public_key, broker.policy,
+                               broker.control.drbg, _AAD_RESP)
+    out = Message(GROUP_OP_RESP)
+    out.add_json("envelope", env)
+    return out
+
+
+def parse_group_op_response(message: Message, keystore: Keystore,
+                            broker_key: PublicKey, expected_nonce: str,
+                            policy: SecurityPolicy) -> list[str]:
+    """Client side: unseal, verify the broker signature and the nonce."""
+    if message.msg_type == GROUP_OP_FAIL:
+        raise SecurityError(
+            f"secure group operation refused: {message.get_text('reason')}")
+    if message.msg_type != GROUP_OP_RESP:
+        raise SecurityError(f"unexpected response {message.msg_type!r}")
+    body = open_signed_response(
+        message.get_json("envelope"), keystore.keys.private, broker_key,
+        _AAD_RESP, "GroupOpResult")
+    if body.findtext("Nonce") != expected_nonce:
+        raise SecurityError("group operation response nonce mismatch")
+    import json
+
+    return list(json.loads(body.findtext("Members")))

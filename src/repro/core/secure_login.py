@@ -1,0 +1,161 @@
+"""secureLogin (§4.2.2): replay-protected authenticated login.
+
+Wire shape (faithful to the paper)::
+
+    req = S_SK_Cl(username, password, PK_Cl)
+    Cl -> Br : { E_PK_Br(req, sid) }
+    Cl <- Br : { cr = Cred_Cl^Br }
+
+The signed request is an XML document (so S_SK really covers username,
+password and the public key together), sealed with the wrapped-key
+envelope along with the sid from secureConnection.  The broker:
+
+1. decrypts with SK_Br,
+2. consumes the sid (replay protection),
+3. checks username/password against the central database,
+4. checks key authenticity against the claimed peer id (CBID, ref [15]),
+   and the request signature under PK_Cl,
+5. issues cr = Cred_Cl^Br.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.credentials import Credential
+from repro.crypto import envelope
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import public_key_from_text, public_key_to_text
+from repro.crypto.rsa import KeyPair, PrivateKey, PublicKey
+from repro.dsig import sign_element, verify_element
+from repro.errors import (
+    CBIDMismatchError,
+    ClientAuthenticationError,
+    DecryptionError,
+    InvalidKeyError,
+    InvalidSignatureError,
+    JxtaError,
+    XMLDsigError,
+    XMLError,
+    XMLParseError,
+)
+from repro.jxta.ids import cbid_from_key, matches_key, parse_id
+from repro.jxta.messages import Message
+from repro.xmllib import Element, parse, serialize
+
+LOGIN_REQ = "secure_login_req"
+LOGIN_OK = "secure_login_ok"
+LOGIN_FAIL = "secure_login_fail"
+
+_AAD = b"jxta-overlay-secure-login"
+
+
+def build_login_document(username: str, password: str, keys: KeyPair,
+                         peer_name: str, peer_address: str,
+                         scheme: str, drbg: HmacDrbg | None = None) -> Element:
+    """The signed inner request: S_SK_Cl(username, password, PK_Cl)."""
+    doc = Element("LoginRequest")
+    doc.add("Username", text=username)
+    doc.add("Password", text=password)
+    doc.add("PublicKey", text=public_key_to_text(keys.public))
+    doc.add("PeerId", text=str(cbid_from_key(keys.public)))
+    doc.add("PeerName", text=peer_name)
+    doc.add("PeerAddress", text=peer_address)
+    sign_element(doc, keys.private, sig_alg=scheme, drbg=drbg)
+    return doc
+
+
+def seal_login_request(doc: Element, sid: str, broker_key: PublicKey,
+                       suite: str, wrap: str,
+                       drbg: HmacDrbg | None = None) -> Message:
+    """E_PK_Br(req, sid): seal the signed request together with the sid."""
+    wrapper = Element("SecureLogin")
+    wrapper.add("Sid", text=sid)
+    wrapper.append(doc)
+    env = envelope.seal(broker_key, serialize(wrapper).encode("utf-8"),
+                        drbg=drbg, suite=suite, wrap=wrap, aad=_AAD)
+    msg = Message(LOGIN_REQ)
+    msg.add_json("envelope", env)
+    return msg
+
+
+@dataclass(frozen=True)
+class LoginClaim:
+    """What the broker extracts from a decrypted, *verified* login blob."""
+
+    username: str
+    password: str
+    public_key: PublicKey
+    peer_id: str
+    peer_name: str
+    peer_address: str
+    sid: str
+
+
+def open_login_request(message: Message, broker_key: PrivateKey) -> LoginClaim:
+    """Broker steps 4 and 7: decrypt, then check key authenticity.
+
+    Performs every check that does not need the database or sid store:
+
+    * envelope decryption (possession of SK_Br),
+    * CBID check — the claimed PeerId must be the hash of PK_Cl,
+    * signature check — the request must verify under PK_Cl.
+
+    Raises :class:`ClientAuthenticationError` (or
+    :class:`CBIDMismatchError`) with the paper's conclusion on failure.
+    """
+    try:
+        env = message.get_json("envelope")
+        plain = envelope.open_(broker_key, env, aad=_AAD)
+    except (JxtaError, DecryptionError) as exc:
+        raise ClientAuthenticationError(f"undecryptable login request: {exc}") from exc
+    try:
+        wrapper = parse(plain.decode("utf-8"))
+        sid = wrapper.find_required("Sid").text
+        doc = wrapper.find_required("LoginRequest")
+        username = doc.find_required("Username").text
+        password = doc.find_required("Password").text
+        public_key = public_key_from_text(doc.find_required("PublicKey").text)
+        peer_id = parse_id(doc.find_required("PeerId").text, "peer")
+        peer_name = doc.findtext("PeerName")
+        peer_address = doc.findtext("PeerAddress")
+    except (XMLParseError, XMLError, InvalidKeyError, UnicodeDecodeError, JxtaError) as exc:
+        raise ClientAuthenticationError(f"malformed login request: {exc}") from exc
+
+    # Step 7: key authenticity against the claimed identifier (CBID).
+    if not matches_key(peer_id, public_key):
+        raise CBIDMismatchError(
+            "the request was not received from a client peer with the "
+            "claimed identifier")
+    # The signature proves possession of SK_Cl over (username, password, PK).
+    try:
+        verify_element(doc, public_key)
+    except (XMLDsigError, InvalidSignatureError) as exc:
+        raise ClientAuthenticationError(
+            f"login request signature invalid: {exc}") from exc
+
+    return LoginClaim(
+        username=username, password=password, public_key=public_key,
+        peer_id=str(peer_id), peer_name=peer_name,
+        peer_address=peer_address, sid=sid)
+
+
+def build_login_response(credential: Credential, groups: list[str]) -> Message:
+    """Step 9: Cl <- Br : { cr }, plus the group list login returns."""
+    msg = Message(LOGIN_OK)
+    msg.add_xml("credential", credential.to_element())
+    import json
+
+    msg.add_text("groups", json.dumps(sorted(groups)))
+    return msg
+
+
+def parse_login_response(message: Message) -> tuple[Credential, list[str]]:
+    if message.msg_type != LOGIN_OK:
+        reason = message.get_text("reason") if message.has("reason") else message.msg_type
+        raise ClientAuthenticationError(f"secureLogin rejected: {reason}")
+    credential = Credential.from_element(message.get_xml("credential"))
+    import json
+
+    groups = json.loads(message.get_text("groups"))
+    return credential, list(groups)

@@ -1,0 +1,118 @@
+"""secureMsgPeer / secureMsgPeerGroup payloads (§4.3.1).
+
+Stateless, best-effort message protection::
+
+    Cl1 -> Cl2 : { E_PK_Cl2( m, S_SK_Cl1(m) ) }
+
+``m`` is an XML document carrying the sender id, group, text and a fresh
+nonce; the signature covers the canonical bytes of ``m``.  The recipient
+learns *who* sent the message only after decrypting, then validates the
+sender's **signed pipe advertisement** to obtain an authentic PK_Cl1 —
+the paper's transparent key-transport trick (steps 6-7).
+
+There is deliberately **no session state**: every message stands alone,
+in contrast with the TLS baseline.  The nonce lets receivers that keep a
+short memory window reject duplicates, but the paper's protocol itself is
+fire-and-forget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import envelope, signing
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.errors import (
+    DecryptionError,
+    InvalidSignatureError,
+    JxtaError,
+    TamperedMessageError,
+    XMLError,
+    XMLParseError,
+)
+from repro.jxta.messages import Message
+from repro.utils.encoding import b64decode, b64encode
+from repro.xmllib import Element, canonicalize, parse, serialize
+
+SECURE_CHAT = "secure_chat"
+
+_AAD = b"jxta-overlay-secure-msg"
+
+
+def build_payload(from_peer: str, group: str, text: str, nonce: bytes,
+                  timestamp: float) -> Element:
+    """The inner document m."""
+    doc = Element("SecureChat")
+    doc.add("FromPeer", text=from_peer)
+    doc.add("Group", text=group)
+    doc.add("Text", text=text)
+    doc.add("Nonce", text=b64encode(nonce))
+    doc.add("Timestamp", text=repr(timestamp))
+    return doc
+
+
+def seal_message(payload: Element, sender_key: PrivateKey,
+                 recipient_key: PublicKey, suite: str, wrap: str,
+                 scheme: str, drbg: HmacDrbg | None = None) -> Message:
+    """E_PK_Cl2(m, S_SK_Cl1(m)) as a pipe-deliverable message."""
+    m_bytes = canonicalize(payload)
+    signature = signing.sign(sender_key, m_bytes, scheme=scheme, drbg=drbg)
+    wrapper = Element("SecureMessage")
+    wrapper.append(payload)
+    wrapper.add("SignatureValue", text=b64encode(signature))
+    wrapper.add("SignatureScheme", text=scheme)
+    env = envelope.seal(recipient_key, serialize(wrapper).encode("utf-8"),
+                        drbg=drbg, suite=suite, wrap=wrap, aad=_AAD)
+    msg = Message(SECURE_CHAT)
+    msg.add_json("envelope", env)
+    return msg
+
+
+@dataclass(frozen=True)
+class OpenedMessage:
+    """A decrypted (but not yet sender-verified) secure message."""
+
+    from_peer: str
+    group: str
+    text: str
+    nonce: bytes
+    timestamp: float
+    payload: Element
+    signature: bytes
+    scheme: str
+
+    def verify_sender(self, sender_key: PublicKey) -> None:
+        """Step 7: validate the message signature under PK_Cl1."""
+        try:
+            signing.verify(sender_key, canonicalize(self.payload),
+                           self.signature, scheme=self.scheme)
+        except InvalidSignatureError as exc:
+            raise TamperedMessageError(
+                f"message signature from {self.from_peer} invalid: {exc}") from exc
+
+
+def open_message(message: Message, recipient_key: PrivateKey) -> OpenedMessage:
+    """Step 5: decrypt with SK_Cl2 and parse; signature check is separate
+    because the sender's key is only known after advertisement lookup."""
+    try:
+        env = message.get_json("envelope")
+        plain = envelope.open_(recipient_key, env, aad=_AAD)
+    except (JxtaError, DecryptionError) as exc:
+        raise TamperedMessageError(f"undecryptable secure message: {exc}") from exc
+    try:
+        wrapper = parse(plain.decode("utf-8"))
+        payload = wrapper.find_required("SecureChat")
+        signature = b64decode(wrapper.find_required("SignatureValue").text)
+        scheme = wrapper.find_required("SignatureScheme").text
+        from_peer = payload.find_required("FromPeer").text
+        group = payload.find_required("Group").text
+        text = payload.find_required("Text").text
+        nonce = b64decode(payload.find_required("Nonce").text)
+        timestamp = float(payload.find_required("Timestamp").text)
+    except (XMLParseError, XMLError, UnicodeDecodeError, ValueError) as exc:
+        raise TamperedMessageError(f"malformed secure message: {exc}") from exc
+    return OpenedMessage(
+        from_peer=from_peer, group=group, text=text, nonce=nonce,
+        timestamp=timestamp, payload=payload, signature=signature,
+        scheme=scheme)

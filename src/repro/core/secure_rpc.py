@@ -1,0 +1,122 @@
+"""Shared request/response security pattern for the extended primitives.
+
+Section 6 of the paper: "once the building blocks for a secure system
+have been established ... it is feasible to extend security to every
+single primitive.  Any message exchange can be secured using an approach
+similar to that defined for messenger primitives."  This module is that
+generalization: a signed request document with the requester's credential
+chain attached, sealed to the responder; and a signed response sealed
+back to the requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.credentials import (
+    Credential,
+    chain_from_elements,
+    validate_chain,
+)
+from repro.core.keystore import Keystore
+from repro.core.policy import SecurityPolicy
+from repro.crypto import envelope, signing
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.errors import (
+    CredentialError,
+    DecryptionError,
+    InvalidSignatureError,
+    JxtaError,
+    SecurityError,
+    XMLDsigError,
+    XMLError,
+    XMLParseError,
+)
+from repro.dsig import sign_element, verify_element
+from repro.xmllib import Element, parse, serialize
+
+REQUEST_TAG = "SecureRequest"
+RESPONSE_TAG = "SecureResponse"
+CHAIN_TAG = "CredentialChain"
+
+
+def seal_signed_request(body: Element, keystore: Keystore,
+                        recipient_key: PublicKey, policy: SecurityPolicy,
+                        drbg: HmacDrbg, aad: bytes) -> dict:
+    """Sign ``body`` with our key, attach our chain, seal to recipient."""
+    if not keystore.chain:
+        raise SecurityError("cannot issue a secure request without a credential")
+    sign_element(body, keystore.keys.private,
+                 sig_alg=policy.signature_scheme, drbg=drbg)
+    wrapper = Element(REQUEST_TAG)
+    wrapper.append(body)
+    chain_holder = wrapper.add(CHAIN_TAG)
+    for cred in keystore.chain:
+        chain_holder.append(cred.to_element())
+    return envelope.seal(recipient_key, serialize(wrapper).encode("utf-8"),
+                         drbg=drbg, suite=policy.envelope_suite,
+                         wrap=policy.envelope_wrap, aad=aad)
+
+
+@dataclass(frozen=True)
+class OpenedRequest:
+    body: Element
+    requester: Credential
+    chain: list[Credential]
+
+
+def open_signed_request(env: dict, keystore: Keystore, now: float,
+                        aad: bytes, expected_body_tag: str) -> OpenedRequest:
+    """Decrypt, validate the requester's chain, verify the body signature.
+
+    Raises :class:`SecurityError` subclasses on any check failure.
+    """
+    anchor = keystore.require_anchor()
+    try:
+        plain = envelope.open_(keystore.keys.private, env, aad=aad)
+        wrapper = parse(plain.decode("utf-8"))
+    except (DecryptionError, XMLParseError, UnicodeDecodeError) as exc:
+        raise SecurityError(f"undecryptable secure request: {exc}") from exc
+    try:
+        body = wrapper.find_required(expected_body_tag)
+        chain_holder = wrapper.find_required(CHAIN_TAG)
+        chain = chain_from_elements(list(chain_holder.children))
+    except (XMLError, CredentialError) as exc:
+        raise SecurityError(f"malformed secure request: {exc}") from exc
+    requester = validate_chain(chain, anchor, now)
+    try:
+        verify_element(body, requester.public_key)
+    except (XMLDsigError, InvalidSignatureError) as exc:
+        raise SecurityError(f"secure request signature invalid: {exc}") from exc
+    return OpenedRequest(body=body, requester=requester, chain=chain)
+
+
+def seal_signed_response(body: Element, responder_key: PrivateKey,
+                         requester_key: PublicKey, policy: SecurityPolicy,
+                         drbg: HmacDrbg, aad: bytes) -> dict:
+    """Sign ``body`` as the responder and seal it back to the requester."""
+    sign_element(body, responder_key,
+                 sig_alg=policy.signature_scheme, drbg=drbg)
+    wrapper = Element(RESPONSE_TAG)
+    wrapper.append(body)
+    return envelope.seal(requester_key, serialize(wrapper).encode("utf-8"),
+                         drbg=drbg, suite=policy.envelope_suite,
+                         wrap=policy.envelope_wrap, aad=aad)
+
+
+def open_signed_response(env: dict, own_key: PrivateKey,
+                         responder_key: PublicKey, aad: bytes,
+                         expected_body_tag: str) -> Element:
+    """Decrypt a response and verify the responder's signature."""
+    try:
+        plain = envelope.open_(own_key, env, aad=aad)
+        wrapper = parse(plain.decode("utf-8"))
+        body = wrapper.find_required(expected_body_tag)
+    except (DecryptionError, XMLParseError, XMLError, UnicodeDecodeError, JxtaError) as exc:
+        raise SecurityError(f"undecryptable secure response: {exc}") from exc
+    try:
+        verify_element(body, responder_key)
+    except (XMLDsigError, InvalidSignatureError) as exc:
+        raise SecurityError(f"secure response signature invalid: {exc}") from exc
+    return body

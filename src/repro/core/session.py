@@ -1,0 +1,76 @@
+"""Session identifiers and replay protection for secureLogin (§4.2.2).
+
+The broker generates a "sufficiently long random session identifier" in
+secureConnection and *consumes it exactly once* during secureLogin:
+
+    "Br checks if sid is currently stored.  If that is not the case,
+    login is aborted.  Otherwise, Br no longer stores sid and the login
+    process continues."
+
+Replaying a captured login blob therefore fails — the sid inside it is
+gone.  Sids also expire so the store cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ReplayError
+from repro.sim.clock import VirtualClock
+
+SID_BYTES = 32
+DEFAULT_SID_LIFETIME = 300.0  # virtual seconds to complete a login
+
+
+@dataclass
+class _PendingSid:
+    sid: str
+    issued_at: float
+    expires_at: float
+    client_address: str
+
+
+class SidStore:
+    """Broker-side store of outstanding session identifiers."""
+
+    def __init__(self, clock: VirtualClock, drbg: HmacDrbg,
+                 lifetime: float = DEFAULT_SID_LIFETIME) -> None:
+        self._clock = clock
+        self._drbg = drbg
+        self.lifetime = lifetime
+        self._pending: dict[str, _PendingSid] = {}
+        self.issued_total = 0
+        self.replays_blocked = 0
+
+    def issue(self, client_address: str) -> str:
+        """Mint a fresh sid for a connecting client."""
+        sid = self._drbg.generate(SID_BYTES).hex()
+        now = self._clock.now
+        self._pending[sid] = _PendingSid(
+            sid=sid, issued_at=now, expires_at=now + self.lifetime,
+            client_address=client_address)
+        self.issued_total += 1
+        return sid
+
+    def consume(self, sid: str) -> None:
+        """Use up a sid; raises :class:`ReplayError` if absent or expired."""
+        entry = self._pending.pop(sid, None)
+        if entry is None:
+            self.replays_blocked += 1
+            raise ReplayError("session identifier unknown or already used")
+        if self._clock.now > entry.expires_at:
+            self.replays_blocked += 1
+            raise ReplayError("session identifier expired")
+
+    def sweep(self) -> int:
+        """Drop expired sids; returns how many were removed."""
+        now = self._clock.now
+        stale = [k for k, v in self._pending.items() if now > v.expires_at]
+        for k in stale:
+            del self._pending[k]
+        return len(stale)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)

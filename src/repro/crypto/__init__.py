@@ -1,0 +1,35 @@
+"""From-scratch cryptographic substrate.
+
+The paper's security extension (section 4) needs: RSA key pairs
+(PK_i/SK_i), signatures S_SK(x), wrapped-key hybrid encryption E_PK(x),
+hashes for Crypto-Based IDentifiers, and HMAC for the TLS baseline.  All
+of it is implemented here from the specifications, with the standard
+library / ``cryptography`` package used only as *test oracles*.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.drbg import HmacDrbg, system_drbg
+from repro.crypto.hmac import HMAC, hmac_sha256, verify_hmac
+from repro.crypto.rsa import KeyPair, PrivateKey, PublicKey, generate_keypair
+from repro.crypto.sha2 import SHA224, SHA256, sha224, sha256
+from repro.crypto.signing import is_valid, sign, verify
+
+__all__ = [
+    "AES",
+    "HMAC",
+    "HmacDrbg",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "SHA224",
+    "SHA256",
+    "generate_keypair",
+    "hmac_sha256",
+    "is_valid",
+    "sha224",
+    "sha256",
+    "sign",
+    "system_drbg",
+    "verify",
+    "verify_hmac",
+]

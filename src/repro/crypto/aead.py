@@ -1,0 +1,49 @@
+"""ChaCha20-Poly1305 AEAD (RFC 8439 section 2.8).
+
+This is the authenticated symmetric layer used inside the hybrid envelope:
+confidentiality from ChaCha20, integrity from Poly1305 over the AAD and
+ciphertext.  AES-CBC (unauthenticated, paper-era) remains available via
+:mod:`repro.crypto.modes` for fidelity comparisons.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+from repro.crypto.poly1305 import poly1305_mac
+from repro.errors import InvalidTagError
+from repro.utils.bytesutil import constant_time_eq
+
+TAG_SIZE = 16
+KEY_SIZE = 32
+NONCE_SIZE = 12
+
+
+def _pad16(data: bytes) -> bytes:
+    return b"\x00" * (-len(data) % 16)
+
+
+def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
+    return (aad + _pad16(aad) + ciphertext + _pad16(ciphertext)
+            + struct.pack("<QQ", len(aad), len(ciphertext)))
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate; returns ``ciphertext || tag``."""
+    otk = chacha20_block(key, 0, nonce)[:32]  # one-time Poly1305 key
+    ciphertext = chacha20_xor(key, nonce, plaintext, counter=1)
+    tag = poly1305_mac(otk, _auth_input(aad, ciphertext))
+    return ciphertext + tag
+
+
+def open_(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify the tag and decrypt; raises :class:`InvalidTagError` on failure."""
+    if len(sealed) < TAG_SIZE:
+        raise InvalidTagError("sealed message shorter than the tag")
+    ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+    otk = chacha20_block(key, 0, nonce)[:32]
+    expected = poly1305_mac(otk, _auth_input(aad, ciphertext))
+    if not constant_time_eq(expected, tag):
+        raise InvalidTagError("Poly1305 tag mismatch")
+    return chacha20_xor(key, nonce, ciphertext, counter=1)

@@ -1,0 +1,120 @@
+"""ChaCha20 stream cipher (RFC 8439) with a numpy-vectorized fast path.
+
+The scalar implementation follows the RFC block function literally and is
+the reference; ``chacha20_xor`` dispatches to a numpy implementation that
+evaluates the 20 rounds over *all* blocks of the message simultaneously
+(arrays of uint32, one lane per block), which is an order of magnitude
+faster in pure Python for multi-kilobyte messages.  The test suite checks
+both paths against the RFC 8439 vectors and against each other.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def _quarter(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    x = state
+    x[a] = (x[a] + x[b]) & _MASK32
+    x[d] ^= x[a]
+    x[d] = ((x[d] << 16) | (x[d] >> 16)) & _MASK32
+    x[c] = (x[c] + x[d]) & _MASK32
+    x[b] ^= x[c]
+    x[b] = ((x[b] << 12) | (x[b] >> 20)) & _MASK32
+    x[a] = (x[a] + x[b]) & _MASK32
+    x[d] ^= x[a]
+    x[d] = ((x[d] << 8) | (x[d] >> 24)) & _MASK32
+    x[c] = (x[c] + x[d]) & _MASK32
+    x[b] ^= x[c]
+    x[b] = ((x[b] << 7) | (x[b] >> 25)) & _MASK32
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """The RFC 8439 block function: 64 bytes of keystream."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    init = list(_CONSTANTS) + list(struct.unpack("<8I", key)) \
+        + [counter & _MASK32] + list(struct.unpack("<3I", nonce))
+    state = list(init)
+    for _ in range(10):
+        _quarter(state, 0, 4, 8, 12)
+        _quarter(state, 1, 5, 9, 13)
+        _quarter(state, 2, 6, 10, 14)
+        _quarter(state, 3, 7, 11, 15)
+        _quarter(state, 0, 5, 10, 15)
+        _quarter(state, 1, 6, 11, 12)
+        _quarter(state, 2, 7, 8, 13)
+        _quarter(state, 3, 4, 9, 14)
+    out = [(s + i) & _MASK32 for s, i in zip(state, init)]
+    return struct.pack("<16I", *out)
+
+
+def _np_quarter(x: np.ndarray, a: int, b: int, c: int, d: int) -> None:
+    """Quarter round over a (16, n_blocks) uint32 array, in place."""
+    x[a] += x[b]
+    x[d] ^= x[a]
+    x[d] = (x[d] << np.uint32(16)) | (x[d] >> np.uint32(16))
+    x[c] += x[d]
+    x[b] ^= x[c]
+    x[b] = (x[b] << np.uint32(12)) | (x[b] >> np.uint32(20))
+    x[a] += x[b]
+    x[d] ^= x[a]
+    x[d] = (x[d] << np.uint32(8)) | (x[d] >> np.uint32(24))
+    x[c] += x[d]
+    x[b] ^= x[c]
+    x[b] = (x[b] << np.uint32(7)) | (x[b] >> np.uint32(25))
+
+
+def _keystream_numpy(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> bytes:
+    """Keystream for ``n_blocks`` consecutive blocks, all lanes at once."""
+    init = np.empty((16, n_blocks), dtype=np.uint32)
+    init[0:4] = np.array(_CONSTANTS, dtype=np.uint32)[:, None]
+    init[4:12] = np.frombuffer(key, dtype="<u4").astype(np.uint32)[:, None]
+    counters = (np.arange(n_blocks, dtype=np.uint64) + np.uint64(counter)) & np.uint64(_MASK32)
+    init[12] = counters.astype(np.uint32)
+    init[13:16] = np.frombuffer(nonce, dtype="<u4").astype(np.uint32)[:, None]
+    x = init.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(10):
+            _np_quarter(x, 0, 4, 8, 12)
+            _np_quarter(x, 1, 5, 9, 13)
+            _np_quarter(x, 2, 6, 10, 14)
+            _np_quarter(x, 3, 7, 11, 15)
+            _np_quarter(x, 0, 5, 10, 15)
+            _np_quarter(x, 1, 6, 11, 12)
+            _np_quarter(x, 2, 7, 8, 13)
+            _np_quarter(x, 3, 4, 9, 14)
+        x += init
+    # Column-major lanes -> per-block 64-byte chunks, little-endian words.
+    return x.T.astype("<u4").tobytes()
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, counter: int = 1,
+                 use_numpy: bool | None = None) -> bytes:
+    """Encrypt/decrypt ``data`` (XOR with keystream starting at ``counter``).
+
+    ``use_numpy=None`` picks the vectorized path for messages of 4 blocks
+    or more, where the numpy fixed overhead is amortized.
+    """
+    if not data:
+        return b""
+    n_blocks = (len(data) + 63) // 64
+    if use_numpy is None:
+        use_numpy = n_blocks >= 4
+    if use_numpy:
+        stream = _keystream_numpy(key, counter, nonce, n_blocks)
+    else:
+        stream = b"".join(
+            chacha20_block(key, counter + i, nonce) for i in range(n_blocks)
+        )
+    buf = np.frombuffer(data, dtype=np.uint8) ^ np.frombuffer(
+        stream[: len(data)], dtype=np.uint8
+    )
+    return buf.tobytes()

@@ -1,0 +1,110 @@
+"""The hybrid "wrapped key encryption scheme" E_PKi(x) of the paper.
+
+The paper's notation section defines ``E_PKi(x)`` as encryption of an
+arbitrary-length string under peer *i*'s public key "by means of a wrapped
+key encryption scheme (such as the one defined in [19] = PKCS#1)".  This is
+the classic hybrid envelope:
+
+1. draw a fresh symmetric content-encryption key (CEK),
+2. encrypt the payload under the CEK with a symmetric cipher,
+3. wrap the CEK under the recipient's RSA public key.
+
+Two symmetric suites are supported, selectable per envelope (ablation A2):
+
+* ``chacha20poly1305`` — authenticated, numpy-accelerated (default),
+* ``aes128-cbc`` / ``aes256-cbc`` — the paper-era JCE-style suite.
+
+The envelope is a self-describing dict so it can be embedded in XML or
+JSON messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto import aead, pkcs1
+from repro.crypto.drbg import HmacDrbg, system_drbg
+from repro.crypto.modes import CBC
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.errors import DecryptionError
+from repro.utils.encoding import b64decode, b64encode
+
+#: suite name -> (CEK length, needs IV/nonce length)
+SUITES: dict[str, tuple[int, int]] = {
+    "chacha20poly1305": (32, 12),
+    "aes128-cbc": (16, 16),
+    "aes256-cbc": (32, 16),
+}
+
+DEFAULT_SUITE = "chacha20poly1305"
+
+#: RSA key-wrap algorithm names (ablation: OAEP default, v1.5 era-faithful).
+WRAP_OAEP = "rsa-oaep"
+WRAP_V15 = "rsa-pkcs1v15"
+
+
+def seal(pub: PublicKey, plaintext: bytes, drbg: HmacDrbg | None = None,
+         suite: str = DEFAULT_SUITE, wrap: str = WRAP_OAEP,
+         aad: bytes = b"") -> dict[str, Any]:
+    """Encrypt ``plaintext`` for the holder of ``pub``.
+
+    Returns the envelope as a dict with base64 fields:
+    ``{suite, wrap, wrapped_key, nonce, body}``.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown envelope suite {suite!r}")
+    rng = drbg if drbg is not None else system_drbg()
+    key_len, nonce_len = SUITES[suite]
+    cek = rng.generate(key_len)
+    nonce = rng.generate(nonce_len)
+    if suite == "chacha20poly1305":
+        body = aead.seal(cek, nonce, plaintext, aad=aad)
+    else:
+        # CBC is unauthenticated; fold the AAD into the wrapped blob instead
+        # so tampering with it still breaks unwrapping deterministically.
+        body = CBC(cek).encrypt(plaintext, nonce)
+    if wrap == WRAP_OAEP:
+        wrapped = pkcs1.encrypt_oaep(pub, cek, drbg=rng, label=aad)
+    elif wrap == WRAP_V15:
+        wrapped = pkcs1.encrypt_v15(pub, cek, drbg=rng)
+    else:
+        raise ValueError(f"unknown key wrap algorithm {wrap!r}")
+    return {
+        "suite": suite,
+        "wrap": wrap,
+        "wrapped_key": b64encode(wrapped),
+        "nonce": b64encode(nonce),
+        "body": b64encode(body),
+    }
+
+
+def open_(priv: PrivateKey, envelope: dict[str, Any], aad: bytes = b"") -> bytes:
+    """Decrypt an envelope produced by :func:`seal`.
+
+    Raises :class:`DecryptionError` on any malformation, wrong key, or
+    authentication failure.
+    """
+    try:
+        suite = envelope["suite"]
+        wrap = envelope["wrap"]
+        wrapped = b64decode(envelope["wrapped_key"])
+        nonce = b64decode(envelope["nonce"])
+        body = b64decode(envelope["body"])
+    except (KeyError, TypeError) as exc:
+        raise DecryptionError(f"malformed envelope: {exc!r}") from exc
+    if suite not in SUITES:
+        raise DecryptionError(f"unknown envelope suite {suite!r}")
+    key_len, nonce_len = SUITES[suite]
+    if len(nonce) != nonce_len:
+        raise DecryptionError("envelope nonce has the wrong length")
+    if wrap == WRAP_OAEP:
+        cek = pkcs1.decrypt_oaep(priv, wrapped, label=aad)
+    elif wrap == WRAP_V15:
+        cek = pkcs1.decrypt_v15(priv, wrapped)
+    else:
+        raise DecryptionError(f"unknown key wrap algorithm {wrap!r}")
+    if len(cek) != key_len:
+        raise DecryptionError("unwrapped CEK has the wrong length")
+    if suite == "chacha20poly1305":
+        return aead.open_(cek, nonce, body, aad=aad)
+    return CBC(cek).decrypt(body, nonce)

@@ -1,0 +1,73 @@
+"""Block-cipher modes of operation: CBC and CTR over :class:`~repro.crypto.aes.AES`.
+
+CBC (with PKCS#7) is the mode the paper's Java/JCE era stack would have
+used for the wrapped-key envelope; CTR is provided because it needs no
+padding and parallelizes, which the ablation benchmarks exploit.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto import pkcs7
+from repro.crypto.aes import AES
+from repro.errors import DecryptionError
+from repro.utils.bytesutil import xor_bytes
+
+
+class CBC:
+    """AES-CBC with PKCS#7 padding.  One-shot API: whole message in, out."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+
+    def encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        if len(iv) != 16:
+            raise ValueError("CBC IV must be 16 bytes")
+        data = pkcs7.pad(plaintext, 16)
+        out = bytearray()
+        prev = iv
+        enc = self._aes.encrypt_block
+        for i in range(0, len(data), 16):
+            block = enc(xor_bytes(data[i:i + 16], prev))
+            out += block
+            prev = block
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        if len(iv) != 16:
+            raise ValueError("CBC IV must be 16 bytes")
+        if not ciphertext or len(ciphertext) % 16 != 0:
+            raise DecryptionError("CBC ciphertext length must be a positive multiple of 16")
+        out = bytearray()
+        prev = iv
+        dec = self._aes.decrypt_block
+        for i in range(0, len(ciphertext), 16):
+            block = ciphertext[i:i + 16]
+            out += xor_bytes(dec(block), prev)
+            prev = block
+        return pkcs7.unpad(bytes(out), 16)
+
+
+class CTR:
+    """AES-CTR with a 12-byte nonce and 32-bit big-endian block counter."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+
+    def _keystream(self, nonce: bytes, n_bytes: int, initial_counter: int = 0) -> bytes:
+        if len(nonce) != 12:
+            raise ValueError("CTR nonce must be 12 bytes")
+        out = bytearray()
+        enc = self._aes.encrypt_block
+        counter = initial_counter
+        while len(out) < n_bytes:
+            out += enc(nonce + struct.pack(">I", counter))
+            counter = (counter + 1) & 0xFFFFFFFF
+        return bytes(out[:n_bytes])
+
+    def encrypt(self, plaintext: bytes, nonce: bytes) -> bytes:
+        return xor_bytes(plaintext, self._keystream(nonce, len(plaintext)))
+
+    # CTR is an involution.
+    decrypt = encrypt

@@ -1,0 +1,25 @@
+"""PKCS#7 block padding (RFC 5652 section 6.3)."""
+
+from __future__ import annotations
+
+from repro.errors import InvalidPaddingError
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding; always adds at least one byte."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block size must be in [1, 255]")
+    n = block_size - (len(data) % block_size)
+    return data + bytes([n]) * n
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size != 0:
+        raise InvalidPaddingError("padded data length is not a multiple of the block size")
+    n = data[-1]
+    if n < 1 or n > block_size:
+        raise InvalidPaddingError("padding byte out of range")
+    if data[-n:] != bytes([n]) * n:
+        raise InvalidPaddingError("inconsistent padding bytes")
+    return data[:-n]

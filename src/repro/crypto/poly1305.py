@@ -1,0 +1,27 @@
+"""Poly1305 one-time authenticator (RFC 8439 section 2.5).
+
+Python's arbitrary-precision integers make the radix-2^130 arithmetic
+direct: accumulate 16-byte chunks (with the 2^128 high bit) into the
+polynomial evaluated at the clamped key ``r`` modulo 2^130-5, then add
+``s`` modulo 2^128.
+"""
+
+from __future__ import annotations
+
+_P = (1 << 130) - 5
+_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag.  ``key`` is the 32-byte (r || s)."""
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little") & _CLAMP
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for i in range(0, len(message), 16):
+        chunk = message[i:i + 16]
+        n = int.from_bytes(chunk, "little") + (1 << (8 * len(chunk)))
+        acc = ((acc + n) * r) % _P
+    acc = (acc + s) & ((1 << 128) - 1)
+    return acc.to_bytes(16, "little")

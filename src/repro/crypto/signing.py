@@ -1,0 +1,48 @@
+"""High-level signing API: the paper's S_SKi(x).
+
+Wraps the PKCS#1 signature paddings behind named schemes so callers (and
+the security-policy ablations) select by string.  Default is PSS; v1.5 is
+the era-faithful alternative.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import pkcs1
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PrivateKey, PublicKey
+from repro.errors import InvalidSignatureError
+
+SCHEME_PSS = "rsa-pss-sha256"
+SCHEME_V15 = "rsa-pkcs1v15-sha256"
+DEFAULT_SCHEME = SCHEME_PSS
+
+
+def sign(priv: PrivateKey, message: bytes, scheme: str = DEFAULT_SCHEME,
+         drbg: HmacDrbg | None = None) -> bytes:
+    """Sign ``message``; the scheme string travels alongside the signature."""
+    if scheme == SCHEME_PSS:
+        return pkcs1.sign_pss(priv, message, drbg=drbg)
+    if scheme == SCHEME_V15:
+        return pkcs1.sign_v15(priv, message)
+    raise ValueError(f"unknown signature scheme {scheme!r}")
+
+
+def verify(pub: PublicKey, message: bytes, signature: bytes,
+           scheme: str = DEFAULT_SCHEME) -> None:
+    """Verify a signature; raises :class:`InvalidSignatureError` on failure."""
+    if scheme == SCHEME_PSS:
+        pkcs1.verify_pss(pub, message, signature)
+    elif scheme == SCHEME_V15:
+        pkcs1.verify_v15(pub, message, signature)
+    else:
+        raise InvalidSignatureError(f"unknown signature scheme {scheme!r}")
+
+
+def is_valid(pub: PublicKey, message: bytes, signature: bytes,
+             scheme: str = DEFAULT_SCHEME) -> bool:
+    """Boolean convenience wrapper around :func:`verify`."""
+    try:
+        verify(pub, message, signature, scheme=scheme)
+    except InvalidSignatureError:
+        return False
+    return True

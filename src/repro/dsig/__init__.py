@@ -1,0 +1,19 @@
+"""XMLdsig (W3C XML-Signature, ref [16]) — enveloped signatures.
+
+Used by the paper's scheme (via ref [15]) to sign JXTA advertisements
+while *preserving their original element type*, and to carry the signer's
+credential in <KeyInfo> as the transparent key-distribution mechanism.
+"""
+
+from repro.dsig.keyinfo import keyinfo_from_public_key, public_key_from_keyinfo
+from repro.dsig.signer import sign_element
+from repro.dsig.verifier import VerifiedSignature, parse_signature, verify_element
+
+__all__ = [
+    "sign_element",
+    "verify_element",
+    "parse_signature",
+    "VerifiedSignature",
+    "keyinfo_from_public_key",
+    "public_key_from_keyinfo",
+]

@@ -1,0 +1,35 @@
+"""KeyInfo helpers: embedding public keys / credentials in a signature.
+
+The paper's scheme carries the signer's *credential* (an issuer-signed
+document that contains the public key) inside KeyInfo, so a verifier can
+both obtain the key and check who vouches for it.  At this layer we only
+provide the raw-key form; credentials are built on top by
+:mod:`repro.core.credentials`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import public_key_from_text, public_key_to_text
+from repro.crypto.rsa import PublicKey
+from repro.dsig.templates import KEY_INFO_TAG
+from repro.errors import SignatureFormatError
+from repro.xmllib.element import Element
+
+KEY_VALUE_TAG = "KeyValue"
+
+
+def keyinfo_from_public_key(pub: PublicKey) -> Element:
+    """Build a <KeyInfo><KeyValue>...</KeyValue></KeyInfo> element."""
+    ki = Element(KEY_INFO_TAG)
+    ki.add(KEY_VALUE_TAG, text=public_key_to_text(pub))
+    return ki
+
+
+def public_key_from_keyinfo(keyinfo: Element) -> PublicKey:
+    """Extract a raw public key from a <KeyInfo> element."""
+    if keyinfo.tag != KEY_INFO_TAG:
+        raise SignatureFormatError(f"expected <KeyInfo>, got <{keyinfo.tag}>")
+    kv = keyinfo.find(KEY_VALUE_TAG)
+    if kv is None or not kv.text:
+        raise SignatureFormatError("KeyInfo carries no KeyValue")
+    return public_key_from_text(kv.text)

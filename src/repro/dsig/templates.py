@@ -1,0 +1,38 @@
+"""Element names and algorithm identifiers for the XMLdsig subset.
+
+The shapes follow W3C XML-Signature (ref [16] of the paper) structurally:
+``Signature / SignedInfo / Reference / DigestValue / SignatureValue /
+KeyInfo``, with an enveloped-signature transform.  Algorithm URIs are
+short package-local identifiers instead of the W3C URLs — the verifier
+rejects anything it does not recognize, which is the property that
+matters.
+"""
+
+from __future__ import annotations
+
+SIGNATURE_TAG = "Signature"
+SIGNED_INFO_TAG = "SignedInfo"
+C14N_METHOD_TAG = "CanonicalizationMethod"
+SIGNATURE_METHOD_TAG = "SignatureMethod"
+REFERENCE_TAG = "Reference"
+TRANSFORMS_TAG = "Transforms"
+TRANSFORM_TAG = "Transform"
+DIGEST_METHOD_TAG = "DigestMethod"
+DIGEST_VALUE_TAG = "DigestValue"
+SIGNATURE_VALUE_TAG = "SignatureValue"
+KEY_INFO_TAG = "KeyInfo"
+
+ALG_ATTR = "Algorithm"
+URI_ATTR = "URI"
+
+#: The only canonicalization method implemented (repro.xmllib.c14n).
+C14N_ALG = "repro:c14n"
+#: Digest algorithm for references.
+DIGEST_ALG = "repro:sha256"
+#: Enveloped-signature transform: drop the Signature element itself.
+ENVELOPED_TRANSFORM_ALG = "repro:enveloped-signature"
+#: Signature methods map 1:1 to :mod:`repro.crypto.signing` scheme names.
+SIG_ALG_PSS = "rsa-pss-sha256"
+SIG_ALG_V15 = "rsa-pkcs1v15-sha256"
+
+SUPPORTED_SIG_ALGS = (SIG_ALG_PSS, SIG_ALG_V15)

@@ -1,0 +1,32 @@
+"""Reference transforms: currently only the enveloped-signature transform."""
+
+from __future__ import annotations
+
+from repro.dsig.templates import SIGNATURE_TAG
+from repro.errors import SignatureFormatError
+from repro.xmllib.element import Element
+
+
+def strip_signatures(elem: Element) -> Element:
+    """Return a deep copy of ``elem`` with direct <Signature> children removed.
+
+    This is the enveloped-signature transform: the digest of a signed
+    document must be computed over the document *as it was before signing*,
+    i.e. without the signature that will be (or has been) embedded in it.
+    Only direct children are considered — a nested Signature belongs to an
+    embedded sub-document (e.g. a credential inside KeyInfo) and is part of
+    the signed content.
+    """
+    copy = elem.deep_copy()
+    copy.children = [c for c in copy.children if c.tag != SIGNATURE_TAG]
+    return copy
+
+
+def find_signature(elem: Element) -> Element:
+    """Locate exactly one direct <Signature> child of a signed document."""
+    sigs = elem.findall(SIGNATURE_TAG)
+    if not sigs:
+        raise SignatureFormatError(f"<{elem.tag}> carries no <Signature>")
+    if len(sigs) > 1:
+        raise SignatureFormatError(f"<{elem.tag}> carries {len(sigs)} signatures; expected 1")
+    return sigs[0]

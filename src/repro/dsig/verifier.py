@@ -1,0 +1,93 @@
+"""Verifying enveloped XMLdsig signatures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import signing
+from repro.crypto.rsa import PublicKey
+from repro.crypto.sha2 import sha256
+from repro.dsig import templates as t
+from repro.dsig.transforms import find_signature, strip_signatures
+from repro.errors import (
+    DigestMismatchError,
+    InvalidSignatureError,
+    SignatureFormatError,
+)
+from repro.utils.bytesutil import constant_time_eq
+from repro.utils.encoding import b64decode
+from repro.xmllib.c14n import canonicalize
+from repro.xmllib.element import Element
+
+
+@dataclass(frozen=True)
+class VerifiedSignature:
+    """Result of structural + digest validation of an enveloped signature."""
+
+    signed_info: Element
+    signature_value: bytes
+    sig_alg: str
+    keyinfo: Element | None
+
+
+def parse_signature(elem: Element) -> VerifiedSignature:
+    """Structurally validate the <Signature> on ``elem`` and check digests.
+
+    This performs every check that does *not* require a key: the SignedInfo
+    structure, supported algorithm identifiers, and the Reference digest
+    against the canonicalized (signature-stripped) document.  Raises
+    :class:`SignatureFormatError` or :class:`DigestMismatchError`.
+    """
+    sig = find_signature(elem)
+    signed_info = sig.find_required(t.SIGNED_INFO_TAG)
+
+    c14n_alg = signed_info.find_required(t.C14N_METHOD_TAG).get(t.ALG_ATTR)
+    if c14n_alg != t.C14N_ALG:
+        raise SignatureFormatError(f"unsupported canonicalization {c14n_alg!r}")
+    sig_alg = signed_info.find_required(t.SIGNATURE_METHOD_TAG).get(t.ALG_ATTR)
+    if sig_alg not in t.SUPPORTED_SIG_ALGS:
+        raise SignatureFormatError(f"unsupported signature algorithm {sig_alg!r}")
+
+    ref = signed_info.find_required(t.REFERENCE_TAG)
+    if ref.get(t.URI_ATTR) != "":
+        raise SignatureFormatError("only whole-document references are supported")
+    digest_alg = ref.find_required(t.DIGEST_METHOD_TAG).get(t.ALG_ATTR)
+    if digest_alg != t.DIGEST_ALG:
+        raise SignatureFormatError(f"unsupported digest algorithm {digest_alg!r}")
+    transforms = ref.find(t.TRANSFORMS_TAG)
+    if transforms is None or [tr.get(t.ALG_ATTR) for tr in transforms.findall(t.TRANSFORM_TAG)] != [t.ENVELOPED_TRANSFORM_ALG]:
+        raise SignatureFormatError("reference must use exactly the enveloped transform")
+
+    claimed_digest = b64decode(ref.find_required(t.DIGEST_VALUE_TAG).text)
+    actual_digest = sha256(canonicalize(strip_signatures(elem)))
+    if not constant_time_eq(claimed_digest, actual_digest):
+        raise DigestMismatchError(
+            f"digest mismatch on <{elem.tag}>: content altered after signing"
+        )
+
+    sig_value = b64decode(sig.find_required(t.SIGNATURE_VALUE_TAG).text)
+    return VerifiedSignature(
+        signed_info=signed_info,
+        signature_value=sig_value,
+        sig_alg=sig_alg,
+        keyinfo=sig.find(t.KEY_INFO_TAG),
+    )
+
+
+def verify_element(elem: Element, pub: PublicKey) -> VerifiedSignature:
+    """Full verification of the enveloped signature on ``elem``.
+
+    Checks structure, the reference digest, and the SignatureValue under
+    ``pub``.  Raises a :class:`repro.errors.XMLDsigError` subclass or
+    :class:`InvalidSignatureError` on failure; returns the parsed
+    signature (including KeyInfo) on success.
+    """
+    parsed = parse_signature(elem)
+    try:
+        signing.verify(pub, canonicalize(parsed.signed_info),
+                       parsed.signature_value, scheme=parsed.sig_alg)
+    except InvalidSignatureError as exc:
+        raise InvalidSignatureError(
+            f"SignatureValue on <{elem.tag}> does not verify: {exc}"
+        ) from exc
+    return parsed

@@ -1,0 +1,178 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so callers
+can catch coarsely (``except ReproError``) or precisely (e.g.
+``except ReplayError``).  Security-relevant failures derive from
+:class:`SecurityError`; the secure primitives convert low-level crypto
+failures into the protocol-level errors defined in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto layer
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for failures in :mod:`repro.crypto`."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key is malformed, of the wrong type, or outside supported sizes."""
+
+
+class InvalidSignatureError(CryptoError):
+    """Signature verification failed."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted (bad key, padding, or tag)."""
+
+
+class EncodingError(CryptoError):
+    """Encoding or decoding of a crypto structure failed (PKCS#1, DER-lite)."""
+
+
+class InvalidPaddingError(DecryptionError):
+    """Block-cipher or PKCS#1 padding check failed."""
+
+
+class InvalidTagError(DecryptionError):
+    """AEAD authentication tag mismatch."""
+
+
+# ---------------------------------------------------------------------------
+# XML / XMLdsig layer
+# ---------------------------------------------------------------------------
+
+class XMLError(ReproError):
+    """Base class for failures in :mod:`repro.xmllib`."""
+
+
+class XMLParseError(XMLError):
+    """The XML document is not well-formed."""
+
+
+class XMLDsigError(ReproError):
+    """Base class for XML digital signature failures."""
+
+
+class DigestMismatchError(XMLDsigError):
+    """A Reference digest does not match the canonicalized content."""
+
+
+class SignatureFormatError(XMLDsigError):
+    """The Signature element is structurally invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation layer
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator failures."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be delivered (no route, endpoint down...)."""
+
+
+# ---------------------------------------------------------------------------
+# JXTA layer
+# ---------------------------------------------------------------------------
+
+class JxtaError(ReproError):
+    """Base class for failures in :mod:`repro.jxta`."""
+
+
+class AdvertisementError(JxtaError):
+    """An advertisement is malformed or of an unexpected type."""
+
+
+class PipeError(JxtaError):
+    """Pipe resolution or delivery failed."""
+
+
+class DiscoveryError(JxtaError):
+    """Advertisement discovery failed."""
+
+
+class TransportError(JxtaError):
+    """A (simulated) transport-level failure."""
+
+
+class HandshakeError(TransportError):
+    """TLS/CBJX handshake failure."""
+
+
+# ---------------------------------------------------------------------------
+# JXTA-Overlay layer
+# ---------------------------------------------------------------------------
+
+class OverlayError(ReproError):
+    """Base class for JXTA-Overlay middleware failures."""
+
+
+class NotConnectedError(OverlayError):
+    """A primitive requiring a broker connection was invoked while offline."""
+
+
+class AuthenticationError(OverlayError):
+    """Username/password rejected by the broker."""
+
+
+class GroupError(OverlayError):
+    """Group management failure (unknown group, not a member...)."""
+
+
+class DatabaseError(OverlayError):
+    """Central user database failure."""
+
+
+class PrimitiveError(OverlayError):
+    """A primitive was invoked with invalid arguments or state."""
+
+
+# ---------------------------------------------------------------------------
+# Security extension (the paper's contribution)
+# ---------------------------------------------------------------------------
+
+class SecurityError(ReproError):
+    """Base class for the secure-primitive protocol failures."""
+
+
+class CredentialError(SecurityError):
+    """A credential is malformed, expired, or has an untrusted issuer."""
+
+
+class BrokerAuthenticationError(SecurityError):
+    """secureConnection: the broker failed the challenge/response check."""
+
+
+class ClientAuthenticationError(SecurityError):
+    """secureLogin: the client failed authentication at the broker."""
+
+
+class ReplayError(SecurityError):
+    """A session identifier was missing, reused, or expired."""
+
+
+class CBIDMismatchError(SecurityError):
+    """Public key does not hash to the claimed crypto-based identifier."""
+
+
+class TamperedAdvertisementError(SecurityError):
+    """A signed advertisement failed XMLdsig validation."""
+
+
+class TamperedMessageError(SecurityError):
+    """A secure message failed decryption or signature validation."""
+
+
+class PolicyError(SecurityError):
+    """Operation forbidden by the active security policy."""

@@ -1,0 +1,55 @@
+"""From-scratch JXTA core simulation.
+
+Implements the slice of JXTA that JXTA-Overlay (and therefore the paper's
+security extension) relies on: identifiers (including crypto-based ids),
+XML advertisements, messages, the endpoint service over the simulated
+network, unicast pipes, discovery caches, peer groups, membership
+services and the TLS/CBJX transport baselines.
+"""
+
+from repro.jxta.advertisements import (
+    Advertisement,
+    FileAdvertisement,
+    GroupAdvertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    PresenceAdvertisement,
+    StatsAdvertisement,
+)
+from repro.jxta.discovery import AdvertisementCache
+from repro.jxta.endpoint import Endpoint
+from repro.jxta.ids import (
+    JxtaID,
+    cbid_from_key,
+    matches_key,
+    random_group_id,
+    random_peer_id,
+    random_pipe_id,
+)
+from repro.jxta.messages import Message
+from repro.jxta.peergroup import GroupTable, PeerGroup
+from repro.jxta.pipes import InputPipe, OutputPipe, PipeRegistry
+
+__all__ = [
+    "Advertisement",
+    "PeerAdvertisement",
+    "PipeAdvertisement",
+    "FileAdvertisement",
+    "PresenceAdvertisement",
+    "StatsAdvertisement",
+    "GroupAdvertisement",
+    "AdvertisementCache",
+    "Endpoint",
+    "Message",
+    "JxtaID",
+    "cbid_from_key",
+    "matches_key",
+    "random_peer_id",
+    "random_pipe_id",
+    "random_group_id",
+    "GroupTable",
+    "PeerGroup",
+    "InputPipe",
+    "OutputPipe",
+    "PipeRegistry",
+]

@@ -1,0 +1,291 @@
+"""JXTA advertisements: typed XML metadata documents.
+
+Advertisements are *the* data structure of a JXTA network — peers learn
+about each other exclusively through them (section 2.2 of the paper).
+JXTA-Overlay clients periodically broadcast one advertisement per concern
+per group: pipe location, shared files, statistics, presence.
+
+Every advertisement type serializes to an XML element whose **root tag is
+the advertisement type**.  This matters for the paper: the secure scheme
+(ref [15]) signs advertisements *in place* so this root type is preserved
+and untouched JXTA-Overlay code keeps dispatching on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Type
+
+from repro.errors import AdvertisementError
+from repro.jxta.ids import JxtaID, parse_id
+from repro.xmllib import Element
+
+#: registry: root tag -> advertisement class
+_REGISTRY: dict[str, Type["Advertisement"]] = {}
+
+
+def register_advertisement(cls: Type["Advertisement"]) -> Type["Advertisement"]:
+    """Class decorator adding the type to the parse registry."""
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+@dataclass
+class Advertisement:
+    """Base class.  Subclasses define ``TYPE`` and field codecs."""
+
+    TYPE: ClassVar[str] = "Advertisement"
+
+    #: id of the peer that published this advertisement
+    peer_id: JxtaID
+
+    #: extra (tag, text) fields any layer may attach; preserved verbatim
+    extras: dict[str, str] = field(default_factory=dict)
+
+    def _body_fields(self) -> dict[str, str]:
+        """Subclass hook: the typed payload fields."""
+        return {}
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "Advertisement":
+        return cls(peer_id=peer_id, extras=fields)
+
+    # -- XML codec -----------------------------------------------------------
+
+    def to_element(self) -> Element:
+        root = Element(self.TYPE)
+        root.add("PeerId", text=str(self.peer_id))
+        for tag, text in self._body_fields().items():
+            root.add(tag, text=text)
+        for tag, text in self.extras.items():
+            root.add(tag, text=text)
+        return root
+
+    @classmethod
+    def from_element(cls, root: Element) -> "Advertisement":
+        """Parse any registered advertisement type (dispatch on root tag).
+
+        Unknown child elements (including <Signature>) are ignored here;
+        the secure layer re-parses the raw element when it needs them.
+        """
+        target = _REGISTRY.get(root.tag)
+        if target is None:
+            raise AdvertisementError(f"unknown advertisement type <{root.tag}>")
+        if cls is not Advertisement and target is not cls:
+            raise AdvertisementError(
+                f"expected a <{cls.TYPE}>, got a <{root.tag}>")
+        peer_text = root.findtext("PeerId")
+        if not peer_text:
+            raise AdvertisementError(f"<{root.tag}> has no PeerId")
+        peer_id = parse_id(peer_text, "peer")
+        fields = {
+            child.tag: child.text
+            for child in root.children
+            if child.tag not in ("PeerId", "Signature") and not child.children
+        }
+        return target._from_fields(peer_id, fields)
+
+    @property
+    def advertisement_type(self) -> str:
+        return self.TYPE
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity for discovery-index replacement semantics."""
+        return (self.TYPE, str(self.peer_id), "")
+
+
+def _take(fields: dict[str, str], tag: str, *, where: str) -> str:
+    try:
+        return fields.pop(tag)
+    except KeyError:
+        raise AdvertisementError(f"<{where}> is missing <{tag}>") from None
+
+
+@register_advertisement
+@dataclass
+class PeerAdvertisement(Advertisement):
+    """Who a peer is: name and network address."""
+
+    TYPE: ClassVar[str] = "PeerAdvertisement"
+    name: str = ""
+    address: str = ""
+
+    def _body_fields(self) -> dict[str, str]:
+        return {"Name": self.name, "Address": self.address}
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "PeerAdvertisement":
+        name = _take(fields, "Name", where=cls.TYPE)
+        address = _take(fields, "Address", where=cls.TYPE)
+        return cls(peer_id=peer_id, name=name, address=address, extras=fields)
+
+
+@register_advertisement
+@dataclass
+class PipeAdvertisement(Advertisement):
+    """Where to reach a peer's input pipe for one group."""
+
+    TYPE: ClassVar[str] = "PipeAdvertisement"
+    pipe_id: JxtaID | None = None
+    group: str = ""
+    address: str = ""
+    pipe_type: str = "JxtaUnicast"
+
+    def _body_fields(self) -> dict[str, str]:
+        if self.pipe_id is None:
+            raise AdvertisementError("PipeAdvertisement requires a pipe id")
+        return {
+            "PipeId": str(self.pipe_id),
+            "Group": self.group,
+            "Address": self.address,
+            "PipeType": self.pipe_type,
+        }
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "PipeAdvertisement":
+        pipe_id = parse_id(_take(fields, "PipeId", where=cls.TYPE), "pipe")
+        group = _take(fields, "Group", where=cls.TYPE)
+        address = _take(fields, "Address", where=cls.TYPE)
+        pipe_type = fields.pop("PipeType", "JxtaUnicast")
+        return cls(peer_id=peer_id, pipe_id=pipe_id, group=group,
+                   address=address, pipe_type=pipe_type, extras=fields)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.TYPE, str(self.peer_id), self.group)
+
+
+@register_advertisement
+@dataclass
+class FileAdvertisement(Advertisement):
+    """A file a peer offers to the group (name, size, content hash)."""
+
+    TYPE: ClassVar[str] = "FileAdvertisement"
+    file_name: str = ""
+    size: int = 0
+    sha256_hex: str = ""
+    group: str = ""
+
+    def _body_fields(self) -> dict[str, str]:
+        return {
+            "FileName": self.file_name,
+            "Size": str(self.size),
+            "Sha256": self.sha256_hex,
+            "Group": self.group,
+        }
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "FileAdvertisement":
+        name = _take(fields, "FileName", where=cls.TYPE)
+        size_text = _take(fields, "Size", where=cls.TYPE)
+        try:
+            size = int(size_text)
+        except ValueError:
+            raise AdvertisementError(f"bad file size {size_text!r}") from None
+        sha = _take(fields, "Sha256", where=cls.TYPE)
+        group = _take(fields, "Group", where=cls.TYPE)
+        return cls(peer_id=peer_id, file_name=name, size=size,
+                   sha256_hex=sha, group=group, extras=fields)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.TYPE, str(self.peer_id), f"{self.group}/{self.file_name}")
+
+
+@register_advertisement
+@dataclass
+class PresenceAdvertisement(Advertisement):
+    """Periodic liveness beacon; Timestamp is virtual seconds."""
+
+    TYPE: ClassVar[str] = "PresenceAdvertisement"
+    group: str = ""
+    timestamp: float = 0.0
+    status: str = "online"
+
+    def _body_fields(self) -> dict[str, str]:
+        return {
+            "Group": self.group,
+            "Timestamp": repr(self.timestamp),
+            "Status": self.status,
+        }
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "PresenceAdvertisement":
+        group = _take(fields, "Group", where=cls.TYPE)
+        ts_text = _take(fields, "Timestamp", where=cls.TYPE)
+        try:
+            ts = float(ts_text)
+        except ValueError:
+            raise AdvertisementError(f"bad timestamp {ts_text!r}") from None
+        status = fields.pop("Status", "online")
+        return cls(peer_id=peer_id, group=group, timestamp=ts,
+                   status=status, extras=fields)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.TYPE, str(self.peer_id), self.group)
+
+
+@register_advertisement
+@dataclass
+class StatsAdvertisement(Advertisement):
+    """Peer statistics snapshot (JXTA-Overlay broadcasts these too)."""
+
+    TYPE: ClassVar[str] = "StatsAdvertisement"
+    group: str = ""
+    messages_sent: int = 0
+    files_shared: int = 0
+
+    def _body_fields(self) -> dict[str, str]:
+        return {
+            "Group": self.group,
+            "MessagesSent": str(self.messages_sent),
+            "FilesShared": str(self.files_shared),
+        }
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "StatsAdvertisement":
+        group = _take(fields, "Group", where=cls.TYPE)
+        try:
+            sent = int(fields.pop("MessagesSent", "0"))
+            shared = int(fields.pop("FilesShared", "0"))
+        except ValueError as exc:
+            raise AdvertisementError(f"bad stats payload: {exc}") from None
+        return cls(peer_id=peer_id, group=group, messages_sent=sent,
+                   files_shared=shared, extras=fields)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.TYPE, str(self.peer_id), self.group)
+
+
+@register_advertisement
+@dataclass
+class GroupAdvertisement(Advertisement):
+    """A published peer group (created through the broker)."""
+
+    TYPE: ClassVar[str] = "GroupAdvertisement"
+    group_id: JxtaID | None = None
+    name: str = ""
+    description: str = ""
+
+    def _body_fields(self) -> dict[str, str]:
+        if self.group_id is None:
+            raise AdvertisementError("GroupAdvertisement requires a group id")
+        return {
+            "GroupId": str(self.group_id),
+            "Name": self.name,
+            "Description": self.description,
+        }
+
+    @classmethod
+    def _from_fields(cls, peer_id: JxtaID, fields: dict[str, str]) -> "GroupAdvertisement":
+        group_id = parse_id(_take(fields, "GroupId", where=cls.TYPE), "group")
+        name = _take(fields, "Name", where=cls.TYPE)
+        description = fields.pop("Description", "")
+        return cls(peer_id=peer_id, group_id=group_id, name=name,
+                   description=description, extras=fields)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.TYPE, self.name, "")
+
+
+def advertisement_types() -> tuple[str, ...]:
+    """The registered advertisement root tags."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,120 @@
+"""Discovery service: the advertisement cache and index.
+
+Each peer holds a local cache; brokers hold the authoritative global
+index that JXTA-Overlay's design centralizes on them (section 2.1: they
+"maintain a global index of available resources").  Both are the same
+data structure with replacement semantics keyed on
+:meth:`Advertisement.key` and expiration driven by the virtual clock.
+
+The index stores **raw XML elements**, not parsed advertisement objects:
+signed advertisements must survive the cache byte-identically or their
+signatures would break — exactly the property ref [15]'s scheme needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdvertisementError, DiscoveryError
+from repro.jxta.advertisements import Advertisement
+from repro.sim.clock import VirtualClock
+from repro.xmllib import Element
+
+#: default advertisement lifetime in virtual seconds (JXTA's default
+#: local cache lifetime is measured in hours; we keep it configurable)
+DEFAULT_LIFETIME = 3600.0
+
+
+@dataclass
+class CacheEntry:
+    element: Element
+    parsed: Advertisement
+    published_at: float
+    expires_at: float
+
+
+class AdvertisementCache:
+    """A replacement cache of advertisements with virtual-time expiry."""
+
+    def __init__(self, clock: VirtualClock, lifetime: float = DEFAULT_LIFETIME) -> None:
+        self.clock = clock
+        self.lifetime = lifetime
+        self._entries: dict[tuple[str, str, str], CacheEntry] = {}
+
+    def publish(self, element: Element, lifetime: float | None = None) -> Advertisement:
+        """Insert (or replace) an advertisement from its XML form.
+
+        Returns the parsed advertisement.  Raises
+        :class:`AdvertisementError` for unknown/malformed documents.
+        """
+        parsed = Advertisement.from_element(element)
+        life = self.lifetime if lifetime is None else lifetime
+        now = self.clock.now
+        self._entries[parsed.key()] = CacheEntry(
+            element=element.deep_copy(),
+            parsed=parsed,
+            published_at=now,
+            expires_at=now + life,
+        )
+        return parsed
+
+    def publish_advertisement(self, adv: Advertisement,
+                              lifetime: float | None = None) -> Advertisement:
+        """Convenience: publish a typed advertisement object."""
+        return self.publish(adv.to_element(), lifetime=lifetime)
+
+    def _live_entries(self) -> list[CacheEntry]:
+        now = self.clock.now
+        return [e for e in self._entries.values() if e.expires_at > now]
+
+    def expire(self) -> int:
+        """Drop expired entries; returns how many were removed."""
+        now = self.clock.now
+        stale = [k for k, e in self._entries.items() if e.expires_at <= now]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    def remove_peer(self, peer_id: str) -> int:
+        """Drop every advertisement from one peer (disconnect/purge)."""
+        stale = [k for k, e in self._entries.items() if str(e.parsed.peer_id) == peer_id]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    # -- queries -------------------------------------------------------------
+
+    def find(self, adv_type: str | None = None, peer_id: str | None = None,
+             group: str | None = None) -> list[CacheEntry]:
+        """All live entries matching the given filters."""
+        out = []
+        for entry in self._live_entries():
+            parsed = entry.parsed
+            if adv_type is not None and parsed.TYPE != adv_type:
+                continue
+            if peer_id is not None and str(parsed.peer_id) != peer_id:
+                continue
+            if group is not None and getattr(parsed, "group", None) != group:
+                continue
+            out.append(entry)
+        return out
+
+    def find_one(self, adv_type: str, peer_id: str,
+                 group: str | None = None) -> CacheEntry:
+        """Exactly-one lookup; raises :class:`DiscoveryError` otherwise."""
+        entries = self.find(adv_type=adv_type, peer_id=peer_id, group=group)
+        if not entries:
+            raise DiscoveryError(
+                f"no live {adv_type} for peer {peer_id}"
+                + (f" in group {group}" if group else ""))
+        if len(entries) > 1:
+            raise DiscoveryError(
+                f"ambiguous {adv_type} lookup for peer {peer_id}: {len(entries)} hits")
+        return entries[0]
+
+    def elements(self, **filters: str | None) -> list[Element]:
+        """Raw XML documents for wire responses (deep copies)."""
+        return [e.element.deep_copy() for e in self.find(**filters)]
+
+    def __len__(self) -> int:
+        return len(self._live_entries())

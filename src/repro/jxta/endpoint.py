@@ -1,0 +1,93 @@
+"""Endpoint service: a peer's attachment point to the (simulated) network.
+
+Dispatches incoming frames to per-message-type handlers, mirroring JXTA's
+endpoint service.  Outgoing traffic goes through an optional
+:class:`~repro.jxta.transport.base.SecureTransport` (plain, TLS or CBJX),
+which is how the related-work baselines plug in underneath *any* JXTA
+traffic without the upper layers knowing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import JxtaError, NetworkError, TransportError
+from repro.jxta.messages import Message
+from repro.jxta.transport.base import PlainTransport, SecureTransport
+from repro.sim.metrics import Metrics
+from repro.sim.network import Frame, SimNetwork
+
+MessageHandler = Callable[[Message, str], Message | None]
+"""Receives (message, source_address); may return a response message."""
+
+
+class Endpoint:
+    """A named attachment to the simulated network."""
+
+    def __init__(self, network: SimNetwork, address: str,
+                 transport: SecureTransport | None = None) -> None:
+        self.network = network
+        self.address = address
+        self.transport = transport if transport is not None else PlainTransport()
+        self.metrics = Metrics()
+        self._handlers: dict[str, MessageHandler] = {}
+        self._default_handler: MessageHandler | None = None
+        network.register(address, self._on_frame)
+
+    def close(self) -> None:
+        self.network.unregister(self.address)
+
+    # -- handler registry ----------------------------------------------------
+
+    def on(self, msg_type: str, handler: MessageHandler) -> None:
+        if msg_type in self._handlers:
+            raise JxtaError(f"handler for {msg_type!r} already registered")
+        self._handlers[msg_type] = handler
+
+    def on_default(self, handler: MessageHandler) -> None:
+        self._default_handler = handler
+
+    # -- receive path ----------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> bytes | None:
+        try:
+            plain = self.transport.unwrap(frame.payload, peer=frame.src,
+                                          local=self.address)
+            message = Message.from_wire(plain)
+        except (JxtaError, TransportError) as exc:
+            # Undecodable traffic is dropped, as a real stack would.
+            self.metrics.incr("rx.undecodable")
+            self.metrics.incr(f"rx.undecodable.{type(exc).__name__}")
+            return None
+        self.metrics.incr("rx.messages")
+        handler = self._handlers.get(message.msg_type, self._default_handler)
+        if handler is None:
+            self.metrics.incr("rx.unhandled")
+            return None
+        response = handler(message, frame.src)
+        if response is None:
+            return None
+        return self.transport.wrap(response.to_wire(), peer=frame.src,
+                                   local=self.address)
+
+    # -- send path ---------------------------------------------------------------
+
+    def send(self, dst: str, message: Message) -> bool:
+        """Best-effort one-way message (pipe semantics)."""
+        wire = self.transport.wrap(message.to_wire(), peer=dst, local=self.address)
+        self.metrics.incr("tx.messages")
+        self.metrics.incr("tx.bytes", len(wire))
+        return self.network.send(self.address, dst, wire)
+
+    def request(self, dst: str, message: Message) -> Message:
+        """Round-trip request/response exchange.
+
+        Raises :class:`NetworkError` on drop and :class:`JxtaError` on an
+        undecodable response.
+        """
+        wire = self.transport.wrap(message.to_wire(), peer=dst, local=self.address)
+        self.metrics.incr("tx.requests")
+        self.metrics.incr("tx.bytes", len(wire))
+        raw = self.network.request(self.address, dst, wire)
+        plain = self.transport.unwrap(raw, peer=dst, local=self.address)
+        return Message.from_wire(plain)

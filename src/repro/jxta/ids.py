@@ -1,0 +1,91 @@
+"""JXTA identifiers: peer, pipe and group ids — including CBIDs.
+
+JXTA names every resource with a URN.  Two flavours exist here:
+
+* **random ids** (``urn:jxta:uuid-...``) — what plain JXTA-Overlay uses;
+* **crypto-based ids, CBIDs** (``urn:jxta:cbid-...``, ref [20]) — the id
+  *is* the hash of the owner's public key, so possession of the matching
+  private key proves ownership of the id.  The paper's secureLogin step 7
+  and the signed-advertisement scheme both rest on this binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import PublicKey
+from repro.errors import JxtaError
+
+_UUID_PREFIX = "urn:jxta:uuid-"
+_CBID_PREFIX = "urn:jxta:cbid-"
+
+#: CBIDs use a truncated SHA-256 of the key fingerprint (16 bytes is the
+#: conventional JXTA id payload size and plenty for collision resistance
+#: at simulation scale).
+CBID_BYTES = 16
+
+
+@dataclass(frozen=True, order=True)
+class JxtaID:
+    """An opaque JXTA URN with a kind discriminator ("peer", "pipe"...)."""
+
+    urn: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not (self.urn.startswith(_UUID_PREFIX) or self.urn.startswith(_CBID_PREFIX)):
+            raise JxtaError(f"not a JXTA URN: {self.urn!r}")
+
+    @property
+    def is_cbid(self) -> bool:
+        return self.urn.startswith(_CBID_PREFIX)
+
+    @property
+    def hex_payload(self) -> str:
+        prefix = _CBID_PREFIX if self.is_cbid else _UUID_PREFIX
+        return self.urn[len(prefix):]
+
+    def __str__(self) -> str:
+        return self.urn
+
+
+def _random_urn(drbg: HmacDrbg) -> str:
+    return _UUID_PREFIX + drbg.generate(CBID_BYTES).hex()
+
+
+def random_peer_id(drbg: HmacDrbg) -> JxtaID:
+    """A conventional (non-crypto-bound) peer id."""
+    return JxtaID(_random_urn(drbg), "peer")
+
+
+def random_pipe_id(drbg: HmacDrbg) -> JxtaID:
+    return JxtaID(_random_urn(drbg), "pipe")
+
+
+def random_group_id(drbg: HmacDrbg) -> JxtaID:
+    return JxtaID(_random_urn(drbg), "group")
+
+
+def cbid_from_key(pub: PublicKey, kind: str = "peer") -> JxtaID:
+    """Derive a crypto-based identifier from a public key (ref [20])."""
+    payload = pub.fingerprint()[:CBID_BYTES]
+    return JxtaID(_CBID_PREFIX + payload.hex(), kind)
+
+
+def parse_id(urn: str, kind: str) -> JxtaID:
+    """Parse a URN received off the wire; raises :class:`JxtaError`."""
+    if not isinstance(urn, str) or not urn:
+        raise JxtaError("empty identifier")
+    return JxtaID(urn, kind)
+
+
+def matches_key(peer_id: JxtaID, pub: PublicKey) -> bool:
+    """The CBID authenticity check: does ``peer_id`` bind to ``pub``?
+
+    Returns ``False`` for non-CBID ids — a random id asserts no key
+    binding, so it can never pass the check.
+    """
+    if not peer_id.is_cbid:
+        return False
+    return peer_id.hex_payload == pub.fingerprint()[:CBID_BYTES].hex()

@@ -1,0 +1,91 @@
+"""Membership services: JXTA's identity-management core service.
+
+The paper (section 3) notes that all of JXTA's stock security hinges on
+one particular membership service implementation, the *Personal Secure
+Environment* (PSE), which only accepts Java keystores / X.509 — a
+constraint the proposed extension avoids.  We model the service interface
+and two implementations so that constraint is visible in code:
+
+* :class:`NullMembership` — stock JXTA-Overlay: a username string is the
+  whole identity (established out-of-band by the login primitive);
+* :class:`PseMembership` — keystore-backed identities as PSE does; TLS
+  and CBJX (the baselines) require this one, mirroring how real JXTA
+  ties TLS/CBJX to PSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.crypto.rsa import KeyPair, PublicKey
+from repro.errors import JxtaError
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An authenticated local identity within a peer group."""
+
+    name: str
+    public_key: PublicKey | None = None
+
+
+class MembershipService(Protocol):
+    """How a peer establishes and exposes its identity."""
+
+    def current_identity(self) -> Identity | None: ...
+
+    def apply(self, name: str, secret: str | None = None) -> Identity: ...
+
+    def resign(self) -> None: ...
+
+
+class NullMembership:
+    """Anyone may claim any name; no cryptographic binding (stock JXTA)."""
+
+    def __init__(self) -> None:
+        self._identity: Identity | None = None
+
+    def current_identity(self) -> Identity | None:
+        return self._identity
+
+    def apply(self, name: str, secret: str | None = None) -> Identity:
+        self._identity = Identity(name=name)
+        return self._identity
+
+    def resign(self) -> None:
+        self._identity = None
+
+
+class PseMembership:
+    """Keystore-backed identities: name -> key pair, PSE style."""
+
+    def __init__(self) -> None:
+        self._keystore: dict[str, KeyPair] = {}
+        self._passphrases: dict[str, str] = {}
+        self._identity: Identity | None = None
+
+    def store_key(self, name: str, keys: KeyPair, passphrase: str) -> None:
+        """Provision a keystore entry (the out-of-band enrolment step)."""
+        self._keystore[name] = keys
+        self._passphrases[name] = passphrase
+
+    def keypair_of(self, name: str) -> KeyPair:
+        try:
+            return self._keystore[name]
+        except KeyError:
+            raise JxtaError(f"no keystore entry for {name!r}") from None
+
+    def current_identity(self) -> Identity | None:
+        return self._identity
+
+    def apply(self, name: str, secret: str | None = None) -> Identity:
+        if name not in self._keystore:
+            raise JxtaError(f"no keystore entry for {name!r}")
+        if self._passphrases[name] != (secret or ""):
+            raise JxtaError("keystore passphrase mismatch")
+        self._identity = Identity(name=name, public_key=self._keystore[name].public)
+        return self._identity
+
+    def resign(self) -> None:
+        self._identity = None

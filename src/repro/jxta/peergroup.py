@@ -1,0 +1,82 @@
+"""Peer groups: overlapping sets of peers that may interact.
+
+JXTA-Overlay organizes authenticated end users into overlapping groups;
+only members of the same group may exchange messages (section 2.1).
+Group state lives authoritatively on the broker; clients hold a local
+view refreshed through broker functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GroupError
+from repro.jxta.ids import JxtaID
+
+
+@dataclass
+class PeerGroup:
+    """One group: identity plus current member peer ids."""
+
+    group_id: JxtaID
+    name: str
+    description: str = ""
+    members: set[str] = field(default_factory=set)  # peer id URNs
+
+    def add_member(self, peer_id: JxtaID | str) -> None:
+        self.members.add(str(peer_id))
+
+    def remove_member(self, peer_id: JxtaID | str) -> None:
+        self.members.discard(str(peer_id))
+
+    def has_member(self, peer_id: JxtaID | str) -> bool:
+        return str(peer_id) in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class GroupTable:
+    """Name-indexed group collection with membership helpers."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, PeerGroup] = {}
+
+    def create(self, group_id: JxtaID, name: str, description: str = "") -> PeerGroup:
+        if name in self._groups:
+            raise GroupError(f"group {name!r} already exists")
+        group = PeerGroup(group_id=group_id, name=name, description=description)
+        self._groups[name] = group
+        return group
+
+    def get(self, name: str) -> PeerGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise GroupError(f"unknown group {name!r}") from None
+
+    def get_or_none(self, name: str) -> PeerGroup | None:
+        return self._groups.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._groups)
+
+    def groups_of(self, peer_id: JxtaID | str) -> list[PeerGroup]:
+        pid = str(peer_id)
+        return [g for g in self._groups.values() if pid in g.members]
+
+    def drop_member_everywhere(self, peer_id: JxtaID | str) -> int:
+        """Remove a peer from all groups (logout); returns removal count."""
+        pid = str(peer_id)
+        n = 0
+        for group in self._groups.values():
+            if pid in group.members:
+                group.remove_member(pid)
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups

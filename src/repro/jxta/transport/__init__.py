@@ -1,0 +1,20 @@
+"""Transport-level security baselines: plain, TLS and CBJX."""
+
+from repro.jxta.transport.base import PlainTransport, SecureTransport
+from repro.jxta.transport.cbjx import CbjxTransport
+from repro.jxta.transport.tls import (
+    TlsClient,
+    TlsServer,
+    TlsTransport,
+    handshake_in_memory,
+)
+
+__all__ = [
+    "SecureTransport",
+    "PlainTransport",
+    "TlsClient",
+    "TlsServer",
+    "TlsTransport",
+    "handshake_in_memory",
+    "CbjxTransport",
+]

@@ -1,0 +1,37 @@
+"""Transport-security abstraction under the endpoint service.
+
+JXTA offers (section 3 of the paper) two message-security mechanisms:
+TLS and CBJX.  Both sit *below* the messaging layer, so we model them as
+byte-level wrap/unwrap transforms keyed by the remote address.  The plain
+transport is the identity transform — what stock JXTA-Overlay uses.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class SecureTransport(Protocol):
+    """Byte-level security transform between two endpoint addresses."""
+
+    def wrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        """Protect an outgoing payload destined for ``peer``."""
+        ...
+
+    def unwrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        """Unprotect an incoming payload that claims to come from ``peer``.
+
+        Raises :class:`repro.errors.TransportError` when protection checks
+        fail.
+        """
+        ...
+
+
+class PlainTransport:
+    """No protection at all (stock JXTA-Overlay)."""
+
+    def wrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        return payload
+
+    def unwrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        return payload

@@ -1,0 +1,87 @@
+"""CBJX — Crypto-Based JXTA transfer (ref [12]), the stateless baseline.
+
+CBJX pre-processes each message into a secure encapsulation: the original
+payload is signed, and an *information block* (source crypto-based id,
+source public key, destination address) is attached; the receiver checks
+that the sender's public key hashes to its claimed CBID and that the
+signature covers payload + addressing.  This gives per-message integrity
+and source authenticity **without confidentiality** — which is exactly
+where the paper's secure-messaging primitives go further.
+
+Wire format (all lengths 4-byte big-endian)::
+
+    [len(src)][src][len(dst)][dst][len(key)][key-json][len(sig)][sig][payload]
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto import signing
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import public_key_from_text, public_key_to_text
+from repro.crypto.rsa import KeyPair
+from repro.errors import InvalidKeyError, InvalidSignatureError, TransportError
+from repro.jxta.ids import cbid_from_key, matches_key, parse_id
+
+
+def _pack(*chunks: bytes) -> bytes:
+    out = bytearray()
+    for chunk in chunks[:-1]:
+        out += struct.pack(">I", len(chunk)) + chunk
+    out += chunks[-1]
+    return bytes(out)
+
+
+def _unpack(data: bytes, n_fields: int) -> list[bytes]:
+    fields = []
+    pos = 0
+    for _ in range(n_fields - 1):
+        if pos + 4 > len(data):
+            raise TransportError("truncated CBJX frame")
+        (length,) = struct.unpack_from(">I", data, pos)
+        pos += 4
+        if pos + length > len(data):
+            raise TransportError("truncated CBJX frame body")
+        fields.append(data[pos:pos + length])
+        pos += length
+    fields.append(data[pos:])
+    return fields
+
+
+class CbjxTransport:
+    """Per-message signed encapsulation bound to the sender's CBID."""
+
+    def __init__(self, keys: KeyPair, drbg: HmacDrbg | None = None) -> None:
+        self.keys = keys
+        self.cbid = cbid_from_key(keys.public)
+        self._drbg = drbg
+
+    def wrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        src = str(self.cbid).encode()
+        dst = peer.encode()
+        key_text = public_key_to_text(self.keys.public).encode()
+        to_sign = src + b"|" + dst + b"|" + payload
+        sig = signing.sign(self.keys.private, to_sign, drbg=self._drbg)
+        return _pack(src, dst, key_text, sig, payload)
+
+    def unwrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        src, dst, key_text, sig, body = _unpack(payload, 5)
+        # 1. The destination in the signed info block must be us: prevents
+        #    a third party from replaying the frame to someone else.
+        if dst.decode(errors="replace") != local:
+            raise TransportError("CBJX frame addressed to a different endpoint")
+        # 2. CBID <-> key binding.
+        try:
+            sender_key = public_key_from_text(key_text.decode())
+            sender_id = parse_id(src.decode(), "peer")
+        except (InvalidKeyError, UnicodeDecodeError, Exception) as exc:
+            raise TransportError(f"malformed CBJX info block: {exc}") from exc
+        if not matches_key(sender_id, sender_key):
+            raise TransportError("CBJX source id does not match the enclosed key")
+        # 3. Signature over addressing + payload.
+        try:
+            signing.verify(sender_key, src + b"|" + dst + b"|" + body, sig)
+        except InvalidSignatureError as exc:
+            raise TransportError(f"CBJX signature invalid: {exc}") from exc
+        return body

@@ -1,0 +1,226 @@
+"""A simplified TLS (ref [11]) — JXTA's stateful secure-pipe baseline.
+
+The paper contrasts its stateless best-effort messaging security with
+JXTA's TLS-based secure pipes, which "require some previous negotiation
+between endpoints" (section 4.3).  To benchmark that trade-off honestly
+(ablation A4) we implement an era-faithful miniature of TLS 1.2 with the
+RSA key-exchange suite:
+
+* 2-RTT handshake: ClientHello / ServerHello(+credential) /
+  ClientKeyExchange(+Finished) / ServerFinished,
+* RSA-OAEP-wrapped 48-byte premaster secret,
+* HMAC-SHA256-based key derivation (a PRF in the TLS spirit),
+* record layer with AES-128-CTR + HMAC-SHA256 encrypt-then-MAC and
+  explicit sequence numbers (anti-replay and anti-reorder).
+
+This is *not* interoperable TLS; it is the same cryptographic workload
+and message pattern, which is what the performance comparison needs —
+and its security properties are real enough that the attack tests reuse
+it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import pkcs1
+from repro.crypto.drbg import HmacDrbg, system_drbg
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.modes import CTR
+from repro.crypto.rsa import KeyPair, PublicKey
+from repro.errors import HandshakeError, TransportError
+from repro.utils.bytesutil import constant_time_eq
+
+_PREMASTER_LEN = 48
+_RANDOM_LEN = 32
+
+
+def _prf(secret: bytes, label: bytes, seed: bytes, n: int) -> bytes:
+    """P_hash-style expansion (RFC 2246 section 5, over HMAC-SHA256)."""
+    out = bytearray()
+    a = label + seed
+    while len(out) < n:
+        a = hmac_sha256(secret, a)
+        out += hmac_sha256(secret, a + label + seed)
+    return bytes(out[:n])
+
+
+@dataclass
+class _Keys:
+    enc_key: bytes
+    mac_key: bytes
+
+
+class RecordLayer:
+    """Encrypt-then-MAC record protection with sequence numbers."""
+
+    def __init__(self, write_keys: _Keys, read_keys: _Keys) -> None:
+        self._write = write_keys
+        self._read = read_keys
+        self._write_seq = 0
+        self._read_seq = 0
+
+    def protect(self, payload: bytes) -> bytes:
+        seq = struct.pack(">Q", self._write_seq)
+        self._write_seq += 1
+        nonce = seq + b"\x00" * 4
+        ciphertext = CTR(self._write.enc_key).encrypt(payload, nonce)
+        mac = hmac_sha256(self._write.mac_key, seq + ciphertext)
+        return seq + ciphertext + mac
+
+    def unprotect(self, record: bytes) -> bytes:
+        if len(record) < 8 + 32:
+            raise TransportError("TLS record too short")
+        seq_bytes, ciphertext, mac = record[:8], record[8:-32], record[-32:]
+        seq = struct.unpack(">Q", seq_bytes)[0]
+        if seq != self._read_seq:
+            raise TransportError(
+                f"TLS record out of sequence (got {seq}, want {self._read_seq})")
+        if not constant_time_eq(hmac_sha256(self._read.mac_key, seq_bytes + ciphertext), mac):
+            raise TransportError("TLS record MAC failure")
+        self._read_seq += 1
+        nonce = seq_bytes + b"\x00" * 4
+        return CTR(self._read.enc_key).decrypt(ciphertext, nonce)
+
+
+def _derive(master: bytes, client_random: bytes, server_random: bytes
+            ) -> tuple[_Keys, _Keys]:
+    """Derive (client_write, server_write) key sets."""
+    block = _prf(master, b"key expansion", server_random + client_random, 2 * (16 + 32))
+    c_enc, s_enc = block[0:16], block[16:32]
+    c_mac, s_mac = block[32:64], block[64:96]
+    return _Keys(c_enc, c_mac), _Keys(s_enc, s_mac)
+
+
+class TlsServer:
+    """Server side: owns an RSA key pair (its 'certificate')."""
+
+    def __init__(self, keys: KeyPair, drbg: HmacDrbg | None = None) -> None:
+        self.keys = keys
+        self._drbg = drbg if drbg is not None else system_drbg()
+        self._client_random: bytes | None = None
+        self._server_random: bytes | None = None
+        self._master: bytes | None = None
+        self.record: RecordLayer | None = None
+
+    def hello(self, client_hello: bytes) -> bytes:
+        """Consume ClientHello, emit ServerHello (random + public key)."""
+        if len(client_hello) != _RANDOM_LEN:
+            raise HandshakeError("malformed ClientHello")
+        self._client_random = client_hello
+        self._server_random = self._drbg.generate(_RANDOM_LEN)
+        from repro.crypto.keys import public_key_to_text
+        return self._server_random + public_key_to_text(self.keys.public).encode()
+
+    def finish(self, client_key_exchange: bytes) -> bytes:
+        """Consume ClientKeyExchange+Finished, emit ServerFinished."""
+        if self._client_random is None or self._server_random is None:
+            raise HandshakeError("ClientKeyExchange before ClientHello")
+        k = self.keys.public.byte_length
+        if len(client_key_exchange) < k + 32:
+            raise HandshakeError("malformed ClientKeyExchange")
+        wrapped, client_mac = client_key_exchange[:k], client_key_exchange[k:]
+        try:
+            premaster = pkcs1.decrypt_oaep(self.keys.private, wrapped, label=b"tls-premaster")
+        except Exception as exc:
+            raise HandshakeError(f"premaster decryption failed: {exc}") from exc
+        if len(premaster) != _PREMASTER_LEN:
+            raise HandshakeError("premaster has the wrong length")
+        transcript = self._client_random + self._server_random
+        self._master = _prf(premaster, b"master secret", transcript, 48)
+        expected = hmac_sha256(self._master, b"client finished" + transcript)
+        if not constant_time_eq(expected, client_mac):
+            raise HandshakeError("client Finished MAC mismatch")
+        client_keys, server_keys = _derive(self._master, self._client_random,
+                                           self._server_random)
+        self.record = RecordLayer(write_keys=server_keys, read_keys=client_keys)
+        return hmac_sha256(self._master, b"server finished" + transcript)
+
+
+class TlsClient:
+    """Client side; optionally pins the expected server public key."""
+
+    def __init__(self, drbg: HmacDrbg | None = None,
+                 expected_server_key: PublicKey | None = None) -> None:
+        self._drbg = drbg if drbg is not None else system_drbg()
+        self.expected_server_key = expected_server_key
+        self._client_random: bytes | None = None
+        self._server_random: bytes | None = None
+        self._master: bytes | None = None
+        self.server_key: PublicKey | None = None
+        self.record: RecordLayer | None = None
+
+    def hello(self) -> bytes:
+        self._client_random = self._drbg.generate(_RANDOM_LEN)
+        return self._client_random
+
+    def key_exchange(self, server_hello: bytes) -> bytes:
+        """Consume ServerHello, emit ClientKeyExchange || Finished."""
+        if self._client_random is None:
+            raise HandshakeError("ServerHello before ClientHello")
+        if len(server_hello) <= _RANDOM_LEN:
+            raise HandshakeError("malformed ServerHello")
+        self._server_random = server_hello[:_RANDOM_LEN]
+        from repro.crypto.keys import public_key_from_text
+        self.server_key = public_key_from_text(server_hello[_RANDOM_LEN:].decode())
+        if (self.expected_server_key is not None
+                and self.server_key != self.expected_server_key):
+            raise HandshakeError("server key does not match the pinned key")
+        premaster = self._drbg.generate(_PREMASTER_LEN)
+        wrapped = pkcs1.encrypt_oaep(self.server_key, premaster,
+                                     drbg=self._drbg, label=b"tls-premaster")
+        transcript = self._client_random + self._server_random
+        self._master = _prf(premaster, b"master secret", transcript, 48)
+        finished = hmac_sha256(self._master, b"client finished" + transcript)
+        return wrapped + finished
+
+    def verify_finish(self, server_finished: bytes) -> None:
+        """Check ServerFinished and activate the record layer."""
+        if self._master is None or self._client_random is None or self._server_random is None:
+            raise HandshakeError("ServerFinished out of order")
+        transcript = self._client_random + self._server_random
+        expected = hmac_sha256(self._master, b"server finished" + transcript)
+        if not constant_time_eq(expected, server_finished):
+            raise HandshakeError("server Finished MAC mismatch")
+        client_keys, server_keys = _derive(self._master, self._client_random,
+                                           self._server_random)
+        self.record = RecordLayer(write_keys=client_keys, read_keys=server_keys)
+
+
+def handshake_in_memory(client: TlsClient, server: TlsServer) -> None:
+    """Run the 4-message handshake directly (tests / session pre-setup)."""
+    server_hello = server.hello(client.hello())
+    server_finished = server.finish(client.key_exchange(server_hello))
+    client.verify_finish(server_finished)
+
+
+class TlsTransport:
+    """A :class:`SecureTransport` over established per-peer record layers.
+
+    Handshakes are established out-of-band (see
+    :func:`handshake_in_memory` or the benchmark driver, which pushes the
+    handshake messages through the simulated network to account for the
+    round trips); once a session exists, wrap/unwrap protect records.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, RecordLayer] = {}
+
+    def install(self, peer: str, record: RecordLayer) -> None:
+        self._sessions[peer] = record
+
+    def has_session(self, peer: str) -> bool:
+        return peer in self._sessions
+
+    def wrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        record = self._sessions.get(peer)
+        if record is None:
+            raise TransportError(f"no TLS session with {peer!r}")
+        return record.protect(payload)
+
+    def unwrap(self, payload: bytes, peer: str, local: str) -> bytes:
+        record = self._sessions.get(peer)
+        if record is None:
+            raise TransportError(f"no TLS session with {peer!r}")
+        return record.unprotect(payload)

@@ -1,0 +1,32 @@
+"""The JXTA-Overlay middleware: Client, Broker and Control modules.
+
+This package reproduces the *insecure* middleware of section 2 of the
+paper — the thing the security extension in :mod:`repro.core` is bolted
+onto.  Its protocol is deliberately era-faithful: clear-text passwords,
+self-asserted identities, unauthenticated advertisements.
+"""
+
+from repro.overlay.broker import Broker, ConnectedPeer
+from repro.overlay.client import ClientPeer
+from repro.overlay.control import ControlModule
+from repro.overlay.database import UserDatabase
+from repro.overlay.events import EVENT_CATALOGUE, EventBus
+from repro.overlay.filesharing import FileStore, chunked_fetch
+from repro.overlay.presence import PresenceSweeper
+from repro.overlay.primitives import CATALOGUE, PrimitiveInfo, primitive
+
+__all__ = [
+    "Broker",
+    "ConnectedPeer",
+    "ClientPeer",
+    "ControlModule",
+    "UserDatabase",
+    "EventBus",
+    "EVENT_CATALOGUE",
+    "FileStore",
+    "chunked_fetch",
+    "PresenceSweeper",
+    "CATALOGUE",
+    "PrimitiveInfo",
+    "primitive",
+]

@@ -1,0 +1,398 @@
+"""The Broker Module.
+
+Brokers (section 2.1) control access to the network, authenticate end
+users against the central database, maintain the global resource index,
+propagate peer information across group members (beyond broadcast/NAT
+boundaries), and act as well-known beacons for joining peers.
+
+Every public ``fn_*`` method is a *function* in JXTA-Overlay's
+terminology: it runs as the result of a message sent by a client-side
+primitive.  The plain protocol here is deliberately faithful to the
+paper's threat analysis — the login password crosses the wire in clear
+text, nothing is signed — so the security extension in
+:mod:`repro.core` has the real vulnerabilities to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import GroupError, JxtaError, OverlayError
+from repro.jxta.advertisements import GroupAdvertisement, PeerAdvertisement
+from repro.jxta.ids import JxtaID, parse_id, random_group_id, random_peer_id
+from repro.jxta.messages import Message
+from repro.jxta.peergroup import GroupTable
+from repro.overlay.control import ControlModule, pack_results
+from repro.overlay.database import UserDatabase
+from repro.sim.network import SimNetwork
+from repro.xmllib import Element
+
+
+@dataclass
+class ConnectedPeer:
+    """Broker-side session state for one authenticated client."""
+
+    peer_id: str
+    username: str
+    address: str
+    last_seen: float
+
+
+class Broker:
+    """A JXTA-Overlay broker."""
+
+    def __init__(self, network: SimNetwork, address: str, database: UserDatabase,
+                 drbg: HmacDrbg, name: str = "") -> None:
+        self.control = ControlModule(network, address, drbg)
+        self.database = database
+        self.name = name or address
+        self.peer_id = random_peer_id(drbg)
+        self.groups = GroupTable()
+        self.connected: dict[str, ConnectedPeer] = {}  # peer_id -> session
+        self._peer_brokers: list["Broker"] = []
+        self._install_functions()
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.control.address
+
+    @property
+    def metrics(self):
+        return self.control.metrics
+
+    @property
+    def clock(self):
+        return self.control.clock
+
+    def _install_functions(self) -> None:
+        ep = self.control.endpoint
+        ep.on("connect_req", self.fn_connect)
+        ep.on("login_req", self.fn_login)
+        ep.on("logout_req", self.fn_logout)
+        ep.on("publish_adv", self.fn_publish_adv)
+        ep.on("query_req", self.fn_query)
+        ep.on("create_group_req", self.fn_create_group)
+        ep.on("join_group_req", self.fn_join_group)
+        ep.on("leave_group_req", self.fn_leave_group)
+        ep.on("list_groups_req", self.fn_list_groups)
+        ep.on("group_members_req", self.fn_group_members)
+        ep.on("peer_status_req", self.fn_peer_status)
+        ep.on("presence_beat", self.fn_presence)
+        ep.on("index_sync", self.fn_index_sync)
+
+    def link_broker(self, other: "Broker") -> None:
+        """Brokers exchange information about all client peers (§2.1).
+
+        Linking also exchanges the *current* index contents in both
+        directions, so a newly added broker immediately serves the global
+        view; subsequent publications propagate incrementally.
+        """
+        if other is self:
+            raise OverlayError("a broker cannot peer with itself")
+        if other not in self._peer_brokers:
+            self._peer_brokers.append(other)
+            other._peer_brokers.append(self)
+            for element in self.control.cache.elements():
+                msg = Message("index_sync")
+                msg.add_xml("adv", element)
+                self.control.endpoint.send(other.address, msg)
+            for element in other.control.cache.elements():
+                msg = Message("index_sync")
+                msg.add_xml("adv", element)
+                other.control.endpoint.send(self.address, msg)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _ok(self, msg_type: str) -> Message:
+        return Message(msg_type)
+
+    def _fail(self, msg_type: str, reason: str) -> Message:
+        out = Message(msg_type)
+        out.add_text("reason", reason)
+        return out
+
+    def _session_for_address(self, address: str) -> ConnectedPeer | None:
+        for session in self.connected.values():
+            if session.address == address:
+                return session
+        return None
+
+    def _require_session(self, src: str) -> ConnectedPeer:
+        session = self._session_for_address(src)
+        if session is None:
+            raise OverlayError(f"no authenticated session for {src!r}")
+        return session
+
+    def _push_to_group_members(self, group_name: str, message: Message,
+                               exclude_peer: str | None = None) -> int:
+        """Propagate data to every connected member of a group."""
+        group = self.groups.get_or_none(group_name)
+        if group is None:
+            return 0
+        pushed = 0
+        for member_id in sorted(group.members):
+            if member_id == exclude_peer:
+                continue
+            session = self.connected.get(member_id)
+            if session is None:
+                continue
+            if self.control.endpoint.send(session.address, message):
+                pushed += 1
+        return pushed
+
+    def _sync_to_peers(self, element: Element) -> None:
+        """Forward an advertisement to linked brokers (global index)."""
+        for other in self._peer_brokers:
+            msg = Message("index_sync")
+            msg.add_xml("adv", element)
+            self.control.endpoint.send(other.address, msg)
+
+    # -- functions: discovery set ------------------------------------------------
+
+    def fn_connect(self, message: Message, src: str) -> Message:
+        """connect: a client located us and asks to open a connection."""
+        self.metrics.incr("fn.connect")
+        out = self._ok("connect_ok")
+        out.add_text("broker_id", str(self.peer_id))
+        out.add_text("broker_name", self.name)
+        return out
+
+    def fn_login(self, message: Message, src: str) -> Message:
+        """login: check username/password against the central database.
+
+        The plain protocol: credentials arrive IN CLEAR TEXT (the paper's
+        headline vulnerability).  On success the peer is registered into
+        its groups and its peer advertisement is indexed and propagated.
+        """
+        self.metrics.incr("fn.login")
+        username = message.get_text("username")
+        password = message.get_text("password")
+        if not self.database.check_credentials(username, password):
+            self.metrics.incr("fn.login.rejected")
+            return self._fail("login_fail", "bad username or password")
+        peer_adv_elem = message.get_xml("peer_adv")
+        try:
+            parsed = self.control.cache.publish(peer_adv_elem)
+        except (OverlayError, JxtaError) as exc:
+            return self._fail("login_fail", f"bad peer advertisement: {exc}")
+        if not isinstance(parsed, PeerAdvertisement):
+            return self._fail("login_fail", "expected a PeerAdvertisement")
+        peer_id = str(parsed.peer_id)
+        groups = self.register_session(peer_id, username, src)
+        self._sync_to_peers(peer_adv_elem)
+        out = self._ok("login_ok")
+        out.add_json("groups", groups)
+        out.add_text("peer_id", peer_id)
+        return out
+
+    def register_session(self, peer_id: str, username: str, address: str) -> list[str]:
+        """Post-authentication bookkeeping shared by plain and secure login:
+        session record, group membership, and peer_joined propagation."""
+        groups = sorted(self.database.groups_of(username))
+        self.connected[peer_id] = ConnectedPeer(
+            peer_id=peer_id, username=username, address=address,
+            last_seen=self.clock.now)
+        self.database.mark_active(username, self.address)
+        for group_name in groups:
+            self._ensure_group(group_name).add_member(peer_id)
+            joined = Message("peer_joined")
+            joined.add_text("group", group_name)
+            joined.add_text("peer_id", peer_id)
+            joined.add_text("username", username)
+            self._push_to_group_members(group_name, joined, exclude_peer=peer_id)
+        return groups
+
+    def fn_logout(self, message: Message, src: str) -> Message:
+        self.metrics.incr("fn.logout")
+        session = self._session_for_address(src)
+        if session is None:
+            return self._fail("logout_fail", "not logged in")
+        self._disconnect(session)
+        return self._ok("logout_ok")
+
+    def _disconnect(self, session: ConnectedPeer) -> None:
+        for group in self.groups.groups_of(session.peer_id):
+            left = Message("peer_left")
+            left.add_text("group", group.name)
+            left.add_text("peer_id", session.peer_id)
+            self._push_to_group_members(group.name, left, exclude_peer=session.peer_id)
+        self.groups.drop_member_everywhere(session.peer_id)
+        self.control.cache.remove_peer(session.peer_id)
+        self.database.mark_inactive(session.username)
+        self.connected.pop(session.peer_id, None)
+
+    def fn_peer_status(self, message: Message, src: str) -> Message:
+        """Discovery-set: is a given peer online, and since when?"""
+        self.metrics.incr("fn.peer_status")
+        peer_id = message.get_text("peer_id")
+        session = self.connected.get(peer_id)
+        out = self._ok("peer_status_resp")
+        out.add_text("peer_id", peer_id)
+        out.add_text("online", "true" if session else "false")
+        if session:
+            out.add_text("username", session.username)
+            out.add_text("last_seen", repr(session.last_seen))
+        return out
+
+    def fn_presence(self, message: Message, src: str) -> Message | None:
+        """Heartbeat datagram: refresh last_seen and cache the presence adv."""
+        self.metrics.incr("fn.presence")
+        session = self._session_for_address(src)
+        if session is None:
+            return None
+        session.last_seen = self.clock.now
+        if message.has("adv"):
+            try:
+                self.control.cache.publish(message.get_xml("adv"))
+            except (OverlayError, JxtaError):
+                self.metrics.incr("fn.presence.bad_adv")
+        return None
+
+    def purge_stale(self, max_age: float) -> list[str]:
+        """Drop sessions silent for longer than ``max_age`` (beacon duty)."""
+        now = self.clock.now
+        stale = [s for s in self.connected.values() if now - s.last_seen > max_age]
+        for session in stale:
+            self._disconnect(session)
+        self.metrics.incr("fn.purged", len(stale))
+        return [s.peer_id for s in stale]
+
+    # -- functions: advertisement index -------------------------------------------
+
+    def fn_publish_adv(self, message: Message, src: str) -> Message:
+        """Index an advertisement and propagate it to the peer's group."""
+        self.metrics.incr("fn.publish_adv")
+        session = self._session_for_address(src)
+        if session is None:
+            return self._fail("publish_fail", "not logged in")
+        element = message.get_xml("adv")
+        try:
+            parsed = self.control.cache.publish(element)
+        except (OverlayError, JxtaError) as exc:
+            return self._fail("publish_fail", str(exc))
+        if str(parsed.peer_id) != session.peer_id:
+            # The plain broker *accepts* this if the id matches nobody's
+            # session? No: honest brokers at least tie publication to the
+            # session peer id.  Forgery of OTHER peers' advs happens via
+            # direct push between peers, which has no such check.
+            self.control.cache.remove_peer(str(parsed.peer_id))
+            return self._fail("publish_fail", "advertisement peer id mismatch")
+        group_name = getattr(parsed, "group", None)
+        push = Message("adv_push")
+        push.add_xml("adv", element)
+        if group_name:
+            self._push_to_group_members(group_name, push, exclude_peer=session.peer_id)
+        self._sync_to_peers(element)
+        return self._ok("publish_ok")
+
+    def fn_index_sync(self, message: Message, src: str) -> None:
+        """Receive a global-index update from a linked broker."""
+        self.metrics.incr("fn.index_sync")
+        try:
+            self.control.cache.publish(message.get_xml("adv"))
+        except (OverlayError, JxtaError):
+            self.metrics.incr("fn.index_sync.bad")
+        return None
+
+    def fn_query(self, message: Message, src: str) -> Message:
+        """Look up advertisements in the global index."""
+        self.metrics.incr("fn.query")
+        adv_type = message.get_text("adv_type") if message.has("adv_type") else None
+        peer_id = message.get_text("peer_id") if message.has("peer_id") else None
+        group = message.get_text("group") if message.has("group") else None
+        elements = self.control.cache.elements(
+            adv_type=adv_type, peer_id=peer_id, group=group)
+        out = self._ok("query_resp")
+        out.add_xml("results", pack_results(elements))
+        return out
+
+    # -- functions: group set ---------------------------------------------------
+
+    def _ensure_group(self, name: str):
+        group = self.groups.get_or_none(name)
+        if group is None:
+            group = self.groups.create(random_group_id(self.control.drbg), name)
+        return group
+
+    def fn_create_group(self, message: Message, src: str) -> Message:
+        """Create and publish a new peer group."""
+        self.metrics.incr("fn.create_group")
+        session = self._session_for_address(src)
+        if session is None:
+            return self._fail("create_group_fail", "not logged in")
+        name = message.get_text("name")
+        description = message.get_text("description") if message.has("description") else ""
+        if not name:
+            return self._fail("create_group_fail", "group name must be non-empty")
+        if name in self.groups:
+            return self._fail("create_group_fail", f"group {name!r} already exists")
+        group = self.groups.create(random_group_id(self.control.drbg), name, description)
+        self.database.register_group(name)
+        self.database.assign_group(session.username, name)
+        group.add_member(session.peer_id)
+        adv = GroupAdvertisement(
+            peer_id=self.peer_id, group_id=group.group_id,
+            name=name, description=description)
+        element = adv.to_element()
+        self.control.cache.publish(element)
+        self._sync_to_peers(element)
+        out = self._ok("create_group_ok")
+        out.add_xml("group_adv", element)
+        return out
+
+    def fn_join_group(self, message: Message, src: str) -> Message:
+        self.metrics.incr("fn.join_group")
+        session = self._session_for_address(src)
+        if session is None:
+            return self._fail("join_group_fail", "not logged in")
+        name = message.get_text("name")
+        group = self.groups.get_or_none(name)
+        if group is None:
+            return self._fail("join_group_fail", f"unknown group {name!r}")
+        group.add_member(session.peer_id)
+        self.database.assign_group(session.username, name)
+        joined = Message("peer_joined")
+        joined.add_text("group", name)
+        joined.add_text("peer_id", session.peer_id)
+        joined.add_text("username", session.username)
+        self._push_to_group_members(name, joined, exclude_peer=session.peer_id)
+        out = self._ok("join_group_ok")
+        out.add_json("members", sorted(group.members))
+        return out
+
+    def fn_leave_group(self, message: Message, src: str) -> Message:
+        self.metrics.incr("fn.leave_group")
+        session = self._session_for_address(src)
+        if session is None:
+            return self._fail("leave_group_fail", "not logged in")
+        name = message.get_text("name")
+        try:
+            group = self.groups.get(name)
+        except GroupError:
+            return self._fail("leave_group_fail", f"unknown group {name!r}")
+        group.remove_member(session.peer_id)
+        self.database.revoke_group(session.username, name)
+        left = Message("peer_left")
+        left.add_text("group", name)
+        left.add_text("peer_id", session.peer_id)
+        self._push_to_group_members(name, left, exclude_peer=session.peer_id)
+        return self._ok("leave_group_ok")
+
+    def fn_list_groups(self, message: Message, src: str) -> Message:
+        self.metrics.incr("fn.list_groups")
+        out = self._ok("list_groups_resp")
+        out.add_json("groups", self.groups.names())
+        return out
+
+    def fn_group_members(self, message: Message, src: str) -> Message:
+        self.metrics.incr("fn.group_members")
+        name = message.get_text("name")
+        group = self.groups.get_or_none(name)
+        if group is None:
+            return self._fail("group_members_fail", f"unknown group {name!r}")
+        out = self._ok("group_members_resp")
+        out.add_json("members", sorted(group.members))
+        return out

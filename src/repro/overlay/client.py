@@ -1,0 +1,533 @@
+"""The Client Module: the primitives applications are built on.
+
+Applications on JXTA-Overlay "are always based on the invocation of
+Client Module primitives and the processing of events thrown by
+functions" (section 2.2).  This class implements the plain (insecure)
+primitive sets the paper discusses:
+
+* **discovery**: ``connect``, ``login``, ``logout``, ``peer_status``,
+  ``search_advertisements``
+* **group**: ``create_group``, ``join_group``, ``leave_group``,
+  ``list_groups``, ``group_members``
+* **messenger**: ``send_msg_peer``, ``send_msg_peer_group``
+* **file**: ``publish_file``, ``search_files``, ``request_file``
+* **executable**: ``submit_task`` (the set the paper's further-work
+  section flags as security-sensitive)
+
+The plain protocol is deliberately era-faithful insecure: passwords in
+clear, unauthenticated advertisements, unencrypted messages — the attack
+tests demonstrate each weakness and the secure client in
+:mod:`repro.core` fixes them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.sha2 import sha256
+from repro.errors import (
+    AuthenticationError,
+    JxtaError,
+    NetworkError,
+    NotConnectedError,
+    OverlayError,
+    PrimitiveError,
+)
+from repro.jxta.advertisements import (
+    FileAdvertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    PresenceAdvertisement,
+)
+from repro.jxta.ids import JxtaID, random_peer_id
+from repro.jxta.messages import Message
+from repro.jxta.pipes import InputPipe
+from repro.overlay.control import ControlModule, unpack_results
+from repro.overlay.filesharing import FileStore, chunked_fetch
+from repro.overlay.primitives import primitive
+from repro.sim.network import SimNetwork
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.xmllib import Element
+
+TaskFunction = Callable[[str], str]
+
+
+class ClientPeer:
+    """A JXTA-Overlay client peer (one end-user application instance)."""
+
+    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
+                 name: str = "") -> None:
+        self.control = ControlModule(network, address, drbg)
+        self.name = name or address
+        self.peer_id: JxtaID = random_peer_id(drbg)
+        self.broker_address: str | None = None
+        self.username: str | None = None
+        self.groups: list[str] = []
+        self.input_pipes: dict[str, InputPipe] = {}     # group -> pipe
+        self.files = FileStore()
+        self.task_functions: dict[str, TaskFunction] = {}
+        self._presence_handle: EventHandle | None = None
+        self._install_functions()
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.control.address
+
+    @property
+    def events(self):
+        return self.control.events
+
+    @property
+    def metrics(self):
+        return self.control.metrics
+
+    @property
+    def clock(self):
+        return self.control.clock
+
+    def _install_functions(self) -> None:
+        ep = self.control.endpoint
+        ep.on("adv_push", self._fn_adv_push)
+        ep.on("peer_joined", self._fn_peer_joined)
+        ep.on("peer_left", self._fn_peer_left)
+        ep.on("file_req", self._fn_file_request)
+        ep.on("task_req", self._fn_task_request)
+
+    def _require_broker(self) -> str:
+        if self.broker_address is None:
+            raise NotConnectedError(f"{self.name}: no broker connection")
+        return self.broker_address
+
+    def _require_login(self) -> str:
+        self._require_broker()
+        if self.username is None:
+            raise NotConnectedError(f"{self.name}: not logged in")
+        return self.username
+
+    def _broker_request(self, message: Message) -> Message:
+        broker = self._require_broker()
+        try:
+            return self.control.endpoint.request(broker, message)
+        except NetworkError as exc:
+            raise NotConnectedError(f"{self.name}: broker unreachable: {exc}") from exc
+
+    # ======================================================================
+    # discovery primitives
+    # ======================================================================
+
+    @primitive("discovery")
+    def connect(self, broker_address: str) -> str:
+        """connect: locate a broker and open a connection (§4.2).
+
+        The plain version performs NO broker authentication — any endpoint
+        answering ``connect_req`` is believed.  Returns the broker name.
+        """
+        self.broker_address = broker_address
+        try:
+            resp = self._broker_request(Message("connect_req"))
+        except NotConnectedError:
+            self.broker_address = None
+            self.events.emit("connection_failed", broker=broker_address)
+            raise
+        if resp.msg_type != "connect_ok":
+            self.broker_address = None
+            self.events.emit("connection_failed", broker=broker_address)
+            raise OverlayError(f"unexpected connect response {resp.msg_type!r}")
+        self.events.emit("connected", broker=broker_address,
+                         broker_name=resp.get_text("broker_name"))
+        return resp.get_text("broker_name")
+
+    @primitive("discovery")
+    def login(self, username: str, password: str) -> list[str]:
+        """login: authenticate the end user with username and password.
+
+        Credentials travel in clear text (the paper's headline threat).
+        On success: creates one input pipe per group, publishes the pipe
+        advertisements through the broker, returns the group list.
+        """
+        self._require_broker()
+        req = Message("login_req")
+        req.add_text("username", username)
+        req.add_text("password", password)
+        req.add_xml("peer_adv", self._peer_advertisement().to_element())
+        resp = self._broker_request(req)
+        if resp.msg_type != "login_ok":
+            self.events.emit("login_failed", username=username,
+                             reason=resp.get_text("reason") if resp.has("reason") else "")
+            raise AuthenticationError(
+                f"login rejected: {resp.get_text('reason') if resp.has('reason') else resp.msg_type}")
+        self.username = username
+        self.groups = list(resp.get_json("groups"))
+        for group in self.groups:
+            self._open_and_publish_pipe(group)
+        self.events.emit("logged_in", username=username, groups=list(self.groups))
+        return list(self.groups)
+
+    @primitive("discovery")
+    def logout(self) -> None:
+        """logout: leave the network and drop all session state."""
+        username = self._require_login()
+        self._broker_request(Message("logout_req"))
+        self.stop_presence()
+        for group in list(self.input_pipes):
+            self.control.pipes.close_pipe(self.input_pipes.pop(group).pipe_id)
+        self.username = None
+        self.groups = []
+        self.broker_address = None
+        self.events.emit("logged_out", username=username)
+
+    @primitive("discovery")
+    def peer_status(self, peer_id: str) -> dict[str, Any]:
+        """peer_status: ask the broker whether a peer is online."""
+        self._require_login()
+        req = Message("peer_status_req")
+        req.add_text("peer_id", peer_id)
+        resp = self._broker_request(req)
+        status = {"peer_id": peer_id, "online": resp.get_text("online") == "true"}
+        if status["online"]:
+            status["username"] = resp.get_text("username")
+            status["last_seen"] = float(resp.get_text("last_seen"))
+        return status
+
+    @primitive("discovery")
+    def search_advertisements(self, adv_type: str | None = None,
+                              peer_id: str | None = None,
+                              group: str | None = None) -> list[Element]:
+        """search_advertisements: query the broker's global index.
+
+        Results are cached locally and returned as raw XML documents.
+        """
+        self._require_login()
+        req = Message("query_req")
+        if adv_type:
+            req.add_text("adv_type", adv_type)
+        if peer_id:
+            req.add_text("peer_id", peer_id)
+        if group:
+            req.add_text("group", group)
+        resp = self._broker_request(req)
+        elements = unpack_results(resp.get_xml("results"))
+        for element in elements:
+            try:
+                self.control.accept_advertisement(element)
+            except (OverlayError, JxtaError):
+                self.metrics.incr("client.bad_search_result")
+        return elements
+
+    # ======================================================================
+    # group primitives
+    # ======================================================================
+
+    @primitive("group")
+    def create_group(self, name: str, description: str = "") -> None:
+        """create_group: create and publish a new peer group via the broker."""
+        self._require_login()
+        req = Message("create_group_req")
+        req.add_text("name", name)
+        req.add_text("description", description)
+        resp = self._broker_request(req)
+        if resp.msg_type != "create_group_ok":
+            raise OverlayError(f"create_group failed: {resp.get_text('reason')}")
+        if name not in self.groups:
+            self.groups.append(name)
+            self._open_and_publish_pipe(name)
+        self.events.emit("group_created", group=name)
+
+    @primitive("group")
+    def join_group(self, name: str) -> list[str]:
+        """join_group: become a member; returns current member peer ids."""
+        self._require_login()
+        req = Message("join_group_req")
+        req.add_text("name", name)
+        resp = self._broker_request(req)
+        if resp.msg_type != "join_group_ok":
+            raise OverlayError(f"join_group failed: {resp.get_text('reason')}")
+        if name not in self.groups:
+            self.groups.append(name)
+            self._open_and_publish_pipe(name)
+        members = list(resp.get_json("members"))
+        self.events.emit("group_joined", group=name, members=members)
+        return members
+
+    @primitive("group")
+    def leave_group(self, name: str) -> None:
+        """leave_group: resign membership and close the group pipe."""
+        self._require_login()
+        req = Message("leave_group_req")
+        req.add_text("name", name)
+        resp = self._broker_request(req)
+        if resp.msg_type != "leave_group_ok":
+            raise OverlayError(f"leave_group failed: {resp.get_text('reason')}")
+        if name in self.groups:
+            self.groups.remove(name)
+        pipe = self.input_pipes.pop(name, None)
+        if pipe is not None:
+            self.control.pipes.close_pipe(pipe.pipe_id)
+        self.events.emit("group_left", group=name)
+
+    @primitive("group")
+    def list_groups(self) -> list[str]:
+        """list_groups: every group published on the broker."""
+        self._require_login()
+        resp = self._broker_request(Message("list_groups_req"))
+        return list(resp.get_json("groups"))
+
+    @primitive("group")
+    def group_members(self, name: str) -> list[str]:
+        """group_members: current member peer ids of a group."""
+        self._require_login()
+        req = Message("group_members_req")
+        req.add_text("name", name)
+        resp = self._broker_request(req)
+        if resp.msg_type != "group_members_resp":
+            raise OverlayError(f"group_members failed: {resp.get_text('reason')}")
+        return list(resp.get_json("members"))
+
+    # ======================================================================
+    # messenger primitives (§4.3)
+    # ======================================================================
+
+    def _resolve_pipe(self, peer_id: str, group: str) -> Element:
+        """Find the target's pipe advertisement: local cache, then broker."""
+        try:
+            return self.control.cached_pipe_advertisement(peer_id, group)
+        except (OverlayError, JxtaError):
+            pass
+        self.search_advertisements(adv_type="PipeAdvertisement",
+                                   peer_id=peer_id, group=group)
+        return self.control.cached_pipe_advertisement(peer_id, group)
+
+    @primitive("messenger")
+    def send_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+        """sendMsgPeer: a simple text message to one peer, no security.
+
+        Plain text on the wire; no integrity, no source authenticity (the
+        ``from`` fields are self-asserted and trivially spoofable).
+        """
+        self._require_login()
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        adv_elem = self._resolve_pipe(peer_id, group)
+        adv = PipeAdvertisement.from_element(adv_elem)
+        chat = Message("chat")
+        chat.add_text("from_peer", str(self.peer_id))
+        chat.add_text("from_user", self.username or "")
+        chat.add_text("group", group)
+        chat.add_text("text", text)
+        return self.control.output_pipe(adv).send(chat)
+
+    @primitive("messenger")
+    def send_msg_peer_group(self, group: str, text: str) -> int:
+        """sendMsgPeerGroup: iteratively sendMsgPeer to every member."""
+        self._require_login()
+        delivered = 0
+        for member in self.group_members(group):
+            if member == str(self.peer_id):
+                continue
+            try:
+                if self.send_msg_peer(member, group, text):
+                    delivered += 1
+            except (OverlayError, JxtaError):
+                self.metrics.incr("client.group_send_miss")
+        return delivered
+
+    # ======================================================================
+    # file-sharing primitives
+    # ======================================================================
+
+    @primitive("file")
+    def publish_file(self, group: str, file_name: str, content: bytes) -> FileAdvertisement:
+        """publish_file: offer a file to a group via a FileAdvertisement."""
+        self._require_login()
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        self.files.add(file_name, content)
+        adv = FileAdvertisement(
+            peer_id=self.peer_id, file_name=file_name, size=len(content),
+            sha256_hex=sha256(content).hex(), group=group)
+        self._publish(self._prepare_adv_element(adv))
+        self.events.emit("file_published", group=group, file_name=file_name)
+        return adv
+
+    @primitive("file")
+    def search_files(self, group: str | None = None,
+                     peer_id: str | None = None) -> list[FileAdvertisement]:
+        """search_files: list files offered in a group / by a peer."""
+        elements = self.search_advertisements(
+            adv_type="FileAdvertisement", peer_id=peer_id, group=group)
+        out = []
+        for element in elements:
+            out.append(FileAdvertisement.from_element(element))
+        self.events.emit("file_list_received", files=[f.file_name for f in out])
+        return out
+
+    @primitive("file")
+    def request_file(self, peer_id: str, group: str, file_name: str,
+                     chunk_size: int = 16384) -> bytes:
+        """request_file: fetch a file directly from the owning peer.
+
+        Chunked request/response transfer with a final SHA-256 check
+        against the advertised digest when one is cached.
+        """
+        self._require_login()
+        adv_elem = self._resolve_pipe(peer_id, group)
+        address = PipeAdvertisement.from_element(adv_elem).address
+        content = chunked_fetch(self.control.endpoint, address, file_name, chunk_size)
+        expected = None
+        for entry in self.control.cache.find("FileAdvertisement", peer_id=peer_id, group=group):
+            if entry.parsed.file_name == file_name:  # type: ignore[attr-defined]
+                expected = entry.parsed.sha256_hex   # type: ignore[attr-defined]
+        if expected is not None and sha256(content).hex() != expected:
+            self.events.emit("file_transfer_failed", file_name=file_name,
+                             reason="digest mismatch")
+            raise OverlayError(f"file {file_name!r} failed its integrity check")
+        self.events.emit("file_received", file_name=file_name, size=len(content))
+        return content
+
+    # ======================================================================
+    # executable primitives (further-work set, §6)
+    # ======================================================================
+
+    def register_task(self, task_name: str, fn: TaskFunction) -> None:
+        """Expose a named task other peers may invoke on this peer."""
+        self.task_functions[task_name] = fn
+
+    @primitive("executable")
+    def submit_task(self, peer_id: str, group: str, task_name: str,
+                    argument: str) -> str:
+        """submit_task: remote task execution on another peer (plain).
+
+        The paper singles these primitives out as especially sensitive;
+        the plain version happily runs anything, authenticated by nothing.
+        """
+        self._require_login()
+        adv_elem = self._resolve_pipe(peer_id, group)
+        address = PipeAdvertisement.from_element(adv_elem).address
+        req = Message("task_req")
+        req.add_text("task", task_name)
+        req.add_text("argument", argument)
+        req.add_text("from_peer", str(self.peer_id))
+        self.events.emit("task_submitted", peer_id=peer_id, task=task_name)
+        resp = self.control.endpoint.request(address, req)
+        if resp.msg_type != "task_resp":
+            raise OverlayError(f"task failed: {resp.get_text('reason')}")
+        result = resp.get_text("result")
+        self.events.emit("task_result", peer_id=peer_id, task=task_name, result=result)
+        return result
+
+    # ======================================================================
+    # presence
+    # ======================================================================
+
+    def start_presence(self, scheduler: Scheduler, interval: float = 30.0) -> None:
+        """Begin periodic presence beacons to the broker (one per group)."""
+        self._require_login()
+        if self._presence_handle is not None:
+            raise PrimitiveError("presence already running")
+        self._presence_handle = scheduler.schedule_periodic(interval, self._beat)
+
+    def stop_presence(self) -> None:
+        if self._presence_handle is not None:
+            self._presence_handle.cancel()
+            self._presence_handle = None
+
+    def _beat(self) -> None:
+        if self.broker_address is None:
+            return
+        for group in self.groups:
+            adv = PresenceAdvertisement(
+                peer_id=self.peer_id, group=group, timestamp=self.clock.now)
+            beat = Message("presence_beat")
+            beat.add_xml("adv", adv.to_element())
+            self.control.endpoint.send(self.broker_address, beat)
+        self.events.emit("presence_update", groups=list(self.groups))
+
+    # ======================================================================
+    # internals
+    # ======================================================================
+
+    def _peer_advertisement(self) -> PeerAdvertisement:
+        return PeerAdvertisement(
+            peer_id=self.peer_id, name=self.name, address=self.address)
+
+    def _prepare_adv_element(self, adv) -> Element:
+        """Hook: how an advertisement becomes wire XML.  The secure client
+        overrides this to attach an XMLdsig signature and credential."""
+        return adv.to_element()
+
+    def _open_and_publish_pipe(self, group: str) -> None:
+        if group in self.input_pipes:
+            return
+        pipe, adv = self.control.open_group_pipe(self.peer_id, group)
+        pipe.add_listener(self._on_pipe_message)
+        self.input_pipes[group] = pipe
+        element = self._prepare_adv_element(adv)
+        self.control.cache.publish(element)
+        self._publish(element)
+
+    def _publish(self, element: Element) -> None:
+        req = Message("publish_adv")
+        req.add_xml("adv", element)
+        resp = self._broker_request(req)
+        if resp.msg_type != "publish_ok":
+            raise OverlayError(f"publish failed: {resp.get_text('reason')}")
+
+    def _on_pipe_message(self, inner: Message, src: str) -> None:
+        if inner.msg_type == "chat":
+            self.events.emit(
+                "message_received",
+                from_peer=inner.get_text("from_peer"),
+                from_user=inner.get_text("from_user"),
+                group=inner.get_text("group"),
+                text=inner.get_text("text"),
+            )
+        else:
+            self.metrics.incr("client.pipe_unknown")
+
+    # -- incoming functions ---------------------------------------------------
+
+    def _fn_adv_push(self, message: Message, src: str) -> None:
+        try:
+            self.control.accept_advertisement(message.get_xml("adv"))
+        except (OverlayError, JxtaError):
+            self.metrics.incr("client.bad_adv_push")
+        return None
+
+    def _fn_peer_joined(self, message: Message, src: str) -> None:
+        self.events.emit(
+            "peer_joined_group",
+            group=message.get_text("group"),
+            peer_id=message.get_text("peer_id"),
+            username=message.get_text("username"),
+        )
+        return None
+
+    def _fn_peer_left(self, message: Message, src: str) -> None:
+        group = message.get_text("group")
+        peer_id = message.get_text("peer_id")
+        self.control.cache.remove_peer(peer_id)
+        self.events.emit("peer_left_group", group=group, peer_id=peer_id)
+        return None
+
+    def _fn_file_request(self, message: Message, src: str) -> Message:
+        return self.files.handle_request(message)
+
+    def _fn_task_request(self, message: Message, src: str) -> Message:
+        task_name = message.get_text("task")
+        fn = self.task_functions.get(task_name)
+        out = Message("task_resp")
+        if fn is None:
+            out = Message("task_fail")
+            out.add_text("reason", f"unknown task {task_name!r}")
+            return out
+        try:
+            result = fn(message.get_text("argument"))
+        except Exception as exc:  # a task crashing must not kill the peer
+            out = Message("task_fail")
+            out.add_text("reason", f"task raised: {exc}")
+            return out
+        out.add_text("result", result)
+        return out

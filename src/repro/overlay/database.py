@@ -1,0 +1,131 @@
+"""The central user database (section 2.1).
+
+A single entity stores all user configuration — username, password and
+group membership — and **only brokers may access it**.  An administrator
+provisions users out-of-band.  Passwords are stored salted-and-hashed
+(the database itself was never the paper's weak point; the *transport* of
+the password during login was).
+
+The database also records which broker currently serves each logged-in
+user, which is what lets overlapping groups span brokers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.sha2 import sha256
+from repro.errors import DatabaseError
+from repro.utils.bytesutil import constant_time_eq
+
+
+@dataclass
+class UserRecord:
+    username: str
+    salt: bytes
+    password_hash: bytes
+    groups: set[str] = field(default_factory=set)
+    #: address of the broker that authenticated the live session, if any
+    active_broker: str | None = None
+
+
+def _hash_password(salt: bytes, password: str) -> bytes:
+    # Era-appropriate salted hash; iterations bumped well above 1 to make
+    # offline guessing non-free while keeping tests fast.
+    digest = salt + password.encode("utf-8")
+    for _ in range(64):
+        digest = sha256(digest)
+    return digest
+
+
+class UserDatabase:
+    """Username/password/groups store with broker-facing operations."""
+
+    def __init__(self, drbg: HmacDrbg) -> None:
+        self._drbg = drbg
+        self._users: dict[str, UserRecord] = {}
+        self._group_registry: set[str] = set()
+
+    # -- administration (out-of-band, per section 2.1) -------------------
+
+    def register_user(self, username: str, password: str,
+                      groups: set[str] | list[str] = ()) -> UserRecord:
+        if not username:
+            raise DatabaseError("username must be non-empty")
+        if username in self._users:
+            raise DatabaseError(f"user {username!r} already registered")
+        salt = self._drbg.generate(16)
+        record = UserRecord(
+            username=username,
+            salt=salt,
+            password_hash=_hash_password(salt, password),
+            groups=set(groups),
+        )
+        self._users[username] = record
+        self._group_registry.update(record.groups)
+        return record
+
+    def remove_user(self, username: str) -> None:
+        if username not in self._users:
+            raise DatabaseError(f"unknown user {username!r}")
+        del self._users[username]
+
+    def set_password(self, username: str, password: str) -> None:
+        record = self._require(username)
+        record.salt = self._drbg.generate(16)
+        record.password_hash = _hash_password(record.salt, password)
+
+    def register_group(self, name: str) -> None:
+        if not name:
+            raise DatabaseError("group name must be non-empty")
+        self._group_registry.add(name)
+
+    def assign_group(self, username: str, group: str) -> None:
+        record = self._require(username)
+        record.groups.add(group)
+        self._group_registry.add(group)
+
+    def revoke_group(self, username: str, group: str) -> None:
+        self._require(username).groups.discard(group)
+
+    # -- broker-facing operations -----------------------------------------
+
+    def check_credentials(self, username: str, password: str) -> bool:
+        """Constant-time password check; unknown users also take the hash."""
+        record = self._users.get(username)
+        if record is None:
+            # Burn the same work to avoid a trivial username oracle.
+            _hash_password(b"\x00" * 16, password)
+            return False
+        return constant_time_eq(
+            _hash_password(record.salt, password), record.password_hash)
+
+    def groups_of(self, username: str) -> set[str]:
+        return set(self._require(username).groups)
+
+    def known_groups(self) -> set[str]:
+        return set(self._group_registry)
+
+    def mark_active(self, username: str, broker_address: str) -> None:
+        self._require(username).active_broker = broker_address
+
+    def mark_inactive(self, username: str) -> None:
+        record = self._users.get(username)
+        if record is not None:
+            record.active_broker = None
+
+    def active_broker_of(self, username: str) -> str | None:
+        return self._require(username).active_broker
+
+    def has_user(self, username: str) -> bool:
+        return username in self._users
+
+    def _require(self, username: str) -> UserRecord:
+        try:
+            return self._users[username]
+        except KeyError:
+            raise DatabaseError(f"unknown user {username!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._users)

@@ -1,0 +1,106 @@
+"""File-sharing substrate: local store and the chunked transfer protocol.
+
+JXTA-Overlay supports group file sharing (section 1); files are announced
+with :class:`~repro.jxta.advertisements.FileAdvertisement` and fetched
+directly from the owning peer in fixed-size chunks.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha2 import sha256
+from repro.errors import NetworkError, OverlayError
+from repro.jxta.endpoint import Endpoint
+from repro.jxta.messages import Message
+
+
+class FileStore:
+    """The files a peer currently shares, by name."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+
+    def add(self, name: str, content: bytes) -> None:
+        if not name:
+            raise OverlayError("file name must be non-empty")
+        self._files[name] = bytes(content)
+
+    def remove(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def get(self, name: str) -> bytes:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise OverlayError(f"not sharing a file named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def digest(self, name: str) -> str:
+        return sha256(self.get(name)).hex()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # -- serving side of the transfer protocol ------------------------------
+
+    def handle_request(self, message: Message) -> Message:
+        """Answer one ``file_req`` chunk request."""
+        name = message.get_text("file_name")
+        offset = int(message.get_text("offset"))
+        length = int(message.get_text("length"))
+        if name not in self._files:
+            fail = Message("file_fail")
+            fail.add_text("reason", f"no file named {name!r}")
+            return fail
+        if offset < 0 or length <= 0:
+            fail = Message("file_fail")
+            fail.add_text("reason", "bad chunk range")
+            return fail
+        content = self._files[name]
+        chunk = content[offset:offset + length]
+        out = Message("file_resp")
+        out.add_text("file_name", name)
+        out.add_text("offset", str(offset))
+        out.add_text("total", str(len(content)))
+        out.add_bytes("data", chunk)
+        out.add_text("eof", "true" if offset + len(chunk) >= len(content) else "false")
+        return out
+
+
+def chunked_fetch(endpoint: Endpoint, address: str, file_name: str,
+                  chunk_size: int = 16384, max_chunks: int = 1 << 16) -> bytes:
+    """Client side: pull a file chunk by chunk from ``address``.
+
+    Raises :class:`OverlayError` on refusal or a malformed stream and
+    :class:`NetworkError` if the peer becomes unreachable mid-transfer.
+    """
+    if chunk_size <= 0:
+        raise OverlayError("chunk size must be positive")
+    received = bytearray()
+    offset = 0
+    for _ in range(max_chunks):
+        req = Message("file_req")
+        req.add_text("file_name", file_name)
+        req.add_text("offset", str(offset))
+        req.add_text("length", str(chunk_size))
+        resp = endpoint.request(address, req)
+        if resp.msg_type == "file_fail":
+            raise OverlayError(f"file transfer refused: {resp.get_text('reason')}")
+        if resp.msg_type != "file_resp":
+            raise OverlayError(f"unexpected transfer response {resp.msg_type!r}")
+        data = resp.get_bytes("data")
+        total = int(resp.get_text("total"))
+        received += data
+        offset += len(data)
+        if resp.get_text("eof") == "true":
+            if len(received) != total:
+                raise OverlayError(
+                    f"transfer ended early: {len(received)}/{total} bytes")
+            return bytes(received)
+        if not data:
+            raise OverlayError("peer sent an empty non-final chunk")
+    raise OverlayError(f"file {file_name!r} exceeded {max_chunks} chunks")

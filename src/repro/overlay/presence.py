@@ -1,0 +1,31 @@
+"""Presence management helpers.
+
+The broker already refreshes per-session ``last_seen`` on heartbeat
+(:meth:`repro.overlay.broker.Broker.fn_presence`); this module adds the
+periodic *sweeper* that evicts silent peers, mirroring JXTA-Overlay's
+automatic presence management (one of the limitations of raw JXTA that
+the middleware exists to fix).
+"""
+
+from __future__ import annotations
+
+from repro.overlay.broker import Broker
+from repro.sim.scheduler import EventHandle, Scheduler
+
+
+class PresenceSweeper:
+    """Periodically purge broker sessions that stopped beating."""
+
+    def __init__(self, broker: Broker, scheduler: Scheduler,
+                 max_age: float = 90.0, interval: float = 30.0) -> None:
+        self.broker = broker
+        self.max_age = max_age
+        self.purged_total = 0
+        self._handle: EventHandle = scheduler.schedule_periodic(interval, self._sweep)
+
+    def _sweep(self) -> None:
+        purged = self.broker.purge_stale(self.max_age)
+        self.purged_total += len(purged)
+
+    def cancel(self) -> None:
+        self._handle.cancel()

@@ -1,0 +1,33 @@
+"""Per-peer statistics publication (StatsAdvertisement broadcasting).
+
+JXTA-Overlay clients periodically broadcast statistics advertisements
+alongside presence/pipe/file advertisements (section 2.2).  The numbers
+come straight from the primitive invocation counters kept by
+:mod:`repro.overlay.primitives`.
+"""
+
+from __future__ import annotations
+
+from repro.jxta.advertisements import StatsAdvertisement
+from repro.overlay.client import ClientPeer
+
+
+def build_stats_advertisement(client: ClientPeer, group: str) -> StatsAdvertisement:
+    """Snapshot a client's counters into a stats advertisement."""
+    sent = (client.metrics.count("primitive.send_msg_peer")
+            + client.metrics.count("primitive.secure_msg_peer"))
+    shared = (client.metrics.count("primitive.publish_file")
+              + client.metrics.count("primitive.secure_publish_file"))
+    return StatsAdvertisement(
+        peer_id=client.peer_id, group=group,
+        messages_sent=sent, files_shared=shared)
+
+
+def publish_stats(client: ClientPeer) -> int:
+    """Publish a stats advertisement for every joined group."""
+    published = 0
+    for group in client.groups:
+        adv = build_stats_advertisement(client, group)
+        client._publish(adv.to_element())
+        published += 1
+    return published

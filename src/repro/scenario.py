@@ -1,0 +1,161 @@
+"""One-call deployment builder: the repository's "hello, network" API.
+
+Everything the examples, tests and benchmarks assemble by hand — network,
+administrator, brokers, peers, users — behind a single declarative
+builder.  Deterministic from the seed.
+
+>>> from repro.scenario import Scenario
+>>> scn = (Scenario(seed=b"demo")
+...        .with_user("alice", "pw", groups={"lab"})
+...        .with_user("bob", "pw", groups={"lab"})
+...        .with_broker("broker:0")
+...        .with_secure_peer("alice")
+...        .with_secure_peer("bob")
+...        .build(join=True))
+>>> scn.peers["alice"].secure_msg_peer(str(scn.peers["bob"].peer_id),
+...                                    "lab", "hi")
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import Administrator, SecureBroker, SecureClientPeer
+from repro.core.policy import DEFAULT_POLICY, SecurityPolicy
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ReproError
+from repro.overlay import Broker, ClientPeer
+from repro.sim import Scheduler, SimNetwork, VirtualClock
+from repro.sim.latency import LAN_2009, LinkModel
+
+
+@dataclass
+class BuiltScenario:
+    """The live objects a built scenario exposes."""
+
+    network: SimNetwork
+    scheduler: Scheduler
+    admin: Administrator
+    brokers: dict[str, Broker]
+    peers: dict[str, ClientPeer]
+    passwords: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.network.clock
+
+    def broker(self) -> Broker:
+        """The first (often only) broker."""
+        return next(iter(self.brokers.values()))
+
+    def join(self, username: str) -> list[str]:
+        """Join one peer through the appropriate primitive set."""
+        peer = self.peers[username]
+        broker_address = self.broker().address
+        if isinstance(peer, SecureClientPeer):
+            peer.secure_connect(broker_address)
+            return peer.secure_login(username, self.passwords[username])
+        peer.connect(broker_address)
+        return peer.login(username, self.passwords[username])
+
+    def join_all(self) -> None:
+        for username in self.peers:
+            self.join(username)
+
+
+class Scenario:
+    """Declarative builder; every ``with_*`` returns self for chaining."""
+
+    def __init__(self, seed: bytes | str = b"repro-scenario",
+                 policy: SecurityPolicy = DEFAULT_POLICY,
+                 link: LinkModel = LAN_2009,
+                 admin_bits: int | None = None) -> None:
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        self._root = HmacDrbg(seed, personalization=b"scenario")
+        self.policy = policy.validate()
+        self.link = link
+        self._admin_bits = admin_bits if admin_bits is not None else self.policy.rsa_bits
+        self._users: list[tuple[str, str, set[str]]] = []
+        self._brokers: list[tuple[str, str, bool]] = []  # (address, name, secure)
+        self._peers: list[tuple[str, bool]] = []         # (username, secure)
+
+    # -- declaration ---------------------------------------------------------
+
+    def with_user(self, username: str, password: str,
+                  groups: set[str] | None = None) -> "Scenario":
+        self._users.append((username, password, set(groups or ())))
+        return self
+
+    def with_broker(self, address: str, name: str = "",
+                    secure: bool = True) -> "Scenario":
+        self._brokers.append((address, name or address, secure))
+        return self
+
+    def with_secure_peer(self, username: str) -> "Scenario":
+        self._peers.append((username, True))
+        return self
+
+    def with_plain_peer(self, username: str) -> "Scenario":
+        self._peers.append((username, False))
+        return self
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self, join: bool = False) -> BuiltScenario:
+        if not self._brokers:
+            self._brokers.append(("broker:0", "broker-0", True))
+        declared_users = {u for u, _, _ in self._users}
+        for username, _ in self._peers:
+            if username not in declared_users:
+                raise ReproError(
+                    f"peer {username!r} has no matching with_user() declaration")
+
+        network = SimNetwork(clock=VirtualClock(), link=self.link)
+        scheduler = Scheduler(network.clock)
+        admin = Administrator(self._root.fork(b"admin"), bits=self._admin_bits)
+        passwords: dict[str, str] = {}
+        for username, password, groups in self._users:
+            admin.register_user(username, password, groups)
+            passwords[username] = password
+
+        brokers: dict[str, Broker] = {}
+        secure_brokers_exist = False
+        for address, name, secure in self._brokers:
+            drbg = self._root.fork(b"broker|" + address.encode())
+            if secure:
+                brokers[address] = SecureBroker.create(
+                    network, address, admin, drbg, name=name,
+                    policy=self.policy)
+                secure_brokers_exist = True
+            else:
+                brokers[address] = Broker(network, address, admin.database,
+                                          drbg, name=name)
+        # link every broker pair (global index, §2.1)
+        broker_list = list(brokers.values())
+        for i, a in enumerate(broker_list):
+            for b in broker_list[i + 1:]:
+                a.link_broker(b)
+
+        peers: dict[str, ClientPeer] = {}
+        for username, secure in self._peers:
+            drbg = self._root.fork(b"peer|" + username.encode())
+            address = f"peer:{username}"
+            if secure:
+                if not secure_brokers_exist:
+                    raise ReproError(
+                        "secure peers need at least one secure broker")
+                peers[username] = SecureClientPeer(
+                    network, address, drbg, admin.credential,
+                    name=f"{username}-app", policy=self.policy)
+            else:
+                peers[username] = ClientPeer(network, address, drbg,
+                                             name=f"{username}-app")
+
+        scenario = BuiltScenario(
+            network=network, scheduler=scheduler, admin=admin,
+            brokers=brokers, peers=peers, passwords=passwords)
+        if join:
+            scenario.join_all()
+        return scenario

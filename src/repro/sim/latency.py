@@ -1,0 +1,64 @@
+"""Link models: how long a message of N bytes takes to cross a link.
+
+Figure 2 of the paper depends on this interplay: per-message crypto cost
+is (nearly) size-independent while transmission time grows linearly, so
+relative overhead falls with message size.  The default profile models the
+100 Mbit/s switched LAN of a 2009 laboratory testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency + bandwidth + optional jitter/loss link abstraction.
+
+    * ``latency_s``   — one-way propagation + switching delay (seconds)
+    * ``bandwidth_bps`` — bits per second; 0 means infinite
+    * ``jitter_s``    — maximum uniform extra delay (needs a jitter draw)
+    * ``loss``        — probability a message is dropped (needs a draw)
+    * ``per_message_s`` — fixed per-message processing overhead (OS stack)
+    """
+
+    latency_s: float = 0.0005
+    bandwidth_bps: float = 100e6
+    jitter_s: float = 0.0
+    loss: float = 0.0
+    per_message_s: float = 0.0
+
+    def transit_time(self, n_bytes: int, jitter_draw: Callable[[], float] | None = None) -> float:
+        """One-way transit time for a message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        t = self.latency_s + self.per_message_s
+        if self.bandwidth_bps > 0:
+            t += (8.0 * n_bytes) / self.bandwidth_bps
+        if self.jitter_s > 0 and jitter_draw is not None:
+            t += self.jitter_s * jitter_draw()
+        return t
+
+    def is_lost(self, uniform_draw: Callable[[], float]) -> bool:
+        return self.loss > 0 and uniform_draw() < self.loss
+
+
+#: A 2009-style switched laboratory LAN.
+LAN_2009 = LinkModel(latency_s=0.0005, bandwidth_bps=100e6)
+
+#: Same-host loopback: effectively free transport, used to isolate CPU cost.
+LOOPBACK = LinkModel(latency_s=0.00001, bandwidth_bps=10e9)
+
+#: Broadband WAN path between residential peers (ADSL-era upstream).
+WAN_ADSL = LinkModel(latency_s=0.030, bandwidth_bps=1e6, jitter_s=0.005)
+
+#: Campus network with moderate latency.
+CAMPUS = LinkModel(latency_s=0.002, bandwidth_bps=10e6)
+
+PROFILES = {
+    "lan2009": LAN_2009,
+    "loopback": LOOPBACK,
+    "wan-adsl": WAN_ADSL,
+    "campus": CAMPUS,
+}

@@ -1,0 +1,209 @@
+"""The simulated network: addressed endpoints, taps, and interceptors.
+
+Entities register a handler under an address.  Two delivery styles exist:
+
+* :meth:`SimNetwork.send` — one-way datagram (used by advertisement
+  broadcast and pipe messages),
+* :meth:`SimNetwork.request` — synchronous round trip (used by the
+  connect/login exchanges, which are request/response shaped in
+  JXTA-Overlay).
+
+Both styles move **serialized bytes**, never Python object references —
+so anything an eavesdropper tap observes is exactly what a real wire
+would carry, and an interceptor can only mount the attacks a real
+man-in-the-middle could (replay, modify, redirect, drop).
+
+Security-evaluation hooks:
+
+* **taps** observe every frame (passive eavesdropper, §2.3 threat 1);
+* **interceptors** may rewrite/redirect/drop frames (fake broker via DNS
+  spoofing, §2.3 threat 3, and message tampering, threat 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import NetworkError
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import LAN_2009, LinkModel
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One message on the wire."""
+
+    src: str
+    dst: str
+    payload: bytes
+    sent_at: float
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+class Tap(Protocol):
+    """Passive observer of all frames (an eavesdropper)."""
+
+    def observe(self, frame: Frame) -> None: ...
+
+
+#: An interceptor sees a frame and returns a (possibly different) frame to
+#: deliver, or ``None`` to drop it.  The returned frame's ``dst`` may be
+#: rewritten, which models DNS-spoofing style redirection.
+Interceptor = Callable[[Frame], Frame | None]
+
+#: Handler signature: receives the frame, returns optional response bytes.
+Handler = Callable[[Frame], bytes | None]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters (feeds the benchmark reports)."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_dropped: int = 0
+    bytes_sent: int = 0
+    per_dst_bytes: dict[str, int] = field(default_factory=dict)
+
+    def record(self, frame: Frame, delivered: bool) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+        if delivered:
+            self.frames_delivered += 1
+            self.per_dst_bytes[frame.dst] = self.per_dst_bytes.get(frame.dst, 0) + frame.size
+        else:
+            self.frames_dropped += 1
+
+
+class SimNetwork:
+    """A star network: every pair of endpoints shares one link model."""
+
+    def __init__(self, clock: VirtualClock | None = None,
+                 link: LinkModel = LAN_2009,
+                 jitter_draw: Callable[[], float] | None = None,
+                 loss_draw: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.default_link = link
+        self._links: dict[tuple[str, str], LinkModel] = {}
+        self._handlers: dict[str, Handler] = {}
+        self._taps: list[Tap] = []
+        self._interceptors: list[Interceptor] = []
+        self._jitter_draw = jitter_draw
+        self._loss_draw = loss_draw
+        self.stats = NetworkStats()
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach an endpoint; raises if the address is taken."""
+        if address in self._handlers:
+            raise NetworkError(f"address {address!r} is already registered")
+        self._handlers[address] = handler
+
+    def unregister(self, address: str) -> None:
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._handlers
+
+    def set_link(self, src: str, dst: str, link: LinkModel,
+                 symmetric: bool = True) -> None:
+        """Override the link model for a specific pair."""
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def link_for(self, src: str, dst: str) -> LinkModel:
+        return self._links.get((src, dst), self.default_link)
+
+    # -- adversary hooks ------------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _through_adversaries(self, frame: Frame) -> Frame | None:
+        for tap in self._taps:
+            tap.observe(frame)
+        for interceptor in self._interceptors:
+            maybe = interceptor(frame)
+            if maybe is None:
+                return None
+            frame = maybe
+        return frame
+
+    def _transit(self, frame: Frame) -> bool:
+        """Model the link crossing; returns False when the frame is lost."""
+        link = self.link_for(frame.src, frame.dst)
+        if self._loss_draw is not None and link.is_lost(self._loss_draw):
+            return False
+        self.clock.advance_network(link.transit_time(frame.size, self._jitter_draw))
+        return True
+
+    def send(self, src: str, dst: str, payload: bytes) -> bool:
+        """One-way delivery.  Returns ``True`` if the frame was delivered.
+
+        Raises :class:`NetworkError` only for an unknown *original*
+        destination; adversarial drops and link loss return ``False`` —
+        datagrams are best-effort, exactly like JXTA pipe messages.
+        """
+        if dst not in self._handlers:
+            raise NetworkError(f"no endpoint registered at {dst!r}")
+        frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
+        out = self._through_adversaries(frame)
+        if out is None or out.dst not in self._handlers:
+            self.stats.record(frame, delivered=False)
+            return False
+        if not self._transit(out):
+            self.stats.record(out, delivered=False)
+            return False
+        self.stats.record(out, delivered=True)
+        self._handlers[out.dst](out)
+        return True
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        """Round-trip exchange; returns the responder's bytes.
+
+        The handler's real CPU time is charged to the virtual clock via
+        :meth:`VirtualClock.cpu_section`.  Raises :class:`NetworkError`
+        when the request or the response is dropped or unanswered.
+        """
+        if dst not in self._handlers:
+            raise NetworkError(f"no endpoint registered at {dst!r}")
+        frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
+        out = self._through_adversaries(frame)
+        if out is None or out.dst not in self._handlers:
+            self.stats.record(frame, delivered=False)
+            raise NetworkError(f"request from {src!r} to {dst!r} was dropped")
+        if not self._transit(out):
+            self.stats.record(out, delivered=False)
+            raise NetworkError(f"request from {src!r} to {dst!r} was lost in transit")
+        self.stats.record(out, delivered=True)
+        with self.clock.cpu_section():
+            response = self._handlers[out.dst](out)
+        if response is None:
+            raise NetworkError(f"endpoint {out.dst!r} did not answer the request")
+        back = Frame(src=out.dst, dst=src, payload=bytes(response), sent_at=self.clock.now)
+        back_out = self._through_adversaries(back)
+        if back_out is None:
+            self.stats.record(back, delivered=False)
+            raise NetworkError(f"response from {out.dst!r} to {src!r} was dropped")
+        if not self._transit(back_out):
+            self.stats.record(back_out, delivered=False)
+            raise NetworkError(f"response from {out.dst!r} to {src!r} was lost in transit")
+        self.stats.record(back_out, delivered=True)
+        return back_out.payload

@@ -1,0 +1,127 @@
+"""A minimal discrete-event scheduler over the virtual clock.
+
+Used for the periodic behaviours of JXTA-Overlay (presence heartbeats,
+advertisement rebroadcast, credential expiry sweeps).  The point-to-point
+primitives themselves run synchronously through the network layer, which
+keeps protocol code linear; the scheduler drives everything that happens
+"in the background" between primitive invocations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class _Event:
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Scheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.when
+
+
+class Scheduler:
+    """Priority-queue discrete-event loop."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at ``clock.now + delay``."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        event = _Event(self.clock.now + delay, next(self._counter), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_periodic(self, interval: float, action: Callable[[], None],
+                          jitter: Callable[[], float] | None = None) -> EventHandle:
+        """Run ``action`` every ``interval`` virtual seconds until cancelled.
+
+        Returns the handle of the *first* occurrence; cancelling it stops
+        the whole series.
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        state_handle: list[EventHandle] = []
+
+        def fire() -> None:
+            action()
+            delay = interval + (jitter() if jitter else 0.0)
+            nxt = self.schedule(max(delay, 0.0), fire)
+            # Propagate cancellation through the chain.
+            state_handle[0]._event = nxt._event
+
+        first = self.schedule(interval + (jitter() if jitter else 0.0), fire)
+        state_handle.append(first)
+        return first
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def run_until(self, deadline: float) -> int:
+        """Execute events with ``when <= deadline``; returns count executed.
+
+        The clock is advanced to each event time and finally to the
+        deadline itself.
+        """
+        executed = 0
+        while self._queue and self._queue[0].when <= deadline:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when > self.clock.now:
+                self.clock.advance(event.when - self.clock.now)
+            event.action()
+            executed += 1
+        if deadline > self.clock.now:
+            self.clock.advance(deadline - self.clock.now)
+        return executed
+
+    def run_for(self, duration: float) -> int:
+        """Execute events for the next ``duration`` virtual seconds."""
+        return self.run_until(self.clock.now + duration)
+
+    def run_until_idle(self, max_events: int = 100_000) -> int:
+        """Drain the queue completely (guarding against runaway chains)."""
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SimulationError(f"scheduler exceeded {max_events} events")
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when > self.clock.now:
+                self.clock.advance(event.when - self.clock.now)
+            event.action()
+            executed += 1
+        return executed

@@ -1,0 +1,40 @@
+"""Base64 / hex helpers.
+
+JXTA encodes binary payloads inside XML documents using Base64 (RFC 3548,
+ref [14] of the paper).  We wrap the stdlib codec so every call site uses
+``str`` on the XML side and ``bytes`` on the crypto side, with consistent
+error reporting.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+from repro.errors import EncodingError
+
+
+def b64encode(data: bytes) -> str:
+    """Encode bytes as standard Base64 text (no line wrapping)."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    """Decode Base64 text, raising :class:`EncodingError` on bad input."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+        raise EncodingError(f"invalid base64 payload: {exc}") from exc
+
+
+def to_hex(data: bytes) -> str:
+    """Encode bytes as lowercase hex text."""
+    return data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Decode hex text, raising :class:`EncodingError` on bad input."""
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise EncodingError(f"invalid hex payload: {exc}") from exc

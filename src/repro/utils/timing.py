@@ -1,0 +1,86 @@
+"""Wall-clock measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Accumulating stopwatch over ``time.perf_counter``.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch is not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingSample:
+    """A set of repeated wall-clock measurements of one operation."""
+
+    label: str
+    times: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.times.append(seconds)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times) if self.times else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times) if self.times else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+    @property
+    def best(self) -> float:
+        return min(self.times) if self.times else 0.0
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def measure(func, repeat: int = 5, label: str = "") -> TimingSample:
+    """Call ``func()`` ``repeat`` times and collect per-call wall time."""
+    sample = TimingSample(label=label or getattr(func, "__name__", "op"))
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        func()
+        sample.add(time.perf_counter() - t0)
+    return sample

@@ -1,0 +1,15 @@
+"""Minimal self-contained XML stack: element tree, parser, serializer, C14N.
+
+JXTA represents advertisements and peer metadata as XML documents
+(section 2.2 of the paper); the security extension signs them with
+XMLdsig, which requires byte-stable canonicalization.  Everything here is
+implemented from scratch so the canonical form is fully specified by this
+package.
+"""
+
+from repro.xmllib.c14n import canonicalize
+from repro.xmllib.element import Element
+from repro.xmllib.parser import parse
+from repro.xmllib.serializer import document, serialize
+
+__all__ = ["Element", "parse", "serialize", "document", "canonicalize"]

@@ -1,0 +1,44 @@
+"""Canonical XML serialization (a pragmatic C14N subset).
+
+XMLdsig digests and signs *canonicalized* octets so that semantically
+identical documents produce identical signatures regardless of attribute
+order, whitespace style or empty-element syntax.  Full W3C C14N handles
+namespace inheritance corner cases we do not need; this subset implements
+the rules that matter for our document set:
+
+* attributes sorted lexicographically by name,
+* empty elements written as ``<tag></tag>`` (never ``<tag/>``),
+* text escaped minimally and identically to the serializer,
+* no XML declaration, no insignificant whitespace between child elements.
+
+Because both signer and verifier run this exact function over the parsed
+tree, round-tripping a document through serialize->parse cannot change its
+canonical form — property-tested in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLError
+from repro.xmllib.element import Element
+from repro.xmllib.escape import escape_attr, escape_text
+
+
+def canonicalize(elem: Element) -> bytes:
+    """Canonical octets of an element subtree (UTF-8)."""
+    parts: list[str] = []
+    _c14n_into(elem, parts)
+    return "".join(parts).encode("utf-8")
+
+
+def _c14n_into(elem: Element, parts: list[str]) -> None:
+    attrs = "".join(
+        f' {k}="{escape_attr(elem.attrib[k])}"' for k in sorted(elem.attrib)
+    )
+    parts.append(f"<{elem.tag}{attrs}>")
+    if elem.text and elem.children:
+        raise XMLError(f"<{elem.tag}> has mixed content; cannot canonicalize")
+    if elem.text:
+        parts.append(escape_text(elem.text))
+    for child in elem.children:
+        _c14n_into(child, parts)
+    parts.append(f"</{elem.tag}>")

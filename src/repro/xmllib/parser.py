@@ -1,0 +1,162 @@
+"""XML text -> element tree: a small recursive-descent parser.
+
+Supports the XML subset JXTA documents actually use: elements, attributes
+(single or double quoted), character data, comments, processing
+instructions / the XML declaration, and CDATA sections.  DTDs and external
+entities are intentionally rejected — this is a security-focused package
+and entity expansion is a classic attack surface.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmllib.element import Element
+from repro.xmllib.escape import unescape
+
+_WS = " \t\r\n"
+
+
+class _Cursor:
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def startswith(self, s: str) -> bool:
+        return self.text.startswith(s, self.pos)
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos] in _WS:
+            self.pos += 1
+
+    def expect(self, s: str) -> None:
+        if not self.startswith(s):
+            raise XMLParseError(
+                f"expected {s!r} at offset {self.pos}: ...{self.text[self.pos:self.pos+24]!r}"
+            )
+        self.pos += len(s)
+
+    def read_until(self, s: str) -> str:
+        end = self.text.find(s, self.pos)
+        if end == -1:
+            raise XMLParseError(f"unterminated construct, expected {s!r}")
+        out = self.text[self.pos:end]
+        self.pos = end + len(s)
+        return out
+
+    def read_name(self) -> str:
+        start = self.pos
+        while not self.eof() and self.text[self.pos] not in _WS + "=/>\"'<":
+            self.pos += 1
+        if self.pos == start:
+            raise XMLParseError(f"expected a name at offset {start}")
+        return self.text[start:self.pos]
+
+
+def parse(text: str) -> Element:
+    """Parse an XML document (or fragment with one root element)."""
+    cur = _Cursor(text)
+    _skip_misc(cur)
+    elem = _parse_element(cur)
+    _skip_misc(cur)
+    if not cur.eof():
+        raise XMLParseError(f"trailing content after the root element at offset {cur.pos}")
+    return elem
+
+
+def _skip_misc(cur: _Cursor) -> None:
+    """Skip whitespace, comments, and PIs/XML declaration between elements."""
+    while True:
+        cur.skip_ws()
+        if cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>")
+        elif cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->")
+        elif cur.startswith("<!DOCTYPE") or cur.startswith("<!ENTITY"):
+            raise XMLParseError("DTD/entity declarations are not allowed")
+        else:
+            return
+
+
+def _parse_element(cur: _Cursor) -> Element:
+    cur.expect("<")
+    tag = cur.read_name()
+    attrib: dict[str, str] = {}
+    while True:
+        cur.skip_ws()
+        if cur.startswith("/>"):
+            cur.advance(2)
+            return Element(tag, attrib=attrib)
+        if cur.startswith(">"):
+            cur.advance(1)
+            break
+        name = cur.read_name()
+        cur.skip_ws()
+        cur.expect("=")
+        cur.skip_ws()
+        quote = cur.peek()
+        if quote not in "\"'":
+            raise XMLParseError(f"attribute value must be quoted at offset {cur.pos}")
+        cur.advance(1)
+        value = cur.read_until(quote)
+        if name in attrib:
+            raise XMLParseError(f"duplicate attribute {name!r} on <{tag}>")
+        attrib[name] = unescape_checked(value, cur)
+    # Content: either character data or child elements (no mixed content).
+    children: list[Element] = []
+    text_parts: list[str] = []
+    while True:
+        if cur.eof():
+            raise XMLParseError(f"unexpected end of input inside <{tag}>")
+        if cur.startswith("</"):
+            cur.advance(2)
+            closing = cur.read_name()
+            cur.skip_ws()
+            cur.expect(">")
+            if closing != tag:
+                raise XMLParseError(f"mismatched closing tag </{closing}> for <{tag}>")
+            text = "".join(text_parts)
+            if children and text.strip():
+                raise XMLParseError(f"mixed content inside <{tag}> is unsupported")
+            return Element(tag, attrib=attrib,
+                           text="" if children else text, children=children)
+        if cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->")
+        elif cur.startswith("<![CDATA["):
+            cur.advance(9)
+            text_parts.append(cur.read_until("]]>"))
+        elif cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>")
+        elif cur.startswith("<!"):
+            raise XMLParseError("DTD/entity declarations are not allowed")
+        elif cur.startswith("<"):
+            children.append(_parse_element(cur))
+        else:
+            start = cur.pos
+            nxt = cur.text.find("<", cur.pos)
+            if nxt == -1:
+                raise XMLParseError(f"unexpected end of input inside <{tag}>")
+            raw = cur.text[start:nxt]
+            cur.pos = nxt
+            text_parts.append(unescape_checked(raw, cur))
+
+
+def unescape_checked(raw: str, cur: _Cursor) -> str:
+    try:
+        return unescape(raw)
+    except ValueError as exc:
+        raise XMLParseError(str(exc)) from exc

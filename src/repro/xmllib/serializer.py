@@ -1,0 +1,50 @@
+"""Element tree -> XML text."""
+
+from __future__ import annotations
+
+from repro.errors import XMLError
+from repro.xmllib.element import Element
+from repro.xmllib.escape import escape_attr, escape_text
+
+
+def serialize(elem: Element, indent: int | None = None) -> str:
+    """Serialize an element tree.
+
+    ``indent=None`` produces the compact single-line form used on the wire;
+    an integer produces pretty-printed output for humans.  Attribute order
+    is preserved as inserted (canonical ordering is the job of
+    :mod:`repro.xmllib.c14n`).
+    """
+    parts: list[str] = []
+    _serialize_into(elem, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize_into(elem: Element, parts: list[str], indent: int | None,
+                    depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    attrs = "".join(
+        f' {k}="{escape_attr(v)}"' for k, v in elem.attrib.items()
+    )
+    if elem.text and elem.children:
+        raise XMLError(
+            f"<{elem.tag}> has both text and children (mixed content unsupported)"
+        )
+    if not elem.text and not elem.children:
+        parts.append(f"{pad}<{elem.tag}{attrs}/>{newline}")
+        return
+    if elem.text:
+        parts.append(f"{pad}<{elem.tag}{attrs}>{escape_text(elem.text)}</{elem.tag}>{newline}")
+        return
+    parts.append(f"{pad}<{elem.tag}{attrs}>{newline}")
+    for child in elem.children:
+        _serialize_into(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{elem.tag}>{newline}")
+
+
+def document(elem: Element, indent: int | None = None) -> str:
+    """Serialize with the XML declaration prepended."""
+    body = serialize(elem, indent=indent)
+    sep = "\n" if indent is not None else ""
+    return f'<?xml version="1.0" encoding="UTF-8"?>{sep}{body}'

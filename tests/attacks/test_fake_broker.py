@@ -1,0 +1,64 @@
+"""§2.3 threat 3: fake broker / DNS spoofing."""
+
+import pytest
+
+from repro.attacks import FakeBroker, spoof_dns
+from repro.errors import BrokerAuthenticationError
+
+
+class TestAgainstPlainClient:
+    def test_plain_client_fully_fooled(self, plain_world):
+        """The attack the paper warns about: plain connect+login hand the
+        password straight to the impostor."""
+        w = plain_world
+        fake = FakeBroker(w.net, "broker:fake", w.root.fork(b"fk"))
+        w.net.add_interceptor(spoof_dns("broker:0", "broker:fake"))
+        # victim believes it's talking to the well-known broker address
+        name = w.alice.connect("broker:0")
+        assert name == fake.name  # no way to notice
+        w.alice.login("alice", "pw-a")
+        assert ("alice", "pw-a") in fake.harvested
+
+
+class TestAgainstSecureClient:
+    def test_forged_credential_rejected(self, secure_world):
+        w = secure_world
+        fake = FakeBroker(w.net, "broker:fake", w.root.fork(b"fk"))
+        w.net.add_interceptor(spoof_dns("broker:0", "broker:fake"))
+        with pytest.raises(BrokerAuthenticationError, match="legitimate"):
+            w.alice.secure_connect("broker:0")
+        assert w.alice.events.events_named("broker_rejected")
+        assert w.alice.sid is None
+
+    def test_stolen_credential_rejected(self, secure_world):
+        """Even holding the REAL broker's credential (public data!) the
+        fake fails step 7: it cannot sign the challenge without SK_Br."""
+        w = secure_world
+        fake = FakeBroker(w.net, "broker:fake", w.root.fork(b"fk"),
+                          stolen_credential=w.broker.credential)
+        w.net.add_interceptor(spoof_dns("broker:0", "broker:fake"))
+        with pytest.raises(BrokerAuthenticationError, match="impersonator"):
+            w.alice.secure_connect("broker:0")
+
+    def test_no_password_ever_reaches_fake(self, secure_world):
+        w = secure_world
+        fake = FakeBroker(w.net, "broker:fake", w.root.fork(b"fk"))
+        interceptor = spoof_dns("broker:0", "broker:fake")
+        w.net.add_interceptor(interceptor)
+        with pytest.raises(BrokerAuthenticationError):
+            w.alice.secure_connect("broker:0")
+        # the client stopped at secureConnection; login never happened
+        assert fake.harvested == []
+        assert fake.opaque_blobs == []
+
+    def test_recovery_after_attack_ends(self, secure_world):
+        w = secure_world
+        fake = FakeBroker(w.net, "broker:fake", w.root.fork(b"fk"))
+        interceptor = spoof_dns("broker:0", "broker:fake")
+        w.net.add_interceptor(interceptor)
+        with pytest.raises(BrokerAuthenticationError):
+            w.alice.secure_connect("broker:0")
+        w.net.remove_interceptor(interceptor)  # spoofing fixed
+        cred = w.alice.secure_connect("broker:0")
+        assert cred.subject_name == "B0"
+        assert w.alice.secure_login("alice", "pw-a") == ["students"]

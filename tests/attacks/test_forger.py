@@ -1,0 +1,103 @@
+"""§2.3 threat 2: advertisement forgery by a legitimate insider."""
+
+import pytest
+
+from repro.attacks import (
+    forge_file_advertisement,
+    forge_pipe_advertisement,
+    forge_signed_advertisement,
+    tamper_signed_advertisement,
+)
+from repro.errors import CBIDMismatchError, SecurityError, TamperedAdvertisementError
+from repro.jxta.advertisements import PipeAdvertisement
+
+
+class TestAgainstPlainOverlay:
+    def test_pipe_hijack_succeeds(self, joined_plain_world):
+        """Mallory (a legitimate user!) forges bob's pipe advertisement
+        pointing at her own address, pushes it to alice, and receives
+        alice's messages meant for bob."""
+        w = joined_plain_world
+        from repro.jxta.endpoint import Endpoint
+        from repro.jxta.messages import Message
+
+        stolen = []
+        mallory = Endpoint(w.net, "peer:mallory")
+        mallory.on("pipe_data", lambda m, s: stolen.append(
+            Message.from_element(m.get_xml("inner"))) or None)
+
+        forged = forge_pipe_advertisement(
+            str(w.bob.peer_id), "students", "peer:mallory",
+            w.root.fork(b"forge"))
+        # push the forgery straight into alice's cache (adv_push is how
+        # the overlay distributes advertisements anyway)
+        push = Message("adv_push")
+        push.add_xml("adv", forged)
+        w.net.send("peer:mallory", "peer:alice", push.to_wire())
+
+        w.alice.send_msg_peer(str(w.bob.peer_id), "students", "for bob only")
+        assert stolen and stolen[0].get_text("text") == "for bob only"
+        assert not w.bob.events.events_named("message_received")
+
+    def test_file_forgery_accepted_by_plain_search(self, joined_plain_world):
+        w = joined_plain_world
+        forged = forge_file_advertisement(
+            str(w.bob.peer_id), "students", "trusted-notes.pdf", b"malware")
+        from repro.jxta.messages import Message
+
+        push = Message("adv_push")
+        push.add_xml("adv", forged)
+        w.net.send("peer:mallory", "peer:alice", push.to_wire())
+        names = [e.parsed.file_name for e in
+                 w.alice.control.cache.find("FileAdvertisement")]
+        assert "trusted-notes.pdf" in names  # alice's cache is poisoned
+
+
+class TestAgainstSecureOverlay:
+    def test_unsigned_forgery_rejected(self, joined_secure_world):
+        w = joined_secure_world
+        forged = forge_pipe_advertisement(
+            str(w.bob.peer_id), "students", "peer:mallory",
+            w.root.fork(b"forge"))
+        with pytest.raises((TamperedAdvertisementError, SecurityError)):
+            w.alice.validator.validate(forged, now=w.net.clock.now)
+
+    def test_signed_forgery_fails_cbid(self, joined_secure_world):
+        """carol signs (with her own valid credential) an advertisement
+        claiming bob's peer id: the CBID check kills it."""
+        w = joined_secure_world
+        forged = forge_signed_advertisement(
+            str(w.bob.peer_id), "students", "peer:carol",
+            w.carol.keystore, w.root.fork(b"fs"))
+        with pytest.raises(CBIDMismatchError):
+            w.alice.validator.validate(forged, now=w.net.clock.now)
+
+    def test_poisoned_cache_does_not_hijack_secure_send(self, joined_secure_world):
+        """Even if the forged advertisement lands in alice's cache, the
+        secure send validates it and aborts instead of delivering."""
+        w = joined_secure_world
+        forged = forge_signed_advertisement(
+            str(w.bob.peer_id), "students", "peer:carol",
+            w.carol.keystore, w.root.fork(b"fs2"))
+        w.alice.control.cache.publish(forged)
+        with pytest.raises(SecurityError):
+            w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "private")
+
+    def test_tampered_legitimate_adv_rejected(self, joined_secure_world):
+        """Taking bob's REAL signed advertisement and editing the address."""
+        w = joined_secure_world
+        entry = w.broker.control.cache.find_one(
+            "PipeAdvertisement", str(w.bob.peer_id), group="students")
+        tampered = tamper_signed_advertisement(entry.element, "peer:mallory")
+        with pytest.raises(TamperedAdvertisementError):
+            w.alice.validator.validate(tampered, now=w.net.clock.now)
+
+    def test_legitimate_adv_still_validates(self, joined_secure_world):
+        """Sanity: validation rejects forgeries but accepts the real thing."""
+        w = joined_secure_world
+        entry = w.broker.control.cache.find_one(
+            "PipeAdvertisement", str(w.bob.peer_id), group="students")
+        result = w.alice.validator.validate(entry.element, now=w.net.clock.now)
+        adv = result.advertisement
+        assert isinstance(adv, PipeAdvertisement)
+        assert adv.address == "peer:bob"

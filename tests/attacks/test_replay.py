@@ -1,0 +1,58 @@
+"""Login replay (§4.2.2's motivating attack)."""
+
+from repro.attacks import LoginReplayer
+from repro.jxta.endpoint import Endpoint
+
+
+def _attacker_endpoint(net, address="peer:mallory"):
+    # the attacker only needs a network presence to replay from
+    net.register(address, lambda frame: None)
+    return address
+
+
+class TestAgainstPlainLogin:
+    def test_replay_succeeds_on_plain_protocol(self, plain_world):
+        """The plain login has no freshness: a captured login blob gets a
+        second login_ok, letting the attacker impersonate the victim."""
+        w = plain_world
+        attacker = LoginReplayer("peer:mallory").attach(w.net)
+        _attacker_endpoint(w.net)
+        w.alice.connect("broker:0")
+        w.alice.login("alice", "pw-a")
+        assert len(attacker.captured) == 1
+        responses = attacker.replay_all(w.net)
+        assert LoginReplayer.successes(responses)  # impersonation achieved
+
+
+class TestAgainstSecureLogin:
+    def test_replay_blocked_by_sid(self, secure_world):
+        """The secure login blob is one-shot: the sid inside was consumed."""
+        w = secure_world
+        attacker = LoginReplayer("peer:mallory").attach(w.net)
+        _attacker_endpoint(w.net)
+        w.alice.secure_connect("broker:0")
+        w.alice.secure_login("alice", "pw-a")
+        assert len(attacker.captured) == 1
+        responses = attacker.replay_all(w.net)
+        assert not LoginReplayer.successes(responses)
+        assert all(r.msg_type == "secure_login_fail" for r in responses)
+        assert w.broker.sids.replays_blocked >= 1
+
+    def test_attacker_cannot_read_what_it_captured(self, secure_world):
+        w = secure_world
+        attacker = LoginReplayer("peer:mallory").attach(w.net)
+        _attacker_endpoint(w.net)
+        w.alice.secure_connect("broker:0")
+        w.alice.secure_login("alice", "pw-a")
+        blob = attacker.captured[0].payload
+        assert b"pw-a" not in blob
+
+    def test_victim_session_unaffected_by_replay(self, secure_world):
+        w = secure_world
+        attacker = LoginReplayer("peer:mallory").attach(w.net)
+        _attacker_endpoint(w.net)
+        w.alice.secure_connect("broker:0")
+        w.alice.secure_login("alice", "pw-a")
+        attacker.replay_all(w.net)
+        assert str(w.alice.peer_id) in w.broker.connected
+        assert w.broker.connected[str(w.alice.peer_id)].username == "alice"

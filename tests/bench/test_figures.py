@@ -1,0 +1,41 @@
+"""Terminal Figure-2 rendering."""
+
+from repro.bench.experiments import MsgOverheadCurve, MsgOverheadPoint
+from repro.bench.figures import render_figure2
+
+
+def _curve(values):
+    return MsgOverheadCurve(points=[
+        MsgOverheadPoint(size_bytes=10 ** (i + 2), plain_s=0.001,
+                         secure_s=0.001 * (1 + v / 100), overhead_pct=v)
+        for i, v in enumerate(values)
+    ])
+
+
+class TestRenderFigure2:
+    def test_contains_labels_and_bars(self):
+        out = render_figure2(_curve([900.0, 400.0, 100.0]))
+        assert "100B" in out and "1kB" in out and "10kB" in out
+        assert "█" in out
+        assert "secureMsgPeer overhead" in out
+
+    def test_tallest_bar_is_first_for_falling_curve(self):
+        out = render_figure2(_curve([900.0, 400.0, 100.0]))
+        first_row = out.splitlines()[1]  # top data row
+        # only the first column reaches the top
+        assert "█" in first_row
+        assert first_row.rstrip().endswith("███")
+        assert first_row.count("███") == 1
+
+    def test_empty_curve(self):
+        assert "no data" in render_figure2(MsgOverheadCurve())
+
+    def test_non_positive_values(self):
+        assert "non-positive" in render_figure2(_curve([0.0, 0.0]))
+
+    def test_size_labels(self):
+        from repro.bench.figures import _format_size
+
+        assert _format_size(100) == "100B"
+        assert _format_size(1_000) == "1kB"
+        assert _format_size(1_000_000) == "1MB"

@@ -1,0 +1,161 @@
+"""Credentials and chains: the §4.1 trust setup."""
+
+import pytest
+
+from repro.core.credentials import (
+    Credential,
+    chain_from_elements,
+    chain_to_elements,
+    issue_credential,
+    self_signed_credential,
+    validate_chain,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import CBIDMismatchError, CredentialError
+from repro.jxta.ids import cbid_from_key
+from repro.xmllib import parse, serialize
+from tests.conftest import cached_keypair
+
+ADMIN = cached_keypair(512, "admin")
+BROKER = cached_keypair(512, "broker")
+CLIENT = cached_keypair(512, "client-alice")
+
+
+@pytest.fixture()
+def anchor():
+    return self_signed_credential(ADMIN.private, ADMIN.public, "admin",
+                                  0.0, 1e9, drbg=HmacDrbg(b"a"))
+
+
+@pytest.fixture()
+def broker_cred(anchor):
+    return issue_credential(ADMIN.private, cbid_from_key(ADMIN.public), "admin",
+                            BROKER.public, "B0", 0.0, 1e8, drbg=HmacDrbg(b"b"))
+
+
+@pytest.fixture()
+def client_cred(broker_cred):
+    return issue_credential(BROKER.private, cbid_from_key(BROKER.public), "B0",
+                            CLIENT.public, "alice", 0.0, 1e7, drbg=HmacDrbg(b"c"))
+
+
+class TestIssuance:
+    def test_subject_id_is_cbid_of_key(self, broker_cred):
+        assert broker_cred.subject_id == cbid_from_key(BROKER.public)
+        assert broker_cred.subject_name == "B0"
+        assert broker_cred.issuer_name == "admin"
+
+    def test_self_signed_detection(self, anchor, broker_cred):
+        assert anchor.self_signed
+        assert not broker_cred.self_signed
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CredentialError):
+            issue_credential(ADMIN.private, cbid_from_key(ADMIN.public), "a",
+                             BROKER.public, "b", 10.0, 10.0)
+
+
+class TestCodec:
+    def test_wire_roundtrip(self, broker_cred):
+        restored = Credential.from_element(parse(serialize(broker_cred.element)))
+        assert restored.subject_id == broker_cred.subject_id
+        assert restored.public_key == broker_cred.public_key
+        assert restored.not_after == broker_cred.not_after
+        restored.verify(ADMIN.public, now=1.0)
+
+    def test_wrong_root_rejected(self):
+        from repro.xmllib import Element
+
+        with pytest.raises(CredentialError):
+            Credential.from_element(Element("NotACredential"))
+
+    def test_missing_field_rejected(self, broker_cred):
+        elem = broker_cred.to_element()
+        elem.remove(elem.find("PublicKey"))
+        with pytest.raises(CredentialError):
+            Credential.from_element(elem)
+
+    def test_bad_timestamp_rejected(self, broker_cred):
+        elem = broker_cred.to_element()
+        elem.find("NotAfter").text = "whenever"
+        with pytest.raises(CredentialError):
+            Credential.from_element(elem)
+
+
+class TestVerification:
+    def test_valid_credential_verifies(self, broker_cred):
+        broker_cred.verify(ADMIN.public, now=100.0)
+
+    def test_expired_rejected(self, broker_cred):
+        with pytest.raises(CredentialError, match="expired"):
+            broker_cred.verify(ADMIN.public, now=1e8 + 1)
+
+    def test_not_yet_valid_rejected(self):
+        cred = issue_credential(ADMIN.private, cbid_from_key(ADMIN.public), "a",
+                                BROKER.public, "b", 100.0, 200.0)
+        with pytest.raises(CredentialError, match="not yet valid"):
+            cred.verify(ADMIN.public, now=50.0)
+
+    def test_wrong_issuer_key_rejected(self, broker_cred):
+        with pytest.raises(CredentialError):
+            broker_cred.verify(BROKER.public, now=1.0)
+
+    def test_tampered_subject_rejected(self, broker_cred):
+        elem = broker_cred.to_element()
+        elem.find("SubjectName").text = "evil-broker"
+        tampered = Credential.from_element(elem)
+        with pytest.raises(CredentialError):
+            tampered.verify(ADMIN.public, now=1.0)
+
+    def test_swapped_key_fails_cbid(self, broker_cred):
+        from repro.crypto.keys import public_key_to_text
+
+        elem = broker_cred.to_element()
+        elem.find("PublicKey").text = public_key_to_text(CLIENT.public)
+        swapped = Credential.from_element(elem)
+        with pytest.raises(CBIDMismatchError):
+            swapped.check_cbid()
+
+
+class TestChains:
+    def test_two_level_chain_validates(self, anchor, broker_cred, client_cred):
+        leaf = validate_chain([client_cred, broker_cred], anchor, now=10.0)
+        assert leaf.subject_name == "alice"
+
+    def test_one_level_chain_validates(self, anchor, broker_cred):
+        assert validate_chain([broker_cred], anchor, now=10.0).subject_name == "B0"
+
+    def test_empty_chain_rejected(self, anchor):
+        with pytest.raises(CredentialError):
+            validate_chain([], anchor, now=0.0)
+
+    def test_over_long_chain_rejected(self, anchor, broker_cred):
+        with pytest.raises(CredentialError):
+            validate_chain([broker_cred] * 5, anchor, now=0.0)
+
+    def test_chain_not_rooted_at_anchor_rejected(self, broker_cred, client_cred):
+        # forge a parallel "admin"
+        fake_admin = cached_keypair(512, "fake-admin")
+        fake_anchor = self_signed_credential(
+            fake_admin.private, fake_admin.public, "fake", 0.0, 1e9)
+        with pytest.raises(CredentialError):
+            validate_chain([client_cred, broker_cred], fake_anchor, now=1.0)
+
+    def test_broken_link_rejected(self, anchor, client_cred):
+        # client credential chained directly to the anchor: the issuer id
+        # does not match and the signature was not made by the admin
+        with pytest.raises(CredentialError):
+            validate_chain([client_cred], anchor, now=1.0)
+
+    def test_expired_intermediate_rejected(self, anchor, client_cred):
+        short_broker = issue_credential(
+            ADMIN.private, cbid_from_key(ADMIN.public), "admin",
+            BROKER.public, "B0", 0.0, 5.0)
+        with pytest.raises(CredentialError, match="expired"):
+            validate_chain([client_cred, short_broker], anchor, now=50.0)
+
+    def test_chain_element_roundtrip(self, anchor, broker_cred, client_cred):
+        elements = chain_to_elements([client_cred, broker_cred])
+        restored = chain_from_elements(
+            [parse(serialize(e)) for e in elements])
+        validate_chain(restored, anchor, now=1.0)

@@ -1,0 +1,40 @@
+"""Security policy validation."""
+
+import pytest
+
+from repro.core.policy import DEFAULT_POLICY, ERA_2009_POLICY, SecurityPolicy
+from repro.errors import PolicyError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        assert DEFAULT_POLICY.validate() is DEFAULT_POLICY
+
+    def test_era_policy_uses_v15_stack(self):
+        assert ERA_2009_POLICY.envelope_suite == "aes128-cbc"
+        assert ERA_2009_POLICY.envelope_wrap == "rsa-pkcs1v15"
+        assert ERA_2009_POLICY.signature_scheme == "rsa-pkcs1v15-sha256"
+
+    @pytest.mark.parametrize("bad", [
+        {"envelope_suite": "des"},
+        {"envelope_wrap": "rsa-raw"},
+        {"signature_scheme": "ecdsa"},
+        {"challenge_bytes": 8},
+        {"credential_lifetime": 0.0},
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(**bad).validate()
+
+    def test_with_creates_validated_copy(self):
+        updated = DEFAULT_POLICY.with_(rsa_bits=2048)
+        assert updated.rsa_bits == 2048
+        assert DEFAULT_POLICY.rsa_bits == 1024  # frozen original untouched
+
+    def test_with_rejects_invalid(self):
+        with pytest.raises(PolicyError):
+            DEFAULT_POLICY.with_(challenge_bytes=1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_POLICY.rsa_bits = 512  # type: ignore[misc]

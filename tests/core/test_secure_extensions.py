@@ -1,0 +1,128 @@
+"""The §6 further-work extensions: secure file sharing and secure exec."""
+
+import pytest
+
+from repro.errors import SecurityError
+
+
+class TestSecureFiles:
+    def test_publish_search_fetch(self, joined_secure_world):
+        w = joined_secure_world
+        data = b"signed and sealed " * 200
+        w.alice.secure_publish_file("students", "paper.pdf", data)
+        offers = w.bob.secure_search_files(group="students")
+        assert [o.file_name for o in offers] == ["paper.pdf"]
+        fetched = w.bob.secure_request_file(str(w.alice.peer_id),
+                                            "students", "paper.pdf")
+        assert fetched == data
+        assert w.bob.events.events_named("file_received")
+
+    def test_content_encrypted_on_wire(self, joined_secure_world):
+        from repro.attacks import Eavesdropper
+
+        w = joined_secure_world
+        w.alice.secure_publish_file("students", "s.txt", b"CONFIDENTIAL-BYTES")
+        spy = Eavesdropper().attach(w.net)
+        w.bob.secure_request_file(str(w.alice.peer_id), "students", "s.txt")
+        assert not spy.saw_bytes(b"CONFIDENTIAL-BYTES")
+
+    def test_unsigned_offers_filtered_from_secure_search(self, joined_secure_world):
+        """A plain (unsigned) file advertisement in the index is invisible
+        to secure_search_files."""
+        from repro.jxta.advertisements import FileAdvertisement
+        from repro.jxta.ids import random_peer_id
+
+        w = joined_secure_world
+        rogue = FileAdvertisement(
+            peer_id=random_peer_id(w.root.fork(b"rg")), file_name="virus.exe",
+            size=5, sha256_hex="00" * 32, group="students")
+        w.broker.control.cache.publish_advertisement(rogue)
+        offers = w.bob.secure_search_files(group="students")
+        assert "virus.exe" not in [o.file_name for o in offers]
+
+    def test_swapped_content_detected(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.secure_publish_file("students", "f.bin", b"original")
+        w.bob.secure_search_files(group="students")  # cache the signed adv
+        w.alice.files.add("f.bin", b"poisoned")
+        with pytest.raises(SecurityError):
+            w.bob.secure_request_file(str(w.alice.peer_id), "students", "f.bin")
+
+    def test_requester_without_credential_rejected(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.secure_publish_file("students", "f", b"x")
+        # bob forgets his credential chain
+        w.bob.keystore.chain = []
+        with pytest.raises(SecurityError):
+            w.bob.secure_request_file(str(w.alice.peer_id), "students", "f")
+
+    def test_unknown_file_refused(self, joined_secure_world):
+        w = joined_secure_world
+        with pytest.raises(SecurityError, match="no file named"):
+            w.bob.secure_request_file(str(w.alice.peer_id), "students", "ghost")
+
+    def test_served_metric(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.secure_publish_file("students", "f", b"x")
+        w.bob.secure_request_file(str(w.alice.peer_id), "students", "f")
+        assert w.alice.metrics.count("secure_file.served") == 1
+
+
+class TestSecureTasks:
+    def test_roundtrip(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.register_task("upper", lambda s: s.upper())
+        assert w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                        "upper", "ping") == "PING"
+        assert w.alice.metrics.count("secure_task.executed") == 1
+
+    def test_acl_enforced(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.register_task("upper", lambda s: s.upper())
+        w.alice.set_task_acl({"carol"})  # bob not allowed
+        with pytest.raises(SecurityError, match="not authorized"):
+            w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                     "upper", "x")
+        assert w.alice.metrics.count("secure_task.unauthorized") == 1
+
+    def test_acl_allows_listed_user(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.register_task("upper", lambda s: s.upper())
+        w.alice.set_task_acl({"bob"})
+        assert w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                        "upper", "x") == "X"
+
+    def test_unknown_task_refused(self, joined_secure_world):
+        w = joined_secure_world
+        with pytest.raises(SecurityError, match="unknown task"):
+            w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                     "ghost", "x")
+
+    def test_crashing_task_contained(self, joined_secure_world):
+        w = joined_secure_world
+
+        def boom(arg):
+            raise RuntimeError("kaput")
+
+        w.alice.register_task("boom", boom)
+        with pytest.raises(SecurityError, match="kaput"):
+            w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                     "boom", "x")
+
+    def test_argument_and_result_encrypted(self, joined_secure_world):
+        from repro.attacks import Eavesdropper
+
+        w = joined_secure_world
+        w.alice.register_task("echo", lambda s: "RESULT-" + s)
+        spy = Eavesdropper().attach(w.net)
+        w.bob.secure_submit_task(str(w.alice.peer_id), "students",
+                                 "echo", "SECRET-ARGUMENT")
+        assert not spy.saw_text("SECRET-ARGUMENT")
+        assert not spy.saw_text("RESULT-SECRET-ARGUMENT")
+
+    def test_events_emitted(self, joined_secure_world):
+        w = joined_secure_world
+        w.alice.register_task("id", lambda s: s)
+        w.bob.secure_submit_task(str(w.alice.peer_id), "students", "id", "v")
+        assert w.bob.events.events_named("task_submitted")
+        assert w.bob.events.events_named("task_result")

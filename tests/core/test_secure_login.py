@@ -1,0 +1,193 @@
+"""secureLogin (§4.2.2): codecs, broker checks, replay protection."""
+
+import pytest
+
+from repro.core import secure_login as sl
+from repro.errors import (
+    CBIDMismatchError,
+    ClientAuthenticationError,
+    CredentialError,
+    SecurityError,
+)
+from repro.jxta.ids import cbid_from_key
+from repro.jxta.messages import Message
+from tests.conftest import cached_keypair
+
+BROKER = cached_keypair(512, "broker")
+ALICE = cached_keypair(512, "client-alice")
+MALLORY = cached_keypair(512, "client-mallory")
+
+SUITE = "chacha20poly1305"
+WRAP = "rsa-pkcs1v15"
+SCHEME = "rsa-pss-sha256"
+
+
+def _request(username="alice", password="pw", keys=ALICE, sid="sid-1"):
+    doc = sl.build_login_document(username, password, keys, "alice-app",
+                                  "peer:alice", scheme=SCHEME)
+    return sl.seal_login_request(doc, sid, BROKER.public, SUITE, WRAP)
+
+
+class TestCodecs:
+    def test_open_recovers_claim(self):
+        msg = Message.from_wire(_request().to_wire())
+        claim = sl.open_login_request(msg, BROKER.private)
+        assert claim.username == "alice"
+        assert claim.password == "pw"
+        assert claim.public_key == ALICE.public
+        assert claim.peer_id == str(cbid_from_key(ALICE.public))
+        assert claim.sid == "sid-1"
+
+    def test_password_not_on_the_wire(self):
+        wire = _request(password="super-secret-pw").to_wire()
+        assert b"super-secret-pw" not in wire
+        assert b"alice" not in wire  # username hidden too
+
+    def test_wrong_broker_key_cannot_open(self):
+        other = cached_keypair(512, "client-mallory")
+        with pytest.raises(ClientAuthenticationError):
+            sl.open_login_request(_request(), other.private)
+
+    def test_forged_peer_id_rejected(self):
+        """The paper's step 7: claimed id must hash from the enclosed key.
+
+        Mallory builds a login doc whose PeerId is alice's CBID but whose
+        key/signature are mallory's."""
+        doc = sl.build_login_document("alice", "pw", MALLORY, "m", "peer:m",
+                                      scheme=SCHEME)
+        doc.find("PeerId").text = str(cbid_from_key(ALICE.public))
+        # re-sign so only the CBID check can catch it
+        from repro.dsig import sign_element
+
+        sign_element(doc, MALLORY.private, sig_alg=SCHEME)
+        msg = sl.seal_login_request(doc, "sid", BROKER.public, SUITE, WRAP)
+        with pytest.raises(CBIDMismatchError, match="claimed identifier"):
+            sl.open_login_request(msg, BROKER.private)
+
+    def test_tampered_username_rejected(self):
+        """Integrity: the signature covers username+password+key."""
+        doc = sl.build_login_document("alice", "pw", ALICE, "a", "peer:a",
+                                      scheme=SCHEME)
+        doc.find("Username").text = "root"
+        msg = sl.seal_login_request(doc, "sid", BROKER.public, SUITE, WRAP)
+        with pytest.raises(ClientAuthenticationError, match="signature"):
+            sl.open_login_request(msg, BROKER.private)
+
+    def test_garbage_envelope_rejected(self):
+        msg = Message(sl.LOGIN_REQ)
+        msg.add_json("envelope", {"suite": "chacha20poly1305"})
+        with pytest.raises(ClientAuthenticationError):
+            sl.open_login_request(msg, BROKER.private)
+
+    def test_response_roundtrip(self):
+        from repro.core.credentials import issue_credential
+
+        cred = issue_credential(BROKER.private, cbid_from_key(BROKER.public),
+                                "B0", ALICE.public, "alice", 0.0, 100.0)
+        resp = sl.build_login_response(cred, ["g2", "g1"])
+        restored, groups = sl.parse_login_response(
+            Message.from_wire(resp.to_wire()))
+        assert groups == ["g1", "g2"]
+        assert restored.subject_name == "alice"
+
+    def test_fail_response_raises(self):
+        fail = Message(sl.LOGIN_FAIL)
+        fail.add_text("reason", "nope")
+        with pytest.raises(ClientAuthenticationError, match="nope"):
+            sl.parse_login_response(fail)
+
+
+class TestEndToEnd:
+    def test_successful_login(self, secure_world):
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        assert w.alice.secure_login("alice", "pw-a") == ["students"]
+        assert w.alice.keystore.credential.subject_name == "alice"
+        assert w.alice.username == "alice"
+        assert w.alice.events.events_named("credential_issued")
+        # broker session registered under the client's CBID
+        assert str(w.alice.peer_id) in w.broker.connected
+
+    def test_login_without_connect_rejected(self, secure_world):
+        w = secure_world
+        w.alice.broker_address = "broker:0"
+        with pytest.raises(SecurityError):
+            w.alice.secure_login("alice", "pw-a")
+
+    def test_wrong_password_rejected(self, secure_world):
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        with pytest.raises(ClientAuthenticationError, match="impersonator"):
+            w.alice.secure_login("alice", "wrong")
+        assert w.alice.username is None
+
+    def test_sid_single_use_even_after_failure(self, secure_world):
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        with pytest.raises(ClientAuthenticationError):
+            w.alice.secure_login("alice", "wrong")
+        # the sid was consumed client-side; retry needs a new connect
+        with pytest.raises(SecurityError):
+            w.alice.secure_login("alice", "pw-a")
+        w.alice.secure_connect("broker:0")
+        assert w.alice.secure_login("alice", "pw-a") == ["students"]
+
+    def test_stale_sid_rejected_by_broker(self, secure_world):
+        """A sid must be consumed by the broker exactly once."""
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        sid = w.alice.sid
+        w.alice.secure_login("alice", "pw-a")
+        # hand-craft a second login reusing the same sid
+        doc = sl.build_login_document(
+            "alice", "pw-a", w.alice.keystore.keys, "alice-app",
+            "peer:alice", scheme=w.alice.policy.signature_scheme)
+        msg = sl.seal_login_request(
+            doc, sid, w.broker.keystore.keys.public,
+            w.alice.policy.envelope_suite, w.alice.policy.envelope_wrap)
+        resp = w.alice.control.endpoint.request("broker:0", msg)
+        assert resp.msg_type == sl.LOGIN_FAIL
+        assert "aborted" in resp.get_text("reason")
+        assert w.broker.sids.replays_blocked >= 1
+
+    def test_pipes_signed_after_login(self, joined_secure_world):
+        w = joined_secure_world
+        hits = w.broker.control.cache.find(
+            "PipeAdvertisement", peer_id=str(w.alice.peer_id))
+        assert len(hits) == 1
+        # validate the stored advertisement against the anchor
+        from repro.core.signed_advertisement import AdvertisementValidator
+
+        validator = AdvertisementValidator(w.admin.credential)
+        result = validator.validate(hits[0].element, now=w.net.clock.now)
+        assert result.credential.subject_name == "alice"
+
+    def test_issued_credential_has_policy_lifetime(self, joined_secure_world):
+        w = joined_secure_world
+        cred = w.alice.keystore.credential
+        assert cred.not_after - cred.not_before == pytest.approx(
+            w.alice.policy.credential_lifetime)
+
+    def test_credential_for_wrong_key_rejected_by_client(self, secure_world):
+        """The client validates what the broker returns."""
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        # sabotage: broker will issue for a different key via monkeypatch
+        from repro.core.credentials import issue_credential
+
+        original = w.broker.fn_secure_login
+
+        def evil(message, src):
+            resp = original(message, src)
+            if resp.msg_type != sl.LOGIN_OK:
+                return resp
+            bogus = issue_credential(
+                w.broker.keystore.keys.private, w.broker.keystore.cbid, "B0",
+                cached_keypair(512, "client-mallory").public, "alice",
+                0.0, 100.0)
+            out = sl.build_login_response(bogus, ["students"])
+            return out
+
+        w.broker.control.endpoint._handlers[sl.LOGIN_REQ] = evil
+        with pytest.raises(CredentialError):
+            w.alice.secure_login("alice", "pw-a")

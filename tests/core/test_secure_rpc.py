@@ -1,0 +1,124 @@
+"""The generic secure request/response pattern behind the §6 extensions."""
+
+import pytest
+
+from repro.core.credentials import issue_credential, self_signed_credential
+from repro.core.keystore import Keystore
+from repro.core.policy import SecurityPolicy
+from repro.core.secure_rpc import (
+    open_signed_request,
+    open_signed_response,
+    seal_signed_request,
+    seal_signed_response,
+)
+from repro.crypto import envelope
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import SecurityError
+from repro.jxta.ids import cbid_from_key
+from repro.xmllib import Element
+from tests.conftest import cached_keypair
+
+ADMIN = cached_keypair(512, "admin")
+BROKER = cached_keypair(512, "broker")
+ALICE = cached_keypair(512, "client-alice")
+BOB = cached_keypair(512, "client-bob")
+
+POLICY = SecurityPolicy(rsa_bits=512, envelope_wrap=envelope.WRAP_V15).validate()
+DRBG = HmacDrbg(b"rpc-tests")
+AAD = b"test-rpc"
+
+
+def _keystore(keys, name):
+    anchor = self_signed_credential(ADMIN.private, ADMIN.public, "admin",
+                                    0.0, 1e9)
+    broker_cred = issue_credential(ADMIN.private, cbid_from_key(ADMIN.public),
+                                   "admin", BROKER.public, "B0", 0.0, 1e8)
+    cred = issue_credential(BROKER.private, cbid_from_key(BROKER.public), "B0",
+                            keys.public, name, 0.0, 1e7)
+    ks = Keystore(keys)
+    ks.install_anchor(anchor)
+    ks.install_chain([cred, broker_cred])
+    return ks
+
+
+@pytest.fixture()
+def alice_ks():
+    return _keystore(ALICE, "alice")
+
+
+@pytest.fixture()
+def bob_ks():
+    return _keystore(BOB, "bob")
+
+
+def _body():
+    body = Element("FileRequest")
+    body.add("FileName", text="f.txt")
+    return body
+
+
+class TestRequestPath:
+    def test_roundtrip(self, alice_ks, bob_ks):
+        env = seal_signed_request(_body(), alice_ks, BOB.public, POLICY,
+                                  DRBG, AAD)
+        opened = open_signed_request(env, bob_ks, now=1.0, aad=AAD,
+                                     expected_body_tag="FileRequest")
+        assert opened.requester.subject_name == "alice"
+        assert opened.body.findtext("FileName") == "f.txt"
+
+    def test_without_credential_rejected_at_seal(self, bob_ks):
+        bare = Keystore(ALICE)
+        with pytest.raises(SecurityError):
+            seal_signed_request(_body(), bare, BOB.public, POLICY, DRBG, AAD)
+
+    def test_wrong_recipient_cannot_open(self, alice_ks):
+        env = seal_signed_request(_body(), alice_ks, BOB.public, POLICY,
+                                  DRBG, AAD)
+        other = _keystore(cached_keypair(512, "client-mallory"), "mallory")
+        with pytest.raises(SecurityError):
+            open_signed_request(env, other, now=1.0, aad=AAD,
+                                expected_body_tag="FileRequest")
+
+    def test_wrong_aad_rejected(self, alice_ks, bob_ks):
+        env = seal_signed_request(_body(), alice_ks, BOB.public, POLICY,
+                                  DRBG, b"jxta-overlay-secure-file-req")
+        with pytest.raises(SecurityError):
+            open_signed_request(env, bob_ks, now=1.0, aad=b"other-context",
+                                expected_body_tag="FileRequest")
+
+    def test_wrong_body_tag_rejected(self, alice_ks, bob_ks):
+        env = seal_signed_request(_body(), alice_ks, BOB.public, POLICY,
+                                  DRBG, AAD)
+        with pytest.raises(SecurityError):
+            open_signed_request(env, bob_ks, now=1.0, aad=AAD,
+                                expected_body_tag="TaskRequest")
+
+    def test_expired_requester_rejected(self, alice_ks, bob_ks):
+        env = seal_signed_request(_body(), alice_ks, BOB.public, POLICY,
+                                  DRBG, AAD)
+        from repro.errors import CredentialError
+
+        with pytest.raises((SecurityError, CredentialError)):
+            open_signed_request(env, bob_ks, now=1e9, aad=AAD,
+                                expected_body_tag="FileRequest")
+
+
+class TestResponsePath:
+    def test_roundtrip(self, alice_ks, bob_ks):
+        body = Element("FileResponse")
+        body.add("Content", text="payload")
+        env = seal_signed_response(body, bob_ks.keys.private, ALICE.public,
+                                   POLICY, DRBG, AAD)
+        out = open_signed_response(env, alice_ks.keys.private, BOB.public,
+                                   AAD, "FileResponse")
+        assert out.findtext("Content") == "payload"
+
+    def test_responder_signature_checked(self, alice_ks, bob_ks):
+        body = Element("FileResponse")
+        body.add("Content", text="payload")
+        env = seal_signed_response(body, bob_ks.keys.private, ALICE.public,
+                                   POLICY, DRBG, AAD)
+        mallory = cached_keypair(512, "client-mallory")
+        with pytest.raises(SecurityError):
+            open_signed_response(env, alice_ks.keys.private, mallory.public,
+                                 AAD, "FileResponse")

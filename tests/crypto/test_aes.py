@@ -1,0 +1,88 @@
+"""AES block cipher: FIPS-197 vectors and oracle cross-check."""
+
+import os
+
+import pytest
+from cryptography.hazmat.primitives.ciphers import Cipher, algorithms
+from cryptography.hazmat.primitives.ciphers import modes as cmodes
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.errors import InvalidKeyError
+
+PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+# FIPS-197 appendix C vectors
+FIPS = [
+    ("000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+class TestSbox:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS)
+    def test_encrypt(self, key_hex, ct_hex):
+        assert AES(bytes.fromhex(key_hex)).encrypt_block(PLAIN).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS)
+    def test_decrypt(self, key_hex, ct_hex):
+        assert AES(bytes.fromhex(key_hex)).decrypt_block(bytes.fromhex(ct_hex)) == PLAIN
+
+
+class TestOracle:
+    @pytest.mark.parametrize("key_size", [16, 24, 32])
+    def test_random_blocks_vs_cryptography(self, key_size):
+        for _ in range(10):
+            key = os.urandom(key_size)
+            block = os.urandom(16)
+            enc = Cipher(algorithms.AES(key), cmodes.ECB()).encryptor()
+            expected = enc.update(block) + enc.finalize()
+            ours = AES(key)
+            assert ours.encrypt_block(block) == expected
+            assert ours.decrypt_block(expected) == block
+
+
+class TestRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestErrors:
+    @pytest.mark.parametrize("n", [0, 15, 17, 20, 33])
+    def test_bad_key_sizes(self, n):
+        with pytest.raises(InvalidKeyError):
+            AES(b"k" * n)
+
+    def test_bad_block_sizes(self):
+        cipher = AES(b"k" * 16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_rounds_by_key_size(self):
+        assert AES(b"k" * 16).rounds == 10
+        assert AES(b"k" * 24).rounds == 12
+        assert AES(b"k" * 32).rounds == 14

@@ -1,0 +1,93 @@
+"""ChaCha20: RFC 8439 vectors, scalar/numpy equivalence, oracle check."""
+
+import os
+
+import pytest
+from cryptography.hazmat.primitives.ciphers import Cipher, algorithms
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+
+KEY = bytes(range(32))
+NONCE = bytes.fromhex("000000090000004a00000000")
+
+
+class TestBlockFunction:
+    def test_rfc8439_block_vector(self):
+        # RFC 8439 section 2.3.2
+        block = chacha20_block(KEY, 1, NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e")
+        assert block == expected
+
+    def test_rfc8439_encryption_vector(self):
+        # RFC 8439 section 2.4.2
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                     b"offer you only one tip for the future, sunscreen would be it.")
+        ct = chacha20_xor(key, nonce, plaintext, counter=1)
+        assert ct[:16] == bytes.fromhex("6e2e359a2568f98041ba0728dd0d6981")
+        assert chacha20_xor(key, nonce, ct, counter=1) == plaintext
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"short", 0, NONCE)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(KEY, 0, b"short")
+
+
+class TestScalarNumpyEquivalence:
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 128, 256, 1000, 4096])
+    def test_paths_agree(self, n):
+        data = os.urandom(n)
+        nonce = os.urandom(12)
+        scalar = chacha20_xor(KEY, nonce, data, use_numpy=False)
+        vector = chacha20_xor(KEY, nonce, data, use_numpy=True)
+        assert scalar == vector
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=2000), st.integers(min_value=0, max_value=2**31))
+    def test_paths_agree_property(self, data, counter):
+        scalar = chacha20_xor(KEY, NONCE, data, counter=counter, use_numpy=False)
+        vector = chacha20_xor(KEY, NONCE, data, counter=counter, use_numpy=True)
+        assert scalar == vector
+
+
+class TestOracle:
+    def test_against_cryptography(self):
+        key = os.urandom(32)
+        nonce = os.urandom(12)
+        data = os.urandom(555)
+        # cryptography's ChaCha20 takes a 16-byte nonce: counter || nonce
+        full = (1).to_bytes(4, "little") + nonce
+        enc = Cipher(algorithms.ChaCha20(key, full), mode=None).encryptor()
+        assert chacha20_xor(key, nonce, data, counter=1) == enc.update(data)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=1000))
+    def test_involution(self, data):
+        assert chacha20_xor(KEY, NONCE, chacha20_xor(KEY, NONCE, data)) == data
+
+    def test_empty_input(self):
+        assert chacha20_xor(KEY, NONCE, b"") == b""
+
+    def test_counter_separates_streams(self):
+        data = b"\x00" * 64
+        assert chacha20_xor(KEY, NONCE, data, counter=1) != chacha20_xor(
+            KEY, NONCE, data, counter=2)
+
+    def test_counter_wraps_32bit(self):
+        # the numpy path masks the counter to 32 bits; scalar must agree
+        data = b"\x00" * 130
+        hi = 0xFFFFFFFF
+        assert chacha20_xor(KEY, NONCE, data, counter=hi, use_numpy=False) == \
+            chacha20_xor(KEY, NONCE, data, counter=hi, use_numpy=True)

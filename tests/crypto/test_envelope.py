@@ -1,0 +1,122 @@
+"""The hybrid wrapped-key envelope E_PK(x)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import envelope
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DecryptionError
+
+ALL_SUITES = sorted(envelope.SUITES)
+ALL_WRAPS = [envelope.WRAP_OAEP, envelope.WRAP_V15]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("suite", ALL_SUITES)
+    @pytest.mark.parametrize("wrap", ALL_WRAPS)
+    def test_all_suite_wrap_combinations(self, suite, wrap, kp1024):
+        plaintext = b"payload " * 100
+        env = envelope.seal(kp1024.public, plaintext, suite=suite, wrap=wrap)
+        assert envelope.open_(kp1024.private, env) == plaintext
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=5000))
+    def test_arbitrary_payloads(self, plaintext):
+        from tests.conftest import cached_keypair
+        kp = cached_keypair(1024, "a")
+        env = envelope.seal(kp.public, plaintext, drbg=HmacDrbg(b"r"))
+        assert envelope.open_(kp.private, env) == plaintext
+
+    def test_empty_payload(self, kp1024):
+        env = envelope.seal(kp1024.public, b"")
+        assert envelope.open_(kp1024.private, env) == b""
+
+    def test_v15_wrap_fits_512_bit_keys(self, kp512):
+        env = envelope.seal(kp512.public, b"data", wrap=envelope.WRAP_V15)
+        assert envelope.open_(kp512.private, env) == b"data"
+
+
+class TestAad:
+    def test_aad_binds_aead_suite(self, kp1024):
+        env = envelope.seal(kp1024.public, b"m", aad=b"context")
+        assert envelope.open_(kp1024.private, env, aad=b"context") == b"m"
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env, aad=b"other")
+
+
+class TestStructure:
+    def test_envelope_is_self_describing(self, kp1024):
+        env = envelope.seal(kp1024.public, b"m", suite="aes256-cbc",
+                            wrap=envelope.WRAP_V15)
+        assert env["suite"] == "aes256-cbc"
+        assert env["wrap"] == envelope.WRAP_V15
+        assert set(env) == {"suite", "wrap", "wrapped_key", "nonce", "body"}
+
+    def test_randomized_per_seal(self, kp1024):
+        a = envelope.seal(kp1024.public, b"same")
+        b = envelope.seal(kp1024.public, b"same")
+        assert a["body"] != b["body"]
+        assert a["wrapped_key"] != b["wrapped_key"]
+
+    def test_plaintext_not_visible(self, kp1024):
+        import json
+
+        secret = b"super-secret-password-material"
+        env = envelope.seal(kp1024.public, secret * 5)
+        wire = json.dumps(env).encode()
+        assert secret not in wire
+
+
+class TestRejection:
+    def test_unknown_suite(self, kp1024):
+        with pytest.raises(ValueError):
+            envelope.seal(kp1024.public, b"m", suite="rot13")
+        env = envelope.seal(kp1024.public, b"m")
+        env["suite"] = "rot13"
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env)
+
+    def test_unknown_wrap(self, kp1024):
+        with pytest.raises(ValueError):
+            envelope.seal(kp1024.public, b"m", wrap="rsa-magic")
+        env = envelope.seal(kp1024.public, b"m")
+        env["wrap"] = "rsa-magic"
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env)
+
+    def test_wrong_recipient(self, kp1024, kp1024_b):
+        env = envelope.seal(kp1024.public, b"m")
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024_b.private, env)
+
+    def test_missing_field(self, kp1024):
+        env = envelope.seal(kp1024.public, b"m")
+        del env["nonce"]
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env)
+
+    def test_tampered_body(self, kp1024):
+        from repro.utils.encoding import b64decode, b64encode
+
+        env = envelope.seal(kp1024.public, b"m" * 50)
+        body = bytearray(b64decode(env["body"]))
+        body[0] ^= 1
+        env["body"] = b64encode(bytes(body))
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env)
+
+    def test_swapped_wrapped_key(self, kp1024):
+        env_a = envelope.seal(kp1024.public, b"message-a")
+        env_b = envelope.seal(kp1024.public, b"message-b")
+        env_a["wrapped_key"] = env_b["wrapped_key"]
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env_a)
+
+    def test_bad_nonce_length(self, kp1024):
+        from repro.utils.encoding import b64encode
+
+        env = envelope.seal(kp1024.public, b"m")
+        env["nonce"] = b64encode(b"short")
+        with pytest.raises(DecryptionError):
+            envelope.open_(kp1024.private, env)

@@ -1,0 +1,74 @@
+"""HMAC-SHA256 against the stdlib oracle and RFC 4231 vectors."""
+
+import hashlib
+import hmac as stdhmac
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac import HMAC, hmac_sha256, verify_hmac
+
+
+class TestVectors:
+    def test_rfc4231_case1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        expected = ("b0344c61d8db38535ca8afceaf0bf12b"
+                    "881dc200c9833da726e9376c2e32cff7")
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_rfc4231_case2(self):
+        assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+
+    def test_rfc4231_long_key(self):
+        # keys longer than the block size are hashed first
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        expected = ("60e431591ee0b67f0d8a26aacbf5b77f"
+                    "8e0bc6213728c5140546040f0ee37f54")
+        assert hmac_sha256(key, data).hex() == expected
+
+
+class TestAgainstStdlib:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200), st.binary(max_size=1000))
+    def test_oneshot(self, key, data):
+        assert hmac_sha256(key, data) == stdhmac.new(key, data, hashlib.sha256).digest()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=100), st.lists(st.binary(max_size=100), max_size=5))
+    def test_streaming(self, key, chunks):
+        ours = HMAC(key)
+        theirs = stdhmac.new(key, digestmod=hashlib.sha256)
+        for chunk in chunks:
+            ours.update(chunk)
+            theirs.update(chunk)
+        assert ours.digest() == theirs.digest()
+
+
+class TestStreamingSemantics:
+    def test_copy_independent(self):
+        h = HMAC(b"key", b"prefix")
+        clone = h.copy()
+        h.update(b"-more")
+        assert clone.digest() == hmac_sha256(b"key", b"prefix")
+        assert h.digest() == hmac_sha256(b"key", b"prefix-more")
+
+    def test_hexdigest(self):
+        assert HMAC(b"k", b"m").hexdigest() == hmac_sha256(b"k", b"m").hex()
+
+
+class TestVerify:
+    def test_accepts_valid(self):
+        tag = hmac_sha256(b"k", b"payload")
+        assert verify_hmac(b"k", b"payload", tag)
+
+    def test_rejects_bad_tag(self):
+        tag = bytearray(hmac_sha256(b"k", b"payload"))
+        tag[0] ^= 1
+        assert not verify_hmac(b"k", b"payload", bytes(tag))
+
+    def test_rejects_wrong_key(self):
+        tag = hmac_sha256(b"k", b"payload")
+        assert not verify_hmac(b"K", b"payload", tag)

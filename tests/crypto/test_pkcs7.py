@@ -1,0 +1,55 @@
+"""PKCS#7 padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pkcs7 import pad, unpad
+from repro.errors import InvalidPaddingError
+
+
+class TestPad:
+    def test_always_adds_at_least_one_byte(self):
+        assert pad(b"", 16) == b"\x10" * 16
+        assert pad(b"a" * 16, 16) == b"a" * 16 + b"\x10" * 16
+
+    def test_partial_block(self):
+        assert pad(b"abc", 8) == b"abc\x05\x05\x05\x05\x05"
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            pad(b"x", 0)
+        with pytest.raises(ValueError):
+            pad(b"x", 256)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=255))
+    def test_padded_length_multiple(self, data, block):
+        assert len(pad(data, block)) % block == 0
+
+
+class TestUnpad:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=64))
+    def test_roundtrip(self, data, block):
+        assert unpad(pad(data, block), block) == data
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPaddingError):
+            unpad(b"", 16)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidPaddingError):
+            unpad(b"x" * 15, 16)
+
+    def test_zero_pad_byte_rejected(self):
+        with pytest.raises(InvalidPaddingError):
+            unpad(b"a" * 15 + b"\x00", 16)
+
+    def test_oversized_pad_byte_rejected(self):
+        with pytest.raises(InvalidPaddingError):
+            unpad(b"a" * 15 + b"\x11", 16)
+
+    def test_inconsistent_padding_rejected(self):
+        with pytest.raises(InvalidPaddingError):
+            unpad(b"a" * 13 + b"\x02\x03\x03", 16)

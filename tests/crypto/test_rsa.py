@@ -1,0 +1,109 @@
+"""RSA keys and the raw trapdoor permutation."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import (
+    PUBLIC_EXPONENT,
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    generate_keypair,
+)
+from repro.errors import InvalidKeyError
+from tests.conftest import cached_keypair
+
+
+class TestKeyGeneration:
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(512, HmacDrbg(b"same-seed"))
+        b = generate_keypair(512, HmacDrbg(b"same-seed"))
+        assert a.public == b.public
+        assert a.private.d == b.private.d
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(512, HmacDrbg(b"seed-x"))
+        b = generate_keypair(512, HmacDrbg(b"seed-y"))
+        assert a.public != b.public
+
+    @pytest.mark.parametrize("bits", [512, 768, 1024])
+    def test_modulus_bit_length_exact(self, bits):
+        kp = cached_keypair(bits, "a") if bits in (512, 1024) else generate_keypair(
+            bits, HmacDrbg(b"bits-%d" % bits))
+        assert kp.public.bits == bits
+        assert kp.bits == bits
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            generate_keypair(600, HmacDrbg(b"x"))
+
+    def test_key_structure(self, kp512):
+        priv = kp512.private
+        assert priv.p * priv.q == priv.n
+        assert priv.p > priv.q
+        assert priv.e == PUBLIC_EXPONENT
+        # d is a working inverse of e modulo lambda(n)
+        from math import gcd
+        lam = (priv.p - 1) * (priv.q - 1) // gcd(priv.p - 1, priv.q - 1)
+        assert (priv.e * priv.d) % lam == 1
+
+    def test_crt_parameters_derived(self, kp512):
+        priv = kp512.private
+        assert priv.dp == priv.d % (priv.p - 1)
+        assert priv.dq == priv.d % (priv.q - 1)
+        assert (priv.q * priv.q_inv) % priv.p == 1
+
+
+class TestRawOperations:
+    def test_encrypt_decrypt_inverse(self, kp512):
+        m = 0x1234567890ABCDEF
+        c = kp512.public.encrypt_int(m)
+        assert kp512.private.decrypt_int(c) == m
+
+    def test_sign_verify_inverse(self, kp512):
+        m = 98765432123456789
+        s = kp512.private.sign_int(m)
+        assert kp512.public.verify_int(s) == m
+
+    def test_crt_matches_plain_exponentiation(self, kp512):
+        priv = kp512.private
+        c = 0xDEADBEEF
+        assert priv.decrypt_int(c) == pow(c, priv.d, priv.n)
+
+    def test_out_of_range_rejected(self, kp512):
+        with pytest.raises(ValueError):
+            kp512.public.encrypt_int(kp512.public.n)
+        with pytest.raises(ValueError):
+            kp512.private.decrypt_int(-1)
+
+
+class TestSerialization:
+    def test_public_key_dict_roundtrip(self, kp512):
+        restored = PublicKey.from_dict(kp512.public.to_dict())
+        assert restored == kp512.public
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            PublicKey.from_dict({"kty": "EC", "n": "0x5", "e": "0x3"})
+        with pytest.raises(InvalidKeyError):
+            PublicKey.from_dict({"kty": "RSA"})
+        with pytest.raises(InvalidKeyError):
+            PublicKey.from_dict({"kty": "RSA", "n": "not-hex", "e": "0x3"})
+
+
+class TestFingerprint:
+    def test_stable(self, kp512):
+        assert kp512.public.fingerprint() == kp512.public.fingerprint()
+        assert len(kp512.public.fingerprint()) == 32
+
+    def test_distinct_keys_distinct_fingerprints(self, kp512, kp512_b):
+        assert kp512.public.fingerprint() != kp512_b.public.fingerprint()
+
+    def test_byte_length(self, kp512, kp1024):
+        assert kp512.public.byte_length == 64
+        assert kp1024.public.byte_length == 128
+
+
+class TestPublicKeyFromPrivate:
+    def test_matches(self, kp512):
+        assert kp512.private.public_key() == kp512.public

@@ -1,0 +1,35 @@
+"""High-level signing API (S_SK of the paper)."""
+
+import pytest
+
+from repro.crypto import signing
+from repro.errors import InvalidSignatureError
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme", [signing.SCHEME_PSS, signing.SCHEME_V15])
+    def test_roundtrip(self, scheme, kp512):
+        sig = signing.sign(kp512.private, b"msg", scheme=scheme)
+        signing.verify(kp512.public, b"msg", sig, scheme=scheme)
+        assert signing.is_valid(kp512.public, b"msg", sig, scheme=scheme)
+
+    def test_unknown_scheme_sign(self, kp512):
+        with pytest.raises(ValueError):
+            signing.sign(kp512.private, b"m", scheme="dsa")
+
+    def test_unknown_scheme_verify(self, kp512):
+        with pytest.raises(InvalidSignatureError):
+            signing.verify(kp512.public, b"m", b"sig", scheme="dsa")
+
+    def test_scheme_mismatch_rejected(self, kp512):
+        sig = signing.sign(kp512.private, b"m", scheme=signing.SCHEME_PSS)
+        assert not signing.is_valid(kp512.public, b"m", sig,
+                                    scheme=signing.SCHEME_V15)
+
+    def test_is_valid_false_on_forgery(self, kp512, kp512_b):
+        sig = signing.sign(kp512.private, b"m")
+        assert not signing.is_valid(kp512_b.public, b"m", sig)
+        assert not signing.is_valid(kp512.public, b"other", sig)
+
+    def test_default_scheme_is_pss(self):
+        assert signing.DEFAULT_SCHEME == signing.SCHEME_PSS

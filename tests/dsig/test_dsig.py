@@ -1,0 +1,216 @@
+"""XMLdsig enveloped signatures: sign, verify, tamper, structure checks."""
+
+import pytest
+
+from repro.crypto import signing
+from repro.crypto.drbg import HmacDrbg
+from repro.dsig import (
+    keyinfo_from_public_key,
+    parse_signature,
+    public_key_from_keyinfo,
+    sign_element,
+    verify_element,
+)
+from repro.dsig import templates as t
+from repro.dsig.transforms import find_signature, strip_signatures
+from repro.errors import (
+    DigestMismatchError,
+    InvalidSignatureError,
+    SignatureFormatError,
+)
+from repro.xmllib import Element, parse, serialize
+
+
+def _adv():
+    e = Element("PipeAdvertisement")
+    e.add("Id", text="urn:jxta:pipe-1")
+    e.add("Type", text="JxtaUnicast")
+    return e
+
+
+class TestSignElement:
+    def test_preserves_root_type(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        assert elem.tag == "PipeAdvertisement"  # the ref [15] property
+
+    def test_appends_exactly_one_signature(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        assert len(elem.findall(t.SIGNATURE_TAG)) == 1
+
+    def test_resigning_replaces(self, kp512, kp512_b):
+        elem = sign_element(_adv(), kp512.private)
+        sign_element(elem, kp512_b.private)
+        assert len(elem.findall(t.SIGNATURE_TAG)) == 1
+        verify_element(elem, kp512_b.public)
+
+    def test_keyinfo_embedded(self, kp512):
+        ki = keyinfo_from_public_key(kp512.public)
+        elem = sign_element(_adv(), kp512.private, keyinfo=ki)
+        result = verify_element(elem, kp512.public)
+        assert public_key_from_keyinfo(result.keyinfo) == kp512.public
+
+    def test_bad_keyinfo_tag_rejected(self, kp512):
+        with pytest.raises(SignatureFormatError):
+            sign_element(_adv(), kp512.private, keyinfo=Element("NotKeyInfo"))
+
+    def test_unsupported_scheme_rejected(self, kp512):
+        with pytest.raises(SignatureFormatError):
+            sign_element(_adv(), kp512.private, sig_alg="md5-rsa")
+
+    @pytest.mark.parametrize("alg", [t.SIG_ALG_PSS, t.SIG_ALG_V15])
+    def test_both_schemes_verify(self, alg, kp512):
+        elem = sign_element(_adv(), kp512.private, sig_alg=alg)
+        assert verify_element(elem, kp512.public).sig_alg == alg
+
+
+class TestVerifyAfterWire:
+    def test_wire_roundtrip_still_verifies(self, kp512):
+        elem = sign_element(_adv(), kp512.private, drbg=HmacDrbg(b"s"))
+        received = parse(serialize(elem))
+        verify_element(received, kp512.public)
+
+    def test_pretty_printed_roundtrip_verifies(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        received = parse(serialize(elem, indent=2))
+        verify_element(received, kp512.public)
+
+
+class TestTamperDetection:
+    def test_changed_text_detected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        elem.find("Id").text = "urn:jxta:pipe-666"
+        with pytest.raises(DigestMismatchError):
+            verify_element(elem, kp512.public)
+
+    def test_added_child_detected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        elem.add("Extra", text="injected")
+        with pytest.raises(DigestMismatchError):
+            verify_element(elem, kp512.public)
+
+    def test_removed_child_detected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        elem.remove(elem.find("Type"))
+        with pytest.raises(DigestMismatchError):
+            verify_element(elem, kp512.public)
+
+    def test_changed_attribute_detected(self, kp512):
+        adv = _adv()
+        adv.set("version", "1")
+        elem = sign_element(adv, kp512.private)
+        elem.set("version", "2")
+        with pytest.raises(DigestMismatchError):
+            verify_element(elem, kp512.public)
+
+    def test_wrong_key_rejected(self, kp512, kp512_b):
+        elem = sign_element(_adv(), kp512.private)
+        with pytest.raises(InvalidSignatureError):
+            verify_element(elem, kp512_b.public)
+
+    def test_swapped_signature_value_rejected(self, kp512):
+        a = sign_element(_adv(), kp512.private)
+        other = _adv()
+        other.find("Id").text = "urn:jxta:pipe-2"
+        b = sign_element(other, kp512.private)
+        # graft b's SignatureValue onto a
+        sig_a = find_signature(a)
+        sig_b = find_signature(b)
+        sig_a.find(t.SIGNATURE_VALUE_TAG).text = sig_b.find(t.SIGNATURE_VALUE_TAG).text
+        with pytest.raises(InvalidSignatureError):
+            verify_element(a, kp512.public)
+
+    def test_digest_substitution_rejected(self, kp512):
+        # tamper content AND fix the digest: SignatureValue check must fail
+        elem = sign_element(_adv(), kp512.private)
+        elem.find("Id").text = "urn:jxta:pipe-666"
+        from repro.crypto.sha2 import sha256
+        from repro.utils.encoding import b64encode
+        from repro.xmllib import canonicalize
+
+        sig = find_signature(elem)
+        ref = sig.find(t.SIGNED_INFO_TAG).find(t.REFERENCE_TAG)
+        ref.find(t.DIGEST_VALUE_TAG).text = b64encode(
+            sha256(canonicalize(strip_signatures(elem))))
+        with pytest.raises(InvalidSignatureError):
+            verify_element(elem, kp512.public)
+
+
+class TestStructureChecks:
+    def test_no_signature_rejected(self, kp512):
+        with pytest.raises(SignatureFormatError):
+            verify_element(_adv(), kp512.public)
+
+    def test_two_signatures_rejected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        elem.append(find_signature(elem).deep_copy())
+        with pytest.raises(SignatureFormatError):
+            verify_element(elem, kp512.public)
+
+    def test_unknown_c14n_rejected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        find_signature(elem).find(t.SIGNED_INFO_TAG).find(
+            t.C14N_METHOD_TAG).set(t.ALG_ATTR, "w3c-c14n11")
+        with pytest.raises(SignatureFormatError):
+            verify_element(elem, kp512.public)
+
+    def test_unknown_sig_alg_rejected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        find_signature(elem).find(t.SIGNED_INFO_TAG).find(
+            t.SIGNATURE_METHOD_TAG).set(t.ALG_ATTR, "hmac-md5")
+        with pytest.raises(SignatureFormatError):
+            verify_element(elem, kp512.public)
+
+    def test_nonempty_reference_uri_rejected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        find_signature(elem).find(t.SIGNED_INFO_TAG).find(
+            t.REFERENCE_TAG).set(t.URI_ATTR, "#other")
+        with pytest.raises(SignatureFormatError):
+            verify_element(elem, kp512.public)
+
+    def test_missing_transform_rejected(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        ref = find_signature(elem).find(t.SIGNED_INFO_TAG).find(t.REFERENCE_TAG)
+        ref.remove(ref.find(t.TRANSFORMS_TAG))
+        with pytest.raises(SignatureFormatError):
+            verify_element(elem, kp512.public)
+
+
+class TestStripSignatures:
+    def test_strips_only_toplevel(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        nested_holder = Element("Wrapper")
+        nested_holder.append(elem.deep_copy())
+        stripped = strip_signatures(nested_holder)
+        # the nested document's signature belongs to the content
+        inner = stripped.find("PipeAdvertisement")
+        assert inner.find(t.SIGNATURE_TAG) is not None
+
+    def test_original_untouched(self, kp512):
+        elem = sign_element(_adv(), kp512.private)
+        strip_signatures(elem)
+        assert elem.find(t.SIGNATURE_TAG) is not None
+
+
+class TestKeyInfo:
+    def test_roundtrip(self, kp512):
+        ki = keyinfo_from_public_key(kp512.public)
+        assert public_key_from_keyinfo(ki) == kp512.public
+
+    def test_wrong_tag_rejected(self, kp512):
+        with pytest.raises(SignatureFormatError):
+            public_key_from_keyinfo(Element("Nope"))
+
+    def test_empty_keyinfo_rejected(self):
+        with pytest.raises(SignatureFormatError):
+            public_key_from_keyinfo(Element(t.KEY_INFO_TAG))
+
+
+class TestParseSignature:
+    def test_returns_structure_without_key(self, kp512):
+        from repro.xmllib import canonicalize
+
+        elem = sign_element(_adv(), kp512.private)
+        parsed = parse_signature(elem)
+        assert parsed.sig_alg == t.SIG_ALG_PSS
+        assert signing.is_valid(kp512.public, canonicalize(parsed.signed_info),
+                                parsed.signature_value, scheme=parsed.sig_alg)

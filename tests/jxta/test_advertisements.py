@@ -1,0 +1,155 @@
+"""Typed advertisements and the XML codec registry."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import AdvertisementError
+from repro.jxta.advertisements import (
+    Advertisement,
+    FileAdvertisement,
+    GroupAdvertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    PresenceAdvertisement,
+    StatsAdvertisement,
+    advertisement_types,
+)
+from repro.jxta.ids import random_group_id, random_peer_id, random_pipe_id
+from repro.xmllib import Element, parse, serialize
+
+RNG = HmacDrbg(b"adv-tests")
+PEER = random_peer_id(RNG)
+
+
+def roundtrip(adv):
+    return Advertisement.from_element(parse(serialize(adv.to_element())))
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        assert set(advertisement_types()) >= {
+            "PeerAdvertisement", "PipeAdvertisement", "FileAdvertisement",
+            "PresenceAdvertisement", "StatsAdvertisement", "GroupAdvertisement"}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(AdvertisementError):
+            Advertisement.from_element(Element("MysteryAdvertisement"))
+
+    def test_subclass_parse_enforces_type(self):
+        adv = PeerAdvertisement(peer_id=PEER, name="n", address="a")
+        with pytest.raises(AdvertisementError):
+            PipeAdvertisement.from_element(adv.to_element())
+
+
+class TestPeerAdvertisement:
+    def test_roundtrip(self):
+        adv = PeerAdvertisement(peer_id=PEER, name="alice", address="peer:alice")
+        back = roundtrip(adv)
+        assert isinstance(back, PeerAdvertisement)
+        assert back.name == "alice" and back.address == "peer:alice"
+        assert str(back.peer_id) == str(PEER)
+
+    def test_missing_field_rejected(self):
+        elem = PeerAdvertisement(peer_id=PEER, name="n", address="a").to_element()
+        elem.remove(elem.find("Name"))
+        with pytest.raises(AdvertisementError):
+            Advertisement.from_element(elem)
+
+    def test_missing_peer_id_rejected(self):
+        elem = PeerAdvertisement(peer_id=PEER, name="n", address="a").to_element()
+        elem.remove(elem.find("PeerId"))
+        with pytest.raises(AdvertisementError):
+            Advertisement.from_element(elem)
+
+
+class TestPipeAdvertisement:
+    def test_roundtrip(self):
+        adv = PipeAdvertisement(peer_id=PEER, pipe_id=random_pipe_id(RNG),
+                                group="g", address="peer:x")
+        back = roundtrip(adv)
+        assert isinstance(back, PipeAdvertisement)
+        assert back.group == "g" and back.pipe_type == "JxtaUnicast"
+
+    def test_requires_pipe_id(self):
+        with pytest.raises(AdvertisementError):
+            PipeAdvertisement(peer_id=PEER, group="g", address="a").to_element()
+
+    def test_key_includes_group(self):
+        a = PipeAdvertisement(peer_id=PEER, pipe_id=random_pipe_id(RNG),
+                              group="g1", address="x")
+        b = PipeAdvertisement(peer_id=PEER, pipe_id=random_pipe_id(RNG),
+                              group="g2", address="x")
+        assert a.key() != b.key()
+
+
+class TestFileAdvertisement:
+    def test_roundtrip(self):
+        adv = FileAdvertisement(peer_id=PEER, file_name="f.txt", size=123,
+                                sha256_hex="ab" * 32, group="g")
+        back = roundtrip(adv)
+        assert isinstance(back, FileAdvertisement)
+        assert back.size == 123 and back.file_name == "f.txt"
+
+    def test_bad_size_rejected(self):
+        elem = FileAdvertisement(peer_id=PEER, file_name="f", size=1,
+                                 sha256_hex="x", group="g").to_element()
+        elem.find("Size").text = "not-a-number"
+        with pytest.raises(AdvertisementError):
+            Advertisement.from_element(elem)
+
+    def test_key_includes_file_name(self):
+        a = FileAdvertisement(peer_id=PEER, file_name="a", size=1,
+                              sha256_hex="x", group="g")
+        b = FileAdvertisement(peer_id=PEER, file_name="b", size=1,
+                              sha256_hex="x", group="g")
+        assert a.key() != b.key()
+
+
+class TestPresenceAdvertisement:
+    def test_roundtrip_float_timestamp(self):
+        adv = PresenceAdvertisement(peer_id=PEER, group="g",
+                                    timestamp=123.456789, status="online")
+        back = roundtrip(adv)
+        assert isinstance(back, PresenceAdvertisement)
+        assert back.timestamp == pytest.approx(123.456789)
+
+    def test_bad_timestamp_rejected(self):
+        elem = PresenceAdvertisement(peer_id=PEER, group="g",
+                                     timestamp=1.0).to_element()
+        elem.find("Timestamp").text = "yesterday"
+        with pytest.raises(AdvertisementError):
+            Advertisement.from_element(elem)
+
+
+class TestStatsAdvertisement:
+    def test_roundtrip(self):
+        adv = StatsAdvertisement(peer_id=PEER, group="g",
+                                 messages_sent=7, files_shared=2)
+        back = roundtrip(adv)
+        assert isinstance(back, StatsAdvertisement)
+        assert back.messages_sent == 7 and back.files_shared == 2
+
+
+class TestGroupAdvertisement:
+    def test_roundtrip(self):
+        adv = GroupAdvertisement(peer_id=PEER, group_id=random_group_id(RNG),
+                                 name="staff", description="desc")
+        back = roundtrip(adv)
+        assert isinstance(back, GroupAdvertisement)
+        assert back.name == "staff" and back.description == "desc"
+
+
+class TestExtras:
+    def test_unknown_leaf_fields_preserved(self):
+        elem = PeerAdvertisement(peer_id=PEER, name="n", address="a").to_element()
+        elem.add("CustomField", text="custom-value")
+        back = Advertisement.from_element(elem)
+        assert back.extras.get("CustomField") == "custom-value"
+
+    def test_signature_child_ignored_by_parser(self):
+        elem = PeerAdvertisement(peer_id=PEER, name="n", address="a").to_element()
+        sig = elem.add("Signature")
+        sig.add("SignedInfo")
+        back = Advertisement.from_element(elem)
+        assert isinstance(back, PeerAdvertisement)
+        assert "Signature" not in back.extras

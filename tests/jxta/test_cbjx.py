@@ -1,0 +1,70 @@
+"""CBJX crypto-based encapsulation baseline (ref [12])."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import TransportError
+from repro.jxta.ids import cbid_from_key
+from repro.jxta.transport.cbjx import CbjxTransport
+
+
+@pytest.fixture()
+def pair(kp512, kp512_b):
+    return (CbjxTransport(kp512, HmacDrbg(b"a")),
+            CbjxTransport(kp512_b, HmacDrbg(b"b")))
+
+
+class TestRoundtrip:
+    def test_wrap_unwrap(self, pair):
+        a, b = pair
+        wire = a.wrap(b"payload", peer="peer:b", local="peer:a")
+        assert b.unwrap(wire, peer="peer:a", local="peer:b") == b"payload"
+
+    def test_cbid_matches_key(self, pair, kp512):
+        a, _ = pair
+        assert a.cbid == cbid_from_key(kp512.public)
+
+    def test_empty_payload(self, pair):
+        a, b = pair
+        wire = a.wrap(b"", peer="peer:b", local="peer:a")
+        assert b.unwrap(wire, peer="peer:a", local="peer:b") == b""
+
+    def test_integrity_not_confidentiality(self, pair):
+        # CBJX signs but does NOT encrypt: the payload is readable — this
+        # is the gap the paper's secure messaging fills.
+        a, _ = pair
+        wire = a.wrap(b"readable-content", peer="peer:b", local="peer:a")
+        assert b"readable-content" in wire
+
+
+class TestRejection:
+    def test_tampered_payload(self, pair):
+        a, b = pair
+        wire = bytearray(a.wrap(b"payload", peer="peer:b", local="peer:a"))
+        wire[-1] ^= 1
+        with pytest.raises(TransportError):
+            b.unwrap(bytes(wire), peer="peer:a", local="peer:b")
+
+    def test_redirected_frame(self, pair):
+        a, b = pair
+        wire = a.wrap(b"payload", peer="peer:c", local="peer:a")
+        with pytest.raises(TransportError):
+            b.unwrap(wire, peer="peer:a", local="peer:b")
+
+    def test_truncated_frame(self, pair):
+        _, b = pair
+        with pytest.raises(TransportError):
+            b.unwrap(b"\x00\x00", peer="peer:a", local="peer:b")
+
+    def test_forged_source_id(self, pair, kp512, kp512_b):
+        # attacker substitutes its own key but keeps the victim's CBID
+        import struct
+
+        a, b = pair
+        wire = a.wrap(b"payload", peer="peer:b", local="peer:a")
+        # parse the frame and replace the source id with a mismatching one
+        (src_len,) = struct.unpack_from(">I", wire, 0)
+        fake_src = str(cbid_from_key(kp512_b.public)).encode()
+        forged = struct.pack(">I", len(fake_src)) + fake_src + wire[4 + src_len:]
+        with pytest.raises(TransportError):
+            b.unwrap(forged, peer="peer:a", local="peer:b")

@@ -1,0 +1,133 @@
+"""Advertisement cache: replacement, expiry, queries, raw-byte fidelity."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DiscoveryError
+from repro.jxta import AdvertisementCache, PipeAdvertisement
+from repro.jxta.advertisements import FileAdvertisement, PeerAdvertisement
+from repro.jxta.ids import random_peer_id, random_pipe_id
+from repro.sim import VirtualClock
+
+RNG = HmacDrbg(b"disc")
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def cache(clock):
+    return AdvertisementCache(clock, lifetime=100.0)
+
+
+def _pipe_adv(peer=None, group="g"):
+    return PipeAdvertisement(
+        peer_id=peer or random_peer_id(RNG), pipe_id=random_pipe_id(RNG),
+        group=group, address="peer:x")
+
+
+class TestPublish:
+    def test_publish_and_find(self, cache):
+        adv = _pipe_adv()
+        cache.publish_advertisement(adv)
+        assert len(cache) == 1
+        entry = cache.find_one("PipeAdvertisement", str(adv.peer_id), group="g")
+        assert entry.parsed.key() == adv.key()
+
+    def test_replacement_semantics(self, cache):
+        peer = random_peer_id(RNG)
+        cache.publish_advertisement(_pipe_adv(peer))
+        cache.publish_advertisement(_pipe_adv(peer))  # same (type,peer,group)
+        assert len(cache) == 1
+
+    def test_different_groups_coexist(self, cache):
+        peer = random_peer_id(RNG)
+        cache.publish_advertisement(_pipe_adv(peer, "g1"))
+        cache.publish_advertisement(_pipe_adv(peer, "g2"))
+        assert len(cache) == 2
+
+    def test_raw_bytes_preserved(self, cache):
+        """Signed advertisements must survive the cache byte-identically."""
+        from repro.xmllib import canonicalize
+
+        elem = _pipe_adv().to_element()
+        elem.add("Signature").add("SignatureValue", text="untouchable")
+        before = canonicalize(elem)
+        cache.publish(elem)
+        stored = cache.find(adv_type="PipeAdvertisement")[0].element
+        assert canonicalize(stored) == before
+
+    def test_returned_element_is_a_copy(self, cache):
+        adv = _pipe_adv()
+        cache.publish_advertisement(adv)
+        fetched = cache.elements(adv_type="PipeAdvertisement")[0]
+        fetched.add("Tamper", text="x")
+        again = cache.elements(adv_type="PipeAdvertisement")[0]
+        assert again.find("Tamper") is None
+
+
+class TestExpiry:
+    def test_expires_after_lifetime(self, cache, clock):
+        cache.publish_advertisement(_pipe_adv())
+        clock.advance(99.0)
+        assert len(cache) == 1
+        clock.advance(2.0)
+        assert len(cache) == 0
+
+    def test_custom_lifetime(self, cache, clock):
+        cache.publish_advertisement(_pipe_adv(), lifetime=5.0)
+        clock.advance(6.0)
+        assert len(cache) == 0
+
+    def test_republish_refreshes(self, cache, clock):
+        adv = _pipe_adv()
+        cache.publish_advertisement(adv)
+        clock.advance(90.0)
+        cache.publish_advertisement(adv)
+        clock.advance(50.0)
+        assert len(cache) == 1
+
+    def test_expire_removes_entries(self, cache, clock):
+        cache.publish_advertisement(_pipe_adv())
+        clock.advance(101.0)
+        assert cache.expire() == 1
+
+
+class TestQueries:
+    def test_filter_by_type(self, cache):
+        peer = random_peer_id(RNG)
+        cache.publish_advertisement(_pipe_adv(peer))
+        cache.publish_advertisement(PeerAdvertisement(
+            peer_id=peer, name="n", address="a"))
+        assert len(cache.find(adv_type="PipeAdvertisement")) == 1
+        assert len(cache.find(peer_id=str(peer))) == 2
+
+    def test_filter_by_group(self, cache):
+        cache.publish_advertisement(_pipe_adv(group="g1"))
+        cache.publish_advertisement(_pipe_adv(group="g2"))
+        assert len(cache.find(group="g1")) == 1
+
+    def test_find_one_missing_raises(self, cache):
+        with pytest.raises(DiscoveryError):
+            cache.find_one("PipeAdvertisement", "urn:jxta:uuid-" + "00" * 16)
+
+    def test_find_one_ambiguous_raises(self, cache):
+        peer = random_peer_id(RNG)
+        cache.publish_advertisement(_pipe_adv(peer, "g1"))
+        cache.publish_advertisement(_pipe_adv(peer, "g2"))
+        with pytest.raises(DiscoveryError):
+            cache.find_one("PipeAdvertisement", str(peer))
+
+
+class TestRemovePeer:
+    def test_removes_all_peer_advs(self, cache):
+        peer = random_peer_id(RNG)
+        cache.publish_advertisement(_pipe_adv(peer, "g1"))
+        cache.publish_advertisement(FileAdvertisement(
+            peer_id=peer, file_name="f", size=1, sha256_hex="x", group="g1"))
+        other = _pipe_adv()
+        cache.publish_advertisement(other)
+        assert cache.remove_peer(str(peer)) == 2
+        assert len(cache) == 1

@@ -1,0 +1,79 @@
+"""JXTA ids and the CBID key binding."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import JxtaError
+from repro.jxta.ids import (
+    CBID_BYTES,
+    cbid_from_key,
+    matches_key,
+    parse_id,
+    random_group_id,
+    random_peer_id,
+    random_pipe_id,
+)
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(b"ids")
+
+
+class TestRandomIds:
+    def test_urn_format(self, rng):
+        pid = random_peer_id(rng)
+        assert str(pid).startswith("urn:jxta:uuid-")
+        assert len(pid.hex_payload) == CBID_BYTES * 2
+        assert pid.kind == "peer"
+        assert not pid.is_cbid
+
+    def test_kinds(self, rng):
+        assert random_pipe_id(rng).kind == "pipe"
+        assert random_group_id(rng).kind == "group"
+
+    def test_distinct(self, rng):
+        assert random_peer_id(rng) != random_peer_id(rng)
+
+    def test_ordering_and_hashing(self, rng):
+        a, b = random_peer_id(rng), random_peer_id(rng)
+        assert len({a, b, a}) == 2
+        assert (a < b) or (b < a)
+
+
+class TestCbid:
+    def test_derived_from_key(self, kp512):
+        cbid = cbid_from_key(kp512.public)
+        assert cbid.is_cbid
+        assert str(cbid).startswith("urn:jxta:cbid-")
+        assert cbid.hex_payload == kp512.public.fingerprint()[:CBID_BYTES].hex()
+
+    def test_deterministic(self, kp512):
+        assert cbid_from_key(kp512.public) == cbid_from_key(kp512.public)
+
+    def test_distinct_keys_distinct_cbids(self, kp512, kp512_b):
+        assert cbid_from_key(kp512.public) != cbid_from_key(kp512_b.public)
+
+    def test_matches_key_positive(self, kp512):
+        assert matches_key(cbid_from_key(kp512.public), kp512.public)
+
+    def test_matches_key_wrong_key(self, kp512, kp512_b):
+        assert not matches_key(cbid_from_key(kp512.public), kp512_b.public)
+
+    def test_random_id_never_matches(self, rng, kp512):
+        # a non-CBID id asserts no binding and must fail the check
+        assert not matches_key(random_peer_id(rng), kp512.public)
+
+
+class TestParseId:
+    def test_valid(self):
+        urn = "urn:jxta:uuid-" + "ab" * 16
+        assert str(parse_id(urn, "peer")) == urn
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(JxtaError):
+            parse_id("urn:other:thing", "peer")
+
+    def test_empty_rejected(self):
+        with pytest.raises(JxtaError):
+            parse_id("", "peer")

@@ -1,0 +1,105 @@
+"""Peer groups and membership services."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import GroupError, JxtaError
+from repro.jxta.ids import random_group_id, random_peer_id
+from repro.jxta.membership import NullMembership, PseMembership
+from repro.jxta.peergroup import GroupTable
+
+RNG = HmacDrbg(b"pg")
+
+
+class TestPeerGroup:
+    def test_membership(self):
+        table = GroupTable()
+        g = table.create(random_group_id(RNG), "staff")
+        pid = random_peer_id(RNG)
+        g.add_member(pid)
+        assert g.has_member(pid)
+        assert len(g) == 1
+        g.remove_member(pid)
+        assert not g.has_member(pid)
+
+    def test_duplicate_member_idempotent(self):
+        g = GroupTable().create(random_group_id(RNG), "g")
+        pid = random_peer_id(RNG)
+        g.add_member(pid)
+        g.add_member(str(pid))
+        assert len(g) == 1
+
+
+class TestGroupTable:
+    def test_create_and_get(self):
+        table = GroupTable()
+        table.create(random_group_id(RNG), "a")
+        assert table.get("a").name == "a"
+        assert "a" in table and len(table) == 1
+
+    def test_duplicate_name_rejected(self):
+        table = GroupTable()
+        table.create(random_group_id(RNG), "a")
+        with pytest.raises(GroupError):
+            table.create(random_group_id(RNG), "a")
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(GroupError):
+            GroupTable().get("nope")
+        assert GroupTable().get_or_none("nope") is None
+
+    def test_groups_of(self):
+        table = GroupTable()
+        a = table.create(random_group_id(RNG), "a")
+        b = table.create(random_group_id(RNG), "b")
+        table.create(random_group_id(RNG), "c")
+        pid = random_peer_id(RNG)
+        a.add_member(pid)
+        b.add_member(pid)
+        assert sorted(g.name for g in table.groups_of(pid)) == ["a", "b"]
+
+    def test_drop_member_everywhere(self):
+        table = GroupTable()
+        pid = random_peer_id(RNG)
+        for name in "abc":
+            table.create(random_group_id(RNG), name).add_member(pid)
+        assert table.drop_member_everywhere(pid) == 3
+        assert table.groups_of(pid) == []
+
+    def test_names_sorted(self):
+        table = GroupTable()
+        for name in ("zeta", "alpha"):
+            table.create(random_group_id(RNG), name)
+        assert table.names() == ["alpha", "zeta"]
+
+
+class TestNullMembership:
+    def test_anyone_may_claim_any_name(self):
+        m = NullMembership()
+        assert m.current_identity() is None
+        ident = m.apply("anyone-at-all")
+        assert ident.name == "anyone-at-all"
+        assert ident.public_key is None  # the stock-JXTA weakness
+        m.resign()
+        assert m.current_identity() is None
+
+
+class TestPseMembership:
+    def test_keystore_gated(self, kp512):
+        from repro.crypto.rsa import KeyPair
+
+        m = PseMembership()
+        m.store_key("alice", kp512, passphrase="secret")
+        with pytest.raises(JxtaError):
+            m.apply("bob")  # no keystore entry
+        with pytest.raises(JxtaError):
+            m.apply("alice", "wrong")  # bad passphrase
+        ident = m.apply("alice", "secret")
+        assert ident.public_key == kp512.public
+        assert m.keypair_of("alice") is kp512
+        m.resign()
+        assert m.current_identity() is None
+
+    def test_unknown_keypair_rejected(self):
+        with pytest.raises(JxtaError):
+            PseMembership().keypair_of("ghost")

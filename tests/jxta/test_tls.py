@@ -1,0 +1,133 @@
+"""The simplified TLS baseline (ref [11])."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import HandshakeError, TransportError
+from repro.jxta.transport.tls import (
+    TlsClient,
+    TlsServer,
+    TlsTransport,
+    handshake_in_memory,
+)
+
+
+@pytest.fixture()
+def session(kp1024):
+    client = TlsClient(HmacDrbg(b"c"))
+    server = TlsServer(kp1024, HmacDrbg(b"s"))
+    handshake_in_memory(client, server)
+    return client, server
+
+
+class TestHandshake:
+    def test_establishes_both_records(self, session):
+        client, server = session
+        assert client.record is not None and server.record is not None
+
+    def test_client_learns_server_key(self, session, kp1024):
+        client, _ = session
+        assert client.server_key == kp1024.public
+
+    def test_pinned_key_mismatch_rejected(self, kp1024, kp512):
+        client = TlsClient(HmacDrbg(b"c"), expected_server_key=kp512.public)
+        server = TlsServer(kp1024, HmacDrbg(b"s"))
+        with pytest.raises(HandshakeError):
+            handshake_in_memory(client, server)
+
+    def test_out_of_order_rejected(self, kp1024):
+        client = TlsClient(HmacDrbg(b"c"))
+        with pytest.raises(HandshakeError):
+            client.key_exchange(b"x" * 40)
+        server = TlsServer(kp1024, HmacDrbg(b"s"))
+        with pytest.raises(HandshakeError):
+            server.finish(b"x" * 200)
+
+    def test_malformed_hello_rejected(self, kp1024):
+        server = TlsServer(kp1024, HmacDrbg(b"s"))
+        with pytest.raises(HandshakeError):
+            server.hello(b"short")
+
+    def test_tampered_key_exchange_rejected(self, kp1024):
+        client = TlsClient(HmacDrbg(b"c"))
+        server = TlsServer(kp1024, HmacDrbg(b"s"))
+        server_hello = server.hello(client.hello())
+        keyex = bytearray(client.key_exchange(server_hello))
+        keyex[10] ^= 1
+        with pytest.raises(HandshakeError):
+            server.finish(bytes(keyex))
+
+    def test_tampered_server_finished_rejected(self, kp1024):
+        client = TlsClient(HmacDrbg(b"c"))
+        server = TlsServer(kp1024, HmacDrbg(b"s"))
+        server_hello = server.hello(client.hello())
+        finished = bytearray(server.finish(client.key_exchange(server_hello)))
+        finished[0] ^= 1
+        with pytest.raises(HandshakeError):
+            client.verify_finish(bytes(finished))
+
+    def test_sessions_have_distinct_keys(self, kp1024):
+        c1, s1 = TlsClient(HmacDrbg(b"c1")), TlsServer(kp1024, HmacDrbg(b"s1"))
+        c2, s2 = TlsClient(HmacDrbg(b"c2")), TlsServer(kp1024, HmacDrbg(b"s2"))
+        handshake_in_memory(c1, s1)
+        handshake_in_memory(c2, s2)
+        record = c1.record.protect(b"payload")
+        with pytest.raises(TransportError):
+            s2.record.unprotect(record)
+
+
+class TestRecordLayer:
+    def test_bidirectional(self, session):
+        client, server = session
+        assert server.record.unprotect(client.record.protect(b"c->s")) == b"c->s"
+        assert client.record.unprotect(server.record.protect(b"s->c")) == b"s->c"
+
+    def test_confidentiality(self, session):
+        client, _ = session
+        record = client.record.protect(b"very secret words")
+        assert b"very secret words" not in record
+
+    def test_replay_rejected(self, session):
+        client, server = session
+        record = client.record.protect(b"once")
+        server.record.unprotect(record)
+        with pytest.raises(TransportError):
+            server.record.unprotect(record)
+
+    def test_reorder_rejected(self, session):
+        client, server = session
+        r1 = client.record.protect(b"one")
+        r2 = client.record.protect(b"two")
+        with pytest.raises(TransportError):
+            server.record.unprotect(r2)  # skipping r1
+
+    def test_tampered_record_rejected(self, session):
+        client, server = session
+        record = bytearray(client.record.protect(b"data"))
+        record[-1] ^= 1
+        with pytest.raises(TransportError):
+            server.record.unprotect(bytes(record))
+
+    def test_short_record_rejected(self, session):
+        _, server = session
+        with pytest.raises(TransportError):
+            server.record.unprotect(b"tiny")
+
+
+class TestTlsTransport:
+    def test_wrap_requires_session(self):
+        transport = TlsTransport()
+        with pytest.raises(TransportError):
+            transport.wrap(b"x", peer="p", local="l")
+        with pytest.raises(TransportError):
+            transport.unwrap(b"x", peer="p", local="l")
+
+    def test_installed_session_used(self, session):
+        client, server = session
+        ct = TlsTransport()
+        st = TlsTransport()
+        ct.install("server-addr", client.record)
+        st.install("client-addr", server.record)
+        assert ct.has_session("server-addr")
+        wire = ct.wrap(b"payload", peer="server-addr", local="client-addr")
+        assert st.unwrap(wire, peer="client-addr", local="server-addr") == b"payload"

@@ -1,0 +1,247 @@
+"""The plain JXTA-Overlay protocol: discovery, group, messenger functions."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    NotConnectedError,
+    OverlayError,
+    PrimitiveError,
+)
+from repro.jxta.messages import Message
+
+
+class TestConnect:
+    def test_connect_returns_broker_name(self, plain_world):
+        assert plain_world.alice.connect("broker:0") == "B0"
+        assert plain_world.alice.events.events_named("connected")
+
+    def test_connect_to_nothing_fails(self, plain_world):
+        with pytest.raises(NotConnectedError):
+            plain_world.alice.connect("broker:ghost")
+        assert plain_world.alice.broker_address is None
+        assert plain_world.alice.events.events_named("connection_failed")
+
+
+class TestLogin:
+    def test_login_returns_groups(self, plain_world):
+        plain_world.alice.connect("broker:0")
+        assert plain_world.alice.login("alice", "pw-a") == ["students"]
+        assert plain_world.alice.events.events_named("logged_in")
+
+    def test_login_without_connect_rejected(self, plain_world):
+        with pytest.raises(NotConnectedError):
+            plain_world.alice.login("alice", "pw-a")
+
+    def test_wrong_password_rejected(self, plain_world):
+        plain_world.alice.connect("broker:0")
+        with pytest.raises(AuthenticationError):
+            plain_world.alice.login("alice", "nope")
+        assert plain_world.alice.username is None
+        assert plain_world.alice.events.events_named("login_failed")
+
+    def test_unknown_user_rejected(self, plain_world):
+        plain_world.alice.connect("broker:0")
+        with pytest.raises(AuthenticationError):
+            plain_world.alice.login("mallory", "x")
+
+    def test_login_creates_group_pipes(self, joined_plain_world):
+        world = joined_plain_world
+        assert set(world.alice.input_pipes) == {"students"}
+        # the pipe advertisement reached the broker's index
+        hits = world.broker.control.cache.find(
+            "PipeAdvertisement", peer_id=str(world.alice.peer_id))
+        assert len(hits) == 1
+
+    def test_login_registers_session(self, joined_plain_world):
+        world = joined_plain_world
+        session = world.broker.connected[str(world.alice.peer_id)]
+        assert session.username == "alice"
+        assert session.address == "peer:alice"
+
+    def test_members_notified_of_join(self, plain_world):
+        world = plain_world
+        world.alice.connect("broker:0")
+        world.alice.login("alice", "pw-a")
+        world.bob.connect("broker:0")
+        world.bob.login("bob", "pw-b")
+        joined = world.alice.events.events_named("peer_joined_group")
+        assert any(e["username"] == "bob" for e in joined)
+
+
+class TestLogout:
+    def test_logout_clears_state(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.logout()
+        assert world.alice.username is None
+        assert world.alice.groups == []
+        assert world.alice.input_pipes == {}
+        assert str(world.alice.peer_id) not in world.broker.connected
+
+    def test_logout_notifies_members(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.logout()
+        left = world.bob.events.events_named("peer_left_group")
+        assert any(e["peer_id"] == str(world.alice.peer_id) for e in left)
+
+    def test_logout_without_login_rejected(self, plain_world):
+        plain_world.alice.connect("broker:0")
+        with pytest.raises(NotConnectedError):
+            plain_world.alice.logout()
+
+
+class TestPeerStatus:
+    def test_online_peer(self, joined_plain_world):
+        world = joined_plain_world
+        status = world.alice.peer_status(str(world.bob.peer_id))
+        assert status["online"] and status["username"] == "bob"
+
+    def test_offline_peer(self, joined_plain_world):
+        status = joined_plain_world.alice.peer_status("urn:jxta:uuid-" + "00" * 16)
+        assert not status["online"]
+
+
+class TestMessaging:
+    def test_send_and_receive(self, joined_plain_world):
+        world = joined_plain_world
+        got = []
+        world.bob.events.subscribe("message_received", lambda **kw: got.append(kw))
+        assert world.alice.send_msg_peer(str(world.bob.peer_id), "students", "hi")
+        assert got[0]["text"] == "hi"
+        assert got[0]["from_user"] == "alice"
+        assert got[0]["group"] == "students"
+
+    def test_group_send_counts_members(self, joined_plain_world):
+        world = joined_plain_world
+        assert world.alice.send_msg_peer_group("students", "all") == 1
+
+    def test_non_member_group_rejected(self, joined_plain_world):
+        world = joined_plain_world
+        with pytest.raises(PrimitiveError):
+            world.alice.send_msg_peer(str(world.carol.peer_id), "teachers", "x")
+
+    def test_requires_login(self, plain_world):
+        with pytest.raises(NotConnectedError):
+            plain_world.alice.send_msg_peer("urn:jxta:uuid-" + "00" * 16,
+                                            "students", "x")
+
+
+class TestGroups:
+    def test_create_join_leave(self, joined_plain_world):
+        world = joined_plain_world
+        world.carol.create_group("staff-room", "desc")
+        assert "staff-room" in world.carol.groups
+        assert "staff-room" in world.carol.list_groups()
+
+        members = world.bob.join_group("staff-room")
+        assert str(world.carol.peer_id) in members
+        assert len(world.carol.group_members("staff-room")) == 2
+
+        world.bob.leave_group("staff-room")
+        assert len(world.carol.group_members("staff-room")) == 1
+        assert "staff-room" not in world.bob.groups
+
+    def test_duplicate_group_rejected(self, joined_plain_world):
+        world = joined_plain_world
+        world.carol.create_group("staff")
+        with pytest.raises(OverlayError):
+            world.alice.create_group("staff")
+
+    def test_join_unknown_group_rejected(self, joined_plain_world):
+        with pytest.raises(OverlayError):
+            joined_plain_world.alice.join_group("nonexistent")
+
+    def test_group_messaging_after_join(self, joined_plain_world):
+        world = joined_plain_world
+        world.carol.create_group("mixed")
+        world.alice.join_group("mixed")
+        got = []
+        world.carol.events.subscribe("message_received", lambda **kw: got.append(kw))
+        assert world.alice.send_msg_peer(str(world.carol.peer_id), "mixed", "x")
+        assert got
+
+    def test_group_members_unknown_group(self, joined_plain_world):
+        with pytest.raises(OverlayError):
+            joined_plain_world.alice.group_members("nope")
+
+
+class TestQueries:
+    def test_search_by_type_and_group(self, joined_plain_world):
+        world = joined_plain_world
+        advs = world.alice.search_advertisements(
+            adv_type="PipeAdvertisement", group="students")
+        assert len(advs) == 2  # alice + bob
+
+    def test_search_caches_locally(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.search_advertisements(adv_type="PipeAdvertisement",
+                                          group="students")
+        assert len(world.alice.control.cache.find("PipeAdvertisement")) >= 2
+
+
+class TestBrokerFunctions:
+    def test_unauthenticated_publish_rejected(self, plain_world):
+        world = plain_world
+        world.alice.connect("broker:0")
+        req = Message("publish_adv")
+        from repro.jxta.advertisements import PeerAdvertisement
+
+        req.add_xml("adv", PeerAdvertisement(
+            peer_id=world.alice.peer_id, name="x", address="y").to_element())
+        resp = world.alice.control.endpoint.request("broker:0", req)
+        assert resp.msg_type == "publish_fail"
+
+    def test_publish_peer_id_mismatch_rejected(self, joined_plain_world):
+        world = joined_plain_world
+        from repro.jxta.advertisements import PeerAdvertisement
+
+        req = Message("publish_adv")
+        req.add_xml("adv", PeerAdvertisement(
+            peer_id=world.bob.peer_id, name="x", address="y").to_element())
+        resp = world.alice.control.endpoint.request("broker:0", req)
+        assert resp.msg_type == "publish_fail"
+
+    def test_broker_link_sync(self, joined_plain_world):
+        from repro.overlay import Broker
+
+        world = joined_plain_world
+        other = Broker(world.net, "broker:1", world.db,
+                       world.root.fork(b"br2"), name="B1")
+        world.broker.link_broker(other)
+        world.db.register_user("dave", "pw-d", {"students"})
+        from repro.overlay import ClientPeer
+
+        dave = ClientPeer(world.net, "peer:dave", world.root.fork(b"da"))
+        dave.connect("broker:1")
+        dave.login("dave", "pw-d")
+        assert world.broker.control.cache.find(
+            "PipeAdvertisement", peer_id=str(dave.peer_id))
+
+    def test_broker_cannot_link_itself(self, plain_world):
+        with pytest.raises(OverlayError):
+            plain_world.broker.link_broker(plain_world.broker)
+
+
+class TestTasks:
+    def test_task_roundtrip(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.register_task("rev", lambda s: s[::-1])
+        assert world.bob.submit_task(str(world.alice.peer_id), "students",
+                                     "rev", "abc") == "cba"
+
+    def test_unknown_task_fails(self, joined_plain_world):
+        world = joined_plain_world
+        with pytest.raises(OverlayError):
+            world.bob.submit_task(str(world.alice.peer_id), "students",
+                                  "ghost", "x")
+
+    def test_crashing_task_reported(self, joined_plain_world):
+        world = joined_plain_world
+
+        def boom(arg):
+            raise RuntimeError("kaput")
+
+        world.alice.register_task("boom", boom)
+        with pytest.raises(OverlayError, match="kaput"):
+            world.bob.submit_task(str(world.alice.peer_id), "students",
+                                  "boom", "x")

@@ -1,0 +1,66 @@
+"""Control module helpers."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import OverlayError
+from repro.jxta.ids import random_peer_id
+from repro.overlay.control import ControlModule, pack_results, unpack_results
+from repro.sim import SimNetwork, VirtualClock
+from repro.xmllib import Element
+
+
+@pytest.fixture()
+def control():
+    net = SimNetwork(clock=VirtualClock())
+    return ControlModule(net, "peer:x", HmacDrbg(b"ctrl"))
+
+
+class TestResultsPacking:
+    def test_roundtrip(self):
+        elems = [Element("A", text="1"), Element("B", text="2")]
+        packed = pack_results(elems)
+        out = unpack_results(packed)
+        assert [e.tag for e in out] == ["A", "B"]
+
+    def test_empty(self):
+        assert unpack_results(pack_results([])) == []
+
+    def test_wrong_wrapper_rejected(self):
+        with pytest.raises(OverlayError):
+            unpack_results(Element("NotResults"))
+
+
+class TestControlModule:
+    def test_open_group_pipe(self, control):
+        peer = random_peer_id(control.drbg)
+        pipe, adv = control.open_group_pipe(peer, "g1")
+        assert adv.group == "g1"
+        assert adv.address == "peer:x"
+        assert str(adv.pipe_id) == str(pipe.pipe_id)
+        assert control.pipes.get(pipe.pipe_id) is pipe
+
+    def test_accept_advertisement_emits_event(self, control):
+        from repro.jxta.advertisements import PeerAdvertisement
+
+        got = []
+        control.events.subscribe("advertisement_received",
+                                 lambda **kw: got.append(kw))
+        adv = PeerAdvertisement(peer_id=random_peer_id(control.drbg),
+                                name="n", address="a")
+        control.accept_advertisement(adv.to_element())
+        assert len(got) == 1
+        assert len(control.cache) == 1
+
+    def test_cached_pipe_advertisement_copies(self, control):
+        peer = random_peer_id(control.drbg)
+        _, adv = control.open_group_pipe(peer, "g1")
+        control.cache.publish_advertisement(adv)
+        fetched = control.cached_pipe_advertisement(str(peer), "g1")
+        fetched.add("Mutation", text="x")
+        again = control.cached_pipe_advertisement(str(peer), "g1")
+        assert again.find("Mutation") is None
+
+    def test_close_unregisters(self, control):
+        control.close()
+        assert not control.network.is_registered("peer:x")

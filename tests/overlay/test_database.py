@@ -1,0 +1,90 @@
+"""The central user database."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DatabaseError
+from repro.overlay.database import UserDatabase, _hash_password
+
+
+@pytest.fixture()
+def db():
+    database = UserDatabase(HmacDrbg(b"db"))
+    database.register_user("alice", "secret", {"g1", "g2"})
+    return database
+
+
+class TestRegistration:
+    def test_register_and_check(self, db):
+        assert db.check_credentials("alice", "secret")
+        assert not db.check_credentials("alice", "wrong")
+        assert not db.check_credentials("nobody", "secret")
+        assert db.has_user("alice") and not db.has_user("bob")
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.register_user("alice", "x")
+
+    def test_empty_username_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.register_user("", "x")
+
+    def test_remove_user(self, db):
+        db.remove_user("alice")
+        assert not db.has_user("alice")
+        with pytest.raises(DatabaseError):
+            db.remove_user("alice")
+
+    def test_password_not_stored_in_clear(self, db):
+        record = db._users["alice"]
+        assert b"secret" not in record.password_hash
+        assert record.password_hash != _hash_password(b"\x00" * 16, "secret")
+
+    def test_salts_differ_between_users(self, db):
+        db.register_user("bob", "secret")
+        assert db._users["alice"].password_hash != db._users["bob"].password_hash
+
+    def test_set_password(self, db):
+        db.set_password("alice", "new-secret")
+        assert not db.check_credentials("alice", "secret")
+        assert db.check_credentials("alice", "new-secret")
+
+
+class TestGroups:
+    def test_groups_of(self, db):
+        assert db.groups_of("alice") == {"g1", "g2"}
+
+    def test_groups_of_returns_copy(self, db):
+        db.groups_of("alice").add("evil")
+        assert db.groups_of("alice") == {"g1", "g2"}
+
+    def test_assign_and_revoke(self, db):
+        db.assign_group("alice", "g3")
+        assert "g3" in db.groups_of("alice")
+        db.revoke_group("alice", "g3")
+        assert "g3" not in db.groups_of("alice")
+
+    def test_known_groups(self, db):
+        db.register_group("g9")
+        assert db.known_groups() >= {"g1", "g2", "g9"}
+
+    def test_empty_group_name_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.register_group("")
+
+    def test_unknown_user_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.groups_of("ghost")
+
+
+class TestSessionTracking:
+    def test_active_broker_lifecycle(self, db):
+        assert db.active_broker_of("alice") is None
+        db.mark_active("alice", "broker:0")
+        assert db.active_broker_of("alice") == "broker:0"
+        db.mark_inactive("alice")
+        assert db.active_broker_of("alice") is None
+
+    def test_mark_inactive_unknown_is_noop(self, db):
+        db.mark_inactive("ghost")  # must not raise

@@ -1,0 +1,137 @@
+"""File store and chunked transfer, standalone and through the primitives."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.jxta.messages import Message
+from repro.overlay.filesharing import FileStore, chunked_fetch
+
+
+class TestFileStore:
+    def test_add_get(self):
+        store = FileStore()
+        store.add("a.txt", b"content")
+        assert store.get("a.txt") == b"content"
+        assert "a.txt" in store and len(store) == 1
+        assert store.names() == ["a.txt"]
+
+    def test_missing_file_raises(self):
+        with pytest.raises(OverlayError):
+            FileStore().get("ghost")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OverlayError):
+            FileStore().add("", b"x")
+
+    def test_remove_idempotent(self):
+        store = FileStore()
+        store.add("a", b"x")
+        store.remove("a")
+        store.remove("a")
+        assert "a" not in store
+
+    def test_digest(self):
+        from repro.crypto.sha2 import sha256
+
+        store = FileStore()
+        store.add("a", b"data")
+        assert store.digest("a") == sha256(b"data").hex()
+
+    def test_content_copied(self):
+        content = bytearray(b"mutable")
+        store = FileStore()
+        store.add("a", bytes(content))
+        content[0] = 0
+        assert store.get("a") == b"mutable"
+
+
+class TestChunkProtocol:
+    def _req(self, name, offset, length):
+        m = Message("file_req")
+        m.add_text("file_name", name)
+        m.add_text("offset", str(offset))
+        m.add_text("length", str(length))
+        return m
+
+    def test_chunk_response(self):
+        store = FileStore()
+        store.add("f", b"0123456789")
+        resp = store.handle_request(self._req("f", 2, 3))
+        assert resp.msg_type == "file_resp"
+        assert resp.get_bytes("data") == b"234"
+        assert resp.get_text("eof") == "false"
+        assert resp.get_text("total") == "10"
+
+    def test_final_chunk_eof(self):
+        store = FileStore()
+        store.add("f", b"0123456789")
+        resp = store.handle_request(self._req("f", 8, 10))
+        assert resp.get_text("eof") == "true"
+        assert resp.get_bytes("data") == b"89"
+
+    def test_unknown_file(self):
+        resp = FileStore().handle_request(self._req("ghost", 0, 10))
+        assert resp.msg_type == "file_fail"
+
+    def test_bad_range(self):
+        store = FileStore()
+        store.add("f", b"x")
+        assert store.handle_request(self._req("f", -1, 10)).msg_type == "file_fail"
+        assert store.handle_request(self._req("f", 0, 0)).msg_type == "file_fail"
+
+
+class TestChunkedFetch:
+    def _serving_endpoint(self, network, content):
+        from repro.jxta.endpoint import Endpoint
+
+        store = FileStore()
+        store.add("big.bin", content)
+        server = Endpoint(network, "server")
+        server.on("file_req", lambda m, s: store.handle_request(m))
+        return Endpoint(network, "client")
+
+    @pytest.mark.parametrize("size,chunk", [(0, 100), (1, 100), (99, 100),
+                                            (100, 100), (101, 100), (1000, 64)])
+    def test_various_sizes(self, network, size, chunk):
+        content = bytes(i % 251 for i in range(size))
+        client = self._serving_endpoint(network, content)
+        assert chunked_fetch(client, "server", "big.bin", chunk) == content
+
+    def test_missing_file_raises(self, network):
+        client = self._serving_endpoint(network, b"x")
+        with pytest.raises(OverlayError):
+            chunked_fetch(client, "server", "ghost")
+
+    def test_bad_chunk_size_rejected(self, network):
+        client = self._serving_endpoint(network, b"x")
+        with pytest.raises(OverlayError):
+            chunked_fetch(client, "server", "big.bin", chunk_size=0)
+
+
+class TestFilePrimitives:
+    def test_publish_search_fetch(self, joined_plain_world):
+        world = joined_plain_world
+        data = bytes(range(256)) * 20
+        world.alice.publish_file("students", "notes.bin", data)
+        offers = world.bob.search_files(group="students")
+        assert [o.file_name for o in offers] == ["notes.bin"]
+        assert offers[0].size == len(data)
+        fetched = world.bob.request_file(str(world.alice.peer_id),
+                                         "students", "notes.bin",
+                                         chunk_size=500)
+        assert fetched == data
+        assert world.bob.events.events_named("file_received")
+
+    def test_publish_requires_membership(self, joined_plain_world):
+        world = joined_plain_world
+        with pytest.raises(OverlayError):
+            world.alice.publish_file("teachers", "f", b"x")
+
+    def test_digest_check_on_fetch(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.publish_file("students", "f.bin", b"original")
+        # owner silently swaps the content after advertising
+        world.alice.files.add("f.bin", b"poisoned")
+        with pytest.raises(OverlayError):
+            world.bob.request_file(str(world.alice.peer_id), "students", "f.bin")
+        assert world.bob.events.events_named("file_transfer_failed")

@@ -1,0 +1,89 @@
+"""Presence heartbeats, stale purging, stats advertisements."""
+
+import pytest
+
+from repro.overlay import PresenceSweeper
+from repro.overlay.stats import build_stats_advertisement, publish_stats
+from repro.sim import Scheduler
+
+
+class TestPresence:
+    def test_heartbeat_refreshes_last_seen(self, joined_plain_world):
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        world.alice.start_presence(sched, interval=10.0)
+        before = world.broker.connected[str(world.alice.peer_id)].last_seen
+        sched.run_for(35.0)
+        after = world.broker.connected[str(world.alice.peer_id)].last_seen
+        assert after > before
+
+    def test_silent_peer_purged(self, joined_plain_world):
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        world.alice.start_presence(sched, interval=10.0)
+        PresenceSweeper(world.broker, sched, max_age=25.0, interval=10.0)
+        sched.run_for(120.0)
+        assert str(world.alice.peer_id) in world.broker.connected
+        assert str(world.bob.peer_id) not in world.broker.connected
+
+    def test_purged_peer_leaves_groups(self, joined_plain_world):
+        world = joined_plain_world
+        world.broker.connected[str(world.bob.peer_id)].last_seen = -1000.0
+        purged = world.broker.purge_stale(100.0)
+        assert str(world.bob.peer_id) in purged
+        group = world.broker.groups.get("students")
+        assert not group.has_member(world.bob.peer_id)
+
+    def test_presence_advertisement_cached(self, joined_plain_world):
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        world.alice.start_presence(sched, interval=5.0)
+        sched.run_for(6.0)
+        hits = world.broker.control.cache.find(
+            "PresenceAdvertisement", peer_id=str(world.alice.peer_id))
+        assert len(hits) == 1
+
+    def test_double_start_rejected(self, joined_plain_world):
+        from repro.errors import PrimitiveError
+
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        world.alice.start_presence(sched)
+        with pytest.raises(PrimitiveError):
+            world.alice.start_presence(sched)
+
+    def test_stop_presence(self, joined_plain_world):
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        world.alice.start_presence(sched, interval=5.0)
+        world.alice.stop_presence()
+        before = world.broker.connected[str(world.alice.peer_id)].last_seen
+        sched.run_for(30.0)
+        assert world.broker.connected[str(world.alice.peer_id)].last_seen == before
+
+    def test_sweeper_cancel(self, joined_plain_world):
+        world = joined_plain_world
+        sched = Scheduler(world.net.clock)
+        sweeper = PresenceSweeper(world.broker, sched, max_age=5.0, interval=5.0)
+        sweeper.cancel()
+        sched.run_for(60.0)
+        # nobody beats, but the sweeper was cancelled: all still connected
+        assert len(world.broker.connected) == 3
+
+
+class TestStats:
+    def test_stats_reflect_primitives(self, joined_plain_world):
+        world = joined_plain_world
+        world.alice.send_msg_peer(str(world.bob.peer_id), "students", "1")
+        world.alice.send_msg_peer(str(world.bob.peer_id), "students", "2")
+        world.alice.publish_file("students", "f", b"x")
+        adv = build_stats_advertisement(world.alice, "students")
+        assert adv.messages_sent == 2
+        assert adv.files_shared == 1
+
+    def test_publish_stats_indexes_on_broker(self, joined_plain_world):
+        world = joined_plain_world
+        assert publish_stats(world.alice) == 1
+        hits = world.broker.control.cache.find(
+            "StatsAdvertisement", peer_id=str(world.alice.peer_id))
+        assert len(hits) == 1

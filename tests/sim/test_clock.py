@@ -1,0 +1,57 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.sim import VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_network_ledger(self):
+        clock = VirtualClock()
+        clock.advance_network(0.25)
+        assert clock.network_time == pytest.approx(0.25)
+        assert clock.now == pytest.approx(0.25)
+
+
+class TestCpuAccounting:
+    def test_charge_scaled(self):
+        clock = VirtualClock(cpu_scale=3.0)
+        clock.charge_cpu(1.0)
+        assert clock.now == pytest.approx(3.0)
+        assert clock.cpu_time == pytest.approx(3.0)
+
+    def test_cpu_section_measures_real_time(self):
+        clock = VirtualClock()
+        with clock.cpu_section():
+            sum(range(10000))
+        assert clock.cpu_time > 0
+
+    def test_zero_scale_freezes_cpu_time(self):
+        clock = VirtualClock(cpu_scale=0.0)
+        with clock.cpu_section():
+            sum(range(1000))
+        assert clock.now == 0.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(cpu_scale=-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance_network(1.0)
+        clock.charge_cpu(1.0)
+        clock.reset()
+        assert clock.now == 0.0 and clock.cpu_time == 0.0 and clock.network_time == 0.0

@@ -1,0 +1,51 @@
+"""Link models."""
+
+import pytest
+
+from repro.sim.latency import LAN_2009, LOOPBACK, PROFILES, WAN_ADSL, LinkModel
+
+
+class TestTransitTime:
+    def test_latency_only(self):
+        link = LinkModel(latency_s=0.01, bandwidth_bps=0)
+        assert link.transit_time(10**9) == pytest.approx(0.01)
+
+    def test_bandwidth_term(self):
+        link = LinkModel(latency_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+        assert link.transit_time(1_000_000) == pytest.approx(1.0)
+
+    def test_size_monotone(self):
+        assert LAN_2009.transit_time(10_000) > LAN_2009.transit_time(100)
+
+    def test_per_message_overhead(self):
+        link = LinkModel(latency_s=0.0, bandwidth_bps=0, per_message_s=0.002)
+        assert link.transit_time(0) == pytest.approx(0.002)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LAN_2009.transit_time(-1)
+
+    def test_jitter_applied_only_with_draw(self):
+        link = LinkModel(latency_s=0.0, bandwidth_bps=0, jitter_s=1.0)
+        assert link.transit_time(0) == pytest.approx(0.0)
+        assert link.transit_time(0, jitter_draw=lambda: 0.5) == pytest.approx(0.5)
+
+
+class TestLoss:
+    def test_no_loss_by_default(self):
+        assert not LAN_2009.is_lost(lambda: 0.0)
+
+    def test_loss_threshold(self):
+        link = LinkModel(loss=0.5)
+        assert link.is_lost(lambda: 0.4)
+        assert not link.is_lost(lambda: 0.6)
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"lan2009", "loopback", "wan-adsl", "campus"}
+
+    def test_ordering_sanity(self):
+        # loopback fastest, WAN slowest for a 10 kB message
+        n = 10_000
+        assert LOOPBACK.transit_time(n) < LAN_2009.transit_time(n) < WAN_ADSL.transit_time(n)

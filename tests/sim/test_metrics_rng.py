@@ -1,0 +1,58 @@
+"""Metrics registry and deterministic sim randomness."""
+
+import pytest
+
+from repro.sim import Metrics, SimRandom
+
+
+class TestMetrics:
+    def test_counters(self):
+        m = Metrics()
+        m.incr("x")
+        m.incr("x", 4)
+        assert m.count("x") == 5
+        assert m.count("missing") == 0
+
+    def test_durations(self):
+        m = Metrics()
+        m.observe("op", 1.0)
+        m.observe("op", 3.0)
+        assert m.total("op") == pytest.approx(4.0)
+        assert m.mean("op") == pytest.approx(2.0)
+        assert m.mean("missing") == 0.0
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.incr("x")
+        b.incr("x", 2)
+        b.observe("t", 1.0)
+        a.merge(b)
+        assert a.count("x") == 3
+        assert a.total("t") == pytest.approx(1.0)
+
+    def test_snapshot(self):
+        m = Metrics()
+        m.incr("c", 2)
+        m.observe("d", 0.5)
+        snap = m.snapshot()
+        assert snap["c"] == 2.0
+        assert snap["d.total_s"] == pytest.approx(0.5)
+        assert snap["d.mean_s"] == pytest.approx(0.5)
+
+
+class TestSimRandom:
+    def test_deterministic(self):
+        a = SimRandom(b"seed")
+        b = SimRandom(b"seed")
+        assert a.stream("jitter").generate(16) == b.stream("jitter").generate(16)
+
+    def test_streams_independent(self):
+        r = SimRandom(b"seed")
+        assert r.stream("a").generate(16) != r.stream("b").generate(16)
+
+    def test_str_seed_accepted(self):
+        assert SimRandom("seed").uniform() == SimRandom(b"seed").uniform()
+
+    def test_stream_cached(self):
+        r = SimRandom(b"seed")
+        assert r.stream("x") is r.stream("x")

@@ -1,0 +1,113 @@
+"""Discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler, VirtualClock
+
+
+@pytest.fixture()
+def sched():
+    return Scheduler(VirtualClock())
+
+
+class TestSchedule:
+    def test_fires_in_time_order(self, sched):
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self, sched):
+        times = []
+        sched.schedule(1.5, lambda: times.append(sched.clock.now))
+        sched.run_until(5.0)
+        assert times == [pytest.approx(1.5)]
+        assert sched.clock.now == pytest.approx(5.0)
+
+    def test_same_time_fifo(self, sched):
+        fired = []
+        for name in "abc":
+            sched.schedule(1.0, lambda n=name: fired.append(n))
+        sched.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_past_event_rejected(self, sched):
+        with pytest.raises(SimulationError):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_cancel(self, sched):
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run_until(5.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_scheduled_during_run(self, sched):
+        fired = []
+
+        def chain():
+            fired.append(sched.clock.now)
+            if len(fired) < 3:
+                sched.schedule(1.0, chain)
+
+        sched.schedule(1.0, chain)
+        sched.run_until(10.0)
+        assert fired == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_run_until_respects_deadline(self, sched):
+        fired = []
+        sched.schedule(5.0, lambda: fired.append(1))
+        sched.run_until(4.0)
+        assert fired == []
+        assert sched.pending == 1
+        sched.run_until(5.0)
+        assert fired == [1]
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self, sched):
+        fired = []
+        sched.schedule_periodic(2.0, lambda: fired.append(sched.clock.now))
+        sched.run_for(9.0)
+        assert fired == [pytest.approx(t) for t in (2.0, 4.0, 6.0, 8.0)]
+
+    def test_cancel_stops_series(self, sched):
+        fired = []
+        handle = sched.schedule_periodic(1.0, lambda: fired.append(1))
+        sched.run_for(3.5)
+        handle.cancel()
+        sched.run_for(5.0)
+        assert len(fired) == 3
+
+    def test_jitter_applied(self, sched):
+        fired = []
+        sched.schedule_periodic(1.0, lambda: fired.append(sched.clock.now),
+                                jitter=lambda: 0.5)
+        sched.run_for(4.0)
+        assert fired == [pytest.approx(1.5), pytest.approx(3.0)]
+
+    def test_non_positive_interval_rejected(self, sched):
+        with pytest.raises(SimulationError):
+            sched.schedule_periodic(0.0, lambda: None)
+
+
+class TestRunUntilIdle:
+    def test_drains_queue(self, sched):
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(100.0, lambda: fired.append(2))
+        assert sched.run_until_idle() == 2
+        assert fired == [1, 2]
+        assert sched.pending == 0
+
+    def test_runaway_guard(self, sched):
+        def forever():
+            sched.schedule(1.0, forever)
+
+        sched.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sched.run_until_idle(max_events=50)

@@ -1,0 +1,167 @@
+"""End-to-end scenarios across the whole stack."""
+
+import pytest
+
+from repro.core import SecureClientPeer
+from repro.core.keystore import Keystore
+from repro.overlay import ClientPeer
+from repro.sim import Scheduler
+from tests.conftest import SecureWorld, cached_keypair
+
+
+class TestMixedNetwork:
+    """Secure and plain clients coexisting on one broker — the paper's
+    deployment story (the extension coexists with the original primitives)."""
+
+    def test_plain_client_on_secure_broker(self, secure_world):
+        w = secure_world
+        w.admin.register_user("dave", "pw-d", {"students"})
+        dave = ClientPeer(w.net, "peer:dave", w.root.fork(b"dv"), name="dave")
+        dave.connect("broker:0")
+        assert dave.login("dave", "pw-d") == ["students"]
+
+    def test_secure_client_rejects_plain_peer_advertisement(self, secure_world):
+        """A secure sender cannot secure-message a plain peer: the plain
+        peer's advertisement is unsigned."""
+        from repro.errors import SecurityError
+
+        w = secure_world
+        w.join_all()
+        w.admin.register_user("dave", "pw-d", {"students"})
+        dave = ClientPeer(w.net, "peer:dave", w.root.fork(b"dv"), name="dave")
+        dave.connect("broker:0")
+        dave.login("dave", "pw-d")
+        with pytest.raises(SecurityError):
+            w.alice.secure_msg_peer(str(dave.peer_id), "students", "x")
+
+    def test_plain_messaging_between_mixed_peers_still_works(self, secure_world):
+        w = secure_world
+        w.join_all()
+        w.admin.register_user("dave", "pw-d", {"students"})
+        dave = ClientPeer(w.net, "peer:dave", w.root.fork(b"dv"), name="dave")
+        dave.connect("broker:0")
+        dave.login("dave", "pw-d")
+        got = []
+        dave.events.subscribe("message_received", lambda **kw: got.append(kw))
+        assert w.alice.send_msg_peer(str(dave.peer_id), "students", "legacy hi")
+        assert got[0]["text"] == "legacy hi"
+
+
+class TestSecureLifecycle:
+    def test_full_session(self, secure_world):
+        """connect -> login -> message -> files -> task -> logout."""
+        w = secure_world
+        w.join_all()
+        got = []
+        w.bob.events.subscribe("secure_message_received",
+                               lambda **kw: got.append(kw))
+        w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "hello")
+        w.alice.secure_publish_file("students", "f.txt", b"data")
+        assert w.bob.secure_search_files(group="students")
+        assert w.bob.secure_request_file(str(w.alice.peer_id),
+                                         "students", "f.txt") == b"data"
+        w.bob.register_task("len", lambda s: str(len(s)))
+        assert w.alice.secure_submit_task(str(w.bob.peer_id), "students",
+                                          "len", "abcd") == "4"
+        w.alice.logout()
+        assert str(w.alice.peer_id) not in w.broker.connected
+        assert got
+
+    def test_relogin_after_logout(self, secure_world):
+        w = secure_world
+        w.alice.secure_connect("broker:0")
+        w.alice.secure_login("alice", "pw-a")
+        w.alice.logout()
+        w.alice.secure_connect("broker:0")
+        assert w.alice.secure_login("alice", "pw-a") == ["students"]
+
+    def test_credential_expiry_blocks_messaging(self):
+        """A session outliving its credential loses secure messaging."""
+        world = SecureWorld()
+        short = world.POLICY.with_(credential_lifetime=50.0)
+        world.broker.policy = short
+        world.join_all()
+        world.net.clock.advance(100.0)  # credentials now expired
+        from repro.errors import SecurityError
+
+        with pytest.raises(SecurityError):
+            world.alice.secure_msg_peer(str(world.bob.peer_id), "students", "x")
+
+    def test_presence_and_secure_messaging_together(self, secure_world):
+        w = secure_world
+        w.join_all()
+        sched = Scheduler(w.net.clock)
+        w.alice.start_presence(sched, interval=10.0)
+        w.bob.start_presence(sched, interval=10.0)
+        sched.run_for(35.0)
+        got = []
+        w.bob.events.subscribe("secure_message_received",
+                               lambda **kw: got.append(kw))
+        assert w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "still here")
+        assert got
+
+
+class TestMultiBrokerSecure:
+    def test_secure_clients_across_linked_brokers(self, secure_world):
+        from repro.core import SecureBroker
+
+        w = secure_world
+        w.join_all()
+        broker2 = SecureBroker.create(
+            w.net, "broker:1", w.admin, w.root.fork(b"br2"), name="B1",
+            policy=w.POLICY, keys=cached_keypair(512, "broker2"))
+        w.broker.link_broker(broker2)
+        w.admin.register_user("erin", "pw-e", {"students"})
+        erin = SecureClientPeer(
+            w.net, "peer:erin", w.root.fork(b"er"), w.admin.credential,
+            name="erin", policy=w.POLICY,
+            keystore=Keystore(cached_keypair(512, "client-erin")))
+        erin.secure_connect("broker:1")
+        erin.secure_login("erin", "pw-e")
+        # erin's signed pipe advertisement synced to broker 0, so alice
+        # (homed on broker 0) can secure-message her
+        got = []
+        erin.events.subscribe("secure_message_received",
+                              lambda **kw: got.append(kw))
+        assert w.alice.secure_msg_peer(str(erin.peer_id), "students",
+                                       "cross-broker hello")
+        assert got[0]["text"] == "cross-broker hello"
+
+    def test_brokers_have_distinct_credentials(self, secure_world):
+        from repro.core import SecureBroker
+
+        w = secure_world
+        broker2 = SecureBroker.create(
+            w.net, "broker:1", w.admin, w.root.fork(b"br2x"), name="B1",
+            policy=w.POLICY, keys=cached_keypair(512, "broker2"))
+        assert broker2.credential.subject_id != w.broker.credential.subject_id
+        # both validate against the same anchor
+        from repro.core.credentials import validate_chain
+
+        validate_chain([broker2.credential], w.admin.credential, now=0.0)
+        validate_chain([w.broker.credential], w.admin.credential, now=0.0)
+
+
+class TestScale:
+    def test_ten_secure_peers_group_chat(self):
+        world = SecureWorld()
+        from repro.core import SecureClientPeer
+
+        peers = []
+        for i in range(10):
+            user = f"user{i}"
+            world.admin.register_user(user, f"pw{i}", {"students"})
+            peer = SecureClientPeer(
+                world.net, f"peer:{user}", world.root.fork(b"u%d" % i),
+                world.admin.credential, name=user, policy=world.POLICY,
+                keystore=Keystore(cached_keypair(512, f"scale-{i}")))
+            peer.secure_connect("broker:0")
+            peer.secure_login(user, f"pw{i}")
+            peers.append(peer)
+        received = []
+        for peer in peers[1:]:
+            peer.events.subscribe("secure_message_received",
+                                  lambda **kw: received.append(kw["text"]))
+        sent = peers[0].secure_msg_peer_group("students", "broadcast")
+        assert sent == 9
+        assert received.count("broadcast") == 9

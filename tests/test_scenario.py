@@ -1,0 +1,108 @@
+"""The declarative scenario builder."""
+
+import pytest
+
+from repro.core import SecureClientPeer
+from repro.core.policy import SecurityPolicy
+from repro.crypto import envelope
+from repro.errors import ReproError
+from repro.overlay import ClientPeer
+from repro.scenario import Scenario
+
+FAST = SecurityPolicy(rsa_bits=512, envelope_wrap=envelope.WRAP_V15).validate()
+
+
+def _basic():
+    return (Scenario(seed=b"scn-test", policy=FAST)
+            .with_user("alice", "pw-a", groups={"lab"})
+            .with_user("bob", "pw-b", groups={"lab"})
+            .with_broker("broker:0", name="B0")
+            .with_secure_peer("alice")
+            .with_secure_peer("bob"))
+
+
+class TestBuild:
+    def test_build_and_join(self):
+        scn = _basic().build(join=True)
+        assert scn.peers["alice"].username == "alice"
+        assert scn.peers["bob"].groups == ["lab"]
+        assert len(scn.broker().connected) == 2
+
+    def test_secure_messaging_works(self):
+        scn = _basic().build(join=True)
+        got = []
+        scn.peers["bob"].events.subscribe("secure_message_received",
+                                          lambda **kw: got.append(kw))
+        assert scn.peers["alice"].secure_msg_peer(
+            str(scn.peers["bob"].peer_id), "lab", "hi")
+        assert got
+
+    def test_deterministic(self):
+        a = _basic().build()
+        b = _basic().build()
+        assert str(a.peers["alice"].peer_id) == str(b.peers["alice"].peer_id)
+
+    def test_default_broker_added(self):
+        scn = (Scenario(seed=b"x", policy=FAST)
+               .with_user("u", "p", groups={"g"})
+               .with_secure_peer("u")
+               .build(join=True))
+        assert "broker:0" in scn.brokers
+
+    def test_mixed_peers(self):
+        scn = (Scenario(seed=b"mix", policy=FAST)
+               .with_user("s", "p1", groups={"g"})
+               .with_user("p", "p2", groups={"g"})
+               .with_broker("broker:0")
+               .with_secure_peer("s")
+               .with_plain_peer("p")
+               .build(join=True))
+        assert isinstance(scn.peers["s"], SecureClientPeer)
+        assert isinstance(scn.peers["p"], ClientPeer)
+        assert not isinstance(scn.peers["p"], SecureClientPeer)
+        assert scn.peers["p"].username == "p"
+
+    def test_multi_broker_linked(self):
+        scn = (Scenario(seed=b"mb", policy=FAST)
+               .with_user("a", "p", groups={"g"})
+               .with_user("b", "p", groups={"g"})
+               .with_broker("broker:0")
+               .with_broker("broker:1")
+               .with_secure_peer("a")
+               .with_secure_peer("b")
+               .build())
+        # join a on broker 0 and b on broker 1 manually
+        scn.peers["a"].secure_connect("broker:0")
+        scn.peers["a"].secure_login("a", "p")
+        scn.peers["b"].secure_connect("broker:1")
+        scn.peers["b"].secure_login("b", "p")
+        got = []
+        scn.peers["b"].events.subscribe("secure_message_received",
+                                        lambda **kw: got.append(kw))
+        assert scn.peers["a"].secure_msg_peer(
+            str(scn.peers["b"].peer_id), "g", "cross")
+        assert got
+
+
+class TestValidation:
+    def test_undeclared_peer_rejected(self):
+        with pytest.raises(ReproError):
+            (Scenario(seed=b"x", policy=FAST)
+             .with_secure_peer("ghost")
+             .build())
+
+    def test_secure_peer_needs_secure_broker(self):
+        with pytest.raises(ReproError):
+            (Scenario(seed=b"x", policy=FAST)
+             .with_user("u", "p")
+             .with_broker("broker:0", secure=False)
+             .with_secure_peer("u")
+             .build())
+
+    def test_plain_peer_on_plain_broker(self):
+        scn = (Scenario(seed=b"pp", policy=FAST)
+               .with_user("u", "p", groups={"g"})
+               .with_broker("broker:0", secure=False)
+               .with_plain_peer("u")
+               .build(join=True))
+        assert scn.peers["u"].username == "u"

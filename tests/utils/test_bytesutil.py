@@ -1,0 +1,102 @@
+"""Unit + property tests for the byte-level codec helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bytesutil import b2i, constant_time_eq, i2b, i2b_fixed, xor_bytes
+
+
+class TestI2B:
+    def test_zero_is_one_byte(self):
+        assert i2b(0) == b"\x00"
+
+    def test_small_values(self):
+        assert i2b(1) == b"\x01"
+        assert i2b(255) == b"\xff"
+        assert i2b(256) == b"\x01\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            i2b(-1)
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_roundtrip(self, n):
+        assert b2i(i2b(n)) == n
+
+    @given(st.integers(min_value=1, max_value=1 << 256))
+    def test_minimal_length(self, n):
+        assert len(i2b(n)) == (n.bit_length() + 7) // 8
+
+
+class TestI2BFixed:
+    def test_pads_to_length(self):
+        assert i2b_fixed(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            i2b_fixed(256, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            i2b_fixed(-5, 4)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_roundtrip_fixed(self, n):
+        assert b2i(i2b_fixed(n, 16)) == n
+
+
+class TestB2I:
+    def test_empty_is_zero(self):
+        assert b2i(b"") == 0
+
+    def test_leading_zeros_ignored(self):
+        assert b2i(b"\x00\x00\x05") == 5
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_empty(self):
+        assert xor_bytes(b"", b"") == b""
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(max_size=256))
+    def test_self_inverse(self, data):
+        assert xor_bytes(data, data) == b"\x00" * len(data)
+
+    @given(st.binary(min_size=1, max_size=128), st.binary(min_size=1, max_size=128))
+    def test_involution(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_commutative(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert xor_bytes(a, b) == xor_bytes(b, a)
+
+    def test_leading_zero_bytes_preserved(self):
+        # regression guard for the big-int implementation: zero-prefixed
+        # results must keep their length
+        assert xor_bytes(b"\x01\x02", b"\x01\x03") == b"\x00\x01"
+
+
+class TestConstantTimeEq:
+    def test_equal(self):
+        assert constant_time_eq(b"secret", b"secret")
+
+    def test_unequal(self):
+        assert not constant_time_eq(b"secret", b"secreT")
+
+    def test_length_difference(self):
+        assert not constant_time_eq(b"short", b"longer-string")
+
+    @given(st.binary(max_size=64))
+    def test_reflexive(self, data):
+        assert constant_time_eq(data, data)

@@ -1,0 +1,51 @@
+"""Base64 / hex helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.encoding import b64decode, b64encode, from_hex, to_hex
+
+
+class TestBase64:
+    def test_known_value(self):
+        assert b64encode(b"hello") == "aGVsbG8="
+
+    def test_empty(self):
+        assert b64encode(b"") == ""
+        assert b64decode("") == b""
+
+    @given(st.binary(max_size=512))
+    def test_roundtrip(self, data):
+        assert b64decode(b64encode(data)) == data
+
+    def test_invalid_chars_rejected(self):
+        with pytest.raises(EncodingError):
+            b64decode("not*base64!")
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(EncodingError):
+            b64decode("AAA")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(EncodingError):
+            b64decode("aGVsbG8=é")
+
+
+class TestHex:
+    def test_known_value(self):
+        assert to_hex(b"\x00\xff") == "00ff"
+        assert from_hex("00ff") == b"\x00\xff"
+
+    @given(st.binary(max_size=512))
+    def test_roundtrip(self, data):
+        assert from_hex(to_hex(data)) == data
+
+    def test_invalid_rejected(self):
+        with pytest.raises(EncodingError):
+            from_hex("zz")
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(EncodingError):
+            from_hex("abc")

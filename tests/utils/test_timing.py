@@ -1,0 +1,59 @@
+"""Stopwatch and timing-sample helpers."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingSample, measure
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        assert first >= 0.0
+        with sw:
+            pass
+        assert sw.elapsed >= first
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestTimingSample:
+    def test_statistics(self):
+        s = TimingSample("op")
+        for v in (1.0, 2.0, 3.0):
+            s.add(v)
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == pytest.approx(2.0)
+        assert s.best == pytest.approx(1.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert len(s) == 3
+
+    def test_empty_sample_safe(self):
+        s = TimingSample("op")
+        assert s.mean == 0.0 and s.median == 0.0 and s.best == 0.0 and s.stdev == 0.0
+
+
+def test_measure_runs_n_times():
+    calls = []
+    sample = measure(lambda: calls.append(1), repeat=4, label="x")
+    assert len(calls) == 4
+    assert len(sample) == 4
+    assert sample.label == "x"

@@ -1,0 +1,56 @@
+"""Canonicalization: the byte-stability XMLdsig depends on."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import XMLError
+from repro.xmllib import Element, canonicalize, parse, serialize
+from tests.xmllib.test_parser import element_trees
+
+
+class TestNormalization:
+    def test_attribute_order_normalized(self):
+        a = Element("A", attrib={"z": "1", "a": "2"})
+        b = Element("A", attrib={"a": "2", "z": "1"})
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_empty_element_expanded(self):
+        assert canonicalize(Element("A")) == b"<A></A>"
+
+    def test_text_escaped(self):
+        assert canonicalize(Element("A", text="a<b")) == b"<A>a&lt;b</A>"
+
+    def test_children_preserve_order(self):
+        root = Element("R", children=[Element("B"), Element("A")])
+        assert canonicalize(root) == b"<R><B></B><A></A></R>"
+
+    def test_mixed_content_rejected(self):
+        bad = Element("A", text="t")
+        bad.children.append(Element("B"))
+        with pytest.raises(XMLError):
+            canonicalize(bad)
+
+
+class TestStability:
+    @settings(max_examples=50, deadline=None)
+    @given(element_trees())
+    def test_roundtrip_stable(self, tree):
+        """serialize -> parse must never change the canonical form."""
+        assert canonicalize(parse(serialize(tree))) == canonicalize(tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(element_trees())
+    def test_double_roundtrip_stable(self, tree):
+        once = parse(serialize(tree))
+        twice = parse(serialize(once))
+        assert canonicalize(twice) == canonicalize(tree)
+
+    def test_whitespace_styles_agree(self):
+        compact = parse("<R><A>x</A><B/></R>")
+        pretty = parse("<R>\n    <A>x</A>\n    <B/>\n</R>")
+        assert canonicalize(compact) == canonicalize(pretty)
+
+    def test_content_change_changes_canonical_form(self):
+        a = parse("<R><A>x</A></R>")
+        b = parse("<R><A>y</A></R>")
+        assert canonicalize(a) != canonicalize(b)

@@ -1,0 +1,112 @@
+"""Element tree semantics."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmllib import Element
+
+
+class TestConstruction:
+    def test_basic(self):
+        e = Element("Tag", attrib={"a": "1"}, text="hello")
+        assert e.tag == "Tag" and e.get("a") == "1" and e.text == "hello"
+
+    @pytest.mark.parametrize("bad", ["", "1tag", "ta g", "ta<g", 'ta"g'])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(XMLError):
+            Element(bad)
+
+    def test_invalid_attr_names_rejected(self):
+        with pytest.raises(XMLError):
+            Element("Tag", attrib={"bad attr": "v"})
+
+    def test_valid_name_chars(self):
+        Element("_tag")
+        Element("ns:tag")
+        Element("tag-1.2")
+
+
+class TestTreeBuilding:
+    def test_add_returns_child(self):
+        root = Element("Root")
+        child = root.add("Child", text="x")
+        assert child.tag == "Child"
+        assert root.children == [child]
+
+    def test_append_rejects_non_element(self):
+        with pytest.raises(XMLError):
+            Element("Root").append("not an element")  # type: ignore[arg-type]
+
+    def test_remove(self):
+        root = Element("Root")
+        child = root.add("Child")
+        root.remove(child)
+        assert root.children == []
+
+    def test_set_get(self):
+        e = Element("E")
+        e.set("key", "value")
+        assert e.get("key") == "value"
+        assert e.get("missing") is None
+        assert e.get("missing", "dflt") == "dflt"
+
+
+class TestNavigation:
+    def _tree(self):
+        root = Element("Root")
+        root.add("A", text="1")
+        root.add("B", text="2")
+        root.add("A", text="3")
+        return root
+
+    def test_find_first(self):
+        assert self._tree().find("A").text == "1"
+
+    def test_find_missing(self):
+        assert self._tree().find("Z") is None
+
+    def test_find_required(self):
+        tree = self._tree()
+        assert tree.find_required("B").text == "2"
+        with pytest.raises(XMLError):
+            tree.find_required("Z")
+
+    def test_findall(self):
+        assert [e.text for e in self._tree().findall("A")] == ["1", "3"]
+
+    def test_findtext(self):
+        tree = self._tree()
+        assert tree.findtext("B") == "2"
+        assert tree.findtext("Z", "fallback") == "fallback"
+
+    def test_iter_preorder(self):
+        root = Element("R")
+        a = root.add("A")
+        a.add("A1")
+        root.add("B")
+        assert [e.tag for e in root.iter()] == ["R", "A", "A1", "B"]
+
+
+class TestCopyEquality:
+    def test_deep_copy_is_independent(self):
+        root = Element("R", attrib={"k": "v"})
+        root.add("C", text="t")
+        copy = root.deep_copy()
+        assert copy.structurally_equal(root)
+        copy.children[0].text = "changed"
+        copy.attrib["k"] = "changed"
+        assert root.children[0].text == "t"
+        assert root.get("k") == "v"
+
+    def test_structural_inequality(self):
+        a = Element("R", text="x")
+        assert not a.structurally_equal(Element("S", text="x"))
+        assert not a.structurally_equal(Element("R", text="y"))
+        assert not a.structurally_equal(Element("R", attrib={"k": "v"}, text="x"))
+        b = Element("R", text="x")
+        assert a.structurally_equal(b)
+
+    def test_child_order_matters(self):
+        a = Element("R", children=[Element("X"), Element("Y")])
+        b = Element("R", children=[Element("Y"), Element("X")])
+        assert not a.structurally_equal(b)

@@ -1,0 +1,54 @@
+"""Serialization forms."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmllib import Element, document, parse, serialize
+
+
+class TestCompact:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("A")) == "<A/>"
+
+    def test_text_element(self):
+        assert serialize(Element("A", text="x")) == "<A>x</A>"
+
+    def test_attributes_in_insertion_order(self):
+        e = Element("A", attrib={"z": "1", "a": "2"})
+        assert serialize(e) == '<A z="1" a="2"/>'
+
+    def test_escaping(self):
+        e = Element("A", attrib={"q": 'a"b'}, text="x & <y>")
+        assert serialize(e) == '<A q="a&quot;b">x &amp; &lt;y&gt;</A>'
+
+    def test_nested(self):
+        root = Element("R")
+        root.add("C", text="1")
+        assert serialize(root) == "<R><C>1</C></R>"
+
+    def test_mixed_content_rejected(self):
+        bad = Element("A", text="t")
+        bad.children.append(Element("B"))
+        with pytest.raises(XMLError):
+            serialize(bad)
+
+
+class TestPretty:
+    def test_indentation(self):
+        root = Element("R")
+        root.add("C", text="1")
+        out = serialize(root, indent=2)
+        assert out == "<R>\n  <C>1</C>\n</R>\n"
+
+    def test_pretty_reparses(self):
+        root = Element("R")
+        child = root.add("C")
+        child.add("D", text="deep")
+        assert parse(serialize(root, indent=4)).structurally_equal(root)
+
+
+class TestDocument:
+    def test_declaration_prefix(self):
+        out = document(Element("A"))
+        assert out.startswith('<?xml version="1.0" encoding="UTF-8"?>')
+        assert parse(out).tag == "A"
