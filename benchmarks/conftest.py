@@ -3,16 +3,55 @@
 The benchmark policy is the paper's RSA-1024; keys come from the process
 cache in :mod:`repro.bench.fixtures` so only the measured operations pay
 crypto cost.
+
+At session end every benchmark's statistics are persisted to
+``BENCH_<name>.json`` next to the rootdir (previously the numbers only
+lived in the terminal report), and the accumulated observability
+registry is dumped as ``BENCH_OBS.json``.
 """
 
 from __future__ import annotations
 
+import json
+import re
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.bench import fixtures
+from repro.bench.experiments import obs_snapshot_report
 from repro.core.policy import SecurityPolicy
 
 BENCH_POLICY = SecurityPolicy(rsa_bits=1024).validate()
+
+
+def _safe_name(fullname: str) -> str:
+    """'benchmarks/test_x.py::test_y[1000]' -> 'test_y_1000'."""
+    return re.sub(r"[^A-Za-z0-9.-]+", "_", fullname.split("::")[-1]).strip("_")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    root = Path(str(session.config.rootpath))
+    bs = getattr(session.config, "_benchmarksession", None)
+    wrote_any = False
+    for bench in getattr(bs, "benchmarks", None) or []:
+        try:
+            data = bench.as_dict(include_data=False, flat=True)
+        except Exception:
+            continue  # a benchmark that never ran has no stats
+        out = root / f"BENCH_{_safe_name(bench.fullname)}.json"
+        out.write_text(json.dumps(data, indent=2, sort_keys=True, default=str)
+                       + "\n", encoding="utf-8")
+        wrote_any = True
+    registry = obs.get_registry()
+    if wrote_any and registry.enabled:
+        data = obs_snapshot_report(registry, meta={
+            "experiment": "pytest-benchmarks",
+            "rsa_bits": BENCH_POLICY.rsa_bits,
+        })
+        (root / "BENCH_OBS.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="module")

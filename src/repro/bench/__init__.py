@@ -11,11 +11,14 @@ targets.
 """
 
 from repro.bench.experiments import (
+    OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
     baseline_comparison,
     group_scaling,
     join_overhead,
     msg_overhead_curve,
+    obs_bench,
+    obs_snapshot_report,
     policy_ablation,
 )
 from repro.bench.report import (
@@ -23,19 +26,26 @@ from repro.bench.report import (
     format_group_scaling,
     format_join_overhead,
     format_msg_overhead,
+    format_obs,
     format_policy_ablation,
+    write_bench_obs,
 )
 
 __all__ = [
+    "OBS_PRIMITIVES",
     "PAPER_JOIN_OVERHEAD_PCT",
     "join_overhead",
     "msg_overhead_curve",
     "group_scaling",
     "baseline_comparison",
+    "obs_bench",
+    "obs_snapshot_report",
     "policy_ablation",
     "format_join_overhead",
     "format_msg_overhead",
     "format_group_scaling",
     "format_baselines",
+    "format_obs",
     "format_policy_ablation",
+    "write_bench_obs",
 ]

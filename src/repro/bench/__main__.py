@@ -10,11 +10,14 @@ from repro.bench import (
     format_group_scaling,
     format_join_overhead,
     format_msg_overhead,
+    format_obs,
     format_policy_ablation,
     group_scaling,
     join_overhead,
     msg_overhead_curve,
+    obs_bench,
     policy_ablation,
+    write_bench_obs,
 )
 
 
@@ -36,6 +39,11 @@ def main(argv: list[str]) -> int:
     print(format_baselines(baseline_comparison(message_counts=counts), size_bytes=1_000))
     print()
     print(format_policy_ablation(policy_ablation()))
+    print()
+    obs_data = obs_bench(repeats=3 if quick else 5)
+    print(format_obs(obs_data))
+    out = write_bench_obs(obs_data)
+    print(f"  wrote {out}")
     return 0
 
 

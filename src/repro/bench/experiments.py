@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bench import fixtures
 from repro.bench.baselines import CbjxEchoPair, TlsClientDriver, TlsEchoServer
 from repro.bench.timing import mean_total, overhead_pct, repeat_timed, timed_call
@@ -57,7 +58,8 @@ def join_overhead(policy: SecurityPolicy = DEFAULT_POLICY,
             client.connect("broker:0")
             client.login("user0", "pw0")
 
-        plain_times.append(timed_call(net, plain_join, cpu_scale))
+        plain_times.append(timed_call(net, plain_join, cpu_scale,
+                                      name="e1.plain_join"))
 
         snet, admin, sbroker, sclients = fixtures.build_secure_world(
             n_clients=1, link=link, policy=policy, seed=b"e1-sec-%d" % r)
@@ -67,7 +69,8 @@ def join_overhead(policy: SecurityPolicy = DEFAULT_POLICY,
             sclient.secure_connect("broker:0")
             sclient.secure_login("user0", "pw0")
 
-        secure_times.append(timed_call(snet, secure_join, cpu_scale))
+        secure_times.append(timed_call(snet, secure_join, cpu_scale,
+                                       name="e1.secure_join"))
 
     plain_s = mean_total(plain_times)
     secure_s = mean_total(secure_times)
@@ -130,10 +133,10 @@ def msg_overhead_curve(sizes: tuple[int, ...] = DEFAULT_SIZES,
         text = "x" * size
         plain = repeat_timed(
             net, lambda: alice.send_msg_peer(str(bob.peer_id), "bench", text),
-            repeats=repeats, cpu_scale=cpu_scale)
+            repeats=repeats, cpu_scale=cpu_scale, name=f"e2.plain_msg.{size}")
         secure = repeat_timed(
             snet, lambda: salice.secure_msg_peer(str(sbob.peer_id), "bench", text),
-            repeats=repeats, cpu_scale=cpu_scale)
+            repeats=repeats, cpu_scale=cpu_scale, name=f"e2.secure_msg.{size}")
         plain_s = mean_total(plain)
         secure_s = mean_total(secure)
         curve.points.append(MsgOverheadPoint(
@@ -171,7 +174,7 @@ def group_scaling(group_sizes: tuple[int, ...] = (2, 4, 8, 16),
         sender = clients[0]
         plain = repeat_timed(
             net, lambda: sender.send_msg_peer_group("bench", text),
-            repeats=2, cpu_scale=cpu_scale)
+            repeats=2, cpu_scale=cpu_scale, name=f"a3.plain_group.{n}")
 
         snet, admin, sbroker, sclients = fixtures.build_secure_world(
             n_clients=n, link=link, policy=policy,
@@ -179,7 +182,7 @@ def group_scaling(group_sizes: tuple[int, ...] = (2, 4, 8, 16),
         ssender = sclients[0]
         secure = repeat_timed(
             snet, lambda: ssender.secure_msg_peer_group("bench", text),
-            repeats=2, cpu_scale=cpu_scale)
+            repeats=2, cpu_scale=cpu_scale, name=f"a3.secure_group.{n}")
         plain_s = mean_total(plain)
         secure_s = mean_total(secure)
         out.append(GroupScalePoint(
@@ -227,7 +230,8 @@ def baseline_comparison(message_counts: tuple[int, ...] = (1, 2, 5, 10, 50),
             for _ in range(n):
                 salice.secure_msg_peer(str(sbob.peer_id), "bench", text)
 
-        stateless = timed_call(snet, stateless_run, cpu_scale)
+        stateless = timed_call(snet, stateless_run, cpu_scale,
+                               name=f"a4.stateless.{n}")
 
         # TLS channel (handshake included, echo halved to model one-way)
         tnet = fixtures.fresh_network(link)
@@ -242,7 +246,7 @@ def baseline_comparison(message_counts: tuple[int, ...] = (1, 2, 5, 10, 50),
             for _ in range(n):
                 driver.echo(payload)
 
-        tls = timed_call(tnet, tls_run, cpu_scale)
+        tls = timed_call(tnet, tls_run, cpu_scale, name=f"a4.tls.{n}")
 
         # CBJX datagrams
         cnet = fixtures.fresh_network(link)
@@ -256,7 +260,7 @@ def baseline_comparison(message_counts: tuple[int, ...] = (1, 2, 5, 10, 50),
             for _ in range(n):
                 pair.send_a_to_b(payload)
 
-        cbjx = timed_call(cnet, cbjx_run, cpu_scale)
+        cbjx = timed_call(cnet, cbjx_run, cpu_scale, name=f"a4.cbjx.{n}")
 
         out.append(BaselineComparisonPoint(
             n_messages=n,
@@ -265,6 +269,86 @@ def baseline_comparison(message_counts: tuple[int, ...] = (1, 2, 5, 10, 50),
             tls_s=tls.total_s,
             cbjx_s=cbjx.total_s))
     return out
+
+
+# ===========================================================================
+# E-OBS — per-primitive distributions from the observability registry
+# ===========================================================================
+
+#: paper primitive name -> the Client Module method the decorator records
+OBS_PRIMITIVES: dict[str, str] = {
+    "secureConnection": "secure_connect",
+    "secureLogin": "secure_login",
+    "secureMsgPeer": "secure_msg_peer",
+}
+
+
+def obs_snapshot_report(registry: "obs.Registry",
+                        meta: dict | None = None) -> dict:
+    """Shape a registry snapshot as the ``BENCH_OBS.json`` document.
+
+    Per-primitive latency (p50/p95) and byte/frame distributions for the
+    three §4 primitives, every protocol-phase span histogram, and the raw
+    counter/gauge maps.  Shared by :func:`obs_bench` and the pytest
+    benchmark session hook.
+    """
+    snap = registry.snapshot()
+    primitives = {}
+    for paper_name, prim in OBS_PRIMITIVES.items():
+        primitives[paper_name] = {
+            "calls": snap["counters"].get(f"overlay.{prim}.calls", 0),
+            "errors": snap["counters"].get(f"overlay.{prim}.errors", 0),
+            "latency_ms": snap["histograms"].get(f"overlay.{prim}.latency_ms", {}),
+            "bytes_sent": snap["histograms"].get(f"overlay.{prim}.bytes_sent", {}),
+            "frames_sent": snap["histograms"].get(f"overlay.{prim}.frames_sent", {}),
+        }
+    return {
+        "meta": meta or {},
+        "primitives": primitives,
+        "spans": {name: summary
+                  for name, summary in snap["histograms"].items()
+                  if name.startswith("span.")},
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+    }
+
+
+def obs_bench(repeats: int = 5, policy: SecurityPolicy = DEFAULT_POLICY,
+              link: LinkModel = LAN_2009, link_name: str = "lan2009",
+              msg_size: int = 1_000) -> dict:
+    """E-OBS: run the secure join + messaging workload under a fresh,
+    enabled observability registry and report the captured distributions.
+
+    Each repeat builds a fresh secure world and performs two full joins
+    (secureConnection + secureLogin per client) plus ``repeats`` calls of
+    secureMsgPeer; the swapped-in registry sees only this workload, so
+    the percentiles are clean per-primitive distributions.
+    """
+    registry = obs.Registry(enabled=True)
+    saved = (obs.get_registry(), obs.get_tracer(), obs.get_events())
+    obs.set_registry(registry)
+    obs.set_tracer(obs.Tracer(registry=registry))
+    obs.set_events(obs.ProtocolEvents(registry=registry))
+    text = "x" * msg_size
+    try:
+        for r in range(repeats):
+            net, admin, broker, clients = fixtures.build_secure_world(
+                n_clients=2, link=link, policy=policy,
+                seed=b"e-obs-%d" % r, joined=True)
+            c0, c1 = clients
+            for _ in range(repeats):
+                c0.secure_msg_peer(str(c1.peer_id), "bench", text)
+    finally:
+        obs.set_registry(saved[0])
+        obs.set_tracer(saved[1])
+        obs.set_events(saved[2])
+    return obs_snapshot_report(registry, meta={
+        "experiment": "obs_bench",
+        "repeats": repeats,
+        "rsa_bits": policy.rsa_bits,
+        "link": link_name,
+        "msg_size_bytes": msg_size,
+    })
 
 
 # ===========================================================================

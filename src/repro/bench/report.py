@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.bench.experiments import (
     BaselineComparisonPoint,
     GroupScalePoint,
@@ -70,6 +73,43 @@ def format_baselines(points: list[BaselineComparisonPoint],
             f"  {_ms(p.cbjx_s)}  {best}")
     lines.append("  (*CBJX provides no confidentiality — cheaper but weaker)")
     return "\n".join(lines)
+
+
+def format_obs(data: dict) -> str:
+    """E-OBS — the observability registry's view of the secure workload."""
+    meta = data.get("meta", {})
+    lines = [
+        "E-OBS: per-primitive distributions (repro.obs registry)",
+        f"  rsa={meta.get('rsa_bits', '?')}  link={meta.get('link', '?')}"
+        f"  repeats={meta.get('repeats', '?')}"
+        f"  msg_size={meta.get('msg_size_bytes', '?')} B",
+        f"  {'primitive':>16}  {'calls':>6}  {'p50 ms':>9}  {'p95 ms':>9}"
+        f"  {'p50 bytes':>10}  {'p95 bytes':>10}",
+    ]
+    for name, p in data.get("primitives", {}).items():
+        lat = p.get("latency_ms") or {}
+        by = p.get("bytes_sent") or {}
+        lines.append(
+            f"  {name:>16}  {p.get('calls', 0):>6}"
+            f"  {lat.get('p50', 0.0):>9.3f}  {lat.get('p95', 0.0):>9.3f}"
+            f"  {by.get('p50', 0.0):>10.0f}  {by.get('p95', 0.0):>10.0f}")
+    spans = data.get("spans", {})
+    if spans:
+        lines.append(f"  {'span':>32}  {'count':>6}  {'p50 ms':>9}  {'p95 ms':>9}")
+        for name in sorted(spans):
+            s = spans[name]
+            lines.append(
+                f"  {name:>32}  {s.get('count', 0):>6}"
+                f"  {s.get('p50', 0.0):>9.3f}  {s.get('p95', 0.0):>9.3f}")
+    return "\n".join(lines)
+
+
+def write_bench_obs(data: dict, path: str | Path = "BENCH_OBS.json") -> Path:
+    """Persist the E-OBS document as machine-readable JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
 
 
 def format_policy_ablation(rows: list[PolicyAblationRow]) -> str:

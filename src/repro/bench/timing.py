@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.sim.network import SimNetwork
 
 
@@ -34,26 +35,37 @@ class OpTiming:
 
 
 def timed_call(network: SimNetwork, fn: Callable[[], object],
-               cpu_scale: float = 1.0) -> OpTiming:
-    """Run ``fn`` and split its cost into CPU and modeled network time."""
+               cpu_scale: float = 1.0, name: str | None = None) -> OpTiming:
+    """Run ``fn`` and split its cost into CPU and modeled network time.
+
+    Passing ``name`` additionally records the virtual total as a
+    ``bench.<name>.total_ms`` histogram in the observability registry, so
+    experiment samples land in ``BENCH_OBS.json`` alongside the
+    per-primitive metrics.
+    """
     net0 = network.clock.network_time
     t0 = time.perf_counter()
     fn()
     wall = time.perf_counter() - t0
-    return OpTiming(
+    timing = OpTiming(
         wall_cpu_s=wall,
         network_s=network.clock.network_time - net0,
         cpu_scale=cpu_scale,
     )
+    if name is not None:
+        obs.get_registry().observe(f"bench.{name}.total_ms",
+                                   timing.total_s * 1e3)
+    return timing
 
 
 def repeat_timed(network: SimNetwork, fn: Callable[[], object],
                  repeats: int, cpu_scale: float = 1.0,
-                 warmup: int = 1) -> list[OpTiming]:
+                 warmup: int = 1, name: str | None = None) -> list[OpTiming]:
     """Warm up (JIT-ish caches, advertisement validation) then measure."""
     for _ in range(warmup):
         fn()
-    return [timed_call(network, fn, cpu_scale) for _ in range(repeats)]
+    return [timed_call(network, fn, cpu_scale, name=name)
+            for _ in range(repeats)]
 
 
 def mean_total(timings: list[OpTiming]) -> float:

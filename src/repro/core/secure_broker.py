@@ -13,6 +13,7 @@ the original primitives) plus:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core import secure_connection as sc
 from repro.core import secure_login as sl
 from repro.core.admin import Administrator
@@ -77,14 +78,13 @@ class SecureBroker(Broker):
         return self.keystore.credential
 
     def _install_secure_functions(self) -> None:
-        ep = self.control.endpoint
-        ep.on(sc.CONNECT_REQ, self.fn_secure_connect)
-        ep.on(sl.LOGIN_REQ, self.fn_secure_login)
-        ep.on("revocation_req", self.fn_revocation_list)
-        ep.on("renew_req", self.fn_renew_credential)
+        self._install(sc.CONNECT_REQ, self.fn_secure_connect)
+        self._install(sl.LOGIN_REQ, self.fn_secure_login)
+        self._install("revocation_req", self.fn_revocation_list)
+        self._install("renew_req", self.fn_renew_credential)
         from repro.core import secure_groups as sg
 
-        ep.on(sg.GROUP_OP_REQ, self.fn_secure_group_op)
+        self._install(sg.GROUP_OP_REQ, self.fn_secure_group_op)
 
     def fn_secure_group_op(self, message: Message, src: str) -> Message:
         """Authenticated group management (§6 further work)."""
@@ -199,19 +199,24 @@ class SecureBroker(Broker):
             claim = sl.open_login_request(message, self.keystore.keys.private)
         except CBIDMismatchError as exc:
             self.metrics.incr("fn.secure_login.cbid_mismatch")
+            obs.emit("on_credential_rejected", peer=src, reason=str(exc))
             return self._fail(sl.LOGIN_FAIL, str(exc))
         except ClientAuthenticationError as exc:
             self.metrics.incr("fn.secure_login.malformed")
+            obs.emit("on_credential_rejected", peer=src, reason=str(exc))
             return self._fail(sl.LOGIN_FAIL, str(exc))
         # Step 5: consume the sid exactly once (replay protection).
         try:
             self.sids.consume(claim.sid)
         except ReplayError as exc:
             self.metrics.incr("fn.secure_login.replayed")
+            obs.emit("on_replay_blocked", peer=claim.peer_id, kind="sid")
             return self._fail(sl.LOGIN_FAIL, f"login aborted: {exc}")
         # Step 6: username/password against the central database.
         if not self.database.check_credentials(claim.username, claim.password):
             self.metrics.incr("fn.secure_login.rejected")
+            obs.emit("on_credential_rejected", peer=claim.peer_id,
+                     reason="bad username or password")
             return self._fail(sl.LOGIN_FAIL,
                               "end user is an impersonator: bad credentials")
         # Step 8: issue cr = Cred_Cl^Br.
@@ -233,5 +238,7 @@ class SecureBroker(Broker):
         groups = self.register_session(claim.peer_id, claim.username, src)
         self._sync_to_peers(peer_adv.to_element())
         self.metrics.incr("fn.secure_login.issued")
+        obs.emit("on_credential_issued", peer=claim.peer_id,
+                 subject=claim.username)
         # Step 9: Cl <- Br : { cr }.
         return sl.build_login_response(credential, groups)

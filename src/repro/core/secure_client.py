@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.core import secure_connection as sc
 from repro.core import secure_exec as sx
 from repro.core import secure_filesharing as sf
@@ -192,27 +193,36 @@ class SecureClientPeer(ClientPeer):
         :class:`BrokerAuthenticationError`.
         """
         anchor = self.keystore.require_anchor()
-        chall = sc.build_challenge(self.control.drbg, self.policy.challenge_bytes)
-        self.broker_address = broker_address
-        try:
-            resp = self.control.endpoint.request(
-                broker_address, sc.build_connect_request(chall))
-            verification = sc.verify_connect_response(
-                resp, chall, anchor, self.clock.now)
-        except (BrokerAuthenticationError, NotConnectedError, OverlayError,
-                NetworkError) as exc:
-            self.broker_address = None
-            self.events.emit("broker_rejected", broker=broker_address,
-                             reason=str(exc))
-            if isinstance(exc, BrokerAuthenticationError):
-                raise
-            raise BrokerAuthenticationError(
-                f"secureConnection to {broker_address!r} failed: {exc}") from exc
-        self.sid = verification.sid
-        self.broker_credential = verification.broker_credential
-        self._broker_chain = verification.broker_chain
+        with obs.span("secureConnection", peer=str(self.peer_id),
+                      broker=broker_address):
+            with obs.span("secure_connect.challenge"):
+                chall = sc.build_challenge(
+                    self.control.drbg, self.policy.challenge_bytes)
+            self.broker_address = broker_address
+            try:
+                resp = self.control.endpoint.request(
+                    broker_address, sc.build_connect_request(chall))
+                with obs.span("secure_connect.verify"):
+                    verification = sc.verify_connect_response(
+                        resp, chall, anchor, self.clock.now)
+            except (BrokerAuthenticationError, NotConnectedError, OverlayError,
+                    NetworkError) as exc:
+                self.broker_address = None
+                self.events.emit("broker_rejected", broker=broker_address,
+                                 reason=str(exc))
+                obs.emit("on_broker_rejected", peer=str(self.peer_id),
+                         broker=broker_address, reason=str(exc))
+                if isinstance(exc, BrokerAuthenticationError):
+                    raise
+                raise BrokerAuthenticationError(
+                    f"secureConnection to {broker_address!r} failed: {exc}") from exc
+            self.sid = verification.sid
+            self.broker_credential = verification.broker_credential
+            self._broker_chain = verification.broker_chain
         self.events.emit("connected", broker=broker_address,
                          broker_name=verification.broker_credential.subject_name)
+        obs.emit("on_connect", peer=str(self.peer_id), broker=broker_address,
+                 secure=True)
         return verification.broker_credential
 
     # ======================================================================
@@ -232,34 +242,44 @@ class SecureClientPeer(ClientPeer):
         self._require_broker()
         if self.sid is None or self.broker_credential is None:
             raise SecurityError("secure_login requires a completed secure_connect")
-        doc = sl.build_login_document(
-            username, password, self.keystore.keys,
-            peer_name=self.name, peer_address=self.address,
-            scheme=self.policy.signature_scheme, drbg=self.control.drbg)
-        request = sl.seal_login_request(
-            doc, self.sid, self.broker_credential.public_key,
-            suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
-            drbg=self.control.drbg)
-        sid_used, self.sid = self.sid, None  # one shot, even on failure
-        resp = self._broker_request(request)
-        try:
-            credential, groups = sl.parse_login_response(resp)
-        except SecurityError:
-            self.events.emit("login_failed", username=username, reason=resp.msg_type)
-            raise
-        # Validate what the broker issued before trusting it.
-        credential.verify(self.broker_credential.public_key, self.clock.now)
-        if credential.public_key != self.keystore.keys.public:
-            raise CredentialError("broker issued a credential for a different key")
-        if credential.subject_name != username:
-            raise CredentialError("broker issued a credential for a different user")
-        self.keystore.install_chain([credential, *self._broker_chain])
-        self.username = username
-        self.groups = list(groups)
-        for group in self.groups:
-            self._open_and_publish_pipe(group)
+        with obs.span("secureLogin", peer=str(self.peer_id), username=username):
+            with obs.span("secure_login.sign"):
+                doc = sl.build_login_document(
+                    username, password, self.keystore.keys,
+                    peer_name=self.name, peer_address=self.address,
+                    scheme=self.policy.signature_scheme, drbg=self.control.drbg)
+            with obs.span("secure_login.envelope"):
+                request = sl.seal_login_request(
+                    doc, self.sid, self.broker_credential.public_key,
+                    suite=self.policy.envelope_suite,
+                    wrap=self.policy.envelope_wrap,
+                    drbg=self.control.drbg)
+            sid_used, self.sid = self.sid, None  # one shot, even on failure
+            resp = self._broker_request(request)
+            try:
+                credential, groups = sl.parse_login_response(resp)
+            except SecurityError:
+                self.events.emit("login_failed", username=username,
+                                 reason=resp.msg_type)
+                obs.emit("on_credential_rejected", peer=str(self.peer_id),
+                         reason=resp.msg_type)
+                raise
+            # Validate what the broker issued before trusting it.
+            with obs.span("secure_login.verify"):
+                credential.verify(self.broker_credential.public_key, self.clock.now)
+            if credential.public_key != self.keystore.keys.public:
+                raise CredentialError("broker issued a credential for a different key")
+            if credential.subject_name != username:
+                raise CredentialError("broker issued a credential for a different user")
+            self.keystore.install_chain([credential, *self._broker_chain])
+            self.username = username
+            self.groups = list(groups)
+            for group in self.groups:
+                self._open_and_publish_pipe(group)
         self.events.emit("credential_issued", credential=credential)
         self.events.emit("logged_in", username=username, groups=list(self.groups))
+        obs.emit("on_login", peer=str(self.peer_id), username=username,
+                 groups=list(self.groups), secure=True)
         return list(self.groups)
 
     # ======================================================================
@@ -353,18 +373,25 @@ class SecureClientPeer(ClientPeer):
         self._require_login()
         if group not in self.groups:
             raise PrimitiveError(f"{self.name} is not a member of {group!r}")
-        validated = self._resolve_validated_pipe(peer_id, group)
-        payload = sm.build_payload(
-            from_peer=str(self.peer_id), group=group, text=text,
-            nonce=self.control.drbg.generate(16), timestamp=self.clock.now)
-        message = sm.seal_message(
-            payload, self.keystore.keys.private,
-            validated.credential.public_key,
-            suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
-            scheme=self.policy.signature_scheme, drbg=self.control.drbg)
-        pipe_adv = validated.advertisement
-        assert isinstance(pipe_adv, PipeAdvertisement)
-        return self.control.output_pipe(pipe_adv).send(message)
+        with obs.span("secureMsgPeer", peer=str(self.peer_id),
+                      to_peer=peer_id, group=group):
+            with obs.span("secure_msg.resolve"):
+                validated = self._resolve_validated_pipe(peer_id, group)
+            payload = sm.build_payload(
+                from_peer=str(self.peer_id), group=group, text=text,
+                nonce=self.control.drbg.generate(16), timestamp=self.clock.now)
+            message = sm.seal_message(
+                payload, self.keystore.keys.private,
+                validated.credential.public_key,
+                suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
+                scheme=self.policy.signature_scheme, drbg=self.control.drbg)
+            pipe_adv = validated.advertisement
+            assert isinstance(pipe_adv, PipeAdvertisement)
+            sent = self.control.output_pipe(pipe_adv).send(message)
+        if sent:
+            obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
+                     group=group, n_bytes=len(text.encode("utf-8")), secure=True)
+        return sent
 
     @primitive("messenger", secure=True)
     def secure_msg_peer_group(self, group: str, text: str) -> int:
@@ -410,15 +437,20 @@ class SecureClientPeer(ClientPeer):
         try:
             opened = sm.open_message(inner, self.keystore.keys.private)
             if not self._nonce_fresh(opened.nonce):
+                obs.emit("on_replay_blocked", peer=str(self.peer_id),
+                         kind="nonce")
                 raise TamperedMessageError("duplicate message nonce (replay?)")
             if opened.group not in self.groups:
                 raise TamperedMessageError(
                     f"message targets group {opened.group!r} we are not in")
             sender = self._resolve_validated_pipe(opened.from_peer, opened.group)
-            opened.verify_sender(sender.credential.public_key)
+            with obs.span("secure_msg.verify"):
+                opened.verify_sender(sender.credential.public_key)
         except (SecurityError, OverlayError, DiscoveryError) as exc:
             self.metrics.incr("client.secure_chat_rejected")
             self.events.emit("message_rejected", peer_id=src, reason=str(exc))
+            obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
+                     reason=str(exc))
             return
         self.metrics.incr("client.secure_chat_accepted")
         self.events.emit(
@@ -428,6 +460,9 @@ class SecureClientPeer(ClientPeer):
             group=opened.group,
             text=opened.text,
         )
+        obs.emit("on_msg_received", peer=str(self.peer_id),
+                 from_peer=opened.from_peer, group=opened.group,
+                 n_bytes=len(opened.text.encode("utf-8")), secure=True)
 
     # ======================================================================
     # secure file sharing (further work, §6)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.credentials import (
     Credential,
     chain_from_elements,
@@ -62,7 +63,9 @@ def build_connect_response(chall: bytes, sid: str, broker_key: PrivateKey,
     """Steps 4-5: sign the challenge and attach sid + credential chain."""
     msg = Message(CONNECT_RESP)
     msg.add_text("sid", sid)
-    msg.add_bytes("chall_sig", signing.sign(broker_key, chall, scheme=scheme, drbg=drbg))
+    with obs.span("secure_connect.sign"):
+        msg.add_bytes("chall_sig",
+                      signing.sign(broker_key, chall, scheme=scheme, drbg=drbg))
     msg.add_text("scheme", scheme)
     msg.add_xml("chain", pack_results(chain_to_elements(broker_chain)))
     return msg

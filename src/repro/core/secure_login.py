@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.credentials import Credential
 from repro.crypto import envelope
 from repro.crypto.drbg import HmacDrbg
@@ -106,7 +107,8 @@ def open_login_request(message: Message, broker_key: PrivateKey) -> LoginClaim:
     """
     try:
         env = message.get_json("envelope")
-        plain = envelope.open_(broker_key, env, aad=_AAD)
+        with obs.span("secure_login.open"):
+            plain = envelope.open_(broker_key, env, aad=_AAD)
     except (JxtaError, DecryptionError) as exc:
         raise ClientAuthenticationError(f"undecryptable login request: {exc}") from exc
     try:

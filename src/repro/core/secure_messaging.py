@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.crypto import envelope, signing
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import PrivateKey, PublicKey
@@ -56,14 +57,17 @@ def seal_message(payload: Element, sender_key: PrivateKey,
                  recipient_key: PublicKey, suite: str, wrap: str,
                  scheme: str, drbg: HmacDrbg | None = None) -> Message:
     """E_PK_Cl2(m, S_SK_Cl1(m)) as a pipe-deliverable message."""
-    m_bytes = canonicalize(payload)
-    signature = signing.sign(sender_key, m_bytes, scheme=scheme, drbg=drbg)
-    wrapper = Element("SecureMessage")
-    wrapper.append(payload)
-    wrapper.add("SignatureValue", text=b64encode(signature))
-    wrapper.add("SignatureScheme", text=scheme)
-    env = envelope.seal(recipient_key, serialize(wrapper).encode("utf-8"),
-                        drbg=drbg, suite=suite, wrap=wrap, aad=_AAD)
+    with obs.span("secure_msg.seal"):
+        m_bytes = canonicalize(payload)
+        with obs.span("secure_msg.sign"):
+            signature = signing.sign(sender_key, m_bytes, scheme=scheme, drbg=drbg)
+        wrapper = Element("SecureMessage")
+        wrapper.append(payload)
+        wrapper.add("SignatureValue", text=b64encode(signature))
+        wrapper.add("SignatureScheme", text=scheme)
+        with obs.span("secure_msg.envelope"):
+            env = envelope.seal(recipient_key, serialize(wrapper).encode("utf-8"),
+                                drbg=drbg, suite=suite, wrap=wrap, aad=_AAD)
     msg = Message(SECURE_CHAT)
     msg.add_json("envelope", env)
     return msg
@@ -97,7 +101,8 @@ def open_message(message: Message, recipient_key: PrivateKey) -> OpenedMessage:
     because the sender's key is only known after advertisement lookup."""
     try:
         env = message.get_json("envelope")
-        plain = envelope.open_(recipient_key, env, aad=_AAD)
+        with obs.span("secure_msg.open"):
+            plain = envelope.open_(recipient_key, env, aad=_AAD)
     except (JxtaError, DecryptionError) as exc:
         raise TamperedMessageError(f"undecryptable secure message: {exc}") from exc
     try:

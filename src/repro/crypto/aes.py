@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import struct
 
+from repro import obs
 from repro.errors import InvalidKeyError
 
 # ---------------------------------------------------------------------------
@@ -109,6 +110,7 @@ class AES:
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._ek = self._expand_key(key)
         self._dk = self._invert_key(self._ek)
+        obs.get_registry().incr("crypto.aes.key_schedule")
 
     def _expand_key(self, key: bytes) -> list[int]:
         nk = len(key) // 4
@@ -153,6 +155,7 @@ class AES:
     def encrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
+        obs.get_registry().incr("crypto.aes.blocks_encrypted")
         ek = self._ek
         s0, s1, s2, s3 = struct.unpack(">4I", block)
         s0 ^= ek[0]; s1 ^= ek[1]; s2 ^= ek[2]; s3 ^= ek[3]
@@ -178,6 +181,7 @@ class AES:
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
+        obs.get_registry().incr("crypto.aes.blocks_decrypted")
         dk = self._dk
         s0, s1, s2, s3 = struct.unpack(">4I", block)
         s0 ^= dk[0]; s1 ^= dk[1]; s2 ^= dk[2]; s3 ^= dk[3]

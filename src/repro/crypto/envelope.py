@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import obs
 from repro.crypto import aead, pkcs1
 from repro.crypto.drbg import HmacDrbg, system_drbg
 from repro.crypto.modes import CBC
@@ -53,6 +54,10 @@ def seal(pub: PublicKey, plaintext: bytes, drbg: HmacDrbg | None = None,
     """
     if suite not in SUITES:
         raise ValueError(f"unknown envelope suite {suite!r}")
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.incr("crypto.envelope.seal")
+        registry.observe("crypto.envelope.plaintext_bytes", len(plaintext))
     rng = drbg if drbg is not None else system_drbg()
     key_len, nonce_len = SUITES[suite]
     cek = rng.generate(key_len)
@@ -84,6 +89,7 @@ def open_(priv: PrivateKey, envelope: dict[str, Any], aad: bytes = b"") -> bytes
     Raises :class:`DecryptionError` on any malformation, wrong key, or
     authentication failure.
     """
+    obs.get_registry().incr("crypto.envelope.open")
     try:
         suite = envelope["suite"]
         wrap = envelope["wrap"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.crypto.drbg import HmacDrbg, system_drbg
 from repro.crypto.numtheory import crt_combine, generate_prime, lcm, modinv
 from repro.crypto.sha2 import sha256
@@ -47,6 +48,7 @@ class PublicKey:
         """Raw RSAEP: ``m^e mod n``.  Callers must pad first."""
         if not 0 <= m < self.n:
             raise ValueError("message representative out of range")
+        obs.get_registry().incr("crypto.rsa.public_op")
         return pow(m, self.e, self.n)
 
     #: RSAVP1 (signature verification) is the same permutation.
@@ -106,6 +108,7 @@ class PrivateKey:
         """Raw RSADP via the Chinese Remainder Theorem."""
         if not 0 <= c < self.n:
             raise ValueError("ciphertext representative out of range")
+        obs.get_registry().incr("crypto.rsa.private_op")
         mp = pow(c % self.p, self.dp, self.p)
         mq = pow(c % self.q, self.dq, self.q)
         return crt_combine(mp, mq, self.p, self.q, self.q_inv)
@@ -153,4 +156,5 @@ def generate_keypair(bits: int = 1024, drbg: HmacDrbg | None = None) -> KeyPair:
         except ValueError:
             continue  # gcd(e, lambda(n)) != 1; extremely rare, redraw
         private = PrivateKey(n=n, e=e, d=d, p=p, q=q)
+        obs.get_registry().incr("crypto.rsa.keygen")
         return KeyPair(public=private.public_key(), private=private)

@@ -1,0 +1,143 @@
+"""``repro.obs`` — zero-dependency observability: metrics, traces, hooks.
+
+Three cooperating, individually usable pieces (see
+``docs/OBSERVABILITY.md`` for the operator guide):
+
+* :mod:`repro.obs.metrics` — counters / gauges / histogram timers behind
+  a process-local :class:`Registry` (p50/p95/p99, byte accounting);
+* :mod:`repro.obs.trace` — nested protocol-phase spans with JSON export;
+* :mod:`repro.obs.events` — the typed protocol hook bus
+  (``on_login``, ``on_replay_blocked``, ...).
+
+Everything records to process-local defaults swappable via
+``set_registry`` / ``set_tracer`` / ``set_events``; setting the
+environment variable ``REPRO_OBS_DISABLED=1`` (before import) starts the
+default registry disabled, which turns every instrumentation point into
+a single-branch no-op.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from typing import Callable
+
+from repro.obs.events import (
+    HOOKS,
+    ProtocolEvents,
+    emit,
+    get_events,
+    on,
+    set_events,
+)
+from repro.obs.metrics import (
+    DISABLE_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, span
+
+#: Every metric name the instrumented tree may export, as documented
+#: patterns (``<x>`` matches one dot-free segment).  ``docs/OBSERVABILITY.md``
+#: must list each pattern verbatim — the tests enforce both directions.
+METRIC_PATTERNS: tuple[str, ...] = (
+    # simulated network (sim/network.py)
+    "net.frames_sent",
+    "net.frames_delivered",
+    "net.frames_dropped",
+    "net.bytes_sent",
+    "net.frame_bytes",
+    "net.endpoints",
+    # client primitives (overlay/primitives.py decorator)
+    "overlay.<primitive>.calls",
+    "overlay.<primitive>.errors",
+    "overlay.<primitive>.latency_ms",
+    "overlay.<primitive>.bytes_sent",
+    "overlay.<primitive>.frames_sent",
+    # broker functions (overlay/broker.py, core/secure_broker.py)
+    "broker.fn.<msg_type>.calls",
+    "broker.fn.<msg_type>.latency_ms",
+    # protocol-phase spans (core/secure_*.py); <path> may contain dots
+    "span.<path>.ms",
+    # crypto operation counters
+    "crypto.rsa.public_op",
+    "crypto.rsa.private_op",
+    "crypto.rsa.keygen",
+    "crypto.aes.key_schedule",
+    "crypto.aes.blocks_encrypted",
+    "crypto.aes.blocks_decrypted",
+    "crypto.envelope.seal",
+    "crypto.envelope.open",
+    "crypto.envelope.plaintext_bytes",
+    # hook-bus accounting (obs/events.py)
+    "events.<hook>",
+    "events.listener_errors",
+    # bench-harness samples (bench/timing.py); <path> may contain dots
+    "bench.<path>.total_ms",
+)
+
+_SEGMENT = r"[A-Za-z0-9_\-]+"        # one dot-free name segment
+_PATH = r"[A-Za-z0-9_.\-]+"          # dotted span/bench paths
+
+
+@functools.lru_cache(maxsize=None)
+def _pattern_regex(pattern: str) -> "re.Pattern[str]":
+    # re.escape leaves '<'/'>' alone, so '<x>' placeholders survive to here.
+    escaped = re.escape(pattern).replace("<path>", _PATH)
+    return re.compile("^" + re.sub(r"<[a-z_]+>", _SEGMENT, escaped) + "$")
+
+
+def metric_pattern_for(name: str) -> str | None:
+    """The documented pattern a concrete metric name falls under, if any."""
+    for pattern in METRIC_PATTERNS:
+        if _pattern_regex(pattern).match(name):
+            return pattern
+    return None
+
+
+def timed_handler(name: str, handler: Callable) -> Callable:
+    """Wrap a broker/endpoint message handler with call + latency metrics.
+
+    Produces ``<name>.calls`` and ``<name>.latency_ms``; with the
+    registry disabled the wrapper is one branch on top of the handler.
+    """
+
+    @functools.wraps(handler)
+    def wrapped(message, src):
+        registry = get_registry()
+        if not registry.enabled:
+            return handler(message, src)
+        registry.incr(f"{name}.calls")
+        with registry.time(f"{name}.latency_ms"):
+            return handler(message, src)
+
+    return wrapped
+
+
+__all__ = [
+    "DISABLE_ENV",
+    "HOOKS",
+    "METRIC_PATTERNS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ProtocolEvents",
+    "Registry",
+    "Span",
+    "Tracer",
+    "emit",
+    "get_events",
+    "get_registry",
+    "get_tracer",
+    "metric_pattern_for",
+    "on",
+    "set_events",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "timed_handler",
+]

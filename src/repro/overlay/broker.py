@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import GroupError, JxtaError, OverlayError
 from repro.jxta.advertisements import GroupAdvertisement, PeerAdvertisement
@@ -67,21 +68,25 @@ class Broker:
     def clock(self):
         return self.control.clock
 
+    def _install(self, msg_type: str, handler) -> None:
+        """Register a broker function with call/latency observability."""
+        self.control.endpoint.on(
+            msg_type, obs.timed_handler(f"broker.fn.{msg_type}", handler))
+
     def _install_functions(self) -> None:
-        ep = self.control.endpoint
-        ep.on("connect_req", self.fn_connect)
-        ep.on("login_req", self.fn_login)
-        ep.on("logout_req", self.fn_logout)
-        ep.on("publish_adv", self.fn_publish_adv)
-        ep.on("query_req", self.fn_query)
-        ep.on("create_group_req", self.fn_create_group)
-        ep.on("join_group_req", self.fn_join_group)
-        ep.on("leave_group_req", self.fn_leave_group)
-        ep.on("list_groups_req", self.fn_list_groups)
-        ep.on("group_members_req", self.fn_group_members)
-        ep.on("peer_status_req", self.fn_peer_status)
-        ep.on("presence_beat", self.fn_presence)
-        ep.on("index_sync", self.fn_index_sync)
+        self._install("connect_req", self.fn_connect)
+        self._install("login_req", self.fn_login)
+        self._install("logout_req", self.fn_logout)
+        self._install("publish_adv", self.fn_publish_adv)
+        self._install("query_req", self.fn_query)
+        self._install("create_group_req", self.fn_create_group)
+        self._install("join_group_req", self.fn_join_group)
+        self._install("leave_group_req", self.fn_leave_group)
+        self._install("list_groups_req", self.fn_list_groups)
+        self._install("group_members_req", self.fn_group_members)
+        self._install("peer_status_req", self.fn_peer_status)
+        self._install("presence_beat", self.fn_presence)
+        self._install("index_sync", self.fn_index_sync)
 
     def link_broker(self, other: "Broker") -> None:
         """Brokers exchange information about all client peers (§2.1).

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.sha2 import sha256
 from repro.errors import (
@@ -138,6 +139,8 @@ class ClientPeer:
             raise OverlayError(f"unexpected connect response {resp.msg_type!r}")
         self.events.emit("connected", broker=broker_address,
                          broker_name=resp.get_text("broker_name"))
+        obs.emit("on_connect", peer=str(self.peer_id), broker=broker_address,
+                 secure=False)
         return resp.get_text("broker_name")
 
     @primitive("discovery")
@@ -164,6 +167,8 @@ class ClientPeer:
         for group in self.groups:
             self._open_and_publish_pipe(group)
         self.events.emit("logged_in", username=username, groups=list(self.groups))
+        obs.emit("on_login", peer=str(self.peer_id), username=username,
+                 groups=list(self.groups), secure=False)
         return list(self.groups)
 
     @primitive("discovery")
@@ -178,6 +183,7 @@ class ClientPeer:
         self.groups = []
         self.broker_address = None
         self.events.emit("logged_out", username=username)
+        obs.emit("on_logout", peer=str(self.peer_id), username=username)
 
     @primitive("discovery")
     def peer_status(self, peer_id: str) -> dict[str, Any]:
@@ -317,7 +323,12 @@ class ClientPeer:
         chat.add_text("from_user", self.username or "")
         chat.add_text("group", group)
         chat.add_text("text", text)
-        return self.control.output_pipe(adv).send(chat)
+        sent = self.control.output_pipe(adv).send(chat)
+        if sent:
+            obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
+                     group=group, n_bytes=len(text.encode("utf-8")),
+                     secure=False)
+        return sent
 
     @primitive("messenger")
     def send_msg_peer_group(self, group: str, text: str) -> int:
@@ -484,6 +495,11 @@ class ClientPeer:
                 group=inner.get_text("group"),
                 text=inner.get_text("text"),
             )
+            obs.emit("on_msg_received", peer=str(self.peer_id),
+                     from_peer=inner.get_text("from_peer"),
+                     group=inner.get_text("group"),
+                     n_bytes=len(inner.get_text("text").encode("utf-8")),
+                     secure=False)
         else:
             self.metrics.incr("client.pipe_unknown")
 

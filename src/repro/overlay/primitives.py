@@ -9,14 +9,22 @@ plus their secure variants.
 
 The :func:`primitive` decorator tags Client Module methods, records
 invocations in the peer's metrics, and lets the test-suite and
-documentation enumerate exactly what is offered.
+documentation enumerate exactly what is offered.  It is also the
+per-primitive observability choke point: every invocation records
+``overlay.<primitive>.calls`` / ``.errors``, a wall-clock
+``.latency_ms`` histogram, and — because the simulator is synchronous —
+exact per-invocation ``.bytes_sent`` / ``.frames_sent`` attribution
+taken as deltas of the global network counters.
 """
 
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
+
+from repro import obs
 
 F = TypeVar("F", bound=Callable)
 
@@ -47,7 +55,27 @@ def primitive(category: str, secure: bool = False) -> Callable[[F], F]:
         @functools.wraps(func)
         def wrapper(self, *args, **kwargs):
             self.metrics.incr(f"primitive.{info.name}")
-            return func(self, *args, **kwargs)
+            registry = obs.get_registry()
+            if not registry.enabled:
+                return func(self, *args, **kwargs)
+            registry.incr(f"overlay.{info.name}.calls")
+            bytes0 = registry.counter("net.bytes_sent").value
+            frames0 = registry.counter("net.frames_sent").value
+            t0 = time.perf_counter()
+            try:
+                return func(self, *args, **kwargs)
+            except Exception:
+                registry.incr(f"overlay.{info.name}.errors")
+                raise
+            finally:
+                registry.observe(f"overlay.{info.name}.latency_ms",
+                                 (time.perf_counter() - t0) * 1e3)
+                registry.observe(
+                    f"overlay.{info.name}.bytes_sent",
+                    registry.counter("net.bytes_sent").value - bytes0)
+                registry.observe(
+                    f"overlay.{info.name}.frames_sent",
+                    registry.counter("net.frames_sent").value - frames0)
 
         wrapper.primitive_info = info  # type: ignore[attr-defined]
         return wrapper  # type: ignore[return-value]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.errors import NetworkError
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LAN_2009, LinkModel
@@ -77,6 +78,17 @@ class NetworkStats:
             self.per_dst_bytes[frame.dst] = self.per_dst_bytes.get(frame.dst, 0) + frame.size
         else:
             self.frames_dropped += 1
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.incr("net.frames_sent")
+            registry.incr("net.bytes_sent", frame.size)
+            registry.observe("net.frame_bytes", frame.size)
+            if delivered:
+                registry.incr("net.frames_delivered")
+            else:
+                registry.incr("net.frames_dropped")
+                obs.emit("on_frame_dropped", src=frame.src, dst=frame.dst,
+                         n_bytes=frame.size)
 
 
 class SimNetwork:
@@ -103,9 +115,11 @@ class SimNetwork:
         if address in self._handlers:
             raise NetworkError(f"address {address!r} is already registered")
         self._handlers[address] = handler
+        obs.get_registry().set_gauge("net.endpoints", len(self._handlers))
 
     def unregister(self, address: str) -> None:
         self._handlers.pop(address, None)
+        obs.get_registry().set_gauge("net.endpoints", len(self._handlers))
 
     def is_registered(self, address: str) -> bool:
         return address in self._handlers

@@ -1,10 +1,16 @@
-"""Wall-clock measurement helpers for the benchmark harness."""
+"""Wall-clock measurement helpers for the benchmark harness.
+
+:class:`TimingSample` is a thin veneer over
+:class:`repro.obs.metrics.Histogram` — mean/median/stdev/percentiles all
+come from the shared histogram engine instead of a second copy of the
+statistics math (which lived here before ``repro.obs`` existed).
+"""
 
 from __future__ import annotations
 
-import statistics
 import time
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram
 
 
 class Stopwatch:
@@ -46,34 +52,49 @@ class Stopwatch:
         self.stop()
 
 
-@dataclass
 class TimingSample:
     """A set of repeated wall-clock measurements of one operation."""
 
-    label: str
-    times: list[float] = field(default_factory=list)
+    def __init__(self, label: str, times: list[float] | None = None) -> None:
+        self.label = label
+        self._hist = Histogram(name=label)
+        for value in times or ():
+            self._hist.observe(value)
+
+    @property
+    def histogram(self) -> Histogram:
+        """The backing histogram (exposes percentiles, summary(), ...)."""
+        return self._hist
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._hist.samples)
 
     def add(self, seconds: float) -> None:
-        self.times.append(seconds)
+        self._hist.observe(seconds)
 
     @property
     def mean(self) -> float:
-        return statistics.fmean(self.times) if self.times else 0.0
+        return self._hist.mean
 
     @property
     def median(self) -> float:
-        return statistics.median(self.times) if self.times else 0.0
+        return self._hist.percentile(50.0)
 
     @property
     def stdev(self) -> float:
-        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+        return self._hist.stdev
 
     @property
     def best(self) -> float:
-        return min(self.times) if self.times else 0.0
+        return self._hist.min_value
+
+    @property
+    def p95(self) -> float:
+        return self._hist.p95
 
     def __len__(self) -> int:
-        return len(self.times)
+        return self._hist.count
 
 
 def measure(func, repeat: int = 5, label: str = "") -> TimingSample:

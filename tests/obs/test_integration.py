@@ -1,0 +1,155 @@
+"""End-to-end: the instrumented protocol stack records what the docs say.
+
+These tests drive real secure joins and messages through the simulated
+overlay and assert the observability layer's three surfaces line up:
+
+* the metrics registry records the documented names,
+* the tracer exports the paper's join-overhead breakdown as span trees,
+* the hook bus reports the replay defences firing,
+* and ``docs/OBSERVABILITY.md`` / ``PROTOCOLS.md`` document every
+  exported pattern and hook (both directions are enforced).
+"""
+
+from pathlib import Path
+
+from repro import obs
+from repro.attacks import LoginReplayer
+from repro.obs.events import HOOKS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class _Capture:
+    """Minimal passive tap: keep every frame for later replay."""
+
+    def __init__(self):
+        self.frames = []
+
+    def observe(self, frame):
+        self.frames.append(frame)
+
+
+class TestSecureJoinMetrics:
+    def test_join_records_documented_counters(self, fresh_obs, secure_world):
+        secure_world.join_all()
+        assert fresh_obs.count("overlay.secure_connect.calls") == 3
+        assert fresh_obs.count("overlay.secure_login.calls") == 3
+        assert fresh_obs.count("events.on_connect") == 3
+        assert fresh_obs.count("events.on_login") == 3
+        assert fresh_obs.count("events.on_credential_issued") == 3
+        assert fresh_obs.count("net.frames_sent") > 0
+        assert fresh_obs.count("crypto.rsa.public_op") > 0
+        assert fresh_obs.count("crypto.rsa.private_op") > 0
+        assert fresh_obs.count("crypto.envelope.seal") >= 3
+        assert fresh_obs.count("crypto.envelope.open") >= 3
+
+    def test_join_records_latency_and_byte_histograms(self, fresh_obs,
+                                                      secure_world):
+        secure_world.join_all()
+        for primitive in ("secure_connect", "secure_login"):
+            lat = fresh_obs.histogram(f"overlay.{primitive}.latency_ms")
+            assert lat.count == 3
+            assert lat.p95 >= lat.p50 >= 0.0
+            sent = fresh_obs.histogram(f"overlay.{primitive}.bytes_sent")
+            assert sent.count == 3
+            assert sent.min_value > 0  # every join exchange moved bytes
+        assert fresh_obs.histogram("span.secureConnection.ms").count == 3
+        assert fresh_obs.histogram("span.secureLogin.ms").count == 3
+
+    def test_secure_msg_records_primitive_and_hooks(self, fresh_obs,
+                                                    joined_secure_world):
+        w = joined_secure_world
+        assert w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "hi")
+        assert fresh_obs.count("overlay.secure_msg_peer.calls") == 1
+        assert fresh_obs.count("events.on_msg_sent") == 1
+        assert fresh_obs.count("events.on_msg_received") == 1
+        assert fresh_obs.histogram("span.secureMsgPeer.ms").count == 1
+        assert fresh_obs.histogram("crypto.envelope.plaintext_bytes").count >= 1
+
+    def test_every_recorded_name_matches_a_documented_pattern(
+            self, fresh_obs, joined_secure_world):
+        w = joined_secure_world
+        w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "hello")
+        w.carol.logout()
+        names = fresh_obs.metric_names()
+        assert names  # the run above must have recorded something
+        undocumented = [n for n in names if obs.metric_pattern_for(n) is None]
+        assert undocumented == []
+
+
+class TestJoinBreakdownTrace:
+    def test_span_trees_reproduce_the_paper_breakdown(self, fresh_obs,
+                                                      secure_world):
+        secure_world.join_all()
+        tracer = obs.get_tracer()
+        by_name = {}
+        for root in tracer.finished:
+            by_name.setdefault(root.name, []).append(root)
+        assert len(by_name["secureConnection"]) == 3
+        assert len(by_name["secureLogin"]) == 3
+        connect_children = {c.name
+                            for c in by_name["secureConnection"][0].children}
+        assert {"secure_connect.challenge",
+                "secure_connect.verify"} <= connect_children
+        login_children = {c.name for c in by_name["secureLogin"][0].children}
+        assert {"secure_login.sign", "secure_login.envelope",
+                "secure_login.verify"} <= login_children
+
+    def test_trace_export_is_json_serialisable(self, fresh_obs, secure_world,
+                                               tmp_path):
+        secure_world.join_all()
+        out = tmp_path / "join_traces.json"
+        obs.get_tracer().export(str(out))
+        assert out.stat().st_size > 0
+
+
+class TestReplayDefenceHooks:
+    def test_nonce_replay_fires_on_replay_blocked(self, fresh_obs,
+                                                  joined_secure_world):
+        w = joined_secure_world
+        cap = _Capture()
+        w.net.add_tap(cap)
+        assert w.alice.secure_msg_peer(str(w.bob.peer_id), "students",
+                                       "original")
+        w.net.remove_tap(cap)
+        blocked = []
+        obs.on("on_replay_blocked", lambda **kw: blocked.append(kw))
+        for frame in cap.frames:  # re-send everything the eavesdropper saw
+            try:
+                w.net.send(frame.src, frame.dst, frame.payload)
+            except Exception:
+                pass
+        assert any(e["kind"] == "nonce" for e in blocked)
+        assert fresh_obs.count("events.on_replay_blocked") >= 1
+
+    def test_sid_replay_fires_on_replay_blocked(self, fresh_obs,
+                                                secure_world):
+        w = secure_world
+        attacker = LoginReplayer("peer:mallory").attach(w.net)
+        w.net.register("peer:mallory", lambda frame: None)
+        w.alice.secure_connect("broker:0")
+        w.alice.secure_login("alice", "pw-a")
+        blocked = []
+        obs.on("on_replay_blocked", lambda **kw: blocked.append(kw))
+        attacker.replay_all(w.net)
+        assert any(e["kind"] == "sid" for e in blocked)
+
+
+class TestDocumentationContract:
+    def _read(self, relpath):
+        return (REPO_ROOT / relpath).read_text(encoding="utf-8")
+
+    def test_every_metric_pattern_is_in_observability_doc(self):
+        doc = self._read("docs/OBSERVABILITY.md")
+        missing = [p for p in obs.METRIC_PATTERNS if p not in doc]
+        assert missing == []
+
+    def test_every_hook_is_in_observability_doc(self):
+        doc = self._read("docs/OBSERVABILITY.md")
+        missing = [h for h in HOOKS if h not in doc]
+        assert missing == []
+
+    def test_every_hook_is_in_protocols_taxonomy(self):
+        doc = self._read("PROTOCOLS.md")
+        missing = [h for h in HOOKS if h not in doc]
+        assert missing == []
