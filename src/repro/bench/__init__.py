@@ -10,6 +10,14 @@ full report; ``benchmarks/`` wraps the same functions in pytest-benchmark
 targets.
 """
 
+from repro.bench.faults import (
+    LOSS_RATES,
+    crash_recovery_scenario,
+    fault_loss_sweep,
+    fault_report,
+    format_fault_report,
+    write_bench_fault,
+)
 from repro.bench.experiments import (
     OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
@@ -32,8 +40,14 @@ from repro.bench.report import (
 )
 
 __all__ = [
+    "LOSS_RATES",
     "OBS_PRIMITIVES",
     "PAPER_JOIN_OVERHEAD_PCT",
+    "crash_recovery_scenario",
+    "fault_loss_sweep",
+    "fault_report",
+    "format_fault_report",
+    "write_bench_fault",
     "join_overhead",
     "msg_overhead_curve",
     "group_scaling",

@@ -1,4 +1,9 @@
-"""``python -m repro.bench``: run every experiment and print the report."""
+"""``python -m repro.bench``: run every experiment and print the report.
+
+``--experiment fault`` runs only E-FAULT (the fault-injection sweep and
+broker-crash recovery scenario) and writes ``BENCH_FAULT.json``;
+``--quick`` shrinks every experiment for CI smoke runs.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +11,9 @@ import sys
 
 from repro.bench import (
     baseline_comparison,
+    fault_report,
     format_baselines,
+    format_fault_report,
     format_group_scaling,
     format_join_overhead,
     format_msg_overhead,
@@ -17,12 +24,28 @@ from repro.bench import (
     msg_overhead_curve,
     obs_bench,
     policy_ablation,
+    write_bench_fault,
     write_bench_obs,
 )
 
 
+def run_fault(quick: bool) -> int:
+    data = fault_report(messages=30 if quick else 100)
+    print(format_fault_report(data))
+    out = write_bench_fault(data)
+    print(f"  wrote {out}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
+    if "--experiment" in argv:
+        which = argv[argv.index("--experiment") + 1]
+        if which != "fault":
+            print(f"unknown experiment {which!r}; known: fault",
+                  file=sys.stderr)
+            return 2
+        return run_fault(quick)
     print(format_join_overhead(join_overhead(repeats=2 if quick else 3)))
     print()
     sizes = (100, 1_000, 10_000, 100_000) if quick else (100, 1_000, 10_000, 100_000, 1_000_000)

@@ -77,6 +77,17 @@ class SecureBroker(Broker):
         """Cred_Br^Adm."""
         return self.keystore.credential
 
+    def restart(self) -> None:
+        """Crash-restart: the one-shot sid store lives in RAM and is lost.
+
+        Stale sids issued before the crash therefore stay unusable after
+        it (see :meth:`repro.core.session.SidStore.reset`); the broker's
+        key pair, credential chain and revocation registry are durable
+        and survive, so existing peer credentials still validate.
+        """
+        super().restart()
+        self.sids.reset()
+
     def _install_secure_functions(self) -> None:
         self._install(sc.CONNECT_REQ, self.fn_secure_connect)
         self._install(sl.LOGIN_REQ, self.fn_secure_login)

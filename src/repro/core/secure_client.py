@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Sequence
 
 from repro import obs
 from repro.core import secure_connection as sc
@@ -51,6 +52,7 @@ from repro.errors import (
 from repro.jxta.advertisements import FileAdvertisement, PipeAdvertisement
 from repro.jxta.messages import Message
 from repro.overlay.client import ClientPeer
+from repro.overlay.policy import RetryPolicy, Timeout
 from repro.overlay.primitives import primitive
 from repro.sim.network import SimNetwork
 from repro.xmllib import Element
@@ -184,13 +186,49 @@ class SecureClientPeer(ClientPeer):
     # ======================================================================
 
     @primitive("discovery", secure=True)
-    def secure_connect(self, broker_address: str) -> Credential:
+    def secure_connect(self, broker_address: str, *,
+                       fallbacks: Sequence[str] | None = None) -> Credential:
         """secureConnection: authenticate the broker before trusting it.
 
         Runs the §4.2.1 challenge/response.  On success stores the sid and
         the broker's validated credential and returns the latter; on
         failure emits ``broker_rejected`` and raises
         :class:`BrokerAuthenticationError`.
+
+        ``fallbacks`` (default: :attr:`fallback_brokers`) are tried in
+        order when a broker is merely *unreachable*.  A broker that
+        answers but fails authentication aborts the whole failover: an
+        impostor must never be able to steer us to a broker of its
+        choosing by "failing politely" (see ``docs/ROBUSTNESS.md``).
+        """
+        candidates = [broker_address,
+                      *(fallbacks if fallbacks is not None
+                        else self.fallback_brokers)]
+        last_exc: Exception | None = None
+        for index, candidate in enumerate(candidates):
+            try:
+                credential = self._secure_connect_one(candidate)
+            except BrokerAuthenticationError:
+                raise  # an authentication failure is never failed over
+            except (NotConnectedError, NetworkError, OverlayError) as exc:
+                last_exc = exc
+                continue
+            if index:
+                obs.emit("on_degraded", peer=str(self.peer_id),
+                         primitive="secure_connect",
+                         reason=f"failed over to {candidate!r} "
+                                f"(skipped {index} dead broker(s))")
+            return credential
+        raise BrokerAuthenticationError(
+            f"secureConnection failed for every broker in {candidates!r}: "
+            f"{last_exc}") from last_exc
+
+    def _secure_connect_one(self, broker_address: str) -> Credential:
+        """One §4.2.1 challenge/response against one broker address.
+
+        Re-raises the *original* failure class so :meth:`secure_connect`
+        can distinguish an unreachable broker (eligible for failover)
+        from one that answered but failed authentication (never skipped).
         """
         anchor = self.keystore.require_anchor()
         with obs.span("secureConnection", peer=str(self.peer_id),
@@ -212,10 +250,7 @@ class SecureClientPeer(ClientPeer):
                                  reason=str(exc))
                 obs.emit("on_broker_rejected", peer=str(self.peer_id),
                          broker=broker_address, reason=str(exc))
-                if isinstance(exc, BrokerAuthenticationError):
-                    raise
-                raise BrokerAuthenticationError(
-                    f"secureConnection to {broker_address!r} failed: {exc}") from exc
+                raise
             self.sid = verification.sid
             self.broker_credential = verification.broker_credential
             self._broker_chain = verification.broker_chain
@@ -273,6 +308,7 @@ class SecureClientPeer(ClientPeer):
                 raise CredentialError("broker issued a credential for a different user")
             self.keystore.install_chain([credential, *self._broker_chain])
             self.username = username
+            self._password = password  # remembered for automatic re-login
             self.groups = list(groups)
             for group in self.groups:
                 self._open_and_publish_pipe(group)
@@ -281,6 +317,20 @@ class SecureClientPeer(ClientPeer):
         obs.emit("on_login", peer=str(self.peer_id), username=username,
                  groups=list(self.groups), secure=True)
         return list(self.groups)
+
+    def _relogin(self) -> None:
+        """Re-establish a lost broker session over the *secure* handshake.
+
+        A broker restart voids both the session and every outstanding
+        sid, so recovery is a full secureConnection (fresh sid) followed
+        by secureLogin — the stale pre-crash sid is never reused and
+        would be rejected as a replay if it were.
+        """
+        broker = self.broker_address
+        username, password = self.username, self._password
+        assert broker is not None and username is not None and password is not None
+        self.secure_connect(broker, fallbacks=self.fallback_brokers)
+        self.secure_login(username, password)
 
     # ======================================================================
     # secure group management (further work, §6)
@@ -363,12 +413,20 @@ class SecureClientPeer(ClientPeer):
     # ======================================================================
 
     @primitive("messenger", secure=True)
-    def secure_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+    def secure_msg_peer(self, peer_id: str, group: str, text: str, *,
+                        retry: RetryPolicy | None = None,
+                        timeout: Timeout | None = None) -> bool:
         """secureMsgPeer: E_PK_Cl2(m, S_SK_Cl1(m)) through the group pipe.
 
         Validates the recipient's signed pipe advertisement first (a
         tampered advertisement aborts the send, per step 2), then seals
         and signs the message.  Stateless: no handshake, no session.
+
+        Delivery stays era-faithful best-effort by default: availability
+        is explicitly out of the paper's threat model, so one attempt,
+        ``bool`` return.  Pass ``retry=`` to opt into re-sending the
+        *same* sealed datagram on loss — safe because the receiver's
+        nonce cache collapses any accidental double delivery.
         """
         self._require_login()
         if group not in self.groups:
@@ -387,24 +445,40 @@ class SecureClientPeer(ClientPeer):
                 scheme=self.policy.signature_scheme, drbg=self.control.drbg)
             pipe_adv = validated.advertisement
             assert isinstance(pipe_adv, PipeAdvertisement)
-            sent = self.control.output_pipe(pipe_adv).send(message)
+            pipe = self.control.output_pipe(pipe_adv)
+            if retry is None:
+                sent = pipe.send(message)
+            else:
+                budget = (timeout if timeout is not None
+                          else self.timeouts["messenger"])
+                sent, _, _ = self._pipe_send(pipe, message, retry, budget)
         if sent:
             obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
                      group=group, n_bytes=len(text.encode("utf-8")), secure=True)
         return sent
 
     @primitive("messenger", secure=True)
-    def secure_msg_peer_group(self, group: str, text: str) -> int:
-        """secureMsgPeerGroup: iteratively secureMsgPeer to each member."""
+    def secure_msg_peer_group(self, group: str, text: str, *,
+                              retry: RetryPolicy | None = None,
+                              timeout: Timeout | None = None) -> int:
+        """secureMsgPeerGroup: iteratively secureMsgPeer to each member.
+
+        Per-recipient isolation: a member whose advertisement fails
+        validation (or who is unreachable) is skipped and counted, never
+        aborting the fan-out.  ``retry=`` is forwarded to each
+        per-member :meth:`secure_msg_peer`.
+        """
         self._require_login()
         delivered = 0
         for member in self.group_members(group):
             if member == str(self.peer_id):
                 continue
             try:
-                if self.secure_msg_peer(member, group, text):
+                if self.secure_msg_peer(member, group, text,
+                                        retry=retry, timeout=timeout):
                     delivered += 1
-            except (SecurityError, OverlayError, DiscoveryError) as exc:
+            except (SecurityError, OverlayError, DiscoveryError,
+                    NetworkError) as exc:
                 self.metrics.incr("client.secure_group_send_miss")
                 self.events.emit("message_rejected", peer_id=member,
                                  reason=f"group send skip: {exc}")
@@ -479,7 +553,7 @@ class SecureClientPeer(ClientPeer):
         return self.publish_file(group, file_name, content)
 
     @primitive("file", secure=True)
-    def secure_search_files(self, group: str | None = None,
+    def secure_search_files(self, *, group: str | None = None,
                             peer_id: str | None = None) -> list[FileAdvertisement]:
         """secure_search_files: return only *validated* file offers."""
         self._require_login()
@@ -603,9 +677,12 @@ class SecureClientPeer(ClientPeer):
     # policy enforcement over the plain primitives
     # ======================================================================
 
-    def send_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+    def send_msg_peer(self, peer_id: str, group: str, text: str, *,
+                      retry: RetryPolicy | None = None,
+                      timeout: Timeout | None = None):
         if self.policy.enforce_secure_messaging:
             raise PolicyError(
                 "plain send_msg_peer is disabled by the security policy; "
                 "use secure_msg_peer")
-        return super().send_msg_peer(peer_id, group, text)
+        return super().send_msg_peer(peer_id, group, text,
+                                     retry=retry, timeout=timeout)

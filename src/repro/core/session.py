@@ -63,6 +63,16 @@ class SidStore:
             self.replays_blocked += 1
             raise ReplayError("session identifier expired")
 
+    def reset(self) -> None:
+        """Forget every outstanding sid (broker crash: RAM state is gone).
+
+        Replay protection is *preserved* by forgetting: a sid issued
+        before the crash can never be consumed after it, so a captured
+        pre-crash sid replayed against the restarted broker is rejected
+        exactly like any unknown sid.
+        """
+        self._pending.clear()
+
     def sweep(self) -> int:
         """Drop expired sids; returns how many were removed."""
         now = self._clock.now

@@ -138,6 +138,22 @@ class PrimitiveError(OverlayError):
     """A primitive was invoked with invalid arguments or state."""
 
 
+class PrimitiveTimeoutError(OverlayError):
+    """A primitive exhausted its virtual-clock timeout budget."""
+
+
+class BrokerUnavailableError(NotConnectedError):
+    """Broker requests kept failing after retries and failover.
+
+    Subclasses :class:`NotConnectedError` so pre-robustness callers that
+    catch the older type keep working.
+    """
+
+
+class CircuitOpenError(BrokerUnavailableError):
+    """The circuit breaker refused the call without touching the wire."""
+
+
 # ---------------------------------------------------------------------------
 # Security extension (the paper's contribution)
 # ---------------------------------------------------------------------------

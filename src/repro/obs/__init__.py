@@ -58,6 +58,13 @@ METRIC_PATTERNS: tuple[str, ...] = (
     "overlay.<primitive>.latency_ms",
     "overlay.<primitive>.bytes_sent",
     "overlay.<primitive>.frames_sent",
+    "overlay.<primitive>.retries",
+    # robustness policies (overlay/policy.py)
+    "policy.breaker.state",
+    "policy.breaker.transitions",
+    "policy.retry.backoff_ms",
+    # fault injection (sim/faults.py)
+    "faults.<fault>.injected",
     # broker functions (overlay/broker.py, core/secure_broker.py)
     "broker.fn.<msg_type>.calls",
     "broker.fn.<msg_type>.latency_ms",

@@ -39,6 +39,9 @@ HOOKS: dict[str, str] = {
     "on_replay_blocked":      "peer, kind",   # kind: 'sid' | 'nonce'
     "on_broker_rejected":     "peer, broker, reason",
     "on_frame_dropped":       "src, dst, n_bytes",
+    "on_retry":               "peer, primitive, attempt, reason",
+    "on_degraded":            "peer, primitive, reason",
+    "on_breaker_state":       "name, state",  # state: closed|half_open|open
 }
 
 

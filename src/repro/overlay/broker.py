@@ -218,6 +218,23 @@ class Broker:
         self._disconnect(session)
         return self._ok("logout_ok")
 
+    def restart(self) -> None:
+        """Simulate a crash-restart: all in-RAM session state is lost.
+
+        Every connected peer's session evaporates (group membership and
+        presence included) without any ``peer_left`` notification — the
+        process died, nobody was told.  Durable state (the user database,
+        the advertisement cache, registered groups) survives, matching a
+        broker whose database and index live on disk.  Clients discover
+        the loss when their next request fails with ``not logged in`` and
+        are expected to re-login (see ``docs/ROBUSTNESS.md``).
+        """
+        for session in list(self.connected.values()):
+            self.groups.drop_member_everywhere(session.peer_id)
+            self.database.mark_inactive(session.username)
+        self.connected.clear()
+        self.metrics.incr("fn.restarts")
+
     def _disconnect(self, session: ConnectedPeer) -> None:
         for group in self.groups.groups_of(session.peer_id):
             left = Message("peer_left")

@@ -22,18 +22,23 @@ tests demonstrate each weakness and the secure client in
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.sha2 import sha256
 from repro.errors import (
     AuthenticationError,
+    BrokerUnavailableError,
+    CircuitOpenError,
     JxtaError,
     NetworkError,
     NotConnectedError,
     OverlayError,
     PrimitiveError,
+    PrimitiveTimeoutError,
+    ReproError,
+    TransportError,
 )
 from repro.jxta.advertisements import (
     FileAdvertisement,
@@ -46,12 +51,25 @@ from repro.jxta.messages import Message
 from repro.jxta.pipes import InputPipe
 from repro.overlay.control import ControlModule, unpack_results
 from repro.overlay.filesharing import FileStore, chunked_fetch
-from repro.overlay.primitives import primitive
+from repro.overlay.policy import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUTS,
+    CircuitBreaker,
+    RetryPolicy,
+    Timeout,
+    run_with_retry,
+)
+from repro.overlay.primitives import current_primitive, primitive
+from repro.overlay.results import PrimitiveResult
 from repro.sim.network import SimNetwork
 from repro.sim.scheduler import EventHandle, Scheduler
 from repro.xmllib import Element
 
 TaskFunction = Callable[[str], str]
+
+#: broker fail-reasons that mean "your session is gone" (e.g. the broker
+#: crashed and restarted) rather than "your request is bad"
+_SESSION_LOST_MARKERS = ("not logged in", "no matching authenticated session")
 
 
 class ClientPeer:
@@ -69,6 +87,22 @@ class ClientPeer:
         self.files = FileStore()
         self.task_functions: dict[str, TaskFunction] = {}
         self._presence_handle: EventHandle | None = None
+        # -- robustness policies (see docs/ROBUSTNESS.md) ------------------
+        #: per-category retry defaults; override per call via ``retry=``
+        self.retry_policies: dict[str, RetryPolicy] = dict(DEFAULT_RETRIES)
+        #: per-category timeout budgets; override per call via ``timeout=``
+        self.timeouts: dict[str, Timeout] = dict(DEFAULT_TIMEOUTS)
+        #: circuit breaker shared by every broker request of this peer
+        self.breaker = CircuitBreaker(self.clock, name=self.name)
+        #: brokers :meth:`connect` may fail over to after the primary
+        self.fallback_brokers: list[str] = []
+        # Deterministic backoff-jitter stream, seeded independently of the
+        # peer's protocol DRBG so adding retries never perturbs existing
+        # nonce/key/id streams.
+        self._retry_draw = HmacDrbg(
+            seed=f"retry-jitter|{address}".encode()).uniform
+        self._password: str | None = None  # remembered for auto re-login
+        self._relogin_in_progress = False
         self._install_functions()
 
     # -- plumbing -----------------------------------------------------------
@@ -108,40 +142,131 @@ class ClientPeer:
             raise NotConnectedError(f"{self.name}: not logged in")
         return self.username
 
-    def _broker_request(self, message: Message) -> Message:
-        broker = self._require_broker()
+    def _broker_request(self, message: Message, *,
+                        retry: RetryPolicy | None = None,
+                        timeout: Timeout | None = None) -> Message:
+        """One request/response exchange with the connected broker.
+
+        Transport failures are retried under the ``broker`` policy (or a
+        per-call override), gated by this peer's circuit breaker.  When
+        the broker answers but reports our session gone — it crashed and
+        restarted, losing its in-memory state — and we remember the login
+        credentials, the session is transparently re-established and the
+        request re-sent once.
+        """
+        self._require_broker()
+        retry = retry if retry is not None else self.retry_policies["broker"]
+        timeout = timeout if timeout is not None else self.timeouts["broker"]
+        resp = self._broker_exchange(message, retry, timeout)
+        reason = self._session_lost_reason(resp)
+        if reason is not None and self._can_relogin():
+            obs.emit("on_degraded", peer=str(self.peer_id),
+                     primitive=current_primitive() or "broker_request",
+                     reason=f"broker session lost ({reason}); re-establishing")
+            self._relogin_in_progress = True
+            try:
+                self._relogin()
+            except ReproError:
+                return resp  # recovery failed: surface the original outcome
+            finally:
+                self._relogin_in_progress = False
+            resp = self._broker_exchange(message, retry, timeout)
+        return resp
+
+    def _broker_exchange(self, message: Message, retry: RetryPolicy,
+                         timeout: Timeout) -> Message:
+        def attempt() -> Message:
+            return self.control.endpoint.request(self._require_broker(), message)
+
         try:
-            return self.control.endpoint.request(broker, message)
+            resp, _ = run_with_retry(
+                attempt, clock=self.clock, retry=retry, timeout=timeout,
+                breaker=self.breaker, draw=self._retry_draw,
+                peer=str(self.peer_id))
+        except CircuitOpenError:
+            raise
         except NetworkError as exc:
-            raise NotConnectedError(f"{self.name}: broker unreachable: {exc}") from exc
+            raise BrokerUnavailableError(
+                f"{self.name}: broker unreachable: {exc}") from exc
+        return resp
+
+    @staticmethod
+    def _session_lost_reason(resp: Message) -> str | None:
+        if not resp.msg_type.endswith("_fail") or not resp.has("reason"):
+            return None
+        reason = resp.get_text("reason")
+        if any(marker in reason for marker in _SESSION_LOST_MARKERS):
+            return reason
+        return None
+
+    def _can_relogin(self) -> bool:
+        return (not self._relogin_in_progress
+                and self.username is not None
+                and self._password is not None
+                and self.broker_address is not None)
+
+    def _relogin(self) -> None:
+        """Re-establish the broker session with remembered credentials.
+
+        The secure client overrides this to run secureConnection first,
+        so a fresh ``sid`` protects the re-login exactly like the first
+        one (the replay guard still rejects any pre-crash sid).
+        """
+        username, password = self.username, self._password
+        assert username is not None and password is not None
+        self.connect(self.broker_address, fallbacks=self.fallback_brokers)
+        self.login(username, password)
 
     # ======================================================================
     # discovery primitives
     # ======================================================================
 
     @primitive("discovery")
-    def connect(self, broker_address: str) -> str:
+    def connect(self, broker_address: str, *,
+                fallbacks: Sequence[str] | None = None,
+                retry: RetryPolicy | None = None,
+                timeout: Timeout | None = None) -> str:
         """connect: locate a broker and open a connection (§4.2).
 
         The plain version performs NO broker authentication — any endpoint
         answering ``connect_req`` is believed.  Returns the broker name.
+
+        Candidates are tried in order: ``broker_address`` first, then
+        ``fallbacks`` (default: :attr:`fallback_brokers`).  Landing on a
+        fallback counts as a degraded completion (``on_degraded``).
         """
-        self.broker_address = broker_address
-        try:
-            resp = self._broker_request(Message("connect_req"))
-        except NotConnectedError:
-            self.broker_address = None
-            self.events.emit("connection_failed", broker=broker_address)
-            raise
-        if resp.msg_type != "connect_ok":
-            self.broker_address = None
-            self.events.emit("connection_failed", broker=broker_address)
-            raise OverlayError(f"unexpected connect response {resp.msg_type!r}")
-        self.events.emit("connected", broker=broker_address,
-                         broker_name=resp.get_text("broker_name"))
-        obs.emit("on_connect", peer=str(self.peer_id), broker=broker_address,
-                 secure=False)
-        return resp.get_text("broker_name")
+        candidates = [broker_address,
+                      *(fallbacks if fallbacks is not None
+                        else self.fallback_brokers)]
+        last_exc: Exception | None = None
+        for index, candidate in enumerate(candidates):
+            self.broker_address = candidate
+            try:
+                resp = self._broker_request(Message("connect_req"),
+                                            retry=retry, timeout=timeout)
+            except NotConnectedError as exc:
+                self.broker_address = None
+                self.events.emit("connection_failed", broker=candidate)
+                last_exc = exc
+                continue
+            if resp.msg_type != "connect_ok":
+                self.broker_address = None
+                self.events.emit("connection_failed", broker=candidate)
+                raise OverlayError(
+                    f"unexpected connect response {resp.msg_type!r}")
+            if index:
+                obs.emit("on_degraded", peer=str(self.peer_id),
+                         primitive="connect",
+                         reason=f"failed over to {candidate!r} "
+                                f"(skipped {index} dead broker(s))")
+            self.events.emit("connected", broker=candidate,
+                             broker_name=resp.get_text("broker_name"))
+            obs.emit("on_connect", peer=str(self.peer_id), broker=candidate,
+                     secure=False)
+            return resp.get_text("broker_name")
+        raise BrokerUnavailableError(
+            f"{self.name}: no broker reachable among {candidates!r}"
+        ) from last_exc
 
     @primitive("discovery")
     def login(self, username: str, password: str) -> list[str]:
@@ -163,6 +288,7 @@ class ClientPeer:
             raise AuthenticationError(
                 f"login rejected: {resp.get_text('reason') if resp.has('reason') else resp.msg_type}")
         self.username = username
+        self._password = password  # remembered for automatic re-login
         self.groups = list(resp.get_json("groups"))
         for group in self.groups:
             self._open_and_publish_pipe(group)
@@ -180,6 +306,7 @@ class ClientPeer:
         for group in list(self.input_pipes):
             self.control.pipes.close_pipe(self.input_pipes.pop(group).pipe_id)
         self.username = None
+        self._password = None
         self.groups = []
         self.broker_address = None
         self.events.emit("logged_out", username=username)
@@ -199,7 +326,7 @@ class ClientPeer:
         return status
 
     @primitive("discovery")
-    def search_advertisements(self, adv_type: str | None = None,
+    def search_advertisements(self, *, adv_type: str | None = None,
                               peer_id: str | None = None,
                               group: str | None = None) -> list[Element]:
         """search_advertisements: query the broker's global index.
@@ -306,16 +433,48 @@ class ClientPeer:
                                    peer_id=peer_id, group=group)
         return self.control.cached_pipe_advertisement(peer_id, group)
 
+    def _pipe_send(self, pipe, message: Message, retry: RetryPolicy,
+                   timeout: Timeout) -> tuple[bool, int, Exception | None]:
+        """Datagram send with retry: (delivered, attempts, last_error)."""
+
+        def attempt() -> bool:
+            if not pipe.send(message):
+                raise TransportError("pipe datagram was not delivered")
+            return True
+
+        try:
+            _, attempts = run_with_retry(
+                attempt, clock=self.clock, retry=retry, timeout=timeout,
+                retry_on=(TransportError, NetworkError),
+                draw=self._retry_draw, peer=str(self.peer_id))
+            return True, attempts, None
+        except (TransportError, NetworkError, PrimitiveTimeoutError) as exc:
+            return False, getattr(exc, "attempts", retry.max_attempts), exc
+
     @primitive("messenger")
-    def send_msg_peer(self, peer_id: str, group: str, text: str) -> bool:
+    def send_msg_peer(self, peer_id: str, group: str, text: str, *,
+                      retry: RetryPolicy | None = None,
+                      timeout: Timeout | None = None) -> PrimitiveResult:
         """sendMsgPeer: a simple text message to one peer, no security.
 
         Plain text on the wire; no integrity, no source authenticity (the
         ``from`` fields are self-asserted and trivially spoofable).
+
+        Returns a :class:`~repro.overlay.results.PrimitiveResult` whose
+        truthiness equals delivery success.  Lost datagrams are retried
+        under the ``messenger`` policy (or the per-call ``retry=``
+        override); delivery failure is reported in the result, never
+        raised.
+
+        .. deprecated:: the historical bare ``bool`` return; rely on the
+           result object (its ``__bool__`` shim keeps old callers alive).
         """
         self._require_login()
         if group not in self.groups:
             raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        retry = retry if retry is not None else self.retry_policies["messenger"]
+        timeout = timeout if timeout is not None else self.timeouts["messenger"]
+        started = self.clock.now
         adv_elem = self._resolve_pipe(peer_id, group)
         adv = PipeAdvertisement.from_element(adv_elem)
         chat = Message("chat")
@@ -323,27 +482,65 @@ class ClientPeer:
         chat.add_text("from_user", self.username or "")
         chat.add_text("group", group)
         chat.add_text("text", text)
-        sent = self.control.output_pipe(adv).send(chat)
+        sent, attempts, error = self._pipe_send(
+            self.control.output_pipe(adv), chat, retry, timeout)
         if sent:
             obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
                      group=group, n_bytes=len(text.encode("utf-8")),
                      secure=False)
-        return sent
+        if sent and attempts > 1:
+            obs.emit("on_degraded", peer=str(self.peer_id),
+                     primitive="send_msg_peer",
+                     reason=f"delivered after {attempts} attempts")
+        return PrimitiveResult(
+            ok=sent, value=sent, attempts=attempts,
+            elapsed_ms=(self.clock.now - started) * 1e3,
+            degraded=attempts > 1 or not sent, error=error)
 
     @primitive("messenger")
-    def send_msg_peer_group(self, group: str, text: str) -> int:
-        """sendMsgPeerGroup: iteratively sendMsgPeer to every member."""
+    def send_msg_peer_group(self, group: str, text: str, *,
+                            retry: RetryPolicy | None = None,
+                            timeout: Timeout | None = None) -> PrimitiveResult:
+        """sendMsgPeerGroup: iteratively sendMsgPeer to every member.
+
+        Per-recipient isolation: one unreachable member no longer aborts
+        the whole fan-out — it is counted and the call completes degraded.
+        The result's ``value`` is the delivery count (the historical bare
+        ``int`` return, now deprecated; ``result == n`` still compares
+        against it).
+        """
         self._require_login()
-        delivered = 0
+        started = self.clock.now
+        delivered = failures = 0
+        attempts = 1
+        last_error: Exception | None = None
         for member in self.group_members(group):
             if member == str(self.peer_id):
                 continue
             try:
-                if self.send_msg_peer(member, group, text):
-                    delivered += 1
-            except (OverlayError, JxtaError):
+                result = self.send_msg_peer(member, group, text,
+                                            retry=retry, timeout=timeout)
+            except (OverlayError, JxtaError, NetworkError) as exc:
                 self.metrics.incr("client.group_send_miss")
-        return delivered
+                failures += 1
+                last_error = exc
+                continue
+            attempts += result.attempts - 1
+            if result:
+                delivered += 1
+            else:
+                self.metrics.incr("client.group_send_miss")
+                failures += 1
+                last_error = result.error
+        if failures:
+            obs.emit("on_degraded", peer=str(self.peer_id),
+                     primitive="send_msg_peer_group",
+                     reason=f"{failures} member(s) unreachable, "
+                            f"{delivered} delivered")
+        return PrimitiveResult(
+            ok=failures == 0, value=delivered, attempts=attempts,
+            elapsed_ms=(self.clock.now - started) * 1e3,
+            degraded=failures > 0, error=last_error)
 
     # ======================================================================
     # file-sharing primitives
@@ -364,9 +561,13 @@ class ClientPeer:
         return adv
 
     @primitive("file")
-    def search_files(self, group: str | None = None,
+    def search_files(self, *, group: str | None = None,
                      peer_id: str | None = None) -> list[FileAdvertisement]:
-        """search_files: list files offered in a group / by a peer."""
+        """search_files: list files offered in a group / by a peer.
+
+        Both filters are keyword-only (they are optional and mutually
+        orthogonal; positional use read ambiguously).
+        """
         elements = self.search_advertisements(
             adv_type="FileAdvertisement", peer_id=peer_id, group=group)
         out = []
@@ -376,17 +577,42 @@ class ClientPeer:
         return out
 
     @primitive("file")
-    def request_file(self, peer_id: str, group: str, file_name: str,
-                     chunk_size: int = 16384) -> bytes:
+    def request_file(self, peer_id: str, group: str, file_name: str, *,
+                     chunk_size: int = 16384,
+                     retry: RetryPolicy | None = None,
+                     timeout: Timeout | None = None) -> PrimitiveResult:
         """request_file: fetch a file directly from the owning peer.
 
         Chunked request/response transfer with a final SHA-256 check
-        against the advertised digest when one is cached.
+        against the advertised digest when one is cached.  Each chunk
+        round-trip is retried independently under the ``file`` policy,
+        and the shared timeout budget spans the whole transfer.
+
+        Returns a :class:`~repro.overlay.results.PrimitiveResult` whose
+        ``value`` is the file content; the historical bare ``bytes``
+        return is deprecated (``len(result)`` / ``result[i]`` /
+        ``result == data`` all delegate to the content).  Integrity and
+        lookup failures still raise.
         """
         self._require_login()
+        retry = retry if retry is not None else self.retry_policies["file"]
+        timeout = timeout if timeout is not None else self.timeouts["file"]
+        started = self.clock.now
         adv_elem = self._resolve_pipe(peer_id, group)
         address = PipeAdvertisement.from_element(adv_elem).address
-        content = chunked_fetch(self.control.endpoint, address, file_name, chunk_size)
+        total_attempts = 0
+
+        def request(addr: str, message: Message) -> Message:
+            nonlocal total_attempts
+            resp, attempts = run_with_retry(
+                lambda: self.control.endpoint.request(addr, message),
+                clock=self.clock, retry=retry, timeout=timeout,
+                draw=self._retry_draw, peer=str(self.peer_id))
+            total_attempts += attempts
+            return resp
+
+        content = chunked_fetch(self.control.endpoint, address, file_name,
+                                chunk_size, request=request)
         expected = None
         for entry in self.control.cache.find("FileAdvertisement", peer_id=peer_id, group=group):
             if entry.parsed.file_name == file_name:  # type: ignore[attr-defined]
@@ -396,7 +622,17 @@ class ClientPeer:
                              reason="digest mismatch")
             raise OverlayError(f"file {file_name!r} failed its integrity check")
         self.events.emit("file_received", file_name=file_name, size=len(content))
-        return content
+        n_chunks = max(1, -(-len(content) // chunk_size))
+        degraded = total_attempts > n_chunks
+        if degraded:
+            obs.emit("on_degraded", peer=str(self.peer_id),
+                     primitive="request_file",
+                     reason=f"{total_attempts - n_chunks} chunk retr"
+                            f"{'ies' if total_attempts - n_chunks != 1 else 'y'}"
+                            f" during transfer of {file_name!r}")
+        return PrimitiveResult(
+            ok=True, value=content, attempts=total_attempts,
+            elapsed_ms=(self.clock.now - started) * 1e3, degraded=degraded)
 
     # ======================================================================
     # executable primitives (further-work set, §6)

@@ -7,6 +7,8 @@ directly from the owning peer in fixed-size chunks.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.crypto.sha2 import sha256
 from repro.errors import NetworkError, OverlayError
 from repro.jxta.endpoint import Endpoint
@@ -72,14 +74,21 @@ class FileStore:
 
 
 def chunked_fetch(endpoint: Endpoint, address: str, file_name: str,
-                  chunk_size: int = 16384, max_chunks: int = 1 << 16) -> bytes:
+                  chunk_size: int = 16384, max_chunks: int = 1 << 16, *,
+                  request: Callable[[str, Message], Message] | None = None) -> bytes:
     """Client side: pull a file chunk by chunk from ``address``.
+
+    ``request`` lets the caller substitute the round-trip used per chunk
+    (the client passes a retry-wrapped one); it defaults to
+    ``endpoint.request``, keeping this module policy-free.
 
     Raises :class:`OverlayError` on refusal or a malformed stream and
     :class:`NetworkError` if the peer becomes unreachable mid-transfer.
     """
     if chunk_size <= 0:
         raise OverlayError("chunk size must be positive")
+    if request is None:
+        request = endpoint.request
     received = bytearray()
     offset = 0
     for _ in range(max_chunks):
@@ -87,7 +96,7 @@ def chunked_fetch(endpoint: Endpoint, address: str, file_name: str,
         req.add_text("file_name", file_name)
         req.add_text("offset", str(offset))
         req.add_text("length", str(chunk_size))
-        resp = endpoint.request(address, req)
+        resp = request(address, req)
         if resp.msg_type == "file_fail":
             raise OverlayError(f"file transfer refused: {resp.get_text('reason')}")
         if resp.msg_type != "file_resp":

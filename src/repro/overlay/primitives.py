@@ -31,6 +31,20 @@ F = TypeVar("F", bound=Callable)
 #: name -> descriptor of every registered primitive
 CATALOGUE: dict[str, "PrimitiveInfo"] = {}
 
+#: innermost-first stack of primitives currently executing (the simulator
+#: is single-threaded, so a module-level stack is race-free)
+_ACTIVE: list[str] = []
+
+
+def current_primitive() -> str | None:
+    """Name of the innermost primitive currently executing, if any.
+
+    The retry runner in :mod:`repro.overlay.policy` uses this to
+    attribute ``overlay.<primitive>.retries`` without every call site
+    having to thread its own name through the policy layer.
+    """
+    return _ACTIVE[-1] if _ACTIVE else None
+
 
 @dataclass(frozen=True)
 class PrimitiveInfo:
@@ -56,26 +70,30 @@ def primitive(category: str, secure: bool = False) -> Callable[[F], F]:
         def wrapper(self, *args, **kwargs):
             self.metrics.incr(f"primitive.{info.name}")
             registry = obs.get_registry()
-            if not registry.enabled:
-                return func(self, *args, **kwargs)
-            registry.incr(f"overlay.{info.name}.calls")
-            bytes0 = registry.counter("net.bytes_sent").value
-            frames0 = registry.counter("net.frames_sent").value
-            t0 = time.perf_counter()
+            _ACTIVE.append(info.name)
             try:
-                return func(self, *args, **kwargs)
-            except Exception:
-                registry.incr(f"overlay.{info.name}.errors")
-                raise
+                if not registry.enabled:
+                    return func(self, *args, **kwargs)
+                registry.incr(f"overlay.{info.name}.calls")
+                bytes0 = registry.counter("net.bytes_sent").value
+                frames0 = registry.counter("net.frames_sent").value
+                t0 = time.perf_counter()
+                try:
+                    return func(self, *args, **kwargs)
+                except Exception:
+                    registry.incr(f"overlay.{info.name}.errors")
+                    raise
+                finally:
+                    registry.observe(f"overlay.{info.name}.latency_ms",
+                                     (time.perf_counter() - t0) * 1e3)
+                    registry.observe(
+                        f"overlay.{info.name}.bytes_sent",
+                        registry.counter("net.bytes_sent").value - bytes0)
+                    registry.observe(
+                        f"overlay.{info.name}.frames_sent",
+                        registry.counter("net.frames_sent").value - frames0)
             finally:
-                registry.observe(f"overlay.{info.name}.latency_ms",
-                                 (time.perf_counter() - t0) * 1e3)
-                registry.observe(
-                    f"overlay.{info.name}.bytes_sent",
-                    registry.counter("net.bytes_sent").value - bytes0)
-                registry.observe(
-                    f"overlay.{info.name}.frames_sent",
-                    registry.counter("net.frames_sent").value - frames0)
+                _ACTIVE.pop()
 
         wrapper.primitive_info = info  # type: ignore[attr-defined]
         return wrapper  # type: ignore[return-value]

@@ -7,6 +7,17 @@ CPU time (see :class:`repro.sim.clock.VirtualClock`).
 """
 
 from repro.sim.clock import VirtualClock
+from repro.sim.faults import (
+    BrokerCrash,
+    DuplicateDelivery,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FrameLoss,
+    LatencyJitter,
+    LinkOutage,
+    Partition,
+)
 from repro.sim.latency import CAMPUS, LAN_2009, LOOPBACK, PROFILES, WAN_ADSL, LinkModel
 from repro.sim.metrics import Metrics
 from repro.sim.network import Frame, NetworkStats, SimNetwork
@@ -28,4 +39,13 @@ __all__ = [
     "PROFILES",
     "SimRandom",
     "Metrics",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "FrameLoss",
+    "LatencyJitter",
+    "DuplicateDelivery",
+    "LinkOutage",
+    "Partition",
+    "BrokerCrash",
 ]
