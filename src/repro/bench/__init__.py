@@ -18,6 +18,13 @@ from repro.bench.faults import (
     format_fault_report,
     write_bench_fault,
 )
+from repro.bench.msgfast import (
+    GROUP_SIZES,
+    RATE_COUNTS,
+    format_msgfast,
+    msgfast_report,
+    write_bench_msgfast,
+)
 from repro.bench.experiments import (
     OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
@@ -40,7 +47,12 @@ from repro.bench.report import (
 )
 
 __all__ = [
+    "GROUP_SIZES",
     "LOSS_RATES",
+    "RATE_COUNTS",
+    "format_msgfast",
+    "msgfast_report",
+    "write_bench_msgfast",
     "OBS_PRIMITIVES",
     "PAPER_JOIN_OVERHEAD_PCT",
     "crash_recovery_scenario",

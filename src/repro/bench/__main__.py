@@ -2,7 +2,10 @@
 
 ``--experiment fault`` runs only E-FAULT (the fault-injection sweep and
 broker-crash recovery scenario) and writes ``BENCH_FAULT.json``;
-``--quick`` shrinks every experiment for CI smoke runs.
+``--experiment msgfast`` runs only E-MSGFAST (the secure-messaging
+fast-path sweeps) and writes ``BENCH_MSGFAST.json``, exiting nonzero if
+any acceptance check fails; ``--quick`` shrinks every experiment for CI
+smoke runs.
 """
 
 from __future__ import annotations
@@ -17,14 +20,17 @@ from repro.bench import (
     format_group_scaling,
     format_join_overhead,
     format_msg_overhead,
+    format_msgfast,
     format_obs,
     format_policy_ablation,
     group_scaling,
     join_overhead,
     msg_overhead_curve,
+    msgfast_report,
     obs_bench,
     policy_ablation,
     write_bench_fault,
+    write_bench_msgfast,
     write_bench_obs,
 )
 
@@ -37,15 +43,25 @@ def run_fault(quick: bool) -> int:
     return 0
 
 
+def run_msgfast(quick: bool) -> int:
+    data = msgfast_report(quick=quick)
+    print(format_msgfast(data))
+    out = write_bench_msgfast(data)
+    print(f"  wrote {out}")
+    return 0 if data["checks"]["all_passed"] else 1
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     if "--experiment" in argv:
         which = argv[argv.index("--experiment") + 1]
-        if which != "fault":
-            print(f"unknown experiment {which!r}; known: fault",
-                  file=sys.stderr)
-            return 2
-        return run_fault(quick)
+        if which == "fault":
+            return run_fault(quick)
+        if which == "msgfast":
+            return run_msgfast(quick)
+        print(f"unknown experiment {which!r}; known: fault, msgfast",
+              file=sys.stderr)
+        return 2
     print(format_join_overhead(join_overhead(repeats=2 if quick else 3)))
     print()
     sizes = (100, 1_000, 10_000, 100_000) if quick else (100, 1_000, 10_000, 100_000, 1_000_000)

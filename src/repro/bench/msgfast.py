@@ -1,0 +1,309 @@
+"""E-MSGFAST: cost of the secure-messaging fast paths.
+
+Measures the tentpole optimizations against the paper-faithful stateless
+baseline (both fast paths off — exactly what ``ERA_2009_POLICY`` ships):
+
+* **group-size sweep** — ``secure_msg_peer_group`` to N members.  The
+  baseline pays N signs + N wraps per message (and N unwraps + N
+  verifies across the receivers); with ``enable_seal_many`` the payload
+  is signed once and sealed once under a shared CEK (1 sign + N wraps),
+  and with ``enable_resumption`` every message after the first rides
+  pair-wise sessions with **zero RSA operations**.
+* **message-rate sweep** — a two-peer conversation at increasing message
+  counts, showing per-message cost amortizing to the symmetric-only
+  steady state.
+
+RSA operation counts are read from the observability registry
+(``crypto.rsa.private_op`` / ``public_op`` / ``verify_op``) under a
+swapped-in fresh registry, so the numbers cover exactly the measured
+sends — world setup, joins and advertisement exchange are excluded.
+
+``python -m repro.bench --experiment msgfast`` prints the report, writes
+``BENCH_MSGFAST.json`` and exits nonzero if any acceptance check fails
+(CI runs the ``--quick`` variant and relies on that exit code).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.bench import fixtures
+from repro.bench.timing import timed_call
+from repro.core.policy import SecurityPolicy
+from repro.crypto import envelope, signing
+
+#: group sizes of the fan-out sweep (recipients per message)
+GROUP_SIZES = (1, 2, 4, 8, 16, 32, 64)
+GROUP_SIZES_QUICK = (1, 4, 16)
+
+#: message counts of the two-peer rate sweep
+RATE_COUNTS = (1, 2, 4, 8, 16, 32)
+RATE_COUNTS_QUICK = (1, 4, 8)
+
+#: the group size the acceptance checks are evaluated at
+CHECK_GROUP_SIZE = 16
+
+#: RSA-op counters snapshotted around every measured send loop
+_RSA_COUNTERS = ("crypto.rsa.private_op", "crypto.rsa.public_op",
+                 "crypto.rsa.verify_op")
+
+
+def bench_policy(fast: bool) -> SecurityPolicy:
+    """Small keys + v1.5 wrap: RSA *counts* are what the experiment
+    compares, and they are independent of the modulus size."""
+    return SecurityPolicy(
+        rsa_bits=512,
+        envelope_wrap=envelope.WRAP_V15,
+        signature_scheme=signing.SCHEME_V15,
+        enable_seal_many=fast,
+        enable_resumption=fast,
+    ).validate()
+
+
+@dataclass
+class SweepCell:
+    """One (size-or-count, fast on/off) cell of a sweep."""
+
+    fast: bool
+    group_size: int
+    messages: int
+    delivered: int
+    rsa_private_ops: int
+    rsa_public_ops: int
+    rsa_verify_ops: int
+    resumed_frames: int
+    mean_ms_per_msg: float
+
+    @property
+    def rsa_ops(self) -> int:
+        return self.rsa_private_ops + self.rsa_public_ops
+
+
+def _swap_registry() -> tuple[obs.Registry, tuple]:
+    registry = obs.Registry(enabled=True)
+    saved = (obs.get_registry(), obs.get_tracer(), obs.get_events())
+    obs.set_registry(registry)
+    obs.set_tracer(obs.Tracer(registry=registry))
+    obs.set_events(obs.ProtocolEvents(registry=registry))
+    return registry, saved
+
+
+def _restore_registry(saved: tuple) -> None:
+    obs.set_registry(saved[0])
+    obs.set_tracer(saved[1])
+    obs.set_events(saved[2])
+
+
+def _measure(net, registry: obs.Registry, send, messages: int) -> dict:
+    """Run ``messages`` sends, returning counter deltas + mean cost."""
+    before = {name: registry.count(name) for name in _RSA_COUNTERS}
+    resumed_before = registry.count("crypto.resume.seal")
+    total_s = 0.0
+    delivered = 0
+    for _ in range(messages):
+        result = {}
+
+        def one_send():
+            result["n"] = send()
+
+        timing = timed_call(net, one_send)
+        total_s += timing.total_s
+        delivered += int(result["n"])
+    return {
+        "delivered": delivered,
+        "rsa_private_ops": registry.count("crypto.rsa.private_op")
+        - before["crypto.rsa.private_op"],
+        "rsa_public_ops": registry.count("crypto.rsa.public_op")
+        - before["crypto.rsa.public_op"],
+        "rsa_verify_ops": registry.count("crypto.rsa.verify_op")
+        - before["crypto.rsa.verify_op"],
+        "resumed_frames": registry.count("crypto.resume.seal") - resumed_before,
+        "mean_ms_per_msg": total_s / messages * 1e3 if messages else 0.0,
+    }
+
+
+def group_sweep(sizes=GROUP_SIZES, messages: int = 3) -> list[SweepCell]:
+    """``secure_msg_peer_group`` across group sizes, fast on vs off."""
+    cells: list[SweepCell] = []
+    for fast in (False, True):
+        policy = bench_policy(fast)
+        for size in sizes:
+            registry, saved = _swap_registry()
+            try:
+                net, _admin, _broker, clients = fixtures.build_secure_world(
+                    n_clients=size + 1, policy=policy,
+                    seed=b"e-msgfast-group", joined=True)
+                sender = clients[0]
+                stats = _measure(
+                    net, registry,
+                    lambda: sender.secure_msg_peer_group(
+                        "bench", "fast-path probe"),
+                    messages)
+            finally:
+                _restore_registry(saved)
+            cells.append(SweepCell(fast=fast, group_size=size,
+                                   messages=messages, **stats))
+    return cells
+
+
+def rate_sweep(counts=RATE_COUNTS) -> list[SweepCell]:
+    """Two-peer conversation at increasing message counts."""
+    cells: list[SweepCell] = []
+    for fast in (False, True):
+        policy = bench_policy(fast)
+        for count in counts:
+            registry, saved = _swap_registry()
+            try:
+                net, _admin, _broker, clients = fixtures.build_secure_world(
+                    n_clients=2, policy=policy,
+                    seed=b"e-msgfast-rate", joined=True)
+                sender, receiver = clients
+                stats = _measure(
+                    net, registry,
+                    lambda: sender.secure_msg_peer(
+                        str(receiver.peer_id), "bench", "rate probe"),
+                    count)
+            finally:
+                _restore_registry(saved)
+            cells.append(SweepCell(fast=fast, group_size=1,
+                                   messages=count, **stats))
+    return cells
+
+
+def steady_state_probe(messages: int = 8) -> dict:
+    """RSA ops per message once a pair-wise session is established.
+
+    The acceptance criterion: after the first (establishing) envelope,
+    every resumed send costs **zero** RSA operations end to end.
+    """
+    registry, saved = _swap_registry()
+    try:
+        net, _admin, _broker, clients = fixtures.build_secure_world(
+            n_clients=2, policy=bench_policy(True),
+            seed=b"e-msgfast-steady", joined=True)
+        sender, receiver = clients
+        # Establish: first send mints the session (1 sign + 1 wrap + ...).
+        sender.secure_msg_peer(str(receiver.peer_id), "bench", "establish")
+        before = {name: registry.count(name) for name in _RSA_COUNTERS}
+        delivered = sum(
+            1 for _ in range(messages)
+            if sender.secure_msg_peer(str(receiver.peer_id), "bench", "steady"))
+        deltas = {name: registry.count(name) - before[name]
+                  for name in _RSA_COUNTERS}
+    finally:
+        _restore_registry(saved)
+    return {
+        "resumed_messages": messages,
+        "delivered": delivered,
+        "rsa_private_ops": deltas["crypto.rsa.private_op"],
+        "rsa_public_ops": deltas["crypto.rsa.public_op"],
+        "rsa_verify_ops": deltas["crypto.rsa.verify_op"],
+    }
+
+
+def _checks(group_cells: list[SweepCell], steady: dict,
+            check_size: int = CHECK_GROUP_SIZE) -> dict:
+    """The acceptance gates (CI fails the build on any False)."""
+    by_key = {(c.fast, c.group_size): c for c in group_cells}
+    base = by_key.get((False, check_size))
+    fast = by_key.get((True, check_size))
+    if base is None or fast is None:
+        raise ValueError(f"sweep lacks group size {check_size}")
+    reduction = (base.rsa_ops / fast.rsa_ops) if fast.rsa_ops else float("inf")
+    steady_rsa = (steady["rsa_private_ops"] + steady["rsa_public_ops"]
+                  + steady["rsa_verify_ops"])
+    checks = {
+        "fast_cheaper_private_at_%d" % check_size:
+            fast.rsa_private_ops < base.rsa_private_ops,
+        "fast_cheaper_public_at_%d" % check_size:
+            fast.rsa_public_ops < base.rsa_public_ops,
+        "rsa_reduction_at_%d" % check_size: reduction,
+        "rsa_reduction_at_least_3x": reduction >= 3.0,
+        "steady_state_rsa_ops": steady_rsa,
+        "steady_state_zero_rsa": steady_rsa == 0,
+        "all_delivered": all(
+            c.delivered == c.messages * c.group_size for c in group_cells),
+    }
+    checks["all_passed"] = all(
+        value for value in checks.values() if isinstance(value, bool))
+    return checks
+
+
+def msgfast_report(quick: bool = False) -> dict:
+    """The complete E-MSGFAST document."""
+    sizes = GROUP_SIZES_QUICK if quick else GROUP_SIZES
+    counts = RATE_COUNTS_QUICK if quick else RATE_COUNTS
+    # 3 messages per cell: one establishing + two resumed sends is the
+    # smallest run where the amortized RSA saving is visible.
+    messages = 3
+    group_cells = group_sweep(sizes=sizes, messages=messages)
+    rate_cells = rate_sweep(counts=counts)
+    steady = steady_state_probe(messages=4 if quick else 8)
+    return {
+        "experiment": "E-MSGFAST",
+        "quick": quick,
+        "rsa_bits": bench_policy(True).rsa_bits,
+        "messages_per_group_cell": messages,
+        "group_sweep": [asdict(c) for c in group_cells],
+        "rate_sweep": [asdict(c) for c in rate_cells],
+        "steady_state": steady,
+        "checks": _checks(group_cells, steady),
+    }
+
+
+def format_msgfast(data: dict) -> str:
+    lines = [
+        "E-MSGFAST: secureMsgPeerGroup, fast paths on vs off "
+        f"({data['messages_per_group_cell']} msgs/cell, "
+        f"rsa-{data['rsa_bits']})",
+        f"  {'N':>4}  {'mode':>8}  {'RSA priv':>9}  {'RSA pub':>8}  "
+        f"{'RSA vrfy':>9}  {'resumed':>8}  {'ms/msg':>8}",
+    ]
+    for cell in data["group_sweep"]:
+        lines.append(
+            f"  {cell['group_size']:>4}  "
+            f"{'fast' if cell['fast'] else 'baseline':>8}  "
+            f"{cell['rsa_private_ops']:>9}  {cell['rsa_public_ops']:>8}  "
+            f"{cell['rsa_verify_ops']:>9}  {cell['resumed_frames']:>8}  "
+            f"{cell['mean_ms_per_msg']:>8.2f}")
+    lines += [
+        "",
+        "E-MSGFAST: two-peer rate sweep (RSA ops for the whole run)",
+        f"  {'msgs':>5}  {'mode':>8}  {'RSA priv':>9}  {'RSA pub':>8}  "
+        f"{'resumed':>8}  {'ms/msg':>8}",
+    ]
+    for cell in data["rate_sweep"]:
+        lines.append(
+            f"  {cell['messages']:>5}  "
+            f"{'fast' if cell['fast'] else 'baseline':>8}  "
+            f"{cell['rsa_private_ops']:>9}  {cell['rsa_public_ops']:>8}  "
+            f"{cell['resumed_frames']:>8}  {cell['mean_ms_per_msg']:>8.2f}")
+    steady = data["steady_state"]
+    checks = data["checks"]
+    lines += [
+        "",
+        f"  steady state: {steady['resumed_messages']} resumed sends -> "
+        f"{steady['rsa_private_ops']} private / {steady['rsa_public_ops']} "
+        f"public / {steady['rsa_verify_ops']} verify RSA ops",
+        "",
+        "E-MSGFAST acceptance checks:",
+    ]
+    for key, value in sorted(checks.items()):
+        if key == "all_passed":
+            continue
+        shown = f"{value:.2f}x" if isinstance(value, float) else value
+        lines.append(f"  {key:<34} : {shown}")
+    lines.append(f"  {'all_passed':<34} : {checks['all_passed']}")
+    return "\n".join(lines)
+
+
+def write_bench_msgfast(data: dict,
+                        path: str | Path = "BENCH_MSGFAST.json") -> Path:
+    """Persist the E-MSGFAST document as machine-readable JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out

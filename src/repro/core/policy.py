@@ -32,8 +32,22 @@ class SecurityPolicy:
     challenge_bytes: int = 32
     #: cache signed-advertisement validation results by (peer, group)
     cache_validated_advs: bool = True
+    #: LRU bound on the validated-advertisement cache (entries)
+    adv_cache_entries: int = 256
     #: refuse plain primitives once the secure session is up
     enforce_secure_messaging: bool = False
+    #: fast path: group fan-out uses one multi-recipient envelope
+    #: (1 sign + 1 symmetric pass + N wraps instead of N of each)
+    enable_seal_many: bool = True
+    #: fast path: sealed sends establish + ride pair-wise resumption
+    #: sessions (steady state: 0 RSA ops per message)
+    enable_resumption: bool = True
+    #: resumption session lifetime (virtual seconds)
+    resume_ttl: float = 300.0
+    #: frames one resumption session may carry before re-keying
+    resume_max_uses: int = 256
+    #: LRU bound on live pair-wise sessions (both sender and receiver)
+    resume_max_peers: int = 1024
 
     def validate(self) -> "SecurityPolicy":
         if self.envelope_suite not in envelope.SUITES:
@@ -46,6 +60,14 @@ class SecurityPolicy:
             raise PolicyError("challenges below 16 bytes are guessable")
         if self.credential_lifetime <= 0:
             raise PolicyError("credential lifetime must be positive")
+        if self.adv_cache_entries < 1:
+            raise PolicyError("advertisement cache needs at least one entry")
+        if self.resume_ttl <= 0:
+            raise PolicyError("resumption TTL must be positive")
+        if self.resume_max_uses < 1:
+            raise PolicyError("resumption use budget must be at least 1")
+        if self.resume_max_peers < 1:
+            raise PolicyError("resumption peer bound must be at least 1")
         return self
 
     def with_(self, **changes) -> "SecurityPolicy":
@@ -55,9 +77,12 @@ class SecurityPolicy:
 #: the paper's configuration, modern defaults
 DEFAULT_POLICY = SecurityPolicy().validate()
 
-#: era-faithful 2009 JCE-style configuration (PKCS#1 v1.5 + AES-CBC)
+#: era-faithful 2009 JCE-style configuration (PKCS#1 v1.5 + AES-CBC);
+#: the paper's messaging is stateless, so both fast paths stay off
 ERA_2009_POLICY = SecurityPolicy(
     envelope_suite="aes128-cbc",
     envelope_wrap=envelope.WRAP_V15,
     signature_scheme=signing.SCHEME_V15,
+    enable_seal_many=False,
+    enable_resumption=False,
 ).validate()

@@ -36,18 +36,21 @@ from repro.core.signed_advertisement import (
     ValidatedAdvertisement,
     sign_advertisement,
 )
+from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import (
     BrokerAuthenticationError,
     NetworkError,
     CredentialError,
     DiscoveryError,
+    JxtaError,
     NotConnectedError,
     OverlayError,
     PolicyError,
     PrimitiveError,
     SecurityError,
     TamperedMessageError,
+    UnknownSessionError,
 )
 from repro.jxta.advertisements import FileAdvertisement, PipeAdvertisement
 from repro.jxta.messages import Message
@@ -80,7 +83,22 @@ class SecureClientPeer(ClientPeer):
         self.revocation_checker = RevocationChecker()
         self.validator = AdvertisementValidator(
             trust_anchor, enable_cache=policy.cache_validated_advs,
-            revocation=self.revocation_checker)
+            revocation=self.revocation_checker,
+            max_entries=policy.adv_cache_entries)
+        # Fast-path session state: what we send on (keyed by recipient key
+        # fingerprint) and what we accept (keyed by sid).  The receiver
+        # store is a protocol capability and stays active regardless of
+        # policy — only *establishing* sessions is gated on
+        # ``enable_resumption``, so mixed-policy peers interoperate.
+        self.resume_sessions = resume_mod.SenderResumeCache(
+            ttl=policy.resume_ttl, max_uses=policy.resume_max_uses,
+            max_peers=policy.resume_max_peers)
+        self.resume_store = resume_mod.ReceiverResumeStore(
+            ttl=policy.resume_ttl, max_uses=policy.resume_max_uses,
+            max_sessions=policy.resume_max_peers)
+        #: sids of our *own* sessions a receiver told us it cannot map
+        #: (``resume_reset`` notices) — consumed to re-key and resend
+        self._resume_resets: set[str] = set()
         #: sid from the last secureConnection, consumed by secureLogin
         self.sid: str | None = None
         self.broker_credential: Credential | None = None
@@ -95,6 +113,7 @@ class SecureClientPeer(ClientPeer):
         ep.on(sf.FILE_REQ, self._fn_secure_file_request)
         ep.on(sx.TASK_REQ, self._fn_secure_task_request)
         ep.on("revocation_push", self._fn_revocation_push)
+        ep.on(sm.RESUME_RESET, self._fn_resume_reset)
 
     # ======================================================================
     # credential revocation (further work, §6)
@@ -113,11 +132,22 @@ class SecureClientPeer(ClientPeer):
             self.metrics.incr("client.foreign_revocation_list")
             return False
         try:
-            return self.revocation_checker.update(
+            updated = self.revocation_checker.update(
                 rl, self.broker_credential.public_key)
         except SecurityError:
             self.metrics.incr("client.bad_revocation_list")
             return False
+        if updated:
+            self._flush_trust_caches()
+        return updated
+
+    def _flush_trust_caches(self) -> None:
+        """A fresh revocation list can void any cached trust decision:
+        validated advertisements, memoized signature verifications, and
+        live resumption sessions (which skip per-frame chain checks)."""
+        self.validator.invalidate()  # also clears the shared sigcache
+        self.resume_sessions.invalidate()
+        self.resume_store.invalidate()
 
     def _fn_revocation_push(self, message: Message, src: str) -> None:
         if self._accept_revocation_list(message.get_xml("rl")):
@@ -438,51 +468,203 @@ class SecureClientPeer(ClientPeer):
             payload = sm.build_payload(
                 from_peer=str(self.peer_id), group=group, text=text,
                 nonce=self.control.drbg.generate(16), timestamp=self.clock.now)
-            message = sm.seal_message(
-                payload, self.keystore.keys.private,
-                validated.credential.public_key,
-                suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
-                scheme=self.policy.signature_scheme, drbg=self.control.drbg)
-            pipe_adv = validated.advertisement
-            assert isinstance(pipe_adv, PipeAdvertisement)
-            pipe = self.control.output_pipe(pipe_adv)
-            if retry is None:
-                sent = pipe.send(message)
-            else:
-                budget = (timeout if timeout is not None
-                          else self.timeouts["messenger"])
-                sent, _, _ = self._pipe_send(pipe, message, retry, budget)
+            message, sid = self._seal_chat_message(payload, validated)
+            sent = self._send_sealed_frame(validated, message, retry, timeout)
+            if sid is not None and self._consume_reset(sid):
+                # The receiver cannot map the session (lost establishing
+                # envelope, restart, eviction): re-key and resend the same
+                # payload as a full signed resumable envelope.
+                self.metrics.incr("client.resume_fallback")
+                message = self._seal_chat_fast(payload, validated)
+                sent = self._send_sealed_frame(validated, message,
+                                               retry, timeout)
         if sent:
             obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
                      group=group, n_bytes=len(text.encode("utf-8")), secure=True)
         return sent
 
+    def _seal_chat_message(self, payload,
+                           validated: ValidatedAdvertisement
+                           ) -> tuple[Message, str | None]:
+        """Pick the cheapest sealing the policy allows for one recipient:
+        resumed (0 RSA) > fast resumable (1 sign + 1 wrap, mints a
+        session) > paper-faithful baseline.
+
+        Returns the sealed message and, for a resumed frame, the session
+        id it rode — the caller checks it against ``resume_reset``
+        notices after the (synchronous) send.
+        """
+        recipient_key = validated.credential.public_key
+        if self.policy.enable_resumption:
+            fingerprint = recipient_key.fingerprint().hex()
+            session = self.resume_sessions.get(fingerprint, self.clock.now)
+            if session is not None:
+                return sm.seal_message_resumed(payload, session), session.sid
+            return self._seal_chat_fast(payload, validated), None
+        return sm.seal_message(
+            payload, self.keystore.keys.private, recipient_key,
+            suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
+            scheme=self.policy.signature_scheme, drbg=self.control.drbg), None
+
+    def _seal_chat_fast(self, payload,
+                        validated: ValidatedAdvertisement) -> Message:
+        """Full signed envelope that also mints a fresh resumption session."""
+        recipient_key = validated.credential.public_key
+        message, seeds = sm.seal_message_fast(
+            payload, self.keystore.keys.private, [recipient_key],
+            suite=self.policy.envelope_suite,
+            wrap=self.policy.envelope_wrap,
+            scheme=self.policy.signature_scheme, drbg=self.control.drbg,
+            resumable=True)
+        for fp, seed in seeds.items():
+            self.resume_sessions.store(fp, seed, self.policy.envelope_suite,
+                                       self.clock.now)
+        return message
+
+    def _send_sealed_frame(self, validated: ValidatedAdvertisement,
+                           message: Message, retry: RetryPolicy | None,
+                           timeout: Timeout | None) -> bool:
+        pipe_adv = validated.advertisement
+        assert isinstance(pipe_adv, PipeAdvertisement)
+        pipe = self.control.output_pipe(pipe_adv)
+        if retry is None:
+            return bool(pipe.send(message))
+        budget = timeout if timeout is not None else self.timeouts["messenger"]
+        sent, _, _ = self._pipe_send(pipe, message, retry, budget)
+        return bool(sent)
+
     @primitive("messenger", secure=True)
     def secure_msg_peer_group(self, group: str, text: str, *,
                               retry: RetryPolicy | None = None,
                               timeout: Timeout | None = None) -> int:
-        """secureMsgPeerGroup: iteratively secureMsgPeer to each member.
+        """secureMsgPeerGroup: one logical message to every group member.
 
-        Per-recipient isolation: a member whose advertisement fails
-        validation (or who is unreachable) is skipped and counted, never
-        aborting the fan-out.  ``retry=`` is forwarded to each
-        per-member :meth:`secure_msg_peer`.
+        Baseline (``enable_seal_many`` off): iterated
+        :meth:`secure_msg_peer`, paying a full sign + seal per recipient
+        exactly as §4.3 prescribes.  Fast path: one payload is signed
+        once; members with a live resumption session get a resumed frame
+        (0 RSA), the rest share a single multi-recipient envelope
+        (1 sign + 1 symmetric pass + k wraps).
+
+        Per-recipient isolation in both modes: a member whose
+        advertisement fails validation (or who is unreachable) is
+        skipped and counted, never aborting the fan-out.
         """
         self._require_login()
+        if not self.policy.enable_seal_many:
+            delivered = 0
+            for member in self.group_members(group):
+                if member == str(self.peer_id):
+                    continue
+                try:
+                    if self.secure_msg_peer(member, group, text,
+                                            retry=retry, timeout=timeout):
+                        delivered += 1
+                except (SecurityError, OverlayError, DiscoveryError,
+                        NetworkError) as exc:
+                    self.metrics.incr("client.secure_group_send_miss")
+                    self.events.emit("message_rejected", peer_id=member,
+                                     reason=f"group send skip: {exc}")
+            return delivered
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        n_bytes = len(text.encode("utf-8"))
         delivered = 0
-        for member in self.group_members(group):
-            if member == str(self.peer_id):
-                continue
-            try:
-                if self.secure_msg_peer(member, group, text,
-                                        retry=retry, timeout=timeout):
-                    delivered += 1
-            except (SecurityError, OverlayError, DiscoveryError,
-                    NetworkError) as exc:
-                self.metrics.incr("client.secure_group_send_miss")
-                self.events.emit("message_rejected", peer_id=member,
-                                 reason=f"group send skip: {exc}")
+        with obs.span("secureMsgPeerGroup", peer=str(self.peer_id),
+                      group=group):
+            # One payload (one nonce) for every member: receivers keep
+            # per-peer nonce windows, so sharing it is replay-safe.
+            payload = sm.build_payload(
+                from_peer=str(self.peer_id), group=group, text=text,
+                nonce=self.control.drbg.generate(16),
+                timestamp=self.clock.now)
+            cold: list[ValidatedAdvertisement] = []
+            for member in self.group_members(group):
+                if member == str(self.peer_id):
+                    continue
+                try:
+                    validated = self._resolve_validated_pipe(member, group)
+                except (SecurityError, OverlayError, DiscoveryError,
+                        NetworkError) as exc:
+                    self.metrics.incr("client.secure_group_send_miss")
+                    self.events.emit("message_rejected", peer_id=member,
+                                     reason=f"group send skip: {exc}")
+                    continue
+                session = None
+                if self.policy.enable_resumption:
+                    session = self.resume_sessions.get(
+                        validated.credential.public_key.fingerprint().hex(),
+                        self.clock.now)
+                if session is not None:
+                    message = sm.seal_message_resumed(payload, session)
+                    ok = self._send_sealed_frame(validated, message,
+                                                 retry, timeout)
+                    if self._consume_reset(session.sid):
+                        # Receiver lost the session: fold this member into
+                        # the shared re-keying envelope below instead.
+                        self.metrics.incr("client.resume_fallback")
+                        cold.append(validated)
+                        continue
+                    if ok:
+                        delivered += 1
+                        obs.emit("on_msg_sent", peer=str(self.peer_id),
+                                 to_peer=member, group=group,
+                                 n_bytes=n_bytes, secure=True)
+                else:
+                    cold.append(validated)
+            if cold:
+                message, seeds = sm.seal_message_fast(
+                    payload, self.keystore.keys.private,
+                    [v.credential.public_key for v in cold],
+                    suite=self.policy.envelope_suite,
+                    wrap=self.policy.envelope_wrap,
+                    scheme=self.policy.signature_scheme,
+                    drbg=self.control.drbg,
+                    resumable=self.policy.enable_resumption)
+                for validated in cold:
+                    if self._send_sealed_frame(validated, message,
+                                               retry, timeout):
+                        delivered += 1
+                        obs.emit("on_msg_sent", peer=str(self.peer_id),
+                                 to_peer=str(validated.advertisement.peer_id),
+                                 group=group, n_bytes=n_bytes, secure=True)
+                for fp, seed in seeds.items():
+                    self.resume_sessions.store(
+                        fp, seed, self.policy.envelope_suite, self.clock.now)
         return delivered
+
+    # -- resumption re-keying (resume_reset notices) ---------------------------
+
+    def _send_resume_reset(self, src: str, sid: str | None) -> None:
+        """Tell a sender we cannot map its resumed frame (re-key please)."""
+        if not sid:
+            return
+        obs.get_registry().incr("crypto.resume.reset_sent")
+        notice = Message(sm.RESUME_RESET)
+        notice.add_text("sid", sid)
+        self.control.endpoint.send(src, notice)
+
+    def _fn_resume_reset(self, message: Message, src: str) -> None:
+        """An unauthenticated "re-key please" notice from a receiver.
+
+        Honoring it only drops a sender-side cache entry, so the worst a
+        forged reset does is downgrade the next send to the
+        paper-baseline full envelope — and only for a sid the forger
+        observed on the wire.  Sids we never minted are ignored.
+        """
+        try:
+            sid = message.get_text("sid")
+        except JxtaError:
+            return
+        if self.resume_sessions.invalidate_sid(sid):
+            self._resume_resets.add(sid)
+
+    def _consume_reset(self, sid: str) -> bool:
+        """Whether this sid was reset (checked once, after a send)."""
+        if sid in self._resume_resets:
+            self._resume_resets.discard(sid)
+            return True
+        return False
 
     # -- receive side ----------------------------------------------------------
 
@@ -507,9 +689,18 @@ class SecureClientPeer(ClientPeer):
         super()._on_pipe_message(inner, src)
 
     def _handle_secure_chat(self, inner: Message, src: str) -> None:
-        """Steps 5-7 of §4.3.1 on the receiving peer."""
+        """Steps 5-7 of §4.3.1 on the receiving peer.
+
+        A resumed frame skips advertisement resolution and the RSA
+        signature check: its authenticity rides the session, which was
+        bound to the sender's verified credential at establishment.  A
+        full frame that carries a resumption seed registers that session
+        — but only *after* the sender signature verified.
+        """
         try:
-            opened = sm.open_message(inner, self.keystore.keys.private)
+            opened = sm.open_message(inner, self.keystore.keys.private,
+                                     resume_store=self.resume_store,
+                                     now=self.clock.now)
             if not self._nonce_fresh(opened.nonce):
                 obs.emit("on_replay_blocked", peer=str(self.peer_id),
                          kind="nonce")
@@ -517,9 +708,29 @@ class SecureClientPeer(ClientPeer):
             if opened.group not in self.groups:
                 raise TamperedMessageError(
                     f"message targets group {opened.group!r} we are not in")
-            sender = self._resolve_validated_pipe(opened.from_peer, opened.group)
-            with obs.span("secure_msg.verify"):
-                opened.verify_sender(sender.credential.public_key)
+            if opened.resumed:
+                with obs.span("secure_msg.verify"):
+                    opened.verify_sender(None)
+                from_user = opened.session_identity.subject_name
+            else:
+                sender = self._resolve_validated_pipe(opened.from_peer,
+                                                      opened.group)
+                with obs.span("secure_msg.verify"):
+                    opened.verify_sender(sender.credential.public_key)
+                from_user = sender.credential.subject_name
+                if opened.resume_seed is not None:
+                    self.resume_store.register(
+                        opened.resume_seed, opened.suite, sender.credential,
+                        self.clock.now)
+        except UnknownSessionError as exc:
+            # A resumed frame on a session we do not hold: undecryptable
+            # for us, but the sender can recover — ask it to re-key.
+            self._send_resume_reset(src, exc.sid)
+            self.metrics.incr("client.secure_chat_rejected")
+            self.events.emit("message_rejected", peer_id=src, reason=str(exc))
+            obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
+                     reason=str(exc))
+            return
         except (SecurityError, OverlayError, DiscoveryError) as exc:
             self.metrics.incr("client.secure_chat_rejected")
             self.events.emit("message_rejected", peer_id=src, reason=str(exc))
@@ -530,7 +741,7 @@ class SecureClientPeer(ClientPeer):
         self.events.emit(
             "secure_message_received",
             from_peer=opened.from_peer,
-            from_user=sender.credential.subject_name,
+            from_user=from_user,
             group=opened.group,
             text=opened.text,
         )
@@ -575,14 +786,17 @@ class SecureClientPeer(ClientPeer):
         return validated
 
     @primitive("file", secure=True)
-    def secure_request_file(self, peer_id: str, group: str,
-                            file_name: str) -> bytes:
+    def secure_request_file(self, peer_id: str, group: str, file_name: str,
+                            *, chunk_size: int = sf.CHUNK_SIZE) -> bytes:
         """secure_request_file: authenticated, encrypted file transfer.
 
-        The request is signed by us (with our chain attached) and sealed
-        to the owner; the response comes back sealed to us and signed by
-        the owner.  Content integrity is checked against the *validated*
-        file advertisement's digest.
+        Baseline (resumption off): one signed + sealed request, one
+        signed + sealed whole-file response, exactly the paper's RPC
+        pattern.  Fast path: the transfer is chunked; the first
+        request/response pair establishes a resumption session per
+        direction, and every later chunk rides resumed frames with zero
+        RSA operations on either side.  Content integrity is checked
+        against the *validated* file advertisement's digest either way.
         """
         self._require_login()
         if not self.keystore.chain:
@@ -590,13 +804,18 @@ class SecureClientPeer(ClientPeer):
         owner = self._resolve_validated_pipe(peer_id, group)
         owner_pipe = owner.advertisement
         assert isinstance(owner_pipe, PipeAdvertisement)
-        request = sf.build_file_request(
-            file_name=file_name, group=group, keystore=self.keystore,
-            owner_key=owner.credential.public_key, policy=self.policy,
-            drbg=self.control.drbg, now=self.clock.now)
-        resp = self.control.endpoint.request(owner_pipe.address, request)
-        content = sf.parse_file_response(
-            resp, self.keystore, owner.credential.public_key, policy=self.policy)
+        if self.policy.enable_resumption:
+            content = self._chunked_secure_fetch(owner, owner_pipe.address,
+                                                 file_name, group, chunk_size)
+        else:
+            request = sf.build_file_request(
+                file_name=file_name, group=group, keystore=self.keystore,
+                owner_key=owner.credential.public_key, policy=self.policy,
+                drbg=self.control.drbg, now=self.clock.now)
+            resp = self.control.endpoint.request(owner_pipe.address, request)
+            content = sf.parse_file_response(
+                resp, self.keystore, owner.credential.public_key,
+                policy=self.policy)
         expected = self._validated_file_digest(peer_id, group, file_name)
         if expected is not None:
             from repro.crypto.sha2 import sha256
@@ -608,6 +827,31 @@ class SecureClientPeer(ClientPeer):
                     f"file {file_name!r} does not match its signed advertisement")
         self.events.emit("file_received", file_name=file_name, size=len(content))
         return content
+
+    def _chunked_secure_fetch(self, owner: ValidatedAdvertisement,
+                              address: str, file_name: str, group: str,
+                              chunk_size: int) -> bytes:
+        """Fast-path transfer: chunked requests riding resumption sessions."""
+        parts: list[bytes] = []
+        offset = 0
+        while True:
+            request = sf.build_file_request(
+                file_name=file_name, group=group, keystore=self.keystore,
+                owner_key=owner.credential.public_key, policy=self.policy,
+                drbg=self.control.drbg, now=self.clock.now,
+                offset=offset, length=chunk_size,
+                resume_sessions=self.resume_sessions)
+            resp = self.control.endpoint.request(address, request)
+            chunk = sf.open_file_response(
+                resp, self.keystore, owner.credential, policy=self.policy,
+                resume_store=self.resume_store, now=self.clock.now)
+            parts.append(chunk.content)
+            offset += len(chunk.content)
+            if chunk.eof or not chunk.content:
+                break
+            if chunk.total is not None and offset >= chunk.total:
+                break
+        return b"".join(parts)
 
     def _validated_file_digest(self, peer_id: str, group: str,
                                file_name: str) -> str | None:
@@ -630,7 +874,8 @@ class SecureClientPeer(ClientPeer):
             message, keystore=self.keystore, files=self.files,
             validator=self.validator, policy=self.policy,
             drbg=self.control.drbg, now=self.clock.now,
-            metrics=self.metrics)
+            metrics=self.metrics, resume_store=self.resume_store,
+            resume_sessions=self.resume_sessions)
 
     # ======================================================================
     # secure executable primitives (further work, §6)

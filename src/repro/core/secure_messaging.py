@@ -18,17 +18,20 @@ fire-and-forget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import obs
 from repro.crypto import envelope, signing
+from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import PrivateKey, PublicKey
 from repro.errors import (
     DecryptionError,
     InvalidSignatureError,
     JxtaError,
+    ReplayError,
     TamperedMessageError,
+    UnknownSessionError,
     XMLError,
     XMLParseError,
 )
@@ -37,6 +40,8 @@ from repro.utils.encoding import b64decode, b64encode
 from repro.xmllib import Element, canonicalize, parse, serialize
 
 SECURE_CHAT = "secure_chat"
+#: unauthenticated re-key notice: "I cannot map resumption session <sid>"
+RESUME_RESET = "resume_reset"
 
 _AAD = b"jxta-overlay-secure-msg"
 
@@ -73,6 +78,54 @@ def seal_message(payload: Element, sender_key: PrivateKey,
     return msg
 
 
+def seal_message_fast(payload: Element, sender_key: PrivateKey,
+                      recipient_keys: list[PublicKey], suite: str, wrap: str,
+                      scheme: str, drbg: HmacDrbg | None = None,
+                      resumable: bool = False
+                      ) -> tuple[Message, dict[str, bytes]]:
+    """The fast-path variant of :func:`seal_message`: one signature and
+    one symmetric pass for any number of recipients (1 sign + N wraps).
+
+    Returns the message plus the per-recipient resumption seeds (empty
+    unless ``resumable``); the caller installs them in its
+    :class:`~repro.crypto.resume.SenderResumeCache`.
+    """
+    with obs.span("secure_msg.seal"):
+        m_bytes = canonicalize(payload)
+        with obs.span("secure_msg.sign"):
+            signature = signing.sign(sender_key, m_bytes, scheme=scheme, drbg=drbg)
+        wrapper = Element("SecureMessage")
+        wrapper.append(payload)
+        wrapper.add("SignatureValue", text=b64encode(signature))
+        wrapper.add("SignatureScheme", text=scheme)
+        with obs.span("secure_msg.envelope"):
+            sealed = envelope.seal_many(
+                recipient_keys, serialize(wrapper).encode("utf-8"),
+                drbg=drbg, suite=suite, wrap=wrap, aad=_AAD,
+                resumable=resumable)
+    msg = Message(SECURE_CHAT)
+    msg.add_json("envelope", sealed.envelope)
+    return msg, sealed.seeds
+
+
+def seal_message_resumed(payload: Element,
+                         session: resume_mod.ResumeSession) -> Message:
+    """Steady-state send on an established session: zero RSA operations.
+
+    The wrapper carries no signature — authenticity rides the session,
+    which was bound to the sender's verified credential when the signed
+    establishing envelope was accepted.
+    """
+    with obs.span("secure_msg.seal_resumed"):
+        wrapper = Element("SecureMessage")
+        wrapper.append(payload)
+        env = resume_mod.seal_resumed(
+            session, serialize(wrapper).encode("utf-8"), aad=_AAD)
+    msg = Message(SECURE_CHAT)
+    msg.add_json("envelope", env)
+    return msg
+
+
 @dataclass(frozen=True)
 class OpenedMessage:
     """A decrypted (but not yet sender-verified) secure message."""
@@ -85,9 +138,29 @@ class OpenedMessage:
     payload: Element
     signature: bytes
     scheme: str
+    #: True when the frame rode a resumption session (no signature)
+    resumed: bool = False
+    #: the sender credential the session was registered under (resumed only)
+    session_identity: object = field(default=None)
+    #: resumption seed the sender wrapped for us (full envelopes only)
+    resume_seed: bytes | None = field(default=None, repr=False)
+    #: envelope suite (needed to derive a session from ``resume_seed``)
+    suite: str = ""
 
-    def verify_sender(self, sender_key: PublicKey) -> None:
-        """Step 7: validate the message signature under PK_Cl1."""
+    def verify_sender(self, sender_key: PublicKey | None) -> None:
+        """Step 7: validate the message signature under PK_Cl1.
+
+        For a resumed frame there is no signature to check; instead the
+        claimed sender must be the credential subject the session was
+        bound to when its signed establishing envelope verified.
+        """
+        if self.resumed:
+            identity = self.session_identity
+            if identity is None or self.from_peer != str(identity.subject_id):
+                raise TamperedMessageError(
+                    f"resumed message claims sender {self.from_peer} but the "
+                    f"session belongs to a different peer")
+            return
         try:
             signing.verify(sender_key, canonicalize(self.payload),
                            self.signature, scheme=self.scheme)
@@ -96,28 +169,71 @@ class OpenedMessage:
                 f"message signature from {self.from_peer} invalid: {exc}") from exc
 
 
-def open_message(message: Message, recipient_key: PrivateKey) -> OpenedMessage:
+def _parse_chat_payload(payload: Element) -> tuple[str, str, str, bytes, float]:
+    from_peer = payload.find_required("FromPeer").text
+    group = payload.find_required("Group").text
+    text = payload.find_required("Text").text
+    nonce = b64decode(payload.find_required("Nonce").text)
+    timestamp = float(payload.find_required("Timestamp").text)
+    return from_peer, group, text, nonce, timestamp
+
+
+def open_message(message: Message, recipient_key: PrivateKey,
+                 resume_store: resume_mod.ReceiverResumeStore | None = None,
+                 now: float = 0.0) -> OpenedMessage:
     """Step 5: decrypt with SK_Cl2 and parse; signature check is separate
-    because the sender's key is only known after advertisement lookup."""
+    because the sender's key is only known after advertisement lookup.
+
+    A frame carrying a ``resume`` header is opened through
+    ``resume_store`` instead of the private key; the resulting
+    :class:`OpenedMessage` has ``resumed=True`` and carries the bound
+    sender identity for :meth:`OpenedMessage.verify_sender`.
+    """
     try:
         env = message.get_json("envelope")
+    except JxtaError as exc:
+        raise TamperedMessageError(f"undecryptable secure message: {exc}") from exc
+
+    if "resume" in env:
+        if resume_store is None:
+            raise TamperedMessageError(
+                "resumed secure message but no resumption store is available")
+        try:
+            with obs.span("secure_msg.open_resumed"):
+                plain, identity = resume_store.open(env, _AAD, now)
+        except (ReplayError, UnknownSessionError):
+            # Both carry state the caller acts on (replay accounting /
+            # sending a resume_reset), so they propagate untranslated.
+            raise
+        except DecryptionError as exc:
+            raise TamperedMessageError(
+                f"undecryptable resumed message: {exc}") from exc
+        try:
+            wrapper = parse(plain.decode("utf-8"))
+            payload = wrapper.find_required("SecureChat")
+            from_peer, group, text, nonce, timestamp = _parse_chat_payload(payload)
+        except (XMLParseError, XMLError, UnicodeDecodeError, ValueError) as exc:
+            raise TamperedMessageError(f"malformed secure message: {exc}") from exc
+        return OpenedMessage(
+            from_peer=from_peer, group=group, text=text, nonce=nonce,
+            timestamp=timestamp, payload=payload, signature=b"",
+            scheme="resumed", resumed=True, session_identity=identity)
+
+    try:
         with obs.span("secure_msg.open"):
-            plain = envelope.open_(recipient_key, env, aad=_AAD)
-    except (JxtaError, DecryptionError) as exc:
+            opened_env = envelope.open_detailed(recipient_key, env, aad=_AAD)
+    except DecryptionError as exc:
         raise TamperedMessageError(f"undecryptable secure message: {exc}") from exc
     try:
-        wrapper = parse(plain.decode("utf-8"))
+        wrapper = parse(opened_env.plaintext.decode("utf-8"))
         payload = wrapper.find_required("SecureChat")
         signature = b64decode(wrapper.find_required("SignatureValue").text)
         scheme = wrapper.find_required("SignatureScheme").text
-        from_peer = payload.find_required("FromPeer").text
-        group = payload.find_required("Group").text
-        text = payload.find_required("Text").text
-        nonce = b64decode(payload.find_required("Nonce").text)
-        timestamp = float(payload.find_required("Timestamp").text)
+        from_peer, group, text, nonce, timestamp = _parse_chat_payload(payload)
     except (XMLParseError, XMLError, UnicodeDecodeError, ValueError) as exc:
         raise TamperedMessageError(f"malformed secure message: {exc}") from exc
     return OpenedMessage(
         from_peer=from_peer, group=group, text=text, nonce=nonce,
         timestamp=timestamp, payload=payload, signature=signature,
-        scheme=scheme)
+        scheme=scheme, resume_seed=opened_env.resume_seed,
+        suite=opened_env.suite)

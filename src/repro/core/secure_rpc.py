@@ -21,6 +21,7 @@ from repro.core.credentials import (
 from repro.core.keystore import Keystore
 from repro.core.policy import SecurityPolicy
 from repro.crypto import envelope, signing
+from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import PrivateKey, PublicKey
 from repro.errors import (
@@ -59,11 +60,69 @@ def seal_signed_request(body: Element, keystore: Keystore,
                          wrap=policy.envelope_wrap, aad=aad)
 
 
+def seal_signed_request_fast(body: Element, keystore: Keystore,
+                             recipient_key: PublicKey, policy: SecurityPolicy,
+                             drbg: HmacDrbg, aad: bytes
+                             ) -> tuple[dict, dict[str, bytes]]:
+    """Like :func:`seal_signed_request`, but the envelope is *resumable*:
+    it wraps a fresh resumption seed for the recipient.  Returns the
+    envelope plus the ``{fingerprint: seed}`` map for the sender cache."""
+    if not keystore.chain:
+        raise SecurityError("cannot issue a secure request without a credential")
+    sign_element(body, keystore.keys.private,
+                 sig_alg=policy.signature_scheme, drbg=drbg)
+    wrapper = Element(REQUEST_TAG)
+    wrapper.append(body)
+    chain_holder = wrapper.add(CHAIN_TAG)
+    for cred in keystore.chain:
+        chain_holder.append(cred.to_element())
+    sealed = envelope.seal_many(
+        [recipient_key], serialize(wrapper).encode("utf-8"), drbg=drbg,
+        suite=policy.envelope_suite, wrap=policy.envelope_wrap, aad=aad,
+        resumable=True)
+    return sealed.envelope, sealed.seeds
+
+
+def seal_resumed_body(tag: str, body: Element,
+                      session: resume_mod.ResumeSession, aad: bytes) -> dict:
+    """Seal ``body`` (wrapped in ``<tag>``) on an established session —
+    no signature, no chain, zero RSA operations."""
+    wrapper = Element(tag)
+    wrapper.append(body)
+    return resume_mod.seal_resumed(
+        session, serialize(wrapper).encode("utf-8"), aad=aad)
+
+
+def open_resumed_body(env: dict, store: resume_mod.ReceiverResumeStore,
+                      aad: bytes, now: float, wrapper_tag: str,
+                      expected_body_tag: str) -> tuple[Element, object]:
+    """Open a resumed frame; returns (body, bound sender identity).
+
+    The caller MUST hold the body to the same authorization checks the
+    session's establishing request passed, using the returned identity
+    (the requester/responder credential registered with the session).
+    """
+    try:
+        plain, identity = store.open(env, aad, now)
+        wrapper = parse(plain.decode("utf-8"))
+        if wrapper.tag != wrapper_tag:
+            raise SecurityError(f"unexpected resumed wrapper <{wrapper.tag}>")
+        body = wrapper.find_required(expected_body_tag)
+    except (DecryptionError, XMLParseError, XMLError,
+            UnicodeDecodeError) as exc:
+        raise SecurityError(f"undecryptable resumed request: {exc}") from exc
+    return body, identity
+
+
 @dataclass(frozen=True)
 class OpenedRequest:
     body: Element
     requester: Credential
     chain: list[Credential]
+    #: resumption seed the requester wrapped for us (resumable envelopes)
+    resume_seed: bytes | None = None
+    #: envelope suite (needed to derive a session from ``resume_seed``)
+    suite: str = ""
 
 
 def open_signed_request(env: dict, keystore: Keystore, now: float,
@@ -74,8 +133,8 @@ def open_signed_request(env: dict, keystore: Keystore, now: float,
     """
     anchor = keystore.require_anchor()
     try:
-        plain = envelope.open_(keystore.keys.private, env, aad=aad)
-        wrapper = parse(plain.decode("utf-8"))
+        opened_env = envelope.open_detailed(keystore.keys.private, env, aad=aad)
+        wrapper = parse(opened_env.plaintext.decode("utf-8"))
     except (DecryptionError, XMLParseError, UnicodeDecodeError) as exc:
         raise SecurityError(f"undecryptable secure request: {exc}") from exc
     try:
@@ -89,7 +148,9 @@ def open_signed_request(env: dict, keystore: Keystore, now: float,
         verify_element(body, requester.public_key)
     except (XMLDsigError, InvalidSignatureError) as exc:
         raise SecurityError(f"secure request signature invalid: {exc}") from exc
-    return OpenedRequest(body=body, requester=requester, chain=chain)
+    return OpenedRequest(body=body, requester=requester, chain=chain,
+                         resume_seed=opened_env.resume_seed,
+                         suite=opened_env.suite)
 
 
 def seal_signed_response(body: Element, responder_key: PrivateKey,
@@ -105,13 +166,40 @@ def seal_signed_response(body: Element, responder_key: PrivateKey,
                          wrap=policy.envelope_wrap, aad=aad)
 
 
+def seal_signed_response_fast(body: Element, responder_key: PrivateKey,
+                              requester_key: PublicKey, policy: SecurityPolicy,
+                              drbg: HmacDrbg, aad: bytes
+                              ) -> tuple[dict, dict[str, bytes]]:
+    """Like :func:`seal_signed_response` but resumable (wraps a seed)."""
+    sign_element(body, responder_key,
+                 sig_alg=policy.signature_scheme, drbg=drbg)
+    wrapper = Element(RESPONSE_TAG)
+    wrapper.append(body)
+    sealed = envelope.seal_many(
+        [requester_key], serialize(wrapper).encode("utf-8"), drbg=drbg,
+        suite=policy.envelope_suite, wrap=policy.envelope_wrap, aad=aad,
+        resumable=True)
+    return sealed.envelope, sealed.seeds
+
+
 def open_signed_response(env: dict, own_key: PrivateKey,
                          responder_key: PublicKey, aad: bytes,
                          expected_body_tag: str) -> Element:
     """Decrypt a response and verify the responder's signature."""
+    body, _, _ = open_signed_response_detailed(
+        env, own_key, responder_key, aad, expected_body_tag)
+    return body
+
+
+def open_signed_response_detailed(env: dict, own_key: PrivateKey,
+                                  responder_key: PublicKey, aad: bytes,
+                                  expected_body_tag: str
+                                  ) -> tuple[Element, bytes | None, str]:
+    """Like :func:`open_signed_response`, also surfacing the resumption
+    seed (and suite) when the responder made the envelope resumable."""
     try:
-        plain = envelope.open_(own_key, env, aad=aad)
-        wrapper = parse(plain.decode("utf-8"))
+        opened_env = envelope.open_detailed(own_key, env, aad=aad)
+        wrapper = parse(opened_env.plaintext.decode("utf-8"))
         body = wrapper.find_required(expected_body_tag)
     except (DecryptionError, XMLParseError, XMLError, UnicodeDecodeError, JxtaError) as exc:
         raise SecurityError(f"undecryptable secure response: {exc}") from exc
@@ -119,4 +207,4 @@ def open_signed_response(env: dict, own_key: PrivateKey,
         verify_element(body, responder_key)
     except (XMLDsigError, InvalidSignatureError) as exc:
         raise SecurityError(f"secure response signature invalid: {exc}") from exc
-    return body
+    return body, opened_env.resume_seed, opened_env.suite

@@ -19,8 +19,10 @@ bytes* that validated — a changed advertisement misses the cache.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.credentials import (
     Credential,
     chain_from_elements,
@@ -83,13 +85,15 @@ class AdvertisementValidator:
     """
 
     def __init__(self, trust_anchor: Credential, enable_cache: bool = True,
-                 revocation=None) -> None:
+                 revocation=None, max_entries: int = 256) -> None:
         self.trust_anchor = trust_anchor
         self.enable_cache = enable_cache
         self.revocation = revocation
-        self._cache: dict[bytes, ValidatedAdvertisement] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[bytes, ValidatedAdvertisement] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     def validate(self, element: Element, now: float) -> ValidatedAdvertisement:
         """Full validation; raises :class:`TamperedAdvertisementError`,
@@ -115,6 +119,7 @@ class AdvertisementValidator:
                 else:
                     if self.revocation is not None:
                         self.revocation.check_chain(hit.chain)
+                    self._cache.move_to_end(digest)
                     self.cache_hits += 1
                     return hit
             self.cache_misses += 1
@@ -142,6 +147,11 @@ class AdvertisementValidator:
             element=element.deep_copy())
         if self.enable_cache:
             self._cache[digest] = result
+            self._cache.move_to_end(digest)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
+                obs.get_registry().incr("core.adv_cache.evictions")
         return result
 
     def _extract_chain(self, element: Element) -> list[Credential]:
@@ -157,4 +167,8 @@ class AdvertisementValidator:
         return chain_from_elements(list(holder.children))
 
     def invalidate(self) -> None:
+        """Flush all trust-derived caches (here *and* the shared sigcache)."""
+        from repro.crypto import sigcache
+
         self._cache.clear()
+        sigcache.get_sig_cache().invalidate()

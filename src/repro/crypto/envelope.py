@@ -20,7 +20,8 @@ JSON messages.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Iterable
 
 from repro import obs
 from repro.crypto import aead, pkcs1
@@ -42,6 +43,27 @@ DEFAULT_SUITE = "chacha20poly1305"
 #: RSA key-wrap algorithm names (ablation: OAEP default, v1.5 era-faithful).
 WRAP_OAEP = "rsa-oaep"
 WRAP_V15 = "rsa-pkcs1v15"
+
+#: length of the per-recipient resumption seed a resumable envelope wraps
+#: alongside the CEK (see :mod:`repro.crypto.resume`)
+RESUME_SEED_LEN = 16
+
+
+def _wrap(pub: PublicKey, blob: bytes, wrap: str, rng: HmacDrbg,
+          aad: bytes) -> bytes:
+    if wrap == WRAP_OAEP:
+        return pkcs1.encrypt_oaep(pub, blob, drbg=rng, label=aad)
+    if wrap == WRAP_V15:
+        return pkcs1.encrypt_v15(pub, blob, drbg=rng)
+    raise ValueError(f"unknown key wrap algorithm {wrap!r}")
+
+
+def _unwrap(priv: PrivateKey, wrapped: bytes, wrap: str, aad: bytes) -> bytes:
+    if wrap == WRAP_OAEP:
+        return pkcs1.decrypt_oaep(priv, wrapped, label=aad)
+    if wrap == WRAP_V15:
+        return pkcs1.decrypt_v15(priv, wrapped)
+    raise DecryptionError(f"unknown key wrap algorithm {wrap!r}")
 
 
 def seal(pub: PublicKey, plaintext: bytes, drbg: HmacDrbg | None = None,
@@ -68,12 +90,7 @@ def seal(pub: PublicKey, plaintext: bytes, drbg: HmacDrbg | None = None,
         # CBC is unauthenticated; fold the AAD into the wrapped blob instead
         # so tampering with it still breaks unwrapping deterministically.
         body = CBC(cek).encrypt(plaintext, nonce)
-    if wrap == WRAP_OAEP:
-        wrapped = pkcs1.encrypt_oaep(pub, cek, drbg=rng, label=aad)
-    elif wrap == WRAP_V15:
-        wrapped = pkcs1.encrypt_v15(pub, cek, drbg=rng)
-    else:
-        raise ValueError(f"unknown key wrap algorithm {wrap!r}")
+    wrapped = _wrap(pub, cek, wrap, rng, aad)
     return {
         "suite": suite,
         "wrap": wrap,
@@ -83,34 +100,131 @@ def seal(pub: PublicKey, plaintext: bytes, drbg: HmacDrbg | None = None,
     }
 
 
+@dataclass(frozen=True)
+class MultiSeal:
+    """Result of :func:`seal_many`.
+
+    ``seeds`` maps recipient key fingerprints (hex) to the resumption
+    seed wrapped for that recipient (empty unless ``resumable=True``).
+    The sender feeds them to a :class:`repro.crypto.resume.SenderResumeCache`.
+    """
+
+    envelope: dict[str, Any]
+    seeds: dict[str, bytes]
+
+
+def seal_many(pubs: Iterable[PublicKey], plaintext: bytes,
+              drbg: HmacDrbg | None = None, suite: str = DEFAULT_SUITE,
+              wrap: str = WRAP_OAEP, aad: bytes = b"",
+              resumable: bool = False) -> MultiSeal:
+    """Encrypt ``plaintext`` once for N recipients: one symmetric pass
+    under a single CEK, one RSA key-wrap per recipient.
+
+    The envelope replaces ``wrapped_key`` with ``wrapped_keys``, a map of
+    recipient key fingerprint (hex) -> base64 wrap of either the CEK or,
+    when ``resumable``, ``CEK || seed`` with a fresh per-recipient
+    16-byte resumption seed (the blob length is self-describing).
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown envelope suite {suite!r}")
+    pubs = list(pubs)
+    if not pubs:
+        raise ValueError("seal_many needs at least one recipient")
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.incr("crypto.envelope.seal_many")
+        registry.observe("crypto.envelope.recipients", len(pubs))
+        registry.observe("crypto.envelope.plaintext_bytes", len(plaintext))
+    rng = drbg if drbg is not None else system_drbg()
+    key_len, nonce_len = SUITES[suite]
+    cek = rng.generate(key_len)
+    nonce = rng.generate(nonce_len)
+    if suite == "chacha20poly1305":
+        body = aead.seal(cek, nonce, plaintext, aad=aad)
+    else:
+        body = CBC(cek).encrypt(plaintext, nonce)
+    wrapped_keys: dict[str, str] = {}
+    seeds: dict[str, bytes] = {}
+    for pub in pubs:
+        fp = pub.fingerprint().hex()
+        blob = cek
+        if resumable:
+            seed = rng.generate(RESUME_SEED_LEN)
+            seeds[fp] = seed
+            blob = cek + seed
+        wrapped_keys[fp] = b64encode(_wrap(pub, blob, wrap, rng, aad))
+    envelope = {
+        "suite": suite,
+        "wrap": wrap,
+        "wrapped_keys": wrapped_keys,
+        "nonce": b64encode(nonce),
+        "body": b64encode(body),
+    }
+    return MultiSeal(envelope=envelope, seeds=seeds)
+
+
+@dataclass(frozen=True)
+class OpenedEnvelope:
+    """Result of :func:`open_detailed`: the plaintext plus the resumption
+    seed the sender wrapped for us (``None`` for plain envelopes)."""
+
+    plaintext: bytes
+    suite: str
+    wrap: str
+    resume_seed: bytes | None
+
+
 def open_(priv: PrivateKey, envelope: dict[str, Any], aad: bytes = b"") -> bytes:
-    """Decrypt an envelope produced by :func:`seal`.
+    """Decrypt an envelope produced by :func:`seal` or :func:`seal_many`.
 
     Raises :class:`DecryptionError` on any malformation, wrong key, or
     authentication failure.
     """
+    return open_detailed(priv, envelope, aad=aad).plaintext
+
+
+def open_detailed(priv: PrivateKey, envelope: dict[str, Any],
+                  aad: bytes = b"") -> OpenedEnvelope:
+    """Like :func:`open_` but also surfaces the resumption seed, if any.
+
+    Handles both the single-recipient ``wrapped_key`` format and the
+    multi-recipient ``wrapped_keys`` map (our own key fingerprint selects
+    the entry).
+    """
     obs.get_registry().incr("crypto.envelope.open")
+    if "resume" in envelope:
+        raise DecryptionError(
+            "resumed envelope needs a resumption store, not a private key")
     try:
         suite = envelope["suite"]
         wrap = envelope["wrap"]
-        wrapped = b64decode(envelope["wrapped_key"])
+        if "wrapped_keys" in envelope:
+            fp = priv.public_key().fingerprint().hex()
+            entry = envelope["wrapped_keys"].get(fp)
+            if entry is None:
+                raise DecryptionError("envelope is not addressed to this key")
+            wrapped = b64decode(entry)
+        else:
+            wrapped = b64decode(envelope["wrapped_key"])
         nonce = b64decode(envelope["nonce"])
         body = b64decode(envelope["body"])
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, AttributeError) as exc:
         raise DecryptionError(f"malformed envelope: {exc!r}") from exc
     if suite not in SUITES:
         raise DecryptionError(f"unknown envelope suite {suite!r}")
     key_len, nonce_len = SUITES[suite]
     if len(nonce) != nonce_len:
         raise DecryptionError("envelope nonce has the wrong length")
-    if wrap == WRAP_OAEP:
-        cek = pkcs1.decrypt_oaep(priv, wrapped, label=aad)
-    elif wrap == WRAP_V15:
-        cek = pkcs1.decrypt_v15(priv, wrapped)
+    blob = _unwrap(priv, wrapped, wrap, aad)
+    if len(blob) == key_len:
+        cek, seed = blob, None
+    elif len(blob) == key_len + RESUME_SEED_LEN:
+        cek, seed = blob[:key_len], blob[key_len:]
     else:
-        raise DecryptionError(f"unknown key wrap algorithm {wrap!r}")
-    if len(cek) != key_len:
         raise DecryptionError("unwrapped CEK has the wrong length")
     if suite == "chacha20poly1305":
-        return aead.open_(cek, nonce, body, aad=aad)
-    return CBC(cek).decrypt(body, nonce)
+        plaintext = aead.open_(cek, nonce, body, aad=aad)
+    else:
+        plaintext = CBC(cek).decrypt(body, nonce)
+    return OpenedEnvelope(plaintext=plaintext, suite=suite, wrap=wrap,
+                          resume_seed=seed)

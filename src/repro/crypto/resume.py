@@ -1,0 +1,306 @@
+"""Pair-wise session resumption: the steady-state zero-RSA fast path.
+
+The paper's secure messaging is deliberately stateless — every message
+pays a full sign + hybrid-envelope seal (§4.3).  This module adds an
+*optional, sender-driven* resumption layer on top:
+
+* A **resumable** envelope (:func:`repro.crypto.envelope.seal_many` with
+  ``resumable=True``) wraps a fresh 16-byte *seed* alongside the CEK,
+  individually per recipient.  The seed — not the CEK — roots the
+  session, because in a group envelope every member knows the shared CEK
+  and could otherwise impersonate the sender towards the others.
+* Both ends derive the session material with HKDF (RFC 5869 style over
+  our HMAC-SHA256): a cipher key sized for the suite, a separate MAC
+  key, and a public session id.
+* Later frames carry an explicit ``resume`` header (``{resume: sid,
+  suite, seq, body[, tag]}``) and **no RSA operations at all**: AEAD
+  suites authenticate themselves, CBC suites get encrypt-then-MAC under
+  the session MAC key.  Per-frame nonces/IVs are derived from the MAC
+  key and the sequence number, never sent on the wire.
+* Replay safety: the receiver's :class:`ReceiverResumeStore` accepts a
+  strictly increasing ``seq`` per session; sessions are bounded by TTL,
+  use count, and an LRU cap on both ends, so a sender always re-keys
+  (full signed envelope) before the receiver forgets the session.
+
+Authenticity argument: a resumed frame is accepted only under a session
+whose seed arrived inside an envelope whose *signature verified under
+the sender's validated credential chain*.  Binding the stored identity
+(the sender's leaf credential) to the session extends that one RSA
+verification over every frame the session carries — see
+``docs/PERFORMANCE.md`` for the full discussion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.crypto import aead
+from repro.crypto.envelope import RESUME_SEED_LEN, SUITES
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.modes import CBC
+from repro.crypto.sha2 import sha256
+from repro.errors import DecryptionError, ReplayError, UnknownSessionError
+from repro.utils.bytesutil import constant_time_eq
+from repro.utils.encoding import b64decode, b64encode
+
+_KEY_INFO = b"jxta-overlay-resume|key|"
+_MAC_INFO = b"jxta-overlay-resume|mac"
+_SID_INFO = b"jxta-overlay-resume|sid|"
+_NONCE_INFO = b"nonce|"
+_TAG_LEN = 16
+
+
+def hkdf_sha256(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
+                length: int = 32) -> bytes:
+    """HKDF extract-then-expand (RFC 5869) over our HMAC-SHA256."""
+    prk = hmac_sha256(salt if salt else b"\x00" * 32, ikm)
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def session_id(seed: bytes) -> str:
+    """The public session identifier: a one-way tag of the secret seed."""
+    return sha256(_SID_INFO + seed)[:16].hex()
+
+
+@dataclass
+class ResumeSession:
+    """Live state of one direction of a resumed pair-wise channel.
+
+    ``seq`` is the last sequence number *sealed* (sender side) or
+    *accepted* (receiver side); it only moves forward.
+    """
+
+    sid: str
+    suite: str
+    key: bytes
+    mac_key: bytes
+    created_at: float
+    uses: int = 0
+    seq: int = 0
+
+
+def derive_session(seed: bytes, suite: str, now: float) -> ResumeSession:
+    """Derive the full session state from a wrapped resumption seed."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown envelope suite {suite!r}")
+    if len(seed) != RESUME_SEED_LEN:
+        raise ValueError("resumption seed has the wrong length")
+    key_len, _ = SUITES[suite]
+    key = hkdf_sha256(seed, info=_KEY_INFO + suite.encode("utf-8"),
+                      length=key_len)
+    mac_key = hkdf_sha256(seed, info=_MAC_INFO, length=32)
+    return ResumeSession(sid=session_id(seed), suite=suite, key=key,
+                         mac_key=mac_key, created_at=now)
+
+
+def _frame_nonce(session: ResumeSession, seq: int, nonce_len: int) -> bytes:
+    # Derived, not transmitted: both ends can compute it, nobody can pick it.
+    return hmac_sha256(session.mac_key,
+                       _NONCE_INFO + seq.to_bytes(8, "big"))[:nonce_len]
+
+
+def seal_resumed(session: ResumeSession, plaintext: bytes,
+                 aad: bytes = b"") -> dict[str, Any]:
+    """Seal one frame on an established session.  Zero RSA operations."""
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.incr("crypto.resume.seal")
+    session.seq += 1
+    session.uses += 1
+    seq = session.seq
+    _, nonce_len = SUITES[session.suite]
+    nonce = _frame_nonce(session, seq, nonce_len)
+    bound = aad + b"|seq|" + seq.to_bytes(8, "big")
+    env: dict[str, Any] = {"resume": session.sid, "suite": session.suite,
+                           "seq": seq}
+    if session.suite == "chacha20poly1305":
+        body = aead.seal(session.key, nonce, plaintext, aad=bound)
+    else:
+        body = CBC(session.key).encrypt(plaintext, nonce)
+        tag = hmac_sha256(session.mac_key, bound + body)[:_TAG_LEN]
+        env["tag"] = b64encode(tag)
+    env["body"] = b64encode(body)
+    return env
+
+
+def open_resumed(session: ResumeSession, env: dict[str, Any],
+                 aad: bytes = b"") -> bytes:
+    """Authenticate + decrypt one resumed frame, enforcing seq monotony.
+
+    Raises :class:`ReplayError` for a stale/duplicate ``seq`` and
+    :class:`DecryptionError` for anything that fails authentication.
+    Session state advances only after the frame authenticates.
+    """
+    try:
+        seq = int(env["seq"])
+        body = b64decode(env["body"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DecryptionError(f"malformed resumed frame: {exc!r}") from exc
+    if env.get("suite") != session.suite:
+        raise DecryptionError("resumed frame suite does not match the session")
+    if seq <= session.seq:
+        obs.get_registry().incr("crypto.resume.replay_blocked")
+        obs.emit("on_replay_blocked", kind="resume", sid=session.sid)
+        raise ReplayError(
+            f"resumed frame seq {seq} <= last accepted {session.seq}")
+    _, nonce_len = SUITES[session.suite]
+    nonce = _frame_nonce(session, seq, nonce_len)
+    bound = aad + b"|seq|" + seq.to_bytes(8, "big")
+    if session.suite == "chacha20poly1305":
+        plaintext = aead.open_(session.key, nonce, body, aad=bound)
+    else:
+        try:
+            tag = b64decode(env["tag"])
+        except (KeyError, TypeError) as exc:
+            raise DecryptionError("resumed CBC frame carries no tag") from exc
+        expected = hmac_sha256(session.mac_key, bound + body)[:_TAG_LEN]
+        if not constant_time_eq(tag, expected):
+            raise DecryptionError("resumed frame failed authentication")
+        plaintext = CBC(session.key).decrypt(body, nonce)
+    session.seq = seq
+    session.uses += 1
+    return plaintext
+
+
+class SenderResumeCache:
+    """Sender side: live sessions keyed by recipient key fingerprint (hex).
+
+    Bounded three ways — TTL, per-session use budget, LRU peer cap — so
+    the sender always re-keys with a full signed envelope before the
+    receiver's (equally bounded) store would reject the session.
+    """
+
+    def __init__(self, ttl: float = 300.0, max_uses: int = 256,
+                 max_peers: int = 1024) -> None:
+        self.ttl = ttl
+        self.max_uses = max_uses
+        self.max_peers = max_peers
+        self._sessions: OrderedDict[str, ResumeSession] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def get(self, fingerprint: str, now: float) -> ResumeSession | None:
+        """The live session for a recipient, or None (then re-key)."""
+        registry = obs.get_registry()
+        session = self._sessions.get(fingerprint)
+        if session is not None and (now - session.created_at > self.ttl
+                                    or session.uses >= self.max_uses):
+            del self._sessions[fingerprint]
+            registry.incr("crypto.resume.expired")
+            session = None
+        if session is None:
+            registry.incr("crypto.resume.miss")
+            return None
+        self._sessions.move_to_end(fingerprint)
+        registry.incr("crypto.resume.hit")
+        return session
+
+    def store(self, fingerprint: str, seed: bytes, suite: str,
+              now: float) -> ResumeSession:
+        """Install a fresh session after sealing a resumable envelope."""
+        session = derive_session(seed, suite, now)
+        self._sessions[fingerprint] = session
+        self._sessions.move_to_end(fingerprint)
+        registry = obs.get_registry()
+        registry.incr("crypto.resume.store")
+        while len(self._sessions) > self.max_peers:
+            self._sessions.popitem(last=False)
+            registry.incr("crypto.resume.evicted")
+        return session
+
+    def invalidate(self, fingerprint: str | None = None) -> None:
+        if fingerprint is None:
+            self._sessions.clear()
+        else:
+            self._sessions.pop(fingerprint, None)
+
+    def invalidate_sid(self, sid: str) -> bool:
+        """Drop the session with this public id, if we hold it.
+
+        Serves ``resume_reset`` notices: a receiver that cannot map a
+        resumed frame asks the sender to re-key.  Returns whether a
+        session was actually dropped — callers ignore resets for sids we
+        never minted (they are unauthenticated and trivially forgeable;
+        a forged reset for a *real* sid merely downgrades the next send
+        to the paper-baseline full envelope)."""
+        for fingerprint, session in self._sessions.items():
+            if session.sid == sid:
+                del self._sessions[fingerprint]
+                obs.get_registry().incr("crypto.resume.reset_applied")
+                return True
+        return False
+
+
+@dataclass
+class _StoreEntry:
+    session: ResumeSession
+    identity: Any
+
+
+class ReceiverResumeStore:
+    """Receiver side: sessions keyed by sid, bound to a sender identity.
+
+    ``identity`` is opaque to the store (protocol code passes the
+    sender's validated leaf credential); it comes back verbatim from
+    :meth:`open` so callers can hold the frame to the same checks the
+    establishing envelope passed.
+    """
+
+    def __init__(self, ttl: float = 300.0, max_uses: int = 256,
+                 max_sessions: int = 1024) -> None:
+        self.ttl = ttl
+        self.max_uses = max_uses
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict[str, _StoreEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def register(self, seed: bytes, suite: str, identity: Any,
+                 now: float) -> str:
+        """Install the session a just-verified resumable envelope carried."""
+        session = derive_session(seed, suite, now)
+        self._sessions[session.sid] = _StoreEntry(session, identity)
+        self._sessions.move_to_end(session.sid)
+        registry = obs.get_registry()
+        registry.incr("crypto.resume.register")
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            registry.incr("crypto.resume.evicted")
+        return session.sid
+
+    def open(self, env: dict[str, Any], aad: bytes,
+             now: float) -> tuple[bytes, Any]:
+        """Open a ``resume``-headed frame: returns (plaintext, identity)."""
+        sid = env.get("resume")
+        entry = self._sessions.get(sid) if isinstance(sid, str) else None
+        registry = obs.get_registry()
+        if entry is None:
+            registry.incr("crypto.resume.miss")
+            raise UnknownSessionError(
+                f"unknown resumption session {sid!r}",
+                sid=sid if isinstance(sid, str) else None)
+        if (now - entry.session.created_at > self.ttl
+                or entry.session.uses >= self.max_uses):
+            del self._sessions[sid]
+            registry.incr("crypto.resume.expired")
+            raise UnknownSessionError(f"resumption session {sid} expired",
+                                      sid=sid)
+        plaintext = open_resumed(entry.session, env, aad=aad)
+        self._sessions.move_to_end(sid)
+        registry.incr("crypto.resume.open")
+        return plaintext, entry.identity
+
+    def invalidate(self) -> None:
+        self._sessions.clear()

@@ -51,8 +51,13 @@ class PublicKey:
         obs.get_registry().incr("crypto.rsa.public_op")
         return pow(m, self.e, self.n)
 
-    #: RSAVP1 (signature verification) is the same permutation.
-    verify_int = encrypt_int
+    def verify_int(self, s: int) -> int:
+        """Raw RSAVP1: the same permutation as RSAEP, accounted separately
+        so BENCH_* RSA-op counts can tell verifies from encrypt-wraps."""
+        if not 0 <= s < self.n:
+            raise ValueError("signature representative out of range")
+        obs.get_registry().incr("crypto.rsa.verify_op")
+        return pow(s, self.e, self.n)
 
     def fingerprint(self) -> bytes:
         """SHA-256 over the canonical encoding — the basis of CBIDs."""

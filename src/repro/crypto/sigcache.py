@@ -1,0 +1,79 @@
+"""Bounded LRU cache of *successful* signature verifications.
+
+Credential chains and signed advertisements are re-verified constantly
+on the messaging hot path — usually over the exact same bytes.  This
+cache memoizes success keyed by ``(key fingerprint, message digest,
+signature, scheme)``: any change to any input misses, and only
+successes are stored (a failing verification is cheap to repeat and
+must never be amortised).
+
+A signature's *mathematical* validity never changes, so cached entries
+cannot go stale — freshness concerns (validity windows, revocation)
+live above this layer and are still checked by every caller on every
+hit.  The cache is nevertheless wired into the same ``invalidate()``
+hooks as the advertisement-validation cache
+(:meth:`repro.core.signed_advertisement.AdvertisementValidator.invalidate`)
+so operators can flush all trust-derived state at once, e.g. when a new
+revocation list lands.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import obs
+from repro.crypto import signing
+from repro.crypto.rsa import PublicKey
+from repro.crypto.sha2 import sha256
+
+_CacheKey = tuple[bytes, bytes, bytes, str]
+
+
+class SignatureCache:
+    """LRU memo of verifications that succeeded."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[_CacheKey, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def verify(self, pub: PublicKey, message: bytes, signature: bytes,
+               scheme: str) -> None:
+        """Like :func:`repro.crypto.signing.verify`, with memoized success."""
+        key = (pub.fingerprint(), sha256(message), bytes(signature), scheme)
+        registry = obs.get_registry()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            registry.incr("crypto.sigcache.hits")
+            return
+        registry.incr("crypto.sigcache.misses")
+        signing.verify(pub, message, signature, scheme=scheme)
+        self._entries[key] = None
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            registry.incr("crypto.sigcache.evictions")
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+
+
+_default_cache = SignatureCache()
+
+
+def get_sig_cache() -> SignatureCache:
+    return _default_cache
+
+
+def set_sig_cache(cache: SignatureCache) -> SignatureCache:
+    """Swap the process-wide cache (tests); returns the previous one."""
+    global _default_cache
+    previous, _default_cache = _default_cache, cache
+    return previous
+
+
+def cached_verify(pub: PublicKey, message: bytes, signature: bytes,
+                  scheme: str) -> None:
+    """Verify through the process-wide cache."""
+    _default_cache.verify(pub, message, signature, scheme)

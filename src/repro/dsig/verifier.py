@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto import signing
+from repro.crypto import sigcache
 from repro.crypto.rsa import PublicKey
 from repro.crypto.sha2 import sha256
 from repro.dsig import templates as t
@@ -84,8 +84,11 @@ def verify_element(elem: Element, pub: PublicKey) -> VerifiedSignature:
     """
     parsed = parse_signature(elem)
     try:
-        signing.verify(pub, canonicalize(parsed.signed_info),
-                       parsed.signature_value, scheme=parsed.sig_alg)
+        # Routed through the shared LRU verification cache: identical
+        # (key, SignedInfo, signature) tuples — credential chains, signed
+        # advertisements — skip the RSA verify after the first success.
+        sigcache.cached_verify(pub, canonicalize(parsed.signed_info),
+                               parsed.signature_value, parsed.sig_alg)
     except InvalidSignatureError as exc:
         raise InvalidSignatureError(
             f"SignatureValue on <{elem.tag}> does not verify: {exc}"

@@ -46,6 +46,17 @@ class InvalidTagError(DecryptionError):
     """AEAD authentication tag mismatch."""
 
 
+class UnknownSessionError(DecryptionError):
+    """A resumed frame referenced a session id the receiver does not hold
+    (never established, expired, or evicted) — distinct from an
+    authentication failure on a *live* session so protocol code can ask
+    the sender to re-key without exposing live sessions to resets."""
+
+    def __init__(self, message: str, sid: str | None = None) -> None:
+        super().__init__(message)
+        self.sid = sid
+
+
 # ---------------------------------------------------------------------------
 # XML / XMLdsig layer
 # ---------------------------------------------------------------------------

@@ -73,13 +73,21 @@ METRIC_PATTERNS: tuple[str, ...] = (
     # crypto operation counters
     "crypto.rsa.public_op",
     "crypto.rsa.private_op",
+    "crypto.rsa.verify_op",
     "crypto.rsa.keygen",
     "crypto.aes.key_schedule",
     "crypto.aes.blocks_encrypted",
     "crypto.aes.blocks_decrypted",
     "crypto.envelope.seal",
+    "crypto.envelope.seal_many",
+    "crypto.envelope.recipients",
     "crypto.envelope.open",
     "crypto.envelope.plaintext_bytes",
+    # fast-path caches (crypto/resume.py, crypto/sigcache.py,
+    # core/signed_advertisement.py)
+    "crypto.resume.<event>",
+    "crypto.sigcache.<event>",
+    "core.adv_cache.evictions",
     # hook-bus accounting (obs/events.py)
     "events.<hook>",
     "events.listener_errors",
