@@ -468,16 +468,20 @@ class SecureClientPeer(ClientPeer):
             payload = sm.build_payload(
                 from_peer=str(self.peer_id), group=group, text=text,
                 nonce=self.control.drbg.generate(16), timestamp=self.clock.now)
-            message, sid = self._seal_chat_message(payload, validated)
+            message, sid, seeds = self._seal_chat_message(payload, validated)
             sent = self._send_sealed_frame(validated, message, retry, timeout)
+            if sent:
+                self._store_resume_seeds(seeds)
             if sid is not None and self._consume_reset(sid):
                 # The receiver cannot map the session (lost establishing
                 # envelope, restart, eviction): re-key and resend the same
                 # payload as a full signed resumable envelope.
                 self.metrics.incr("client.resume_fallback")
-                message = self._seal_chat_fast(payload, validated)
+                message, seeds = self._seal_chat_fast(payload, validated)
                 sent = self._send_sealed_frame(validated, message,
                                                retry, timeout)
+                if sent:
+                    self._store_resume_seeds(seeds)
         if sent:
             obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer=peer_id,
                      group=group, n_bytes=len(text.encode("utf-8")), secure=True)
@@ -485,41 +489,52 @@ class SecureClientPeer(ClientPeer):
 
     def _seal_chat_message(self, payload,
                            validated: ValidatedAdvertisement
-                           ) -> tuple[Message, str | None]:
+                           ) -> tuple[Message, str | None, dict[str, bytes]]:
         """Pick the cheapest sealing the policy allows for one recipient:
         resumed (0 RSA) > fast resumable (1 sign + 1 wrap, mints a
         session) > paper-faithful baseline.
 
-        Returns the sealed message and, for a resumed frame, the session
-        id it rode — the caller checks it against ``resume_reset``
-        notices after the (synchronous) send.
+        Returns the sealed message; for a resumed frame, the session id
+        it rode (the caller checks it against ``resume_reset`` notices
+        after the synchronous send); and any freshly minted resumption
+        seeds — stored by the caller only once the send succeeded, so a
+        failed establishing envelope never leaves a sender-side session
+        the receiver will not recognize.
         """
         recipient_key = validated.credential.public_key
         if self.policy.enable_resumption:
             fingerprint = recipient_key.fingerprint().hex()
             session = self.resume_sessions.get(fingerprint, self.clock.now)
             if session is not None:
-                return sm.seal_message_resumed(payload, session), session.sid
-            return self._seal_chat_fast(payload, validated), None
+                return (sm.seal_message_resumed(payload, session),
+                        session.sid, {})
+            message, seeds = self._seal_chat_fast(payload, validated)
+            return message, None, seeds
         return sm.seal_message(
             payload, self.keystore.keys.private, recipient_key,
             suite=self.policy.envelope_suite, wrap=self.policy.envelope_wrap,
-            scheme=self.policy.signature_scheme, drbg=self.control.drbg), None
+            scheme=self.policy.signature_scheme,
+            drbg=self.control.drbg), None, {}
 
     def _seal_chat_fast(self, payload,
-                        validated: ValidatedAdvertisement) -> Message:
-        """Full signed envelope that also mints a fresh resumption session."""
+                        validated: ValidatedAdvertisement
+                        ) -> tuple[Message, dict[str, bytes]]:
+        """Full signed envelope that also mints a fresh resumption seed
+        (returned, not stored — see :meth:`_store_resume_seeds`)."""
         recipient_key = validated.credential.public_key
-        message, seeds = sm.seal_message_fast(
+        return sm.seal_message_fast(
             payload, self.keystore.keys.private, [recipient_key],
             suite=self.policy.envelope_suite,
             wrap=self.policy.envelope_wrap,
             scheme=self.policy.signature_scheme, drbg=self.control.drbg,
             resumable=True)
+
+    def _store_resume_seeds(self, seeds: dict[str, bytes]) -> None:
+        """Install sender-side sessions for seeds whose establishing
+        envelope was actually delivered."""
         for fp, seed in seeds.items():
             self.resume_sessions.store(fp, seed, self.policy.envelope_suite,
                                        self.clock.now)
-        return message
 
     def _send_sealed_frame(self, validated: ValidatedAdvertisement,
                            message: Message, retry: RetryPolicy | None,
@@ -621,16 +636,21 @@ class SecureClientPeer(ClientPeer):
                     scheme=self.policy.signature_scheme,
                     drbg=self.control.drbg,
                     resumable=self.policy.enable_resumption)
+                # Only members whose establishing envelope was delivered
+                # get a sender-side session; a member that never saw the
+                # seed would reject the next resumed frame outright.
+                reached: set[str] = set()
                 for validated in cold:
                     if self._send_sealed_frame(validated, message,
                                                retry, timeout):
                         delivered += 1
+                        reached.add(
+                            validated.credential.public_key.fingerprint().hex())
                         obs.emit("on_msg_sent", peer=str(self.peer_id),
                                  to_peer=str(validated.advertisement.peer_id),
                                  group=group, n_bytes=n_bytes, secure=True)
-                for fp, seed in seeds.items():
-                    self.resume_sessions.store(
-                        fp, seed, self.policy.envelope_suite, self.clock.now)
+                self._store_resume_seeds(
+                    {fp: seed for fp, seed in seeds.items() if fp in reached})
         return delivered
 
     # -- resumption re-keying (resume_reset notices) ---------------------------
@@ -835,16 +855,8 @@ class SecureClientPeer(ClientPeer):
         parts: list[bytes] = []
         offset = 0
         while True:
-            request = sf.build_file_request(
-                file_name=file_name, group=group, keystore=self.keystore,
-                owner_key=owner.credential.public_key, policy=self.policy,
-                drbg=self.control.drbg, now=self.clock.now,
-                offset=offset, length=chunk_size,
-                resume_sessions=self.resume_sessions)
-            resp = self.control.endpoint.request(address, request)
-            chunk = sf.open_file_response(
-                resp, self.keystore, owner.credential, policy=self.policy,
-                resume_store=self.resume_store, now=self.clock.now)
+            chunk = self._fetch_chunk(owner, address, file_name, group,
+                                      offset, chunk_size)
             parts.append(chunk.content)
             offset += len(chunk.content)
             if chunk.eof or not chunk.content:
@@ -852,6 +864,42 @@ class SecureClientPeer(ClientPeer):
             if chunk.total is not None and offset >= chunk.total:
                 break
         return b"".join(parts)
+
+    def _fetch_chunk(self, owner: ValidatedAdvertisement, address: str,
+                     file_name: str, group: str, offset: int,
+                     chunk_size: int, *, rekey: bool = False) -> sf.FileChunk:
+        """One chunk request/response, recovering once from session loss.
+
+        A mid-transfer session can die on either side (owner TTL race,
+        LRU eviction under many requesters, our own store restarting).
+        Both signals — the owner's ``unknown_session`` refusal and our
+        failure to map a resumed response — trigger one retry with a
+        full signed resumable request that re-keys both directions.
+        """
+        request = sf.build_file_request(
+            file_name=file_name, group=group, keystore=self.keystore,
+            owner_key=owner.credential.public_key, policy=self.policy,
+            drbg=self.control.drbg, now=self.clock.now,
+            offset=offset, length=chunk_size,
+            resume_sessions=self.resume_sessions, rekey=rekey)
+        resp = self.control.endpoint.request(address, request)
+        try:
+            if (resp.msg_type == sf.FILE_FAIL and resp.has("code")
+                    and resp.get_text("code") == "unknown_session"):
+                raise UnknownSessionError(
+                    "owner no longer holds our resumption session")
+            return sf.open_file_response(
+                resp, self.keystore, owner.credential, policy=self.policy,
+                resume_store=self.resume_store, now=self.clock.now)
+        except UnknownSessionError:
+            if rekey:
+                raise SecurityError(
+                    f"file transfer re-key for {file_name!r} failed") from None
+            self.metrics.incr("client.file_resume_fallback")
+            self.resume_sessions.invalidate(
+                owner.credential.public_key.fingerprint().hex())
+            return self._fetch_chunk(owner, address, file_name, group,
+                                     offset, chunk_size, rekey=True)
 
     def _validated_file_digest(self, peer_id: str, group: str,
                                file_name: str) -> str | None:

@@ -44,7 +44,7 @@ from repro.core.credentials import Credential
 from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import PublicKey
-from repro.errors import JxtaError, SecurityError
+from repro.errors import JxtaError, SecurityError, UnknownSessionError
 from repro.jxta.messages import Message
 from repro.overlay.filesharing import FileStore
 from repro.sim.metrics import Metrics
@@ -66,14 +66,19 @@ def build_file_request(file_name: str, group: str, keystore: Keystore,
                        owner_key: PublicKey, policy: SecurityPolicy,
                        drbg: HmacDrbg, now: float, *,
                        offset: int | None = None, length: int | None = None,
-                       resume_sessions: resume_mod.SenderResumeCache | None = None
-                       ) -> Message:
+                       resume_sessions: resume_mod.SenderResumeCache | None = None,
+                       rekey: bool = False) -> Message:
     """Build one (possibly chunked) file request.
 
     With ``resume_sessions`` and resumption enabled, a live session to
     the owner turns the request into a resumed frame (0 RSA ops); the
     cold path sends the full signed RPC with a resumable envelope and
     installs the new session.
+
+    ``rekey`` recovers a mid-transfer session loss: the request is
+    forced onto the full signed path and carries a ``Rekey`` marker
+    asking the owner to drop its response session towards us too, so
+    both directions re-establish from this exchange.
     """
     body = Element("FileRequest")
     body.add("FileName", text=file_name)
@@ -84,8 +89,11 @@ def build_file_request(file_name: str, group: str, keystore: Keystore,
     if offset is not None:
         body.add("Offset", text=str(offset))
         body.add("Length", text=str(length if length is not None else CHUNK_SIZE))
+    if rekey:
+        body.add("Rekey", text="1")
     if resume_sessions is not None and policy.enable_resumption:
-        session = resume_sessions.get(owner_key.fingerprint().hex(), now)
+        session = (None if rekey else
+                   resume_sessions.get(owner_key.fingerprint().hex(), now))
         if session is not None:
             env = seal_resumed_body(REQUEST_TAG, body, session, _AAD_REQ)
         else:
@@ -131,6 +139,12 @@ def handle_file_request(message: Message, keystore: Keystore, files: FileStore,
         try:
             body, identity = open_resumed_body(
                 env, resume_store, _AAD_REQ, now, REQUEST_TAG, "FileRequest")
+        except UnknownSessionError as exc:
+            # Recoverable by the requester (re-key + retry the chunk):
+            # flag it so a generic refusal is distinguishable.
+            out = fail(f"request rejected: {exc}")
+            out.add_text("code", "unknown_session")
+            return out
         except SecurityError as exc:
             return fail(f"request rejected: {exc}")
         if not isinstance(identity, Credential):
@@ -178,6 +192,10 @@ def handle_file_request(message: Message, keystore: Keystore, files: FileStore,
 
     if resume_sessions is not None and policy.enable_resumption:
         fp = requester.public_key.fingerprint().hex()
+        if body.findtext("Rekey"):
+            # The requester lost our response session (restart, eviction):
+            # drop ours too and mint a fresh one with this response.
+            resume_sessions.invalidate(fp)
         session = resume_sessions.get(fp, now)
         if session is not None:
             env_out = seal_resumed_body(RESPONSE_TAG, resp_body, session,

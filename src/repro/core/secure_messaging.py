@@ -88,9 +88,17 @@ def seal_message_fast(payload: Element, sender_key: PrivateKey,
 
     Returns the message plus the per-recipient resumption seeds (empty
     unless ``resumable``); the caller installs them in its
-    :class:`~repro.crypto.resume.SenderResumeCache`.
+    :class:`~repro.crypto.resume.SenderResumeCache` once the send
+    succeeded.  Seeds are minted *before* signing so the signature
+    covers a per-recipient commitment to each one — receivers refuse to
+    register a seed the signature does not vouch for.
     """
     with obs.span("secure_msg.seal"):
+        seeds: dict[str, bytes] = {}
+        if resumable:
+            seeds = envelope.mint_seeds(recipient_keys, drbg)
+            payload = payload.deep_copy()
+            resume_mod.add_seed_commitments(payload, seeds)
         m_bytes = canonicalize(payload)
         with obs.span("secure_msg.sign"):
             signature = signing.sign(sender_key, m_bytes, scheme=scheme, drbg=drbg)
@@ -102,7 +110,7 @@ def seal_message_fast(payload: Element, sender_key: PrivateKey,
             sealed = envelope.seal_many(
                 recipient_keys, serialize(wrapper).encode("utf-8"),
                 drbg=drbg, suite=suite, wrap=wrap, aad=_AAD,
-                resumable=resumable)
+                seeds=seeds or None)
     msg = Message(SECURE_CHAT)
     msg.add_json("envelope", sealed.envelope)
     return msg, sealed.seeds
@@ -232,8 +240,18 @@ def open_message(message: Message, recipient_key: PrivateKey,
         from_peer, group, text, nonce, timestamp = _parse_chat_payload(payload)
     except (XMLParseError, XMLError, UnicodeDecodeError, ValueError) as exc:
         raise TamperedMessageError(f"malformed secure message: {exc}") from exc
+    seed = opened_env.resume_seed
+    if seed is not None:
+        # The signed payload must commit to the seed wrapped for *us*:
+        # any CEK holder can re-wrap a seed of its choosing, but cannot
+        # forge the signed commitment.  Mismatch = active tampering.
+        own_fp = recipient_key.public_key().fingerprint().hex()
+        if not resume_mod.check_seed_commitment(payload, own_fp, seed):
+            obs.get_registry().incr("crypto.resume.commit_mismatch")
+            raise TamperedMessageError(
+                "resumption seed is not covered by the sender's signature")
     return OpenedMessage(
         from_peer=from_peer, group=group, text=text, nonce=nonce,
         timestamp=timestamp, payload=payload, signature=signature,
-        scheme=scheme, resume_seed=opened_env.resume_seed,
+        scheme=scheme, resume_seed=seed,
         suite=opened_env.suite)

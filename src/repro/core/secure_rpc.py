@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.credentials import (
     Credential,
     chain_from_elements,
@@ -30,6 +31,7 @@ from repro.errors import (
     InvalidSignatureError,
     JxtaError,
     SecurityError,
+    UnknownSessionError,
     XMLDsigError,
     XMLError,
     XMLParseError,
@@ -65,10 +67,14 @@ def seal_signed_request_fast(body: Element, keystore: Keystore,
                              drbg: HmacDrbg, aad: bytes
                              ) -> tuple[dict, dict[str, bytes]]:
     """Like :func:`seal_signed_request`, but the envelope is *resumable*:
-    it wraps a fresh resumption seed for the recipient.  Returns the
-    envelope plus the ``{fingerprint: seed}`` map for the sender cache."""
+    it wraps a fresh resumption seed for the recipient, and the signed
+    body commits to it (so the responder registers only seeds the
+    requester's signature vouches for).  Returns the envelope plus the
+    ``{fingerprint: seed}`` map for the sender cache."""
     if not keystore.chain:
         raise SecurityError("cannot issue a secure request without a credential")
+    seeds = envelope.mint_seeds([recipient_key], drbg)
+    resume_mod.add_seed_commitments(body, seeds)
     sign_element(body, keystore.keys.private,
                  sig_alg=policy.signature_scheme, drbg=drbg)
     wrapper = Element(REQUEST_TAG)
@@ -79,7 +85,7 @@ def seal_signed_request_fast(body: Element, keystore: Keystore,
     sealed = envelope.seal_many(
         [recipient_key], serialize(wrapper).encode("utf-8"), drbg=drbg,
         suite=policy.envelope_suite, wrap=policy.envelope_wrap, aad=aad,
-        resumable=True)
+        seeds=seeds)
     return sealed.envelope, sealed.seeds
 
 
@@ -108,10 +114,28 @@ def open_resumed_body(env: dict, store: resume_mod.ReceiverResumeStore,
         if wrapper.tag != wrapper_tag:
             raise SecurityError(f"unexpected resumed wrapper <{wrapper.tag}>")
         body = wrapper.find_required(expected_body_tag)
+    except UnknownSessionError:
+        # Recoverable: the caller can tell the peer to re-key, so the
+        # session-loss signal must survive untranslated.
+        raise
     except (DecryptionError, XMLParseError, XMLError,
             UnicodeDecodeError) as exc:
         raise SecurityError(f"undecryptable resumed request: {exc}") from exc
     return body, identity
+
+
+def _check_wrapped_seed(signed_body: Element, own_key: PublicKey,
+                        seed: bytes | None) -> None:
+    """Reject a wrapped resumption seed the just-verified signature does
+    not commit to for *our* key — the re-wrapping defence.  Call only
+    after ``verify_element(signed_body, ...)`` succeeded."""
+    if seed is None:
+        return
+    if not resume_mod.check_seed_commitment(
+            signed_body, own_key.fingerprint().hex(), seed):
+        obs.get_registry().incr("crypto.resume.commit_mismatch")
+        raise SecurityError(
+            "resumption seed is not covered by the peer's signature")
 
 
 @dataclass(frozen=True)
@@ -148,6 +172,7 @@ def open_signed_request(env: dict, keystore: Keystore, now: float,
         verify_element(body, requester.public_key)
     except (XMLDsigError, InvalidSignatureError) as exc:
         raise SecurityError(f"secure request signature invalid: {exc}") from exc
+    _check_wrapped_seed(body, keystore.keys.public, opened_env.resume_seed)
     return OpenedRequest(body=body, requester=requester, chain=chain,
                          resume_seed=opened_env.resume_seed,
                          suite=opened_env.suite)
@@ -170,7 +195,10 @@ def seal_signed_response_fast(body: Element, responder_key: PrivateKey,
                               requester_key: PublicKey, policy: SecurityPolicy,
                               drbg: HmacDrbg, aad: bytes
                               ) -> tuple[dict, dict[str, bytes]]:
-    """Like :func:`seal_signed_response` but resumable (wraps a seed)."""
+    """Like :func:`seal_signed_response` but resumable: wraps a seed the
+    signed body commits to."""
+    seeds = envelope.mint_seeds([requester_key], drbg)
+    resume_mod.add_seed_commitments(body, seeds)
     sign_element(body, responder_key,
                  sig_alg=policy.signature_scheme, drbg=drbg)
     wrapper = Element(RESPONSE_TAG)
@@ -178,7 +206,7 @@ def seal_signed_response_fast(body: Element, responder_key: PrivateKey,
     sealed = envelope.seal_many(
         [requester_key], serialize(wrapper).encode("utf-8"), drbg=drbg,
         suite=policy.envelope_suite, wrap=policy.envelope_wrap, aad=aad,
-        resumable=True)
+        seeds=seeds)
     return sealed.envelope, sealed.seeds
 
 
@@ -207,4 +235,5 @@ def open_signed_response_detailed(env: dict, own_key: PrivateKey,
         verify_element(body, responder_key)
     except (XMLDsigError, InvalidSignatureError) as exc:
         raise SecurityError(f"secure response signature invalid: {exc}") from exc
+    _check_wrapped_seed(body, own_key.public_key(), opened_env.resume_seed)
     return body, opened_env.resume_seed, opened_env.suite

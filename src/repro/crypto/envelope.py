@@ -105,7 +105,7 @@ class MultiSeal:
     """Result of :func:`seal_many`.
 
     ``seeds`` maps recipient key fingerprints (hex) to the resumption
-    seed wrapped for that recipient (empty unless ``resumable=True``).
+    seed wrapped for that recipient (empty unless ``seeds`` were given).
     The sender feeds them to a :class:`repro.crypto.resume.SenderResumeCache`.
     """
 
@@ -113,17 +113,34 @@ class MultiSeal:
     seeds: dict[str, bytes]
 
 
+def mint_seeds(pubs: Iterable[PublicKey],
+               drbg: HmacDrbg | None = None) -> dict[str, bytes]:
+    """Fresh per-recipient resumption seeds, keyed by key fingerprint.
+
+    Minted *before* sealing so the caller can commit to them inside the
+    signed document (see :func:`repro.crypto.resume.add_seed_commitments`)
+    — a seed a receiver cannot match against a signed commitment must
+    never root a session.
+    """
+    rng = drbg if drbg is not None else system_drbg()
+    return {pub.fingerprint().hex(): rng.generate(RESUME_SEED_LEN)
+            for pub in pubs}
+
+
 def seal_many(pubs: Iterable[PublicKey], plaintext: bytes,
               drbg: HmacDrbg | None = None, suite: str = DEFAULT_SUITE,
               wrap: str = WRAP_OAEP, aad: bytes = b"",
-              resumable: bool = False) -> MultiSeal:
+              seeds: dict[str, bytes] | None = None) -> MultiSeal:
     """Encrypt ``plaintext`` once for N recipients: one symmetric pass
     under a single CEK, one RSA key-wrap per recipient.
 
     The envelope replaces ``wrapped_key`` with ``wrapped_keys``, a map of
     recipient key fingerprint (hex) -> base64 wrap of either the CEK or,
-    when ``resumable``, ``CEK || seed`` with a fresh per-recipient
-    16-byte resumption seed (the blob length is self-describing).
+    when ``seeds`` holds an entry for that fingerprint, ``CEK || seed``
+    (the blob length is self-describing).  Seeds come from
+    :func:`mint_seeds`; the caller is responsible for signing a
+    commitment to them — the envelope alone cannot authenticate them,
+    since anyone holding the CEK can re-wrap a blob of their choosing.
     """
     if suite not in SUITES:
         raise ValueError(f"unknown envelope suite {suite!r}")
@@ -143,14 +160,15 @@ def seal_many(pubs: Iterable[PublicKey], plaintext: bytes,
         body = aead.seal(cek, nonce, plaintext, aad=aad)
     else:
         body = CBC(cek).encrypt(plaintext, nonce)
+    seeds = dict(seeds) if seeds else {}
     wrapped_keys: dict[str, str] = {}
-    seeds: dict[str, bytes] = {}
     for pub in pubs:
         fp = pub.fingerprint().hex()
         blob = cek
-        if resumable:
-            seed = rng.generate(RESUME_SEED_LEN)
-            seeds[fp] = seed
+        if seeds:
+            seed = seeds.get(fp)
+            if seed is None or len(seed) != RESUME_SEED_LEN:
+                raise ValueError(f"no valid resumption seed for recipient {fp}")
             blob = cek + seed
         wrapped_keys[fp] = b64encode(_wrap(pub, blob, wrap, rng, aad))
     envelope = {

@@ -5,10 +5,20 @@ pays a full sign + hybrid-envelope seal (§4.3).  This module adds an
 *optional, sender-driven* resumption layer on top:
 
 * A **resumable** envelope (:func:`repro.crypto.envelope.seal_many` with
-  ``resumable=True``) wraps a fresh 16-byte *seed* alongside the CEK,
-  individually per recipient.  The seed — not the CEK — roots the
+  per-recipient ``seeds``) wraps a fresh 16-byte *seed* alongside the
+  CEK, individually per recipient.  The seed — not the CEK — roots the
   session, because in a group envelope every member knows the shared CEK
   and could otherwise impersonate the sender towards the others.
+* The *signed* document additionally carries a per-recipient **seed
+  commitment** (``fingerprint -> SHA256(tag || seed)``, see
+  :func:`add_seed_commitments`).  The key wrap alone cannot authenticate
+  the seed: any CEK holder (a co-recipient, or the recipient of a 1:1
+  envelope) can re-wrap ``CEK || seed'`` of its choosing to a third
+  peer while reusing the genuinely signed payload.  A receiver
+  therefore registers a session only for a seed whose commitment —
+  looked up under its *own* fingerprint — appears inside the document
+  the sender's verified signature covers
+  (:func:`check_seed_commitment`).
 * Both ends derive the session material with HKDF (RFC 5869 style over
   our HMAC-SHA256): a cipher key sized for the suite, a separate MAC
   key, and a public session id.
@@ -45,12 +55,17 @@ from repro.crypto.sha2 import sha256
 from repro.errors import DecryptionError, ReplayError, UnknownSessionError
 from repro.utils.bytesutil import constant_time_eq
 from repro.utils.encoding import b64decode, b64encode
+from repro.xmllib import Element
 
 _KEY_INFO = b"jxta-overlay-resume|key|"
 _MAC_INFO = b"jxta-overlay-resume|mac"
 _SID_INFO = b"jxta-overlay-resume|sid|"
+_COMMIT_INFO = b"jxta-overlay-resume|commit|"
 _NONCE_INFO = b"nonce|"
 _TAG_LEN = 16
+
+#: tag of the signed per-recipient seed-commitment list
+COMMITS_TAG = "ResumeCommits"
 
 
 def hkdf_sha256(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
@@ -70,6 +85,52 @@ def hkdf_sha256(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
 def session_id(seed: bytes) -> str:
     """The public session identifier: a one-way tag of the secret seed."""
     return sha256(_SID_INFO + seed)[:16].hex()
+
+
+def seed_commitment(seed: bytes) -> str:
+    """Public, signable commitment to a secret seed (hex).
+
+    Domain-separated from :func:`session_id` so publishing the
+    commitment reveals neither the seed nor the session id."""
+    return sha256(_COMMIT_INFO + seed).hex()
+
+
+def add_seed_commitments(signed_doc: Element,
+                         seeds: dict[str, bytes]) -> None:
+    """Append a ``<ResumeCommits>`` list to a document *before signing*.
+
+    One ``<Commit>`` per recipient: its key fingerprint (hex) and
+    :func:`seed_commitment` of the seed wrapped for it.  The sender's
+    signature over ``signed_doc`` then extends to the seeds, which the
+    envelope's key wrap alone cannot authenticate.
+    """
+    for stale in signed_doc.findall(COMMITS_TAG):
+        signed_doc.remove(stale)
+    holder = signed_doc.add(COMMITS_TAG)
+    for fp in sorted(seeds):
+        entry = holder.add("Commit")
+        entry.add("Fp", text=fp)
+        entry.add("Digest", text=seed_commitment(seeds[fp]))
+
+
+def check_seed_commitment(signed_doc: Element, fingerprint: str,
+                          seed: bytes) -> bool:
+    """Whether ``signed_doc`` commits to ``seed`` for ``fingerprint``.
+
+    Callers MUST (a) verify the sender's signature over ``signed_doc``
+    first and (b) look up their *own* key fingerprint — never one taken
+    from the envelope — so a CEK holder cannot replay another
+    recipient's (genuine, signed) commitment towards us.
+    """
+    holder = signed_doc.find(COMMITS_TAG)
+    if holder is None:
+        return False
+    expected = seed_commitment(seed).encode("utf-8")
+    for entry in holder.findall("Commit"):
+        if entry.findtext("Fp") == fingerprint:
+            return constant_time_eq(
+                entry.findtext("Digest").encode("utf-8"), expected)
+    return False
 
 
 @dataclass
@@ -269,11 +330,21 @@ class ReceiverResumeStore:
 
     def register(self, seed: bytes, suite: str, identity: Any,
                  now: float) -> str:
-        """Install the session a just-verified resumable envelope carried."""
+        """Install the session a just-verified resumable envelope carried.
+
+        Registering a sid we already hold is a no-op: a replayed
+        establishing envelope (or a retried delivery of one) must not
+        reset the live session's ``seq`` high-water mark — that would
+        reopen every previously accepted frame for replay — nor refresh
+        its TTL or LRU position.
+        """
         session = derive_session(seed, suite, now)
+        registry = obs.get_registry()
+        if session.sid in self._sessions:
+            registry.incr("crypto.resume.register_dup")
+            return session.sid
         self._sessions[session.sid] = _StoreEntry(session, identity)
         self._sessions.move_to_end(session.sid)
-        registry = obs.get_registry()
         registry.incr("crypto.resume.register")
         while len(self._sessions) > self.max_sessions:
             self._sessions.popitem(last=False)

@@ -186,6 +186,181 @@ class TestChunkedFileTransfer:
                                          "whole.bin") == data
 
 
+class TestFileTransferRekey:
+    """Mid-transfer session loss on either side must cost one re-keyed
+    chunk, never a failed transfer (REVIEW: _chunked_secure_fetch had no
+    recovery when the owner forgot the requester's session)."""
+
+    DATA = bytes(range(256)) * 512            # 128 KiB = 4 chunks
+
+    def _publish_and_prime(self, w):
+        w.alice.secure_publish_file("students", "big.bin", self.DATA)
+        w.bob.secure_search_files(group="students")
+        # first transfer establishes the sessions in both directions
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+
+    def test_owner_forgetting_requester_session_recovers(
+            self, joined_secure_world):
+        w = joined_secure_world
+        self._publish_and_prime(w)
+        w.alice.resume_store.invalidate()     # owner restart / LRU eviction
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+        assert w.bob.metrics.count("client.file_resume_fallback") == 1
+        # re-keyed sessions carry a third transfer without falling back
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+        assert w.bob.metrics.count("client.file_resume_fallback") == 1
+
+    def test_requester_losing_response_session_recovers(
+            self, joined_secure_world):
+        w = joined_secure_world
+        self._publish_and_prime(w)
+        w.bob.resume_store.invalidate()       # requester restart
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+        assert w.bob.metrics.count("client.file_resume_fallback") >= 1
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+
+    def test_both_sides_losing_state_recovers(self, joined_secure_world):
+        w = joined_secure_world
+        self._publish_and_prime(w)
+        w.alice.resume_store.invalidate()
+        w.alice.resume_sessions.invalidate(
+            w.bob.keystore.keys.public.fingerprint().hex())
+        w.bob.resume_store.invalidate()
+        w.bob.resume_sessions.invalidate(
+            w.alice.keystore.keys.public.fingerprint().hex())
+        assert w.bob.secure_request_file(str(w.alice.peer_id), "students",
+                                         "big.bin") == self.DATA
+
+
+class TestSeedBinding:
+    """The signed-commitment defence: a resumption seed roots a session
+    only when the sender's signature covers a commitment to it.  Any CEK
+    holder can re-wrap ``CEK || seed'`` to a third peer while reusing
+    the genuinely signed payload — the commitment check must refuse it."""
+
+    def _sealed_resumable(self, sender_kp, recipient_kps):
+        from repro.core import secure_messaging as sm
+        from repro.crypto import envelope, signing
+        from repro.crypto.drbg import HmacDrbg
+
+        payload = sm.build_payload(
+            from_peer="peer:attacker-test", group="g", text="hi",
+            nonce=b"\x01" * 16, timestamp=0.0)
+        message, seeds = sm.seal_message_fast(
+            payload, sender_kp.private, [kp.public for kp in recipient_kps],
+            suite="chacha20poly1305", wrap=envelope.WRAP_V15,
+            scheme=signing.SCHEME_V15, drbg=HmacDrbg(b"seed-binding"),
+            resumable=True)
+        return message.get_json("envelope"), seeds
+
+    @staticmethod
+    def _unwrap_cek(env, kp):
+        from repro.crypto import pkcs1
+        from repro.utils.encoding import b64decode
+
+        fp = kp.public.fingerprint().hex()
+        blob = pkcs1.decrypt_v15(kp.private, b64decode(env["wrapped_keys"][fp]))
+        return blob[:32], blob[32:]
+
+    @staticmethod
+    def _open_as(env, kp):
+        from repro.core import secure_messaging as sm
+        from repro.jxta.messages import Message
+
+        forged = Message(sm.SECURE_CHAT)
+        forged.add_json("envelope", env)
+        return sm.open_message(forged, kp.private)
+
+    def test_legit_recipient_gets_committed_seed(self):
+        from tests.conftest import cached_keypair
+
+        alice = cached_keypair(512, "seedbind-alice")
+        bob = cached_keypair(512, "seedbind-bob")
+        env, seeds = self._sealed_resumable(alice, [bob])
+        opened = self._open_as(env, bob)
+        assert opened.resume_seed == seeds[bob.public.fingerprint().hex()]
+
+    def test_rewrapped_attacker_seed_rejected(self):
+        from repro.crypto import pkcs1
+        from repro.crypto.drbg import HmacDrbg
+        from repro.errors import TamperedMessageError
+        from repro.utils.encoding import b64encode
+        from tests.conftest import cached_keypair
+
+        alice = cached_keypair(512, "seedbind-alice")
+        mallory = cached_keypair(512, "seedbind-mallory")
+        bob = cached_keypair(512, "seedbind-bob")
+        env, seeds = self._sealed_resumable(alice, [mallory])
+        # Mallory, the legitimate recipient, extracts the shared CEK and
+        # re-targets the signed envelope at bob with a seed she knows.
+        cek, seed_m = self._unwrap_cek(env, mallory)
+        assert seed_m == seeds[mallory.public.fingerprint().hex()]
+        forged = dict(env)
+        for evil_seed in (b"\xee" * 16, seed_m):  # fresh or her own seed
+            forged["wrapped_keys"] = {
+                bob.public.fingerprint().hex(): b64encode(pkcs1.encrypt_v15(
+                    bob.public, cek + evil_seed, drbg=HmacDrbg(b"evil")))}
+            with pytest.raises(TamperedMessageError):
+                self._open_as(forged, bob)
+
+    def test_corecipient_cannot_plant_seed_on_group_member(self):
+        from repro.crypto import pkcs1
+        from repro.crypto.drbg import HmacDrbg
+        from repro.errors import TamperedMessageError
+        from repro.utils.encoding import b64encode
+        from tests.conftest import cached_keypair
+
+        alice = cached_keypair(512, "seedbind-alice")
+        mallory = cached_keypair(512, "seedbind-mallory")
+        bob = cached_keypair(512, "seedbind-bob")
+        env, _seeds = self._sealed_resumable(alice, [mallory, bob])
+        cek, seed_m = self._unwrap_cek(env, mallory)
+        forged = dict(env)
+        forged["wrapped_keys"] = dict(env["wrapped_keys"])
+        forged["wrapped_keys"][bob.public.fingerprint().hex()] = b64encode(
+            pkcs1.encrypt_v15(bob.public, cek + seed_m, drbg=HmacDrbg(b"evil")))
+        with pytest.raises(TamperedMessageError):
+            self._open_as(forged, bob)
+        # the untouched entry still opens for bob in the original envelope
+        assert self._open_as(env, bob).text == "hi"
+
+
+class TestSendFailureSessionHygiene:
+    def test_group_member_missing_delivery_gets_no_session(
+            self, joined_secure_world):
+        w = joined_secure_world
+        real_send = w.alice._send_sealed_frame
+        w.alice._send_sealed_frame = lambda *a, **kw: False
+        try:
+            assert w.alice.secure_msg_peer_group("students", "lost") == 0
+            assert len(w.alice.resume_sessions) == 0  # no poisoned session
+        finally:
+            w.alice._send_sealed_frame = real_send
+        # delivery restored: the next fan-out re-keys cleanly, no reset trip
+        assert w.alice.secure_msg_peer_group("students", "ok") == 1
+        assert _received_texts(w.bob) == ["ok"]
+        assert w.alice.metrics.count("client.resume_fallback") == 0
+
+    def test_single_peer_failed_establish_gets_no_session(
+            self, joined_secure_world):
+        w = joined_secure_world
+        real_send = w.alice._send_sealed_frame
+        w.alice._send_sealed_frame = lambda *a, **kw: False
+        try:
+            assert not w.alice.secure_msg_peer(str(w.bob.peer_id), "students",
+                                               "lost")
+            assert len(w.alice.resume_sessions) == 0
+        finally:
+            w.alice._send_sealed_frame = real_send
+        assert w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "ok")
+        assert _received_texts(w.bob) == ["ok"]
+
+
 class TestTrustCacheFlush:
     def test_revocation_flush_clears_fast_path_state(self,
                                                      joined_secure_world):

@@ -40,8 +40,10 @@ class TestSealMany:
     @pytest.mark.parametrize("wrap", ALL_WRAPS)
     def test_resumable_roundtrip_and_distinct_seeds(self, suite, wrap):
         kps = _keys(wrap)
+        seeds = envelope.mint_seeds([kp.public for kp in kps])
         sealed = envelope.seal_many([kp.public for kp in kps], b"m",
-                                    suite=suite, wrap=wrap, resumable=True)
+                                    suite=suite, wrap=wrap, seeds=seeds)
+        assert sealed.seeds == seeds
         assert len(sealed.seeds) == len(kps)
         assert len(set(sealed.seeds.values())) == len(kps)  # pair-wise seeds
         for kp in kps:
@@ -50,6 +52,13 @@ class TestSealMany:
             fp = kp.public.fingerprint().hex()
             assert opened.resume_seed == sealed.seeds[fp]
             assert len(opened.resume_seed) == envelope.RESUME_SEED_LEN
+
+    def test_seeds_must_cover_every_recipient(self):
+        kps = _keys(envelope.WRAP_V15, n=2)
+        seeds = envelope.mint_seeds([kps[0].public])
+        with pytest.raises(ValueError):
+            envelope.seal_many([kp.public for kp in kps], b"m",
+                               wrap=envelope.WRAP_V15, seeds=seeds)
 
     @pytest.mark.parametrize("suite", ALL_SUITES)
     @pytest.mark.parametrize("wrap", ALL_WRAPS)
@@ -258,3 +267,69 @@ class TestReceiverResumeStore:
         for i in range(3):
             store.register(bytes([i]) * 16, "aes128-cbc", f"peer{i}", now=0.0)
         assert len(store) == 2
+
+    def test_duplicate_register_keeps_replay_high_water(self):
+        """A replayed establishing envelope must not reset ``seq``:
+        otherwise a recorded run of accepted resumed frames could be
+        replayed wholesale against the re-registered session."""
+        store = resume.ReceiverResumeStore()
+        seed = b"\x77" * 16
+        sender = resume.derive_session(seed, "chacha20poly1305", now=0.0)
+        store.register(seed, "chacha20poly1305", "alice-cred", now=0.0)
+        frames = [resume.seal_resumed(sender, b"m%d" % i, aad=b"x")
+                  for i in range(3)]
+        for frame in frames:
+            store.open(frame, b"x", now=0.0)
+        # attacker (or a retried delivery) replays the establishing envelope
+        assert store.register(seed, "chacha20poly1305", "alice-cred",
+                              now=1.0) == sender.sid
+        for frame in frames:
+            with pytest.raises(ReplayError):
+                store.open(frame, b"x", now=1.0)
+        # the live session keeps working past the duplicate registration
+        fresh = resume.seal_resumed(sender, b"fresh", aad=b"x")
+        plain, identity = store.open(fresh, b"x", now=1.0)
+        assert plain == b"fresh" and identity == "alice-cred"
+
+
+class TestSeedCommitments:
+    def test_commitment_roundtrip(self):
+        from repro.xmllib import Element
+
+        doc = Element("Body")
+        seeds = {"fp-a": b"\x01" * 16, "fp-b": b"\x02" * 16}
+        resume.add_seed_commitments(doc, seeds)
+        for fp, seed in seeds.items():
+            assert resume.check_seed_commitment(doc, fp, seed)
+
+    def test_wrong_seed_or_foreign_fingerprint_rejected(self):
+        from repro.xmllib import Element
+
+        doc = Element("Body")
+        seeds = {"fp-a": b"\x01" * 16, "fp-b": b"\x02" * 16}
+        resume.add_seed_commitments(doc, seeds)
+        assert not resume.check_seed_commitment(doc, "fp-a", b"\x03" * 16)
+        # a co-recipient's genuine seed does not verify under our fp
+        assert not resume.check_seed_commitment(doc, "fp-a", seeds["fp-b"])
+        assert not resume.check_seed_commitment(doc, "fp-c", b"\x01" * 16)
+
+    def test_document_without_commitments_rejected(self):
+        from repro.xmllib import Element
+
+        assert not resume.check_seed_commitment(Element("Body"), "fp",
+                                                b"\x01" * 16)
+
+    def test_re_adding_replaces_stale_commitments(self):
+        from repro.xmllib import Element
+
+        doc = Element("Body")
+        resume.add_seed_commitments(doc, {"fp-a": b"\x01" * 16})
+        resume.add_seed_commitments(doc, {"fp-a": b"\x09" * 16})
+        assert len(doc.findall(resume.COMMITS_TAG)) == 1
+        assert not resume.check_seed_commitment(doc, "fp-a", b"\x01" * 16)
+        assert resume.check_seed_commitment(doc, "fp-a", b"\x09" * 16)
+
+    def test_commitment_reveals_neither_seed_nor_sid(self):
+        seed = b"\x42" * 16
+        assert resume.seed_commitment(seed) != resume.session_id(seed)
+        assert seed.hex() not in resume.seed_commitment(seed)
