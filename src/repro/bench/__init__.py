@@ -18,6 +18,14 @@ from repro.bench.faults import (
     format_fault_report,
     write_bench_fault,
 )
+from repro.bench.federation import (
+    BROKER_COUNTS,
+    fed_cell,
+    fed_report,
+    format_fed,
+    secure_reject_probe,
+    write_bench_fed,
+)
 from repro.bench.msgfast import (
     GROUP_SIZES,
     RATE_COUNTS,
@@ -47,6 +55,12 @@ from repro.bench.report import (
 )
 
 __all__ = [
+    "BROKER_COUNTS",
+    "fed_cell",
+    "fed_report",
+    "format_fed",
+    "secure_reject_probe",
+    "write_bench_fed",
     "GROUP_SIZES",
     "LOSS_RATES",
     "RATE_COUNTS",

@@ -4,8 +4,10 @@
 broker-crash recovery scenario) and writes ``BENCH_FAULT.json``;
 ``--experiment msgfast`` runs only E-MSGFAST (the secure-messaging
 fast-path sweeps) and writes ``BENCH_MSGFAST.json``, exiting nonzero if
-any acceptance check fails; ``--quick`` shrinks every experiment for CI
-smoke runs.
+any acceptance check fails; ``--experiment fed`` runs only E-FED (the
+sharded-federation sweep) and writes ``BENCH_FED.json``, likewise
+gating on its acceptance checks; ``--quick`` shrinks every experiment
+for CI smoke runs.
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ import sys
 from repro.bench import (
     baseline_comparison,
     fault_report,
+    fed_report,
+    format_fed,
     format_baselines,
     format_fault_report,
     format_group_scaling,
@@ -30,6 +34,7 @@ from repro.bench import (
     obs_bench,
     policy_ablation,
     write_bench_fault,
+    write_bench_fed,
     write_bench_msgfast,
     write_bench_obs,
 )
@@ -41,6 +46,14 @@ def run_fault(quick: bool) -> int:
     out = write_bench_fault(data)
     print(f"  wrote {out}")
     return 0
+
+
+def run_fed(quick: bool) -> int:
+    data = fed_report(quick=quick)
+    print(format_fed(data))
+    out = write_bench_fed(data)
+    print(f"  wrote {out}")
+    return 0 if data["checks"]["all_passed"] else 1
 
 
 def run_msgfast(quick: bool) -> int:
@@ -59,7 +72,9 @@ def main(argv: list[str]) -> int:
             return run_fault(quick)
         if which == "msgfast":
             return run_msgfast(quick)
-        print(f"unknown experiment {which!r}; known: fault, msgfast",
+        if which == "fed":
+            return run_fed(quick)
+        print(f"unknown experiment {which!r}; known: fault, fed, msgfast",
               file=sys.stderr)
         return 2
     print(format_join_overhead(join_overhead(repeats=2 if quick else 3)))

@@ -21,6 +21,7 @@ from repro.core.credentials import Credential, issue_credential
 from repro.core.keystore import Keystore
 from repro.core.policy import DEFAULT_POLICY, SecurityPolicy
 from repro.core.revocation import RevocationList, RevocationRegistry
+from repro.core.secure_federation import SecureFederation
 from repro.core.session import SidStore
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import (
@@ -51,6 +52,9 @@ class SecureBroker(Broker):
         self.policy = policy.validate()
         # A secure broker's peer id is its CBID, replacing the random id.
         self.peer_id = keystore.cbid
+        # Swap in the signing federation; the fed_* handlers installed by
+        # the base class delegate through this attribute at call time.
+        self.federation = SecureFederation(self)
         self.sids = SidStore(self.clock, drbg.fork(b"sids"))
         self.revocations = RevocationRegistry(
             keystore.keys.private, keystore.cbid, drbg.fork(b"revoke"))
@@ -245,9 +249,9 @@ class SecureBroker(Broker):
         peer_adv = PeerAdvertisement(
             peer_id=parse_id(claim.peer_id, "peer"),
             name=claim.peer_name, address=claim.peer_address)
-        self.control.cache.publish_advertisement(peer_adv)
         groups = self.register_session(claim.peer_id, claim.username, src)
-        self._sync_to_peers(peer_adv.to_element())
+        self.federation.route_publish(peer_adv.to_element(),
+                                      shard_key=claim.peer_id)
         self.metrics.incr("fn.secure_login.issued")
         obs.emit("on_credential_issued", peer=claim.peer_id,
                  subject=claim.username)

@@ -234,6 +234,7 @@ class SecureClientPeer(ClientPeer):
         candidates = [broker_address,
                       *(fallbacks if fallbacks is not None
                         else self.fallback_brokers)]
+        self._shard_owners.clear()  # a new home brings a new topology view
         last_exc: Exception | None = None
         for index, candidate in enumerate(candidates):
             try:

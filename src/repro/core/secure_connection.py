@@ -34,10 +34,20 @@ from repro.errors import (
 )
 from repro.jxta.messages import Message
 from repro.overlay.control import pack_results, unpack_results
+from repro.xmllib import Element
 
 CONNECT_REQ = "secure_connect_req"
 CONNECT_RESP = "secure_connect_resp"
 CONNECT_FAIL = "secure_connect_fail"
+
+
+def pack_chain(chain: list[Credential]) -> Element:
+    """A credential chain as one wire element (connect + federation frames)."""
+    return pack_results(chain_to_elements(chain))
+
+
+def unpack_chain(holder: Element) -> list[Credential]:
+    return chain_from_elements(unpack_results(holder))
 
 
 def build_challenge(drbg: HmacDrbg, n_bytes: int) -> bytes:
@@ -67,7 +77,7 @@ def build_connect_response(chall: bytes, sid: str, broker_key: PrivateKey,
         msg.add_bytes("chall_sig",
                       signing.sign(broker_key, chall, scheme=scheme, drbg=drbg))
     msg.add_text("scheme", scheme)
-    msg.add_xml("chain", pack_results(chain_to_elements(broker_chain)))
+    msg.add_xml("chain", pack_chain(broker_chain))
     return msg
 
 
@@ -95,7 +105,7 @@ def verify_connect_response(message: Message, chall: bytes,
         sid = message.get_text("sid")
         sig = message.get_bytes("chall_sig")
         scheme = message.get_text("scheme")
-        chain = chain_from_elements(unpack_results(message.get_xml("chain")))
+        chain = unpack_chain(message.get_xml("chain"))
     except (JxtaError, CredentialError) as exc:
         raise BrokerAuthenticationError(f"malformed secureConnection response: {exc}") from exc
 

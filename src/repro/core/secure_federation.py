@@ -1,0 +1,123 @@
+"""Authenticated broker federation: signed ``fed_*`` frames.
+
+The plain federation layer (:mod:`repro.overlay.federation`) admits any
+*member* address — era-faithful, and exactly the weakness a rogue
+endpoint exploits to poison the shard it does not own.  The secure stack
+closes it: every inter-broker frame is signed under the broker's
+admin-issued credential ``Cred_Br^Adm`` and verified through the
+existing chain validator and signature cache before it can touch the
+index, the directory, or the member table.
+
+Wire shape — four extra elements on each federation frame::
+
+    fed_from   : the sender's claimed broker address (must equal src)
+    fed_scheme : signature scheme name
+    fed_chain  : the broker's credential chain (length exactly 1)
+    fed_sig    : S_SK_Br( c14n(frame minus these elements) | fed_from )
+
+A client credential chain has length 2 (client ← broker ← admin anchor)
+and is rejected here even though it validates: only a broker the
+*administrator* vouched for directly may speak federation frames.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.secure_connection import pack_chain, unpack_chain
+from repro.core.credentials import validate_chain
+from repro.crypto import signing
+from repro.crypto.sigcache import cached_verify
+from repro.errors import CredentialError, InvalidSignatureError, JxtaError, OverlayError
+from repro.jxta.messages import Message
+from repro.overlay.federation import Federation, fed_metric
+from repro.xmllib import canonicalize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.secure_broker import SecureBroker
+
+#: the authentication elements themselves, excluded from the signed bytes
+SEAL_ELEMS = ("fed_sig", "fed_chain", "fed_scheme", "fed_from")
+
+
+def signable_bytes(message: Message, sender: str) -> bytes:
+    """The canonical bytes a federation signature covers.
+
+    The frame's own authentication elements are excluded (the signature
+    cannot cover itself); the claimed sender address is appended so a
+    frame replayed from a different address fails verification.
+    """
+    root = message.to_element()
+    root.children = [child for child in root.children
+                     if child.attrib.get("name") not in SEAL_ELEMS]
+    return canonicalize(root) + b"|" + sender.encode("utf-8")
+
+
+class SecureFederation(Federation):
+    """Federation whose frames carry and demand broker signatures."""
+
+    def __init__(self, broker: "SecureBroker") -> None:
+        super().__init__(broker)
+        if not broker.keystore.chain:
+            raise CredentialError(
+                "secure federation requires the broker credential chain")
+
+    def seal(self, message: Message) -> Message:
+        """Sign an outgoing frame under ``Cred_Br^Adm`` (idempotent)."""
+        if message.has("fed_sig"):
+            return message  # already sealed (gossip fan-out reuses frames)
+        keystore = self.broker.keystore
+        scheme = self.broker.policy.signature_scheme
+        message.add_text("fed_from", self.broker.address)
+        message.add_text("fed_scheme", scheme)
+        message.add_xml("fed_chain", pack_chain(keystore.chain))
+        payload = signable_bytes(message, self.broker.address)
+        message.add_bytes("fed_sig", signing.sign(
+            keystore.keys.private, payload, scheme=scheme,
+            drbg=self.broker.control.drbg))
+        return message
+
+    def authorize(self, message: Message, src: str, *,
+                  link: bool = False, sync: bool = False) -> bool:
+        """Admit a frame only with a valid admin-issued broker signature.
+
+        Checks, in order: the authentication elements are present; the
+        claimed sender matches the transport source; the chain validates
+        against the administrator anchor AND is a direct broker
+        credential (length 1 — a client's broker-issued chain has length
+        2 and is refused); the signature verifies (via the shared
+        signature cache).  Only then does the plain membership rule run.
+        """
+        if not all(message.has(name) for name in SEAL_ELEMS):
+            fed_metric("fed.reject.unsigned")
+            return False
+        try:
+            sender = message.get_text("fed_from")
+            scheme = message.get_text("fed_scheme")
+            signature = message.get_bytes("fed_sig")
+            chain = unpack_chain(message.get_xml("fed_chain"))
+        except (JxtaError, OverlayError, CredentialError):
+            fed_metric("fed.reject.malformed")
+            return False
+        if sender != src:
+            fed_metric("fed.reject.malformed")
+            return False
+        anchor = self.broker.keystore.require_anchor()
+        try:
+            leaf = validate_chain(chain, anchor, self.clock.now)
+        except CredentialError:
+            fed_metric("fed.reject.bad_chain")
+            return False
+        if len(chain) != 1:
+            fed_metric("fed.reject.bad_chain")
+            return False
+        try:
+            cached_verify(leaf.public_key,
+                          signable_bytes(message, sender),
+                          signature, scheme)
+        except InvalidSignatureError:
+            fed_metric("fed.reject.bad_signature")
+            return False
+        if link:
+            return True
+        return super().authorize(message, src, link=link, sync=sync)

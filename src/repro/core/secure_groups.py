@@ -112,8 +112,7 @@ def handle_group_op(message: Message, broker) -> Message:
         adv = GroupAdvertisement(
             peer_id=broker.peer_id, group_id=group.group_id,
             name=group_name, description=body.findtext("Description"))
-        broker.control.cache.publish_advertisement(adv)
-        broker._sync_to_peers(adv.to_element())
+        broker.federation.route_publish(adv.to_element())
         members = sorted(group.members)
     elif op == "join":
         group = broker.groups.get_or_none(group_name)

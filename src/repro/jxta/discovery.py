@@ -75,6 +75,10 @@ class AdvertisementCache:
             del self._entries[k]
         return len(stale)
 
+    def remove(self, key: tuple[str, str, str]) -> bool:
+        """Drop one entry by its replacement key (shard hand-off)."""
+        return self._entries.pop(key, None) is not None
+
     def remove_peer(self, peer_id: str) -> int:
         """Drop every advertisement from one peer (disconnect/purge)."""
         stale = [k for k, e in self._entries.items() if str(e.parsed.peer_id) == peer_id]

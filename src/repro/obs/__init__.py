@@ -88,6 +88,17 @@ METRIC_PATTERNS: tuple[str, ...] = (
     "crypto.resume.<event>",
     "crypto.sigcache.<event>",
     "core.adv_cache.evictions",
+    # broker federation (overlay/federation.py, core/secure_federation.py)
+    "fed.members",
+    "fed.owned_entries",
+    "fed.redirects",
+    "fed.redirect_followed",
+    "fed.redirect_failed",
+    "fed.scatter",
+    "fed.scatter_miss",
+    "fed.reject.<reason>",
+    "fed.sync.<event>",
+    "fed.presence.<event>",
     # hook-bus accounting (obs/events.py)
     "events.<hook>",
     "events.listener_errors",

@@ -20,12 +20,13 @@ from dataclasses import dataclass
 from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import GroupError, JxtaError, OverlayError
-from repro.jxta.advertisements import GroupAdvertisement, PeerAdvertisement
+from repro.jxta.advertisements import Advertisement, GroupAdvertisement, PeerAdvertisement
 from repro.jxta.ids import JxtaID, parse_id, random_group_id, random_peer_id
 from repro.jxta.messages import Message
 from repro.jxta.peergroup import GroupTable
 from repro.overlay.control import ControlModule, pack_results
 from repro.overlay.database import UserDatabase
+from repro.overlay.federation import Federation
 from repro.sim.network import SimNetwork
 from repro.xmllib import Element
 
@@ -51,7 +52,8 @@ class Broker:
         self.peer_id = random_peer_id(drbg)
         self.groups = GroupTable()
         self.connected: dict[str, ConnectedPeer] = {}  # peer_id -> session
-        self._peer_brokers: list["Broker"] = []
+        self._addr_index: dict[str, str] = {}  # address -> peer_id
+        self.federation = Federation(self)
         self._install_functions()
 
     # -- plumbing ------------------------------------------------------------
@@ -87,27 +89,29 @@ class Broker:
         self._install("peer_status_req", self.fn_peer_status)
         self._install("presence_beat", self.fn_presence)
         self._install("index_sync", self.fn_index_sync)
+        # Federation frames delegate through ``self.federation`` at call
+        # time so the secure stack can swap the object after construction.
+        self._install("fed_link_req", self.fn_fed_link_req)
+        self._install("fed_members", self.fn_fed_members)
+        self._install("fed_unlink", self.fn_fed_unlink)
+        self._install("fed_digest", self.fn_fed_digest)
+        self._install("fed_delta", self.fn_fed_delta)
+        self._install("fed_presence", self.fn_fed_presence)
+        self._install("fed_query", self.fn_fed_query)
 
-    def link_broker(self, other: "Broker") -> None:
-        """Brokers exchange information about all client peers (§2.1).
+    def link_broker(self, other: "Broker | str") -> None:
+        """Federate with another broker, by object or by address (§2.1).
 
-        Linking also exchanges the *current* index contents in both
-        directions, so a newly added broker immediately serves the global
-        view; subsequent publications propagate incrementally.
+        All inter-broker traffic is carried as message frames over the
+        simulated network; linking swaps member rosters and runs one
+        digest-based anti-entropy round that ships only the entries whose
+        shard ownership moved — never a full index copy.
         """
-        if other is self:
-            raise OverlayError("a broker cannot peer with itself")
-        if other not in self._peer_brokers:
-            self._peer_brokers.append(other)
-            other._peer_brokers.append(self)
-            for element in self.control.cache.elements():
-                msg = Message("index_sync")
-                msg.add_xml("adv", element)
-                self.control.endpoint.send(other.address, msg)
-            for element in other.control.cache.elements():
-                msg = Message("index_sync")
-                msg.add_xml("adv", element)
-                other.control.endpoint.send(self.address, msg)
+        self.federation.link(other)
+
+    def unlink_broker(self, other: "Broker | str") -> None:
+        """Dissolve this broker's federation link with ``other``."""
+        self.federation.unlink(other)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -120,10 +124,13 @@ class Broker:
         return out
 
     def _session_for_address(self, address: str) -> ConnectedPeer | None:
-        for session in self.connected.values():
-            if session.address == address:
-                return session
-        return None
+        peer_id = self._addr_index.get(address)
+        if peer_id is None:
+            return None
+        session = self.connected.get(peer_id)
+        if session is None or session.address != address:
+            return None
+        return session
 
     def _require_session(self, src: str) -> ConnectedPeer:
         session = self._session_for_address(src)
@@ -148,12 +155,28 @@ class Broker:
                 pushed += 1
         return pushed
 
-    def _sync_to_peers(self, element: Element) -> None:
-        """Forward an advertisement to linked brokers (global index)."""
-        for other in self._peer_brokers:
-            msg = Message("index_sync")
-            msg.add_xml("adv", element)
-            self.control.endpoint.send(other.address, msg)
+    # -- federation frame delegates ------------------------------------------
+
+    def fn_fed_link_req(self, message: Message, src: str) -> Message | None:
+        return self.federation.fn_link_req(message, src)
+
+    def fn_fed_members(self, message: Message, src: str) -> None:
+        return self.federation.fn_members(message, src)
+
+    def fn_fed_unlink(self, message: Message, src: str) -> None:
+        return self.federation.fn_unlink(message, src)
+
+    def fn_fed_digest(self, message: Message, src: str) -> Message | None:
+        return self.federation.fn_digest(message, src)
+
+    def fn_fed_delta(self, message: Message, src: str) -> Message | None:
+        return self.federation.fn_delta(message, src)
+
+    def fn_fed_presence(self, message: Message, src: str) -> None:
+        return self.federation.fn_presence(message, src)
+
+    def fn_fed_query(self, message: Message, src: str) -> Message | None:
+        return self.federation.fn_query(message, src)
 
     # -- functions: discovery set ------------------------------------------------
 
@@ -180,14 +203,14 @@ class Broker:
             return self._fail("login_fail", "bad username or password")
         peer_adv_elem = message.get_xml("peer_adv")
         try:
-            parsed = self.control.cache.publish(peer_adv_elem)
+            parsed = Advertisement.from_element(peer_adv_elem)
         except (OverlayError, JxtaError) as exc:
             return self._fail("login_fail", f"bad peer advertisement: {exc}")
         if not isinstance(parsed, PeerAdvertisement):
             return self._fail("login_fail", "expected a PeerAdvertisement")
         peer_id = str(parsed.peer_id)
         groups = self.register_session(peer_id, username, src)
-        self._sync_to_peers(peer_adv_elem)
+        self.federation.route_publish(peer_adv_elem)
         out = self._ok("login_ok")
         out.add_json("groups", groups)
         out.add_text("peer_id", peer_id)
@@ -200,7 +223,9 @@ class Broker:
         self.connected[peer_id] = ConnectedPeer(
             peer_id=peer_id, username=username, address=address,
             last_seen=self.clock.now)
+        self._addr_index[address] = peer_id
         self.database.mark_active(username, self.address)
+        self.federation.presence_up(peer_id, username, address, self.clock.now)
         for group_name in groups:
             self._ensure_group(group_name).add_member(peer_id)
             joined = Message("peer_joined")
@@ -233,6 +258,8 @@ class Broker:
             self.groups.drop_member_everywhere(session.peer_id)
             self.database.mark_inactive(session.username)
         self.connected.clear()
+        self._addr_index.clear()
+        self.federation.directory.clear()
         self.metrics.incr("fn.restarts")
 
     def _disconnect(self, session: ConnectedPeer) -> None:
@@ -245,18 +272,35 @@ class Broker:
         self.control.cache.remove_peer(session.peer_id)
         self.database.mark_inactive(session.username)
         self.connected.pop(session.peer_id, None)
+        if self._addr_index.get(session.address) == session.peer_id:
+            del self._addr_index[session.address]
+        self.federation.presence_down(session.peer_id)
 
     def fn_peer_status(self, message: Message, src: str) -> Message:
-        """Discovery-set: is a given peer online, and since when?"""
+        """Discovery-set: is a given peer online, and since when?
+
+        A local session answers authoritatively; otherwise the question
+        belongs to the peer's shard owner — non-owners redirect, owners
+        answer from the sharded presence directory.
+        """
         self.metrics.incr("fn.peer_status")
         peer_id = message.get_text("peer_id")
         session = self.connected.get(peer_id)
         out = self._ok("peer_status_resp")
         out.add_text("peer_id", peer_id)
-        out.add_text("online", "true" if session else "false")
-        if session:
+        if session is not None:
+            out.add_text("online", "true")
             out.add_text("username", session.username)
             out.add_text("last_seen", repr(session.last_seen))
+            return out
+        owner = self.federation.owner_of(peer_id)
+        if owner != self.address and not message.has("fed_no_redirect"):
+            return self.federation.redirect(owner)
+        entry = self.federation.directory.get(peer_id)
+        out.add_text("online", "true" if entry else "false")
+        if entry:
+            out.add_text("username", entry.username)
+            out.add_text("last_seen", repr(entry.last_seen))
         return out
 
     def fn_presence(self, message: Message, src: str) -> Message | None:
@@ -285,34 +329,59 @@ class Broker:
     # -- functions: advertisement index -------------------------------------------
 
     def fn_publish_adv(self, message: Message, src: str) -> Message:
-        """Index an advertisement and propagate it to the peer's group."""
+        """Index an advertisement at its shard owner and push to its group.
+
+        Honest brokers tie publication to the publishing peer's identity:
+        a local session, or — for a client that followed a redirect here —
+        the sharded presence directory entry matching the source address.
+        Forgery of OTHER peers' advs happens via direct push between
+        peers, which has no such check.
+        """
         self.metrics.incr("fn.publish_adv")
-        session = self._session_for_address(src)
-        if session is None:
-            return self._fail("publish_fail", "not logged in")
         element = message.get_xml("adv")
         try:
-            parsed = self.control.cache.publish(element)
+            parsed = Advertisement.from_element(element)
         except (OverlayError, JxtaError) as exc:
             return self._fail("publish_fail", str(exc))
-        if str(parsed.peer_id) != session.peer_id:
-            # The plain broker *accepts* this if the id matches nobody's
-            # session? No: honest brokers at least tie publication to the
-            # session peer id.  Forgery of OTHER peers' advs happens via
-            # direct push between peers, which has no such check.
-            self.control.cache.remove_peer(str(parsed.peer_id))
+        adv_peer = str(parsed.peer_id)
+        session = self._session_for_address(src)
+        if session is not None:
+            authed_peer = session.peer_id
+        else:
+            entry = self.federation.directory.get(adv_peer)
+            if entry is None or entry.address != src:
+                return self._fail("publish_fail", "not logged in")
+            authed_peer = entry.peer_id
+        if adv_peer != authed_peer:
             return self._fail("publish_fail", "advertisement peer id mismatch")
+        owner = self.federation.owner_of(adv_peer)
+        if owner != self.address:
+            if not message.has("fed_no_redirect"):
+                return self.federation.redirect(owner)
+            # Owner unreachable from the client: accept locally; the next
+            # anti-entropy sweep hands the entry off to its shard owner.
+            self.federation.note_degraded_publish()
+        try:
+            self.control.cache.publish(element)
+        except (OverlayError, JxtaError) as exc:
+            return self._fail("publish_fail", str(exc))
         group_name = getattr(parsed, "group", None)
-        push = Message("adv_push")
-        push.add_xml("adv", element)
         if group_name:
-            self._push_to_group_members(group_name, push, exclude_peer=session.peer_id)
-        self._sync_to_peers(element)
+            push = Message("adv_push")
+            push.add_xml("adv", element)
+            self._push_to_group_members(group_name, push, exclude_peer=authed_peer)
         return self._ok("publish_ok")
 
     def fn_index_sync(self, message: Message, src: str) -> None:
-        """Receive a global-index update from a linked broker."""
+        """Receive a legacy index update — linked brokers only.
+
+        Frames from addresses that are not federation members are dropped
+        and counted; arbitrary endpoints must not write the index.
+        """
         self.metrics.incr("fn.index_sync")
+        if not self.federation.authorize(message, src, sync=True):
+            self.metrics.incr("fn.index_sync.dropped")
+            return None
         try:
             self.control.cache.publish(message.get_xml("adv"))
         except (OverlayError, JxtaError):
@@ -320,13 +389,26 @@ class Broker:
         return None
 
     def fn_query(self, message: Message, src: str) -> Message:
-        """Look up advertisements in the global index."""
+        """Look up advertisements in the sharded global index.
+
+        Keyed lookups (by peer id) route to the shard owner via a
+        redirect; unkeyed type/group queries scatter-gather across the
+        federation and merge the shards' answers.
+        """
         self.metrics.incr("fn.query")
         adv_type = message.get_text("adv_type") if message.has("adv_type") else None
         peer_id = message.get_text("peer_id") if message.has("peer_id") else None
         group = message.get_text("group") if message.has("group") else None
-        elements = self.control.cache.elements(
-            adv_type=adv_type, peer_id=peer_id, group=group)
+        if peer_id is not None:
+            owner = self.federation.owner_of(peer_id)
+            if owner != self.address and not message.has("fed_no_redirect"):
+                return self.federation.redirect(owner)
+            elements = self.control.cache.elements(
+                adv_type=adv_type, peer_id=peer_id, group=group)
+        else:
+            elements = self.control.cache.elements(adv_type=adv_type, group=group)
+            if self.federation.members:
+                elements = self.federation.scatter_query(elements, adv_type, group)
         out = self._ok("query_resp")
         out.add_xml("results", pack_results(elements))
         return out
@@ -359,8 +441,7 @@ class Broker:
             peer_id=self.peer_id, group_id=group.group_id,
             name=name, description=description)
         element = adv.to_element()
-        self.control.cache.publish(element)
-        self._sync_to_peers(element)
+        self.federation.route_publish(element)
         out = self._ok("create_group_ok")
         out.add_xml("group_adv", element)
         return out

@@ -50,6 +50,7 @@ from repro.jxta.ids import JxtaID, random_peer_id
 from repro.jxta.messages import Message
 from repro.jxta.pipes import InputPipe
 from repro.overlay.control import ControlModule, unpack_results
+from repro.overlay.federation import fed_metric
 from repro.overlay.filesharing import FileStore, chunked_fetch
 from repro.overlay.policy import (
     DEFAULT_RETRIES,
@@ -83,6 +84,8 @@ class ClientPeer:
         self.broker_address: str | None = None
         self.username: str | None = None
         self.groups: list[str] = []
+        #: learned shard-key → owning-broker cache (federated deployments)
+        self._shard_owners: dict[str, str] = {}
         self.input_pipes: dict[str, InputPipe] = {}     # group -> pipe
         self.files = FileStore()
         self.task_functions: dict[str, TaskFunction] = {}
@@ -144,7 +147,8 @@ class ClientPeer:
 
     def _broker_request(self, message: Message, *,
                         retry: RetryPolicy | None = None,
-                        timeout: Timeout | None = None) -> Message:
+                        timeout: Timeout | None = None,
+                        route_key: str | None = None) -> Message:
         """One request/response exchange with the connected broker.
 
         Transport failures are retried under the ``broker`` policy (or a
@@ -153,11 +157,20 @@ class ClientPeer:
         restarted, losing its in-memory state — and we remember the login
         credentials, the session is transparently re-established and the
         request re-sent once.
+
+        ``route_key`` marks a sharded request (keyed publish or lookup in
+        a federated deployment): the exchange becomes shard-aware, going
+        straight to a remembered shard owner and following at most one
+        ``fed_redirect`` from the home broker.  Single-broker deployments
+        never see a redirect and behave exactly as before.
         """
         self._require_broker()
         retry = retry if retry is not None else self.retry_policies["broker"]
         timeout = timeout if timeout is not None else self.timeouts["broker"]
-        resp = self._broker_exchange(message, retry, timeout)
+        if route_key is None:
+            resp = self._broker_exchange(message, retry, timeout)
+        else:
+            resp = self._routed_exchange(message, route_key, retry, timeout)
         reason = self._session_lost_reason(resp)
         if reason is not None and self._can_relogin():
             obs.emit("on_degraded", peer=str(self.peer_id),
@@ -170,8 +183,81 @@ class ClientPeer:
                 return resp  # recovery failed: surface the original outcome
             finally:
                 self._relogin_in_progress = False
-            resp = self._broker_exchange(message, retry, timeout)
+            if route_key is None:
+                resp = self._broker_exchange(message, retry, timeout)
+            else:
+                resp = self._routed_exchange(message, route_key, retry, timeout)
         return resp
+
+    def _exchange_at(self, address: str, message: Message,
+                     retry: RetryPolicy, timeout: Timeout) -> Message:
+        """One exchange with a specific broker (a shard owner).
+
+        Deliberately not gated by :attr:`breaker`, which tracks the home
+        broker's health: an unreachable shard owner degrades one keyed
+        request, it must not open the circuit for everything else.
+        """
+        def attempt() -> Message:
+            return self.control.endpoint.request(address, message)
+
+        try:
+            resp, _ = run_with_retry(
+                attempt, clock=self.clock, retry=retry, timeout=timeout,
+                draw=self._retry_draw, peer=str(self.peer_id))
+        except NetworkError as exc:
+            raise BrokerUnavailableError(
+                f"{self.name}: shard owner {address!r} unreachable: {exc}"
+            ) from exc
+        return resp
+
+    @staticmethod
+    def _shard_rejected(resp: Message) -> bool:
+        """A shard owner that doesn't know us yet (directory lag)."""
+        return (resp.msg_type.endswith("_fail") and resp.has("reason")
+                and "not logged in" in resp.get_text("reason"))
+
+    def _routed_exchange(self, message: Message, route_key: str,
+                         retry: RetryPolicy, timeout: Timeout) -> Message:
+        """Shard-aware exchange: resolve the key's owner, ≤1 redirect hop.
+
+        Order of attempts: the remembered owner for this key (if any),
+        then the home broker, following one ``fed_redirect`` it may
+        answer with.  If the owner is unreachable or rejects us, the home
+        broker is asked to handle the request locally (``fed_no_redirect``)
+        — a degraded completion the next anti-entropy sweep repairs.
+        """
+        home = self._require_broker()
+        cached = self._shard_owners.get(route_key)
+        if cached is not None and cached != home:
+            try:
+                resp = self._exchange_at(cached, message, retry, timeout)
+            except (BrokerUnavailableError, CircuitOpenError):
+                resp = None
+            if (resp is not None and resp.msg_type != "fed_redirect"
+                    and not self._shard_rejected(resp)):
+                return resp
+            self._shard_owners.pop(route_key, None)  # stale topology view
+        resp = self._broker_exchange(message, retry, timeout)
+        if resp.msg_type != "fed_redirect":
+            return resp
+        owner = resp.get_text("owner")
+        fed_metric("fed.redirect_followed")
+        try:
+            followed = self._exchange_at(owner, message, retry, timeout)
+        except (BrokerUnavailableError, CircuitOpenError):
+            followed = None
+        if (followed is not None and followed.msg_type != "fed_redirect"
+                and not self._shard_rejected(followed)):
+            self._shard_owners[route_key] = owner
+            return followed
+        fed_metric("fed.redirect_failed")
+        obs.emit("on_degraded", peer=str(self.peer_id),
+                 primitive=current_primitive() or "broker_request",
+                 reason=f"shard owner {owner!r} unavailable; "
+                        f"handled locally by {home!r}")
+        if not message.has("fed_no_redirect"):
+            message.add_text("fed_no_redirect", "1")
+        return self._broker_exchange(message, retry, timeout)
 
     def _broker_exchange(self, message: Message, retry: RetryPolicy,
                          timeout: Timeout) -> Message:
@@ -239,6 +325,7 @@ class ClientPeer:
                       *(fallbacks if fallbacks is not None
                         else self.fallback_brokers)]
         last_exc: Exception | None = None
+        self._shard_owners.clear()  # a new home brings a new topology view
         for index, candidate in enumerate(candidates):
             self.broker_address = candidate
             try:
@@ -309,6 +396,7 @@ class ClientPeer:
         self._password = None
         self.groups = []
         self.broker_address = None
+        self._shard_owners.clear()
         self.events.emit("logged_out", username=username)
         obs.emit("on_logout", peer=str(self.peer_id), username=username)
 
@@ -318,7 +406,7 @@ class ClientPeer:
         self._require_login()
         req = Message("peer_status_req")
         req.add_text("peer_id", peer_id)
-        resp = self._broker_request(req)
+        resp = self._broker_request(req, route_key=peer_id)
         status = {"peer_id": peer_id, "online": resp.get_text("online") == "true"}
         if status["online"]:
             status["username"] = resp.get_text("username")
@@ -341,7 +429,7 @@ class ClientPeer:
             req.add_text("peer_id", peer_id)
         if group:
             req.add_text("group", group)
-        resp = self._broker_request(req)
+        resp = self._broker_request(req, route_key=peer_id)
         elements = unpack_results(resp.get_xml("results"))
         for element in elements:
             try:
@@ -718,7 +806,7 @@ class ClientPeer:
     def _publish(self, element: Element) -> None:
         req = Message("publish_adv")
         req.add_xml("adv", element)
-        resp = self._broker_request(req)
+        resp = self._broker_request(req, route_key=str(self.peer_id))
         if resp.msg_type != "publish_ok":
             raise OverlayError(f"publish failed: {resp.get_text('reason')}")
 

@@ -10,7 +10,7 @@ message/advertisement plumbing that both sides use.
 from __future__ import annotations
 
 from repro.crypto.drbg import HmacDrbg
-from repro.errors import OverlayError
+from repro.errors import AdvertisementError, OverlayError
 from repro.jxta.advertisements import Advertisement, PipeAdvertisement
 from repro.jxta.discovery import AdvertisementCache
 from repro.jxta.endpoint import Endpoint
@@ -38,6 +38,25 @@ def unpack_results(holder: Element) -> list[Element]:
     if holder.tag != RESULTS_TAG:
         raise OverlayError(f"expected <{RESULTS_TAG}>, got <{holder.tag}>")
     return list(holder.children)
+
+
+def merge_results(*element_lists: list[Element]) -> list[Element]:
+    """Merge advertisement documents from several shards, deduplicated.
+
+    Entries are keyed on :meth:`Advertisement.key` (the same replacement
+    key the caches use); earlier lists win, so a broker merging a
+    scatter-gather response keeps its local copy over a remote one.
+    Unparseable documents are dropped.
+    """
+    merged: dict[tuple[str, str, str], Element] = {}
+    for elements in element_lists:
+        for element in elements:
+            try:
+                key = Advertisement.from_element(element).key()
+            except (OverlayError, AdvertisementError):
+                continue
+            merged.setdefault(key, element)
+    return list(merged.values())
 
 
 class ControlModule:

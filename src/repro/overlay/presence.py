@@ -29,3 +29,25 @@ class PresenceSweeper:
 
     def cancel(self) -> None:
         self._handle.cancel()
+
+
+class FederationSweeper:
+    """Periodic anti-entropy driver for one broker's federation layer.
+
+    Each tick expires stale sharded-directory rows and runs one
+    digest/delta round against every member — this is what hands off
+    entries published degraded during a partition once the wire heals.
+    """
+
+    def __init__(self, broker: Broker, scheduler: Scheduler,
+                 interval: float = 30.0) -> None:
+        self.broker = broker
+        self.rounds = 0
+        self._handle: EventHandle = scheduler.schedule_periodic(interval, self._sweep)
+
+    def _sweep(self) -> None:
+        self.broker.federation.sweep()
+        self.rounds += 1
+
+    def cancel(self) -> None:
+        self._handle.cancel()

@@ -202,6 +202,7 @@ class TestBrokerFunctions:
         assert resp.msg_type == "publish_fail"
 
     def test_broker_link_sync(self, joined_plain_world):
+        """A peer on one federated broker is discoverable from the other."""
         from repro.overlay import Broker
 
         world = joined_plain_world
@@ -214,8 +215,13 @@ class TestBrokerFunctions:
         dave = ClientPeer(world.net, "peer:dave", world.root.fork(b"da"))
         dave.connect("broker:1")
         dave.login("dave", "pw-d")
-        assert world.broker.control.cache.find(
-            "PipeAdvertisement", peer_id=str(dave.peer_id))
+        # Cross-broker keyed lookup: alice (on broker:0) resolves dave's
+        # pipe advertisement wherever its shard owner lives.
+        found = world.alice.search_advertisements(
+            adv_type="PipeAdvertisement", peer_id=str(dave.peer_id))
+        assert found
+        status = world.alice.peer_status(str(dave.peer_id))
+        assert status["online"]
 
     def test_broker_cannot_link_itself(self, plain_world):
         with pytest.raises(OverlayError):
