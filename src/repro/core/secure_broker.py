@@ -13,7 +13,7 @@ the original primitives) plus:
 
 from __future__ import annotations
 
-from repro import obs
+from repro import obs, wire
 from repro.core import secure_connection as sc
 from repro.core import secure_login as sl
 from repro.core.admin import Administrator
@@ -162,8 +162,8 @@ class SecureBroker(Broker):
         self.metrics.incr("fn.renew")
         try:
             opened = open_signed_request(
-                message.get_json("envelope"), self.keystore, self.clock.now,
-                self.RENEW_AAD, "RenewRequest")
+                wire.decode(message)["envelope"], self.keystore,
+                self.clock.now, self.RENEW_AAD, "RenewRequest")
         except Exception as exc:
             self.metrics.incr("fn.renew.rejected")
             return self._fail("renew_fail", f"renewal rejected: {exc}")

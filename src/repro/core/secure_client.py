@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Sequence
 
-from repro import obs
+from repro import obs, wire
 from repro.core import secure_connection as sc
 from repro.core import secure_exec as sx
 from repro.core import secure_filesharing as sf
@@ -150,7 +150,7 @@ class SecureClientPeer(ClientPeer):
         self.resume_store.invalidate()
 
     def _fn_revocation_push(self, message: Message, src: str) -> None:
-        if self._accept_revocation_list(message.get_xml("rl")):
+        if self._accept_revocation_list(wire.decode(message)["rl"]):
             self.metrics.incr("client.revocation_updates")
         return None
 
@@ -161,7 +161,7 @@ class SecureClientPeer(ClientPeer):
         resp = self._broker_request(Message("revocation_req"))
         if resp.msg_type != "revocation_resp":
             return False
-        return self._accept_revocation_list(resp.get_xml("rl"))
+        return self._accept_revocation_list(wire.decode(resp)["rl"])
 
     # ======================================================================
     # credential renewal (further work, §6)
@@ -195,9 +195,13 @@ class SecureClientPeer(ClientPeer):
         request.add_json("envelope", env)
         resp = self._broker_request(request)
         if resp.msg_type != "renew_ok":
-            reason = resp.get_text("reason") if resp.has("reason") else resp.msg_type
+            try:
+                reason = (wire.decode(resp).get("reason", "")
+                          or resp.msg_type)
+            except wire.WireRejected:
+                reason = resp.msg_type
             raise SecurityError(f"credential renewal refused: {reason}")
-        fresh = Credential.from_element(resp.get_xml("credential"))
+        fresh = Credential.from_element(wire.decode(resp)["credential"])
         fresh.verify(self.broker_credential.public_key, self.clock.now)
         if fresh.public_key != self.keystore.keys.public:
             raise CredentialError("renewed credential is for a different key")
@@ -674,7 +678,7 @@ class SecureClientPeer(ClientPeer):
         observed on the wire.  Sids we never minted are ignored.
         """
         try:
-            sid = message.get_text("sid")
+            sid = wire.decode(message)["sid"]
         except JxtaError:
             return
         if self.resume_sessions.invalidate_sid(sid):
@@ -885,8 +889,8 @@ class SecureClientPeer(ClientPeer):
             resume_sessions=self.resume_sessions, rekey=rekey)
         resp = self.control.endpoint.request(address, request)
         try:
-            if (resp.msg_type == sf.FILE_FAIL and resp.has("code")
-                    and resp.get_text("code") == "unknown_session"):
+            if (resp.msg_type == sf.FILE_FAIL
+                    and wire.decode(resp).get("code") == "unknown_session"):
                 raise UnknownSessionError(
                     "owner no longer holds our resumption session")
             return sf.open_file_response(

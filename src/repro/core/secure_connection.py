@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import obs, wire
 from repro.core.credentials import (
     Credential,
     chain_from_elements,
@@ -64,7 +64,7 @@ def build_connect_request(chall: bytes) -> Message:
 
 
 def parse_connect_request(message: Message) -> bytes:
-    return message.get_bytes("chall")
+    return wire.decode(message)["chall"]
 
 
 def build_connect_response(chall: bytes, sid: str, broker_key: PrivateKey,
@@ -102,10 +102,11 @@ def verify_connect_response(message: Message, chall: bytes,
         raise BrokerAuthenticationError(
             f"unexpected response {message.msg_type!r} to secureConnection")
     try:
-        sid = message.get_text("sid")
-        sig = message.get_bytes("chall_sig")
-        scheme = message.get_text("scheme")
-        chain = unpack_chain(message.get_xml("chain"))
+        frame = wire.decode(message)
+        sid = frame["sid"]
+        sig = frame["chall_sig"]
+        scheme = frame["scheme"]
+        chain = unpack_chain(frame["chain"])
     except (JxtaError, CredentialError) as exc:
         raise BrokerAuthenticationError(f"malformed secureConnection response: {exc}") from exc
 

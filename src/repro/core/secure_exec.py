@@ -9,6 +9,7 @@ and (d) the requesting *username* passes the executor's ACL.
 
 from __future__ import annotations
 
+from repro import wire
 from repro.core.keystore import Keystore
 from repro.core.policy import SecurityPolicy
 from repro.core.secure_rpc import (
@@ -61,7 +62,8 @@ def handle_task_request(message: Message, keystore: Keystore,
 
     try:
         opened = open_signed_request(
-            message.get_json("envelope"), keystore, now, _AAD_REQ, "TaskRequest")
+            wire.decode(message)["envelope"], keystore, now, _AAD_REQ,
+            "TaskRequest")
     except (SecurityError, JxtaError) as exc:
         return fail(f"request rejected: {exc}")
     body = opened.body
@@ -96,10 +98,11 @@ def parse_task_response(message: Message, keystore: Keystore,
                         executor_key: PublicKey,
                         policy: SecurityPolicy) -> str:
     if message.msg_type == TASK_FAIL:
-        raise SecurityError(f"secure task refused: {message.get_text('reason')}")
+        raise SecurityError(
+            f"secure task refused: {wire.decode(message).get('reason', '')}")
     if message.msg_type != TASK_RESP:
         raise SecurityError(f"unexpected response {message.msg_type!r}")
     body = open_signed_response(
-        message.get_json("envelope"), keystore.keys.private, executor_key,
+        wire.decode(message)["envelope"], keystore.keys.private, executor_key,
         _AAD_RESP, "TaskResponse")
     return body.findtext("Result")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import wire
 from repro.core.secure_connection import pack_chain, unpack_chain
 from repro.core.credentials import validate_chain
 from repro.crypto import signing
@@ -92,10 +93,11 @@ class SecureFederation(Federation):
             fed_metric("fed.reject.unsigned")
             return False
         try:
-            sender = message.get_text("fed_from")
-            scheme = message.get_text("fed_scheme")
-            signature = message.get_bytes("fed_sig")
-            chain = unpack_chain(message.get_xml("fed_chain"))
+            frame = wire.decode(message)
+            sender = frame["fed_from"]
+            scheme = frame["fed_scheme"]
+            signature = frame["fed_sig"]
+            chain = unpack_chain(frame["fed_chain"])
         except (JxtaError, OverlayError, CredentialError):
             fed_metric("fed.reject.malformed")
             return False

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import wire
 from repro.core.keystore import Keystore
 from repro.core.policy import SecurityPolicy
 from repro.core.secure_rpc import (
@@ -129,7 +130,7 @@ def handle_file_request(message: Message, keystore: Keystore, files: FileStore,
         return out
 
     try:
-        env = message.get_json("envelope")
+        env = wire.decode(message)["envelope"]
     except JxtaError as exc:
         return fail(f"request rejected: {exc}")
 
@@ -238,10 +239,11 @@ def open_file_response(message: Message, keystore: Keystore,
     """
     if message.msg_type == FILE_FAIL:
         raise SecurityError(
-            f"secure file transfer refused: {message.get_text('reason')}")
+            f"secure file transfer refused: "
+            f"{wire.decode(message).get('reason', '')}")
     if message.msg_type != FILE_RESP:
         raise SecurityError(f"unexpected response {message.msg_type!r}")
-    env = message.get_json("envelope")
+    env = wire.decode(message)["envelope"]
     if "resume" in env:
         if resume_store is None:
             raise SecurityError("resumed response but resumption is disabled")
@@ -273,10 +275,11 @@ def parse_file_response(message: Message, keystore: Keystore,
     """Requester side (baseline): unseal and verify a whole-file response."""
     if message.msg_type == FILE_FAIL:
         raise SecurityError(
-            f"secure file transfer refused: {message.get_text('reason')}")
+            f"secure file transfer refused: "
+            f"{wire.decode(message).get('reason', '')}")
     if message.msg_type != FILE_RESP:
         raise SecurityError(f"unexpected response {message.msg_type!r}")
     body, _, _ = open_signed_response_detailed(
-        message.get_json("envelope"), keystore.keys.private, owner_key,
+        wire.decode(message)["envelope"], keystore.keys.private, owner_key,
         _AAD_RESP, "FileResponse")
     return b64decode(body.findtext("Content"))

@@ -15,6 +15,7 @@ One generic exchange covers create/join/leave::
 
 from __future__ import annotations
 
+from repro import wire
 from repro.core.keystore import Keystore
 from repro.core.policy import SecurityPolicy
 from repro.core.secure_rpc import (
@@ -78,7 +79,7 @@ def handle_group_op(message: Message, broker) -> Message:
 
     try:
         opened = open_signed_request(
-            message.get_json("envelope"), broker.keystore,
+            wire.decode(message)["envelope"], broker.keystore,
             broker.clock.now, _AAD_REQ, "GroupOp")
     except (SecurityError, JxtaError) as exc:
         return fail(f"request rejected: {exc}")
@@ -160,11 +161,12 @@ def parse_group_op_response(message: Message, keystore: Keystore,
     """Client side: unseal, verify the broker signature and the nonce."""
     if message.msg_type == GROUP_OP_FAIL:
         raise SecurityError(
-            f"secure group operation refused: {message.get_text('reason')}")
+            f"secure group operation refused: "
+            f"{wire.decode(message).get('reason', '')}")
     if message.msg_type != GROUP_OP_RESP:
         raise SecurityError(f"unexpected response {message.msg_type!r}")
     body = open_signed_response(
-        message.get_json("envelope"), keystore.keys.private, broker_key,
+        wire.decode(message)["envelope"], keystore.keys.private, broker_key,
         _AAD_RESP, "GroupOpResult")
     if body.findtext("Nonce") != expected_nonce:
         raise SecurityError("group operation response nonce mismatch")

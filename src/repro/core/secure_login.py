@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import obs, wire
 from repro.core.credentials import Credential
 from repro.crypto import envelope
 from repro.crypto.drbg import HmacDrbg
@@ -106,7 +106,7 @@ def open_login_request(message: Message, broker_key: PrivateKey) -> LoginClaim:
     :class:`CBIDMismatchError`) with the paper's conclusion on failure.
     """
     try:
-        env = message.get_json("envelope")
+        env = wire.decode(message)["envelope"]
         with obs.span("secure_login.open"):
             plain = envelope.open_(broker_key, env, aad=_AAD)
     except (JxtaError, DecryptionError) as exc:
@@ -154,10 +154,11 @@ def build_login_response(credential: Credential, groups: list[str]) -> Message:
 
 def parse_login_response(message: Message) -> tuple[Credential, list[str]]:
     if message.msg_type != LOGIN_OK:
-        reason = message.get_text("reason") if message.has("reason") else message.msg_type
+        try:
+            reason = wire.decode(message).get("reason", "") or message.msg_type
+        except wire.WireRejected:
+            reason = message.msg_type
         raise ClientAuthenticationError(f"secureLogin rejected: {reason}")
-    credential = Credential.from_element(message.get_xml("credential"))
-    import json
-
-    groups = json.loads(message.get_text("groups"))
-    return credential, list(groups)
+    frame = wire.decode(message)
+    credential = Credential.from_element(frame["credential"])
+    return credential, list(frame["groups"])

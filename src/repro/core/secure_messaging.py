@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import obs, wire
 from repro.crypto import envelope, signing
 from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
@@ -198,7 +198,7 @@ def open_message(message: Message, recipient_key: PrivateKey,
     sender identity for :meth:`OpenedMessage.verify_sender`.
     """
     try:
-        env = message.get_json("envelope")
+        env = wire.decode(message)["envelope"]
     except JxtaError as exc:
         raise TamperedMessageError(f"undecryptable secure message: {exc}") from exc
 

@@ -113,6 +113,15 @@ class DiscoveryError(JxtaError):
     """Advertisement discovery failed."""
 
 
+class FrameTooLargeError(JxtaError):
+    """A wire frame exceeded the configured maximum size before parsing."""
+
+    def __init__(self, message: str, size: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.size = size
+        self.limit = limit
+
+
 class TransportError(JxtaError):
     """A (simulated) transport-level failure."""
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import JxtaError, NetworkError, TransportError
+from repro.errors import FrameTooLargeError, JxtaError, NetworkError, TransportError
 from repro.jxta.messages import Message
 from repro.jxta.transport.base import PlainTransport, SecureTransport
 from repro.sim.metrics import Metrics
@@ -32,10 +32,24 @@ class Endpoint:
         self.metrics = Metrics()
         self._handlers: dict[str, MessageHandler] = {}
         self._default_handler: MessageHandler | None = None
+        self._wire = None  # set by install_wire_boundary()
         network.register(address, self._on_frame)
 
     def close(self) -> None:
         self.network.unregister(self.address)
+
+    def install_wire_boundary(self) -> None:
+        """Validate every inbound frame against :mod:`repro.wire`.
+
+        Once installed, frames that are oversized, of an unknown type or
+        that fail their :class:`~repro.wire.schema.FrameSpec` are counted
+        under ``wire.reject.*`` and dropped *before* handler dispatch.
+        Raw endpoints (tests, taps) stay schema-free unless they opt in.
+        """
+        # Imported lazily: repro.wire itself imports repro.jxta.messages,
+        # so a module-level import here would cycle through the package.
+        from repro import wire
+        self._wire = wire
 
     # -- handler registry ----------------------------------------------------
 
@@ -58,6 +72,11 @@ class Endpoint:
             # Undecodable traffic is dropped, as a real stack would.
             self.metrics.incr("rx.undecodable")
             self.metrics.incr(f"rx.undecodable.{type(exc).__name__}")
+            if self._wire is not None and isinstance(exc, FrameTooLargeError):
+                self._wire.count_oversize()
+            return None
+        if self._wire is not None and not self._wire.check(message):
+            self.metrics.incr("rx.rejected")
             return None
         self.metrics.incr("rx.messages")
         handler = self._handlers.get(message.msg_type, self._default_handler)
@@ -90,4 +109,9 @@ class Endpoint:
         self.metrics.incr("tx.bytes", len(wire))
         raw = self.network.request(self.address, dst, wire)
         plain = self.transport.unwrap(raw, peer=dst, local=self.address)
-        return Message.from_wire(plain)
+        try:
+            return Message.from_wire(plain)
+        except FrameTooLargeError:
+            if self._wire is not None:
+                self._wire.count_oversize()
+            raise

@@ -20,12 +20,35 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.errors import JxtaError, XMLError, XMLParseError
+from repro.errors import FrameTooLargeError, JxtaError, XMLError, XMLParseError
 from repro.utils.encoding import b64decode, b64encode
 from repro.xmllib import Element, parse, serialize
 
 MESSAGE_TAG = "Message"
 ELEM_TAG = "Elem"
+
+#: Default ceiling on the serialized size of a single frame.  Anything
+#: larger is refused by :meth:`Message.from_wire` *before* XML parsing —
+#: the global backstop against resource-exhaustion frames (the per-field
+#: bounds in :mod:`repro.wire` are the fine-grained layer above this).
+DEFAULT_MAX_WIRE_BYTES = 8 << 20
+
+_max_wire_bytes = DEFAULT_MAX_WIRE_BYTES
+
+
+def max_wire_bytes() -> int:
+    """The currently configured frame-size ceiling in bytes."""
+    return _max_wire_bytes
+
+
+def set_max_wire_bytes(limit: int) -> int:
+    """Reconfigure the frame-size ceiling; returns the previous value."""
+    global _max_wire_bytes
+    if limit < 1:
+        raise ValueError("max wire bytes must be >= 1")
+    previous = _max_wire_bytes
+    _max_wire_bytes = limit
+    return previous
 
 
 class Message:
@@ -37,26 +60,38 @@ class Message:
         self.msg_type = msg_type
         self.ns = ns
         self._elements: list[tuple[str, Any]] = []
+        self._decoded: Any = None  # repro.wire decode cache; see invalidate()
 
     # -- building ----------------------------------------------------------
 
+    def invalidate(self) -> None:
+        """Drop the cached :mod:`repro.wire` decoded view after a mutation."""
+        self._decoded = None
+
     def add_text(self, name: str, value: str) -> "Message":
-        self._elements.append((name, str(value)))
+        if not isinstance(value, str):
+            raise JxtaError(
+                f"add_text({name!r}) requires str, got {type(value).__name__}")
+        self._elements.append((name, value))
+        self.invalidate()
         return self
 
     def add_bytes(self, name: str, value: bytes) -> "Message":
         self._elements.append((name, bytes(value)))
+        self.invalidate()
         return self
 
     def add_xml(self, name: str, value: Element) -> "Message":
         if not isinstance(value, Element):
             raise JxtaError("add_xml requires an Element")
         self._elements.append((name, value))
+        self.invalidate()
         return self
 
     def add_json(self, name: str, value: dict | list) -> "Message":
         """Convenience for structured payloads (envelopes, lists)."""
         self._elements.append((name, json.dumps(value, sort_keys=True)))
+        self.invalidate()
         return self
 
     # -- reading -----------------------------------------------------------
@@ -143,6 +178,11 @@ class Message:
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
+        if len(wire) > _max_wire_bytes:
+            raise FrameTooLargeError(
+                f"frame of {len(wire)} bytes exceeds the "
+                f"{_max_wire_bytes}-byte wire cap",
+                size=len(wire), limit=_max_wire_bytes)
         try:
             root = parse(wire.decode("utf-8"))
         except (UnicodeDecodeError, XMLParseError, XMLError) as exc:

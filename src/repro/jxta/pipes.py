@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import PipeError
+from repro.errors import JxtaError, PipeError
 from repro.jxta.advertisements import PipeAdvertisement
 from repro.jxta.endpoint import Endpoint
 from repro.jxta.ids import JxtaID
@@ -66,12 +66,30 @@ class PipeRegistry:
         return self._pipes.get(str(pipe_id))
 
     def _on_pipe_message(self, message: Message, src: str) -> None:
-        pipe_key = message.get_text("pipe_id")
+        wire = self.endpoint._wire
+        if wire is not None:
+            frame = wire.decode(message)  # cache hit after the boundary
+            pipe_key = frame["pipe_id"]
+            inner_elem = frame["inner"]
+        else:
+            pipe_key = message.get_text("pipe_id")
+            inner_elem = message.get_xml("inner")
         pipe = self._pipes.get(pipe_key)
         if pipe is None:
             self.endpoint.metrics.incr("pipe.unknown")
             return None
-        inner = Message.from_element(message.get_xml("inner"))
+        try:
+            inner = Message.from_element(inner_elem)
+        except JxtaError:
+            # A pipe frame whose payload is not a frame at all: drop it
+            # here instead of letting the parse error escape dispatch.
+            self.endpoint.metrics.incr("pipe.bad_inner")
+            if wire is not None:
+                wire.count_reject(message.msg_type, "bad_inner")
+            return None
+        if wire is not None and not wire.check(inner):
+            self.endpoint.metrics.incr("pipe.rejected")
+            return None
         pipe.deliver(inner, src)
         return None
 

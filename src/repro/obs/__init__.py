@@ -102,6 +102,9 @@ METRIC_PATTERNS: tuple[str, ...] = (
     # hook-bus accounting (obs/events.py)
     "events.<hook>",
     "events.listener_errors",
+    # wire-boundary rejections (wire/boundary.py)
+    "wire.reject.oversize",
+    "wire.reject.<msg_type>.<reason>",
     # bench-harness samples (bench/timing.py); <path> may contain dots
     "bench.<path>.total_ms",
 )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import obs, wire
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import GroupError, JxtaError, OverlayError
 from repro.jxta.advertisements import Advertisement, GroupAdvertisement, PeerAdvertisement
@@ -47,6 +47,7 @@ class Broker:
     def __init__(self, network: SimNetwork, address: str, database: UserDatabase,
                  drbg: HmacDrbg, name: str = "") -> None:
         self.control = ControlModule(network, address, drbg)
+        self.control.endpoint.install_wire_boundary()
         self.database = database
         self.name = name or address
         self.peer_id = random_peer_id(drbg)
@@ -196,12 +197,13 @@ class Broker:
         its groups and its peer advertisement is indexed and propagated.
         """
         self.metrics.incr("fn.login")
-        username = message.get_text("username")
-        password = message.get_text("password")
+        frame = wire.decode(message)
+        username = frame["username"]
+        password = frame["password"]
         if not self.database.check_credentials(username, password):
             self.metrics.incr("fn.login.rejected")
             return self._fail("login_fail", "bad username or password")
-        peer_adv_elem = message.get_xml("peer_adv")
+        peer_adv_elem = frame["peer_adv"]
         try:
             parsed = Advertisement.from_element(peer_adv_elem)
         except (OverlayError, JxtaError) as exc:
@@ -284,7 +286,8 @@ class Broker:
         answer from the sharded presence directory.
         """
         self.metrics.incr("fn.peer_status")
-        peer_id = message.get_text("peer_id")
+        frame = wire.decode(message)
+        peer_id = frame["peer_id"]
         session = self.connected.get(peer_id)
         out = self._ok("peer_status_resp")
         out.add_text("peer_id", peer_id)
@@ -294,7 +297,7 @@ class Broker:
             out.add_text("last_seen", repr(session.last_seen))
             return out
         owner = self.federation.owner_of(peer_id)
-        if owner != self.address and not message.has("fed_no_redirect"):
+        if owner != self.address and not frame.has("fed_no_redirect"):
             return self.federation.redirect(owner)
         entry = self.federation.directory.get(peer_id)
         out.add_text("online", "true" if entry else "false")
@@ -310,9 +313,10 @@ class Broker:
         if session is None:
             return None
         session.last_seen = self.clock.now
-        if message.has("adv"):
+        frame = wire.decode(message)
+        if frame.has("adv"):
             try:
-                self.control.cache.publish(message.get_xml("adv"))
+                self.control.cache.publish(frame["adv"])
             except (OverlayError, JxtaError):
                 self.metrics.incr("fn.presence.bad_adv")
         return None
@@ -338,7 +342,8 @@ class Broker:
         peers, which has no such check.
         """
         self.metrics.incr("fn.publish_adv")
-        element = message.get_xml("adv")
+        frame = wire.decode(message)
+        element = frame["adv"]
         try:
             parsed = Advertisement.from_element(element)
         except (OverlayError, JxtaError) as exc:
@@ -356,7 +361,7 @@ class Broker:
             return self._fail("publish_fail", "advertisement peer id mismatch")
         owner = self.federation.owner_of(adv_peer)
         if owner != self.address:
-            if not message.has("fed_no_redirect"):
+            if not frame.has("fed_no_redirect"):
                 return self.federation.redirect(owner)
             # Owner unreachable from the client: accept locally; the next
             # anti-entropy sweep hands the entry off to its shard owner.
@@ -383,7 +388,7 @@ class Broker:
             self.metrics.incr("fn.index_sync.dropped")
             return None
         try:
-            self.control.cache.publish(message.get_xml("adv"))
+            self.control.cache.publish(wire.decode(message)["adv"])
         except (OverlayError, JxtaError):
             self.metrics.incr("fn.index_sync.bad")
         return None
@@ -396,12 +401,13 @@ class Broker:
         federation and merge the shards' answers.
         """
         self.metrics.incr("fn.query")
-        adv_type = message.get_text("adv_type") if message.has("adv_type") else None
-        peer_id = message.get_text("peer_id") if message.has("peer_id") else None
-        group = message.get_text("group") if message.has("group") else None
+        frame = wire.decode(message)
+        adv_type = frame.get("adv_type")
+        peer_id = frame.get("peer_id")
+        group = frame.get("group")
         if peer_id is not None:
             owner = self.federation.owner_of(peer_id)
-            if owner != self.address and not message.has("fed_no_redirect"):
+            if owner != self.address and not frame.has("fed_no_redirect"):
                 return self.federation.redirect(owner)
             elements = self.control.cache.elements(
                 adv_type=adv_type, peer_id=peer_id, group=group)
@@ -427,8 +433,9 @@ class Broker:
         session = self._session_for_address(src)
         if session is None:
             return self._fail("create_group_fail", "not logged in")
-        name = message.get_text("name")
-        description = message.get_text("description") if message.has("description") else ""
+        frame = wire.decode(message)
+        name = frame["name"]
+        description = frame.get("description", "")
         if not name:
             return self._fail("create_group_fail", "group name must be non-empty")
         if name in self.groups:
@@ -451,7 +458,7 @@ class Broker:
         session = self._session_for_address(src)
         if session is None:
             return self._fail("join_group_fail", "not logged in")
-        name = message.get_text("name")
+        name = wire.decode(message)["name"]
         group = self.groups.get_or_none(name)
         if group is None:
             return self._fail("join_group_fail", f"unknown group {name!r}")
@@ -471,7 +478,7 @@ class Broker:
         session = self._session_for_address(src)
         if session is None:
             return self._fail("leave_group_fail", "not logged in")
-        name = message.get_text("name")
+        name = wire.decode(message)["name"]
         try:
             group = self.groups.get(name)
         except GroupError:
@@ -492,7 +499,7 @@ class Broker:
 
     def fn_group_members(self, message: Message, src: str) -> Message:
         self.metrics.incr("fn.group_members")
-        name = message.get_text("name")
+        name = wire.decode(message)["name"]
         group = self.groups.get_or_none(name)
         if group is None:
             return self._fail("group_members_fail", f"unknown group {name!r}")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from repro import obs
+from repro import obs, wire
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.sha2 import sha256
 from repro.errors import (
@@ -73,12 +73,21 @@ TaskFunction = Callable[[str], str]
 _SESSION_LOST_MARKERS = ("not logged in", "no matching authenticated session")
 
 
+def _fail_reason(resp: Message) -> str:
+    """Best-effort reason text from a ``*_fail`` response."""
+    try:
+        return str(wire.decode(resp).get("reason", ""))
+    except wire.WireRejected:
+        return ""
+
+
 class ClientPeer:
     """A JXTA-Overlay client peer (one end-user application instance)."""
 
     def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
                  name: str = "") -> None:
         self.control = ControlModule(network, address, drbg)
+        self.control.endpoint.install_wire_boundary()
         self.name = name or address
         self.peer_id: JxtaID = random_peer_id(drbg)
         self.broker_address: str | None = None
@@ -213,8 +222,8 @@ class ClientPeer:
     @staticmethod
     def _shard_rejected(resp: Message) -> bool:
         """A shard owner that doesn't know us yet (directory lag)."""
-        return (resp.msg_type.endswith("_fail") and resp.has("reason")
-                and "not logged in" in resp.get_text("reason"))
+        return (resp.msg_type.endswith("_fail")
+                and "not logged in" in _fail_reason(resp))
 
     def _routed_exchange(self, message: Message, route_key: str,
                          retry: RetryPolicy, timeout: Timeout) -> Message:
@@ -240,7 +249,7 @@ class ClientPeer:
         resp = self._broker_exchange(message, retry, timeout)
         if resp.msg_type != "fed_redirect":
             return resp
-        owner = resp.get_text("owner")
+        owner = wire.decode(resp)["owner"]
         fed_metric("fed.redirect_followed")
         try:
             followed = self._exchange_at(owner, message, retry, timeout)
@@ -278,9 +287,9 @@ class ClientPeer:
 
     @staticmethod
     def _session_lost_reason(resp: Message) -> str | None:
-        if not resp.msg_type.endswith("_fail") or not resp.has("reason"):
+        if not resp.msg_type.endswith("_fail"):
             return None
-        reason = resp.get_text("reason")
+        reason = _fail_reason(resp)
         if any(marker in reason for marker in _SESSION_LOST_MARKERS):
             return reason
         return None
@@ -346,11 +355,12 @@ class ClientPeer:
                          primitive="connect",
                          reason=f"failed over to {candidate!r} "
                                 f"(skipped {index} dead broker(s))")
+            broker_name = wire.decode(resp)["broker_name"]
             self.events.emit("connected", broker=candidate,
-                             broker_name=resp.get_text("broker_name"))
+                             broker_name=broker_name)
             obs.emit("on_connect", peer=str(self.peer_id), broker=candidate,
                      secure=False)
-            return resp.get_text("broker_name")
+            return broker_name
         raise BrokerUnavailableError(
             f"{self.name}: no broker reachable among {candidates!r}"
         ) from last_exc
@@ -370,13 +380,13 @@ class ClientPeer:
         req.add_xml("peer_adv", self._peer_advertisement().to_element())
         resp = self._broker_request(req)
         if resp.msg_type != "login_ok":
-            self.events.emit("login_failed", username=username,
-                             reason=resp.get_text("reason") if resp.has("reason") else "")
+            reason = _fail_reason(resp)
+            self.events.emit("login_failed", username=username, reason=reason)
             raise AuthenticationError(
-                f"login rejected: {resp.get_text('reason') if resp.has('reason') else resp.msg_type}")
+                f"login rejected: {reason or resp.msg_type}")
         self.username = username
         self._password = password  # remembered for automatic re-login
-        self.groups = list(resp.get_json("groups"))
+        self.groups = list(wire.decode(resp)["groups"])
         for group in self.groups:
             self._open_and_publish_pipe(group)
         self.events.emit("logged_in", username=username, groups=list(self.groups))
@@ -407,10 +417,11 @@ class ClientPeer:
         req = Message("peer_status_req")
         req.add_text("peer_id", peer_id)
         resp = self._broker_request(req, route_key=peer_id)
-        status = {"peer_id": peer_id, "online": resp.get_text("online") == "true"}
+        frame = wire.decode(resp)
+        status = {"peer_id": peer_id, "online": frame["online"] == "true"}
         if status["online"]:
-            status["username"] = resp.get_text("username")
-            status["last_seen"] = float(resp.get_text("last_seen"))
+            status["username"] = frame["username"]
+            status["last_seen"] = float(frame["last_seen"])
         return status
 
     @primitive("discovery")
@@ -430,7 +441,7 @@ class ClientPeer:
         if group:
             req.add_text("group", group)
         resp = self._broker_request(req, route_key=peer_id)
-        elements = unpack_results(resp.get_xml("results"))
+        elements = unpack_results(wire.decode(resp)["results"])
         for element in elements:
             try:
                 self.control.accept_advertisement(element)
@@ -451,7 +462,7 @@ class ClientPeer:
         req.add_text("description", description)
         resp = self._broker_request(req)
         if resp.msg_type != "create_group_ok":
-            raise OverlayError(f"create_group failed: {resp.get_text('reason')}")
+            raise OverlayError(f"create_group failed: {_fail_reason(resp)}")
         if name not in self.groups:
             self.groups.append(name)
             self._open_and_publish_pipe(name)
@@ -465,11 +476,11 @@ class ClientPeer:
         req.add_text("name", name)
         resp = self._broker_request(req)
         if resp.msg_type != "join_group_ok":
-            raise OverlayError(f"join_group failed: {resp.get_text('reason')}")
+            raise OverlayError(f"join_group failed: {_fail_reason(resp)}")
         if name not in self.groups:
             self.groups.append(name)
             self._open_and_publish_pipe(name)
-        members = list(resp.get_json("members"))
+        members = list(wire.decode(resp)["members"])
         self.events.emit("group_joined", group=name, members=members)
         return members
 
@@ -481,7 +492,7 @@ class ClientPeer:
         req.add_text("name", name)
         resp = self._broker_request(req)
         if resp.msg_type != "leave_group_ok":
-            raise OverlayError(f"leave_group failed: {resp.get_text('reason')}")
+            raise OverlayError(f"leave_group failed: {_fail_reason(resp)}")
         if name in self.groups:
             self.groups.remove(name)
         pipe = self.input_pipes.pop(name, None)
@@ -494,7 +505,7 @@ class ClientPeer:
         """list_groups: every group published on the broker."""
         self._require_login()
         resp = self._broker_request(Message("list_groups_req"))
-        return list(resp.get_json("groups"))
+        return list(wire.decode(resp)["groups"])
 
     @primitive("group")
     def group_members(self, name: str) -> list[str]:
@@ -504,8 +515,8 @@ class ClientPeer:
         req.add_text("name", name)
         resp = self._broker_request(req)
         if resp.msg_type != "group_members_resp":
-            raise OverlayError(f"group_members failed: {resp.get_text('reason')}")
-        return list(resp.get_json("members"))
+            raise OverlayError(f"group_members failed: {_fail_reason(resp)}")
+        return list(wire.decode(resp)["members"])
 
     # ======================================================================
     # messenger primitives (§4.3)
@@ -748,8 +759,8 @@ class ClientPeer:
         self.events.emit("task_submitted", peer_id=peer_id, task=task_name)
         resp = self.control.endpoint.request(address, req)
         if resp.msg_type != "task_resp":
-            raise OverlayError(f"task failed: {resp.get_text('reason')}")
-        result = resp.get_text("result")
+            raise OverlayError(f"task failed: {_fail_reason(resp)}")
+        result = wire.decode(resp)["result"]
         self.events.emit("task_result", peer_id=peer_id, task=task_name, result=result)
         return result
 
@@ -808,21 +819,22 @@ class ClientPeer:
         req.add_xml("adv", element)
         resp = self._broker_request(req, route_key=str(self.peer_id))
         if resp.msg_type != "publish_ok":
-            raise OverlayError(f"publish failed: {resp.get_text('reason')}")
+            raise OverlayError(f"publish failed: {_fail_reason(resp)}")
 
     def _on_pipe_message(self, inner: Message, src: str) -> None:
         if inner.msg_type == "chat":
+            frame = wire.decode(inner)  # cache hit after the pipe boundary
             self.events.emit(
                 "message_received",
-                from_peer=inner.get_text("from_peer"),
-                from_user=inner.get_text("from_user"),
-                group=inner.get_text("group"),
-                text=inner.get_text("text"),
+                from_peer=frame["from_peer"],
+                from_user=frame["from_user"],
+                group=frame["group"],
+                text=frame["text"],
             )
             obs.emit("on_msg_received", peer=str(self.peer_id),
-                     from_peer=inner.get_text("from_peer"),
-                     group=inner.get_text("group"),
-                     n_bytes=len(inner.get_text("text").encode("utf-8")),
+                     from_peer=frame["from_peer"],
+                     group=frame["group"],
+                     n_bytes=len(frame["text"].encode("utf-8")),
                      secure=False)
         else:
             self.metrics.incr("client.pipe_unknown")
@@ -831,23 +843,25 @@ class ClientPeer:
 
     def _fn_adv_push(self, message: Message, src: str) -> None:
         try:
-            self.control.accept_advertisement(message.get_xml("adv"))
+            self.control.accept_advertisement(wire.decode(message)["adv"])
         except (OverlayError, JxtaError):
             self.metrics.incr("client.bad_adv_push")
         return None
 
     def _fn_peer_joined(self, message: Message, src: str) -> None:
+        frame = wire.decode(message)
         self.events.emit(
             "peer_joined_group",
-            group=message.get_text("group"),
-            peer_id=message.get_text("peer_id"),
-            username=message.get_text("username"),
+            group=frame["group"],
+            peer_id=frame["peer_id"],
+            username=frame["username"],
         )
         return None
 
     def _fn_peer_left(self, message: Message, src: str) -> None:
-        group = message.get_text("group")
-        peer_id = message.get_text("peer_id")
+        frame = wire.decode(message)
+        group = frame["group"]
+        peer_id = frame["peer_id"]
         self.control.cache.remove_peer(peer_id)
         self.events.emit("peer_left_group", group=group, peer_id=peer_id)
         return None
@@ -856,7 +870,8 @@ class ClientPeer:
         return self.files.handle_request(message)
 
     def _fn_task_request(self, message: Message, src: str) -> Message:
-        task_name = message.get_text("task")
+        frame = wire.decode(message)
+        task_name = frame["task"]
         fn = self.task_functions.get(task_name)
         out = Message("task_resp")
         if fn is None:
@@ -864,7 +879,7 @@ class ClientPeer:
             out.add_text("reason", f"unknown task {task_name!r}")
             return out
         try:
-            result = fn(message.get_text("argument"))
+            result = fn(frame["argument"])
         except Exception as exc:  # a task crashing must not kill the peer
             out = Message("task_fail")
             out.add_text("reason", f"task raised: {exc}")

@@ -40,7 +40,7 @@ import bisect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from repro import obs
+from repro import obs, wire
 from repro.crypto.sha2 import sha256
 from repro.errors import JxtaError, NetworkError, OverlayError
 from repro.jxta.advertisements import Advertisement
@@ -281,7 +281,7 @@ class Federation:
             self.ring.remove(address)
             raise OverlayError(
                 f"broker at {address!r} refused or failed federation link")
-        added = self._merge_members(resp.get_json("members"))
+        added = self._merge_members(wire.decode(resp)["members"])
         self._gauges()
         for new_address in dict.fromkeys([address, *added]):
             self.sync_with(new_address)
@@ -462,7 +462,7 @@ class Federation:
                     fed_metric("fed.sync.failed")
                     return False
                 fed_metric("fed.sync.digest_keys", len(digests))
-                need = [k for k in dresp.get_json("need") if k in sendable]
+                need = [k for k in wire.decode(dresp)["need"] if k in sendable]
                 for start in range(0, len(need), DELTA_BATCH):
                     batch = [sendable[k].deep_copy()
                              for k in need[start:start + DELTA_BATCH]]
@@ -528,7 +528,7 @@ class Federation:
                 fed_metric("fed.scatter_miss")
                 continue
             try:
-                gathered.append(unpack_results(resp.get_xml("results")))
+                gathered.append(unpack_results(wire.decode(resp)["results"]))
             except (OverlayError, JxtaError):
                 fed_metric("fed.reject.malformed")
         return merge_results(*gathered)
@@ -539,7 +539,7 @@ class Federation:
         if not self.authorize(message, src, link=True):
             return None
         try:
-            roster = message.get_json("members")
+            roster = wire.decode(message)["members"]
         except JxtaError:
             fed_metric("fed.reject.malformed")
             return None
@@ -556,7 +556,7 @@ class Federation:
         if not self.authorize(message, src, link=True):
             return None
         try:
-            self._merge_members(message.get_json("members"))
+            self._merge_members(wire.decode(message)["members"])
         except JxtaError:
             fed_metric("fed.reject.malformed")
         return None
@@ -573,7 +573,7 @@ class Federation:
         if not self.authorize(message, src):
             return None
         try:
-            offered = message.get_json("entries")
+            offered = wire.decode(message)["entries"]
         except JxtaError:
             fed_metric("fed.reject.malformed")
             return None
@@ -590,7 +590,7 @@ class Federation:
         if not self.authorize(message, src):
             return None
         try:
-            elements = unpack_results(message.get_xml("advs"))
+            elements = unpack_results(wire.decode(message)["advs"])
         except (OverlayError, JxtaError):
             fed_metric("fed.reject.malformed")
             return None
@@ -610,7 +610,7 @@ class Federation:
         if not self.authorize(message, src):
             return None
         try:
-            ops = message.get_json("ops")
+            ops = wire.decode(message)["ops"]
         except JxtaError:
             fed_metric("fed.reject.malformed")
             return None
@@ -622,8 +622,9 @@ class Federation:
         """Scatter leg of an unkeyed query: answer from the local shard."""
         if not self.authorize(message, src):
             return None
-        adv_type = message.get_text("adv_type") if message.has("adv_type") else None
-        group = message.get_text("group") if message.has("group") else None
+        frame = wire.decode(message)
+        adv_type = frame.get("adv_type")
+        group = frame.get("group")
         elements = self.cache.elements(adv_type=adv_type, group=group)
         out = Message("fed_query_resp")
         out.add_xml("results", pack_results(elements))

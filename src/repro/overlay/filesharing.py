@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import wire
 from repro.crypto.sha2 import sha256
 from repro.errors import NetworkError, OverlayError
 from repro.jxta.endpoint import Endpoint
@@ -51,9 +52,10 @@ class FileStore:
 
     def handle_request(self, message: Message) -> Message:
         """Answer one ``file_req`` chunk request."""
-        name = message.get_text("file_name")
-        offset = int(message.get_text("offset"))
-        length = int(message.get_text("length"))
+        frame = wire.decode(message)
+        name = frame["file_name"]
+        offset = frame["offset"]
+        length = frame["length"]
         if name not in self._files:
             fail = Message("file_fail")
             fail.add_text("reason", f"no file named {name!r}")
@@ -98,14 +100,16 @@ def chunked_fetch(endpoint: Endpoint, address: str, file_name: str,
         req.add_text("length", str(chunk_size))
         resp = request(address, req)
         if resp.msg_type == "file_fail":
-            raise OverlayError(f"file transfer refused: {resp.get_text('reason')}")
+            raise OverlayError(
+                f"file transfer refused: {wire.decode(resp).get('reason', '')}")
         if resp.msg_type != "file_resp":
             raise OverlayError(f"unexpected transfer response {resp.msg_type!r}")
-        data = resp.get_bytes("data")
-        total = int(resp.get_text("total"))
+        frame = wire.decode(resp)
+        data = frame["data"]
+        total = frame["total"]
         received += data
         offset += len(data)
-        if resp.get_text("eof") == "true":
+        if frame["eof"] == "true":
             if len(received) != total:
                 raise OverlayError(
                     f"transfer ended early: {len(received)}/{total} bytes")

@@ -1,0 +1,52 @@
+"""``repro.wire`` — declarative frame schemas and the validation boundary.
+
+The wire protocol as data: every overlay message type has a
+:class:`~repro.wire.schema.FrameSpec` in :mod:`repro.wire.catalogue`,
+and all boundary parsing goes through :func:`decode`, which returns a
+validated :class:`~repro.wire.schema.DecodedFrame` or raises a single
+classified :class:`~repro.wire.schema.WireRejected`.  The endpoint,
+broker, federation and pipe layers call :func:`check` before any
+handler runs, counting every refusal under
+``wire.reject.<msg_type>.<reason>`` (see ``docs/OBSERVABILITY.md``).
+
+``python -m repro.wire --dump-catalogue`` prints the generated frame
+tables embedded in ``PROTOCOLS.md``; ``--check-docs`` verifies them.
+"""
+
+from __future__ import annotations
+
+from repro.wire.boundary import (
+    check,
+    count_oversize,
+    count_reject,
+    decode,
+    sanitize_msg_type,
+)
+from repro.wire.catalogue import CATEGORIES, REGISTRY, dump_catalogue, get, specs
+from repro.wire.schema import (
+    KINDS,
+    REASONS,
+    DecodedFrame,
+    Field,
+    FrameSpec,
+    WireRejected,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DecodedFrame",
+    "Field",
+    "FrameSpec",
+    "KINDS",
+    "REASONS",
+    "REGISTRY",
+    "WireRejected",
+    "check",
+    "count_oversize",
+    "count_reject",
+    "decode",
+    "dump_catalogue",
+    "get",
+    "sanitize_msg_type",
+    "specs",
+]

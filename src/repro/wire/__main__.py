@@ -1,0 +1,70 @@
+"""CLI for the frame catalogue.
+
+``python -m repro.wire --dump-catalogue`` prints the generated frame
+tables; ``python -m repro.wire --check-docs [PATH]`` verifies that the
+marker-delimited section of ``PROTOCOLS.md`` matches the registry
+byte-for-byte (the CI drift gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.wire.catalogue import dump_catalogue
+
+BEGIN_MARK = "<!-- BEGIN GENERATED FRAME CATALOGUE -->"
+END_MARK = "<!-- END GENERATED FRAME CATALOGUE -->"
+
+
+def embedded_section(doc_text: str) -> str | None:
+    """The generated catalogue embedded in a document, or ``None``."""
+    try:
+        start = doc_text.index(BEGIN_MARK) + len(BEGIN_MARK)
+        end = doc_text.index(END_MARK, start)
+    except ValueError:
+        return None
+    return doc_text[start:end].strip("\n") + "\n"
+
+
+def check_docs(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = fh.read()
+    except OSError as exc:
+        print(f"drift check: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    embedded = embedded_section(doc)
+    if embedded is None:
+        print(f"drift check: {path} has no "
+              f"{BEGIN_MARK!r}...{END_MARK!r} section", file=sys.stderr)
+        return 2
+    expected = dump_catalogue()
+    if embedded != expected:
+        print(f"drift check: {path} frame catalogue is out of date — "
+              "regenerate it with `python -m repro.wire --dump-catalogue`",
+              file=sys.stderr)
+        return 1
+    print(f"drift check: {path} matches the registry "
+          f"({expected.count('| `')} frames)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.wire")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dump-catalogue", action="store_true",
+                       help="print the generated frame tables")
+    group.add_argument("--check-docs", nargs="?", const="PROTOCOLS.md",
+                       metavar="PATH",
+                       help="verify the embedded catalogue in PATH "
+                            "(default: PROTOCOLS.md)")
+    args = parser.parse_args(argv)
+    if args.dump_catalogue:
+        sys.stdout.write(dump_catalogue())
+        return 0
+    return check_docs(args.check_docs)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -1,0 +1,345 @@
+"""The frame catalogue: one :class:`FrameSpec` per overlay message type.
+
+This registry is the source of truth for the wire protocol.  The tables
+in ``PROTOCOLS.md`` are generated from :func:`dump_catalogue`
+(``python -m repro.wire --dump-catalogue``) and a drift test keeps them
+in lock-step, so the docs can no longer rot.
+
+Categories follow the protocol layers:
+
+* ``plain`` — the §2 overlay primitives (connect/login, groups,
+  discovery, presence, chat, file transfer, task execution);
+* ``pipe`` — the pipe demux frame carrying an inner frame;
+* ``federation`` — the sharded broker tier; every federation frame may
+  carry the :data:`~repro.core.secure_federation.SEAL_ELEMS` quad
+  (``fed_from``/``fed_scheme``/``fed_chain``/``fed_sig``), appended by
+  :class:`~repro.core.secure_federation.SecureFederation` and ignored
+  by the plain tier;
+* ``secure`` — the §4/§6 security extension (challenge/response
+  connect, envelope RPC, revocation and renewal).
+"""
+
+from __future__ import annotations
+
+from repro.jxta.messages import Message
+from repro.wire.schema import Field, FrameSpec
+
+# Short aliases so the catalogue below stays table-like.
+_F = Field
+
+
+def _ident(name: str, required: bool = True, sample: str = "x") -> Field:
+    """A short identifier-ish text field (names, ids, schemes...)."""
+    return Field(name, "text", required=required, max_size=1024, sample=sample)
+
+
+def _reason() -> Field:
+    return Field("reason", "text", max_size=4096, sample="refused")
+
+
+def _envelope() -> Field:
+    """The signed+encrypted RPC payload; bounded by the global wire cap."""
+    return Field("envelope", "json", json_type="dict", max_size=None,
+                 sample={"v": 1})
+
+
+def _seal_quad() -> tuple[Field, ...]:
+    """Optional SecureFederation seal; absent on the plain tier."""
+    return (
+        Field("fed_from", "text", required=False, max_size=1024),
+        Field("fed_scheme", "text", required=False, max_size=64),
+        Field("fed_chain", "xml", required=False),
+        Field("fed_sig", "bytes", required=False, max_size=4096),
+    )
+
+
+def _sample_chat_element():
+    """A valid inner frame for ``pipe_data`` samples."""
+    chat = Message("chat")
+    chat.add_text("from_peer", "urn:jxta:peer-0")
+    chat.add_text("from_user", "alice")
+    chat.add_text("group", "students")
+    chat.add_text("text", "hi")
+    return chat.to_element()
+
+
+_SPECS: tuple[FrameSpec, ...] = (
+    # -- plain overlay: broker connection and login (§2.2) -----------------
+    FrameSpec("connect_req", (), "plain", "open a broker session"),
+    FrameSpec("connect_ok", (_ident("broker_id"), _ident("broker_name")),
+              "plain", "broker accepts the connection"),
+    FrameSpec("login_req",
+              (_ident("username", sample="alice"),
+               Field("password", "text", max_size=1024, sample="pw"),
+               Field("peer_adv", "xml")),
+              "plain", "authenticate and register the peer advertisement"),
+    FrameSpec("login_ok",
+              (Field("groups", "json", json_type="list"), _ident("peer_id")),
+              "plain", "login accepted; lists the user's groups"),
+    FrameSpec("login_fail", (_reason(),), "plain", "login refused"),
+    FrameSpec("logout_req", (), "plain", "close the session"),
+    FrameSpec("logout_ok", (), "plain", "session closed"),
+    FrameSpec("logout_fail", (_reason(),), "plain", "logout refused"),
+    # -- plain overlay: discovery and presence ------------------------------
+    FrameSpec("publish_adv",
+              (Field("adv", "xml"),
+               _ident("fed_no_redirect", required=False, sample="1")),
+              "plain", "publish an advertisement to the broker index"),
+    FrameSpec("publish_ok", (), "plain", "advertisement accepted"),
+    FrameSpec("publish_fail", (_reason(),), "plain", "advertisement refused"),
+    FrameSpec("adv_push", (Field("adv", "xml"),),
+              "plain", "broker pushes an advertisement to group members"),
+    FrameSpec("query_req",
+              (_ident("adv_type", required=False, sample="FileAdvertisement"),
+               _ident("peer_id", required=False),
+               _ident("group", required=False),
+               _ident("fed_no_redirect", required=False, sample="1")),
+              "plain", "advertisement lookup (all filters optional)"),
+    FrameSpec("query_resp", (Field("results", "xml"),),
+              "plain", "matching advertisement documents"),
+    FrameSpec("peer_status_req",
+              (_ident("peer_id"),
+               _ident("fed_no_redirect", required=False, sample="1")),
+              "plain", "is this peer online? (paper's isOnline primitive)"),
+    FrameSpec("peer_status_resp",
+              (_ident("peer_id"),
+               _ident("online", sample="true"),
+               _ident("username", required=False),
+               _ident("last_seen", required=False, sample="0.0")),
+              "plain", "presence answer"),
+    FrameSpec("presence_beat", (Field("adv", "xml", required=False),),
+              "plain", "periodic client heartbeat with its peer advertisement"),
+    # -- plain overlay: group management -------------------------------------
+    FrameSpec("create_group_req",
+              (_ident("name", sample="students"),
+               Field("description", "text", required=False, max_size=4096,
+                     sample="")),
+              "plain", "create a peer group"),
+    FrameSpec("create_group_ok", (Field("group_adv", "xml"),),
+              "plain", "group created; returns its advertisement"),
+    FrameSpec("create_group_fail", (_reason(),), "plain", "creation refused"),
+    FrameSpec("join_group_req", (_ident("name", sample="students"),),
+              "plain", "join a peer group"),
+    FrameSpec("join_group_ok", (Field("members", "json", json_type="list"),),
+              "plain", "joined; returns the member list"),
+    FrameSpec("join_group_fail", (_reason(),), "plain", "join refused"),
+    FrameSpec("leave_group_req", (_ident("name", sample="students"),),
+              "plain", "leave a peer group"),
+    FrameSpec("leave_group_ok", (), "plain", "left the group"),
+    FrameSpec("leave_group_fail", (_reason(),), "plain", "leave refused"),
+    FrameSpec("list_groups_req", (), "plain", "list every group"),
+    FrameSpec("list_groups_resp", (Field("groups", "json", json_type="list"),),
+              "plain", "known group names"),
+    FrameSpec("group_members_req", (_ident("name", sample="students"),),
+              "plain", "list one group's members"),
+    FrameSpec("group_members_resp",
+              (Field("members", "json", json_type="list"),),
+              "plain", "the group's member usernames"),
+    FrameSpec("group_members_fail", (_reason(),), "plain", "lookup refused"),
+    FrameSpec("peer_joined",
+              (_ident("group"), _ident("peer_id"), _ident("username")),
+              "plain", "broker notifies members of a join"),
+    FrameSpec("peer_left", (_ident("group"), _ident("peer_id")),
+              "plain", "broker notifies members of a leave"),
+    # -- plain overlay: messaging, files, tasks -------------------------------
+    FrameSpec("chat",
+              (_ident("from_peer"), _ident("from_user", sample="alice"),
+               _ident("group"),
+               Field("text", "text", max_size=4 << 20, sample="hi")),
+              "plain", "group/peer chat message (rides inside pipe_data)"),
+    FrameSpec("file_req",
+              (_ident("file_name", sample="notes.txt"),
+               Field("offset", "text", numeric=True, max_size=32),
+               Field("length", "text", numeric=True, max_size=32,
+                     sample="1")),
+              "plain", "request one chunk of a shared file"),
+    FrameSpec("file_resp",
+              (_ident("file_name", sample="notes.txt"),
+               Field("offset", "text", numeric=True, max_size=32),
+               Field("total", "text", numeric=True, max_size=32),
+               Field("data", "bytes", max_size=1 << 20),
+               _ident("eof", sample="true")),
+              "plain", "one chunk of file content"),
+    FrameSpec("file_fail", (_reason(),), "plain", "file request refused"),
+    FrameSpec("task_req",
+              (_ident("task", sample="echo"),
+               Field("argument", "text", max_size=65536, sample="1"),
+               _ident("from_peer")),
+              "plain", "remote task execution request (execTask)"),
+    FrameSpec("task_resp", (Field("result", "text", max_size=65536,
+                                  sample="ok"),),
+              "plain", "task completed"),
+    FrameSpec("task_fail", (_reason(),), "plain", "task refused or raised"),
+    # -- pipe demux -----------------------------------------------------------
+    FrameSpec("pipe_data",
+              (_ident("pipe_id"),
+               Field("inner", "xml", sample=_sample_chat_element())),
+              "pipe", "pipe frame; inner holds exactly one nested frame"),
+    # -- broker federation (sharded index) ------------------------------------
+    FrameSpec("index_sync",
+              (Field("adv", "xml"),) + _seal_quad(),
+              "federation", "legacy index replication datagram"),
+    FrameSpec("fed_link_req",
+              (Field("members", "json", json_type="list"),) + _seal_quad(),
+              "federation", "join the broker federation with a roster"),
+    FrameSpec("fed_link_ok",
+              (Field("members", "json", json_type="list"),) + _seal_quad(),
+              "federation", "link accepted; returns the merged roster"),
+    FrameSpec("fed_members",
+              (Field("members", "json", json_type="list"),) + _seal_quad(),
+              "federation", "membership gossip"),
+    FrameSpec("fed_unlink", _seal_quad(),
+              "federation", "leave the federation"),
+    FrameSpec("fed_digest",
+              (Field("entries", "json", json_type="dict"),) + _seal_quad(),
+              "federation", "anti-entropy digest of owned index entries"),
+    FrameSpec("fed_digest_resp",
+              (Field("need", "json", json_type="list"),) + _seal_quad(),
+              "federation", "which digest entries the peer is missing"),
+    FrameSpec("fed_delta",
+              (Field("advs", "xml"),) + _seal_quad(),
+              "federation", "batch of advertisement documents"),
+    FrameSpec("fed_delta_ok",
+              (Field("accepted", "text", numeric=True, max_size=32),)
+              + _seal_quad(),
+              "federation", "how many delta documents were accepted"),
+    FrameSpec("fed_presence",
+              (Field("ops", "json", json_type="list"),) + _seal_quad(),
+              "federation", "presence directory ops for the owning shard"),
+    FrameSpec("fed_query",
+              (_ident("adv_type", required=False,
+                      sample="FileAdvertisement"),
+               _ident("group", required=False)) + _seal_quad(),
+              "federation", "scatter-gather query from another broker"),
+    FrameSpec("fed_query_resp",
+              (Field("results", "xml"),) + _seal_quad(),
+              "federation", "scatter-gather results"),
+    FrameSpec("fed_redirect",
+              (_ident("owner"),) + _seal_quad(),
+              "federation", "ask the client to retry at the owning shard"),
+    # -- secure extension: connection and login (§4.1, §4.2) ------------------
+    FrameSpec("secure_connect_req",
+              (Field("chall", "bytes", max_size=1024),),
+              "secure", "client challenge for broker authentication"),
+    FrameSpec("secure_connect_resp",
+              (_ident("sid"),
+               Field("chall_sig", "bytes", max_size=4096),
+               _ident("scheme", sample="rsa-sha256"),
+               Field("chain", "xml")),
+              "secure", "signed challenge + broker credential chain"),
+    FrameSpec("secure_connect_fail", (_reason(),),
+              "secure", "secureConnection refused"),
+    FrameSpec("secure_login_req", (_envelope(),),
+              "secure", "encrypted credentials + public key"),
+    FrameSpec("secure_login_ok",
+              (Field("credential", "xml"),
+               Field("groups", "json", json_type="list")),
+              "secure", "issued credential + authorized groups"),
+    FrameSpec("secure_login_fail", (_reason(),),
+              "secure", "secureLogin refused"),
+    # -- secure extension: envelope RPC (§4.3-§4.5) ---------------------------
+    FrameSpec("secure_chat", (_envelope(),),
+              "secure", "sealed chat payload (rides inside pipe_data)"),
+    FrameSpec("resume_reset", (_ident("sid"),),
+              "secure", "receiver lost the resumption session; re-key"),
+    FrameSpec("secure_file_req", (_envelope(),),
+              "secure", "sealed file chunk request"),
+    FrameSpec("secure_file_resp", (_envelope(),),
+              "secure", "sealed file chunk"),
+    FrameSpec("secure_file_fail",
+              (_reason(),
+               _ident("code", required=False, sample="unknown_session")),
+              "secure", "sealed file transfer refused"),
+    FrameSpec("secure_task_req", (_envelope(),),
+              "secure", "sealed task execution request"),
+    FrameSpec("secure_task_resp", (_envelope(),),
+              "secure", "sealed task result"),
+    FrameSpec("secure_task_fail", (_reason(),),
+              "secure", "sealed task refused"),
+    FrameSpec("secure_group_op_req", (_envelope(),),
+              "secure", "sealed group-management operation"),
+    FrameSpec("secure_group_op_resp", (_envelope(),),
+              "secure", "sealed group-operation result"),
+    FrameSpec("secure_group_op_fail", (_reason(),),
+              "secure", "sealed group operation refused"),
+    # -- secure extension: revocation and renewal (§6) ------------------------
+    FrameSpec("revocation_push", (Field("rl", "xml"),),
+              "secure", "broker pushes the signed revocation list"),
+    FrameSpec("revocation_req", (),
+              "secure", "fetch the current revocation list"),
+    FrameSpec("revocation_resp", (Field("rl", "xml"),),
+              "secure", "the signed revocation list"),
+    FrameSpec("renew_req", (_envelope(),),
+              "secure", "credential renewal request"),
+    FrameSpec("renew_ok", (Field("credential", "xml"),),
+              "secure", "fresh credential issued"),
+    FrameSpec("renew_fail", (_reason(),),
+              "secure", "renewal refused"),
+)
+
+#: msg_type -> spec, in catalogue order (dicts preserve insertion order).
+REGISTRY: dict[str, FrameSpec] = {spec.msg_type: spec for spec in _SPECS}
+
+assert len(REGISTRY) == len(_SPECS), "duplicate msg_type in catalogue"
+
+#: Display order + headings for the generated PROTOCOLS.md tables.
+CATEGORIES: tuple[tuple[str, str], ...] = (
+    ("plain", "Plain overlay frames"),
+    ("pipe", "Pipe frames"),
+    ("federation", "Federation frames"),
+    ("secure", "Secure-extension frames"),
+)
+
+
+def get(msg_type: str) -> FrameSpec | None:
+    return REGISTRY.get(msg_type)
+
+
+def specs() -> tuple[FrameSpec, ...]:
+    return _SPECS
+
+
+def _field_cell(field: Field) -> str:
+    kind = field.kind
+    if field.numeric:
+        kind = "int"
+    out = f"`{field.name}`"
+    if not field.required:
+        out += "?"
+    out += f" {kind}"
+    if field.max_size is not None and field.max_size != 65536:
+        out += f"&le;{field.max_size}"
+    return out
+
+
+def dump_catalogue() -> str:
+    """The generated frame tables, exactly as embedded in PROTOCOLS.md."""
+    lines = [
+        "Generated by `python -m repro.wire --dump-catalogue` from",
+        "`repro.wire.catalogue` — edit the registry, not this text.",
+        "Field notation: `name`? marks optional fields; int is a numeric",
+        "text element; &le;N bounds the serialized field size in bytes",
+        "(unmarked text fields are bounded at 65536, xml fields and the",
+        "secure envelope only by the global wire cap).  Federation frames",
+        "may carry the optional SecureFederation seal quad `fed_from`,",
+        "`fed_scheme`, `fed_chain`, `fed_sig` (shown once below).",
+        "",
+    ]
+    seal_names = {f.name for f in _seal_quad()}
+    for category, heading in CATEGORIES:
+        lines.append(f"### {heading}")
+        lines.append("")
+        lines.append("| msg_type | fields | purpose |")
+        lines.append("|---|---|---|")
+        for spec in _SPECS:
+            if spec.category != category:
+                continue
+            fields = [f for f in spec.fields
+                      if not (category == "federation"
+                              and f.name in seal_names)]
+            cell = ", ".join(_field_cell(f) for f in fields) or "&mdash;"
+            if category == "federation":
+                cell += " (+seal)"
+            lines.append(f"| `{spec.msg_type}` | {cell} | {spec.doc} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,269 @@
+"""Declarative frame schemas: ``Field``/``FrameSpec`` plus decoded views.
+
+The paper's threat model (§2.3) is tampered and forged messages, yet a
+hand-parsed frame is only as safe as the most careless handler.  This
+module makes the frame layout itself data: each message type has a
+:class:`FrameSpec` naming its fields, their wire kinds (text / bytes /
+xml / json) and their bounds, and :meth:`FrameSpec.decode` turns a raw
+:class:`~repro.jxta.messages.Message` into a validated
+:class:`DecodedFrame` or raises a single, classified
+:class:`WireRejected`.
+
+The classification (:data:`REASONS`) is the reject taxonomy the
+dispatch boundary counts under ``wire.reject.<msg_type>.<reason>`` —
+see :mod:`repro.wire.boundary`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import JxtaError
+from repro.jxta.messages import Message
+from repro.xmllib import Element
+
+#: Wire kinds a field may declare, in the order ``PROTOCOLS.md`` uses.
+KINDS = ("text", "bytes", "xml", "json")
+
+# -- reject taxonomy ---------------------------------------------------------
+
+REASON_UNKNOWN_TYPE = "unknown_type"      # msg_type not in the registry
+REASON_MISSING_FIELD = "missing_field"    # required field absent
+REASON_DUPLICATE_FIELD = "duplicate_field"  # same name appears twice
+REASON_WRONG_KIND = "wrong_kind"          # e.g. base64 where text expected
+REASON_BAD_JSON = "bad_json"              # json field does not parse / wrong type
+REASON_BAD_NUMBER = "bad_number"          # numeric text field is not an integer
+REASON_TOO_LARGE = "too_large"            # a field exceeded its size bound
+REASON_UNKNOWN_FIELD = "unknown_field"    # element not named by the spec
+REASON_BAD_INNER = "bad_inner"            # pipe payload is not a valid frame
+REASON_OVERSIZE = "oversize"              # whole frame over the global wire cap
+
+#: Every reason the boundary may count, for docs and tests.
+REASONS = (
+    REASON_UNKNOWN_TYPE,
+    REASON_MISSING_FIELD,
+    REASON_DUPLICATE_FIELD,
+    REASON_WRONG_KIND,
+    REASON_BAD_JSON,
+    REASON_BAD_NUMBER,
+    REASON_TOO_LARGE,
+    REASON_UNKNOWN_FIELD,
+    REASON_BAD_INNER,
+    REASON_OVERSIZE,
+)
+
+
+class WireRejected(JxtaError):
+    """A frame failed boundary validation.
+
+    Subclasses :class:`JxtaError` so pre-schema call sites that caught
+    parse failures coarsely keep working unchanged.
+    """
+
+    def __init__(self, msg_type: str, reason: str, detail: str = "") -> None:
+        text = f"frame {msg_type!r} rejected ({reason})"
+        if detail:
+            text = f"{text}: {detail}"
+        super().__init__(text)
+        self.msg_type = msg_type
+        self.reason = reason
+        self.detail = detail
+
+
+#: Default per-field size bounds (serialized length) by kind.  ``xml``
+#: fields are bounded only by the global wire cap — measuring them would
+#: mean re-serializing the subtree on every decode.
+DEFAULT_MAX_SIZE = {"text": 65536, "bytes": 262144, "json": 262144, "xml": None}
+
+_PY_KIND = {"text": str, "bytes": bytes, "xml": Element}
+_JSON_TYPES = {"dict": dict, "list": list}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named element of a frame.
+
+    ``kind`` is the wire encoding (``json`` rides on a text element and
+    is parsed at decode time).  ``json_type`` constrains the decoded
+    JSON top-level type (``"dict"`` or ``"list"``).  ``numeric`` marks a
+    text field that must hold a base-10 integer; the decoded view then
+    yields an ``int``.  ``max_size`` bounds the serialized length
+    (``None`` = bounded only by the global wire cap).  ``sample`` is a
+    representative valid value used by the fuzz/coverage suites to
+    synthesize well-formed instances.
+    """
+
+    name: str
+    kind: str = "text"
+    required: bool = True
+    max_size: int | None = -1  # -1: use the per-kind default
+    json_type: str | None = None
+    numeric: bool = False
+    sample: Any = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown field kind {self.kind!r}")
+        if self.json_type is not None and self.json_type not in _JSON_TYPES:
+            raise ValueError(f"unknown json_type {self.json_type!r}")
+        if self.numeric and self.kind != "text":
+            raise ValueError("numeric applies to text fields only")
+        if self.max_size == -1:
+            object.__setattr__(self, "max_size", DEFAULT_MAX_SIZE[self.kind])
+
+    # -- validation --------------------------------------------------------
+
+    def check(self, msg_type: str, value: Any) -> Any:
+        """Validate one raw element value; return the decoded value.
+
+        Raises :class:`WireRejected` with the precise reason on failure.
+        """
+        expected = _PY_KIND.get("text" if self.kind == "json" else self.kind)
+        if not isinstance(value, expected):
+            raise WireRejected(
+                msg_type, REASON_WRONG_KIND,
+                f"field {self.name!r} expects {self.kind}")
+        if self.max_size is not None and not isinstance(value, Element):
+            if len(value) > self.max_size:
+                raise WireRejected(
+                    msg_type, REASON_TOO_LARGE,
+                    f"field {self.name!r} over {self.max_size} bytes")
+        if self.kind == "json":
+            try:
+                decoded = json.loads(value)
+            except json.JSONDecodeError as exc:
+                raise WireRejected(
+                    msg_type, REASON_BAD_JSON,
+                    f"field {self.name!r}: {exc}") from None
+            if self.json_type is not None and not isinstance(
+                    decoded, _JSON_TYPES[self.json_type]):
+                raise WireRejected(
+                    msg_type, REASON_BAD_JSON,
+                    f"field {self.name!r} must be a JSON {self.json_type}")
+            return decoded
+        if self.numeric:
+            try:
+                return int(value, 10)
+            except ValueError:
+                raise WireRejected(
+                    msg_type, REASON_BAD_NUMBER,
+                    f"field {self.name!r} is not an integer") from None
+        return value
+
+    # -- fuzz/coverage synthesis -------------------------------------------
+
+    def sample_value(self) -> Any:
+        """A representative valid raw value for this field."""
+        if self.sample is not None:
+            return self.sample
+        if self.kind == "bytes":
+            return b"\x01\x02"
+        if self.kind == "xml":
+            return Element("Doc")
+        if self.kind == "json":
+            return [] if self.json_type == "list" else {}
+        if self.numeric:
+            return "0"
+        return "x"
+
+
+class DecodedFrame:
+    """Typed, validated view over one message's elements.
+
+    Field access goes through ``frame["name"]`` / ``frame.get("name")``;
+    json fields are already parsed, numeric fields are ``int``.
+    """
+
+    __slots__ = ("msg_type", "spec", "_values")
+
+    def __init__(self, msg_type: str, spec: "FrameSpec",
+                 values: dict[str, Any]) -> None:
+        self.msg_type = msg_type
+        self.spec = spec
+        self._values = values
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise JxtaError(
+                f"frame {self.msg_type!r} has no element {name!r}") from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self._values
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecodedFrame {self.msg_type} {sorted(self._values)}>"
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """The declarative schema for one message type."""
+
+    msg_type: str
+    fields: tuple[Field, ...] = ()
+    category: str = "plain"   # plain | federation | secure | pipe
+    doc: str = ""
+
+    def field(self, name: str) -> Field | None:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def required_fields(self) -> tuple[Field, ...]:
+        return tuple(f for f in self.fields if f.required)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, message: Message) -> DecodedFrame:
+        """Validate ``message`` against this spec; raise :class:`WireRejected`.
+
+        Strict by design: unknown elements are rejected, not ignored — a
+        forged rider element must never coast through on a valid frame.
+        """
+        by_name = {f.name: f for f in self.fields}
+        values: dict[str, Any] = {}
+        for name, raw in message._elements:
+            field = by_name.get(name)
+            if field is None:
+                raise WireRejected(
+                    self.msg_type, REASON_UNKNOWN_FIELD,
+                    f"unexpected element {name!r}")
+            if name in values:
+                raise WireRejected(
+                    self.msg_type, REASON_DUPLICATE_FIELD,
+                    f"element {name!r} repeated")
+            values[name] = field.check(self.msg_type, raw)
+        for field in self.fields:
+            if field.required and field.name not in values:
+                raise WireRejected(
+                    self.msg_type, REASON_MISSING_FIELD,
+                    f"element {field.name!r} required")
+        return DecodedFrame(message.msg_type, self, values)
+
+    # -- fuzz/coverage synthesis -------------------------------------------
+
+    def sample_message(self) -> Message:
+        """A well-formed instance of this frame (all fields populated)."""
+        message = Message(self.msg_type)
+        for field in self.fields:
+            value = field.sample_value()
+            if field.kind == "bytes":
+                message.add_bytes(field.name, value)
+            elif field.kind == "xml":
+                message.add_xml(field.name, value)
+            elif field.kind == "json":
+                message.add_json(field.name, value)
+            else:
+                message.add_text(field.name, value)
+        return message

@@ -131,12 +131,12 @@ class TestRogueFrameRejection:
         """A frame sealed by a real broker fails when replayed elsewhere."""
         world = joined_secure_world
         b1 = _second_broker(world)
-        sealed = b1.federation.seal(Message("fed_members"))
-        sealed.add_json("members", b1.federation.roster())
-        # Re-seal with members attached so the signature is over the body…
-        real = b1.federation.seal(Message("fed_members"))
+        real = Message("fed_members")
+        real.add_json("members", b1.federation.roster())
+        real = b1.federation.seal(real)
         assert all(real.has(name) for name in SEAL_ELEMS)
-        # …then replay it from a rogue endpoint: fed_from != src.
+        # Replay the legitimately sealed frame from a rogue endpoint:
+        # fed_from != src.
         with fresh_registry() as registry:
             world.alice.control.endpoint.send("broker:0", real)
             assert registry.count("fed.reject.malformed") == 1

@@ -1,0 +1,55 @@
+"""Boundary coverage for every broker function, driven by the registry.
+
+For each msg_type the broker handles, prove that a frame missing a
+required element (or carrying a forged rider, for element-less frames)
+is counted and dropped *before* the handler runs — the
+``broker.fn.<msg_type>.calls`` counter must stay at zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from frames import build, fresh_registry
+from repro import wire
+from repro.jxta import Endpoint, Message
+from tests.conftest import PlainWorld
+
+#: Resolved once at collection; the broker registers its functions in
+#: __init__, so a throwaway world names them all.
+HANDLED = sorted(PlainWorld().broker.control.endpoint._handlers)
+
+
+def test_every_broker_handler_has_a_spec(plain_world):
+    assert set(plain_world.broker.control.endpoint._handlers) <= set(
+        wire.REGISTRY)
+
+
+@pytest.mark.parametrize("msg_type", HANDLED)
+def test_malformed_frames_never_reach_the_handler(plain_world, msg_type):
+    spec = wire.REGISTRY[msg_type]
+    rogue = Endpoint(plain_world.net, "rogue:cov")
+    probes = [(build(spec, skip=field.name), "missing_field")
+              for field in spec.required_fields()]
+    if not probes:  # element-less frame: probe with a forged rider
+        rider = build(spec)
+        rider.add_text("bogus_rider", "1")
+        probes = [(rider, "unknown_field")]
+    for malformed, reason in probes:
+        with fresh_registry() as registry:
+            assert rogue.send("broker:0", malformed)
+            assert registry.count(
+                f"wire.reject.{msg_type}.{reason}") == 1
+            assert registry.count(f"broker.fn.{msg_type}.calls") == 0
+
+
+@pytest.mark.parametrize("msg_type", HANDLED)
+def test_unknown_variant_of_each_handler_rejected(plain_world, msg_type):
+    """A lookalike type one underscore away never dispatches anywhere."""
+    forged = Message(f"{msg_type}_x")
+    with fresh_registry() as registry:
+        rogue = Endpoint(plain_world.net, "rogue:cov")
+        assert rogue.send("broker:0", forged)
+        assert registry.count(
+            f"wire.reject.{msg_type}_x.unknown_type") == 1
+        assert registry.count(f"broker.fn.{msg_type}.calls") == 0

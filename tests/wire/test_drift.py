@@ -1,0 +1,65 @@
+"""Catalogue drift gates: docs, metric patterns, and source literals."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro import obs, wire
+from repro.wire.__main__ import check_docs, embedded_section
+from repro.wire.schema import REASONS
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestProtocolsEmbedding:
+    def test_embedded_catalogue_matches_registry(self):
+        doc = (REPO / "PROTOCOLS.md").read_text(encoding="utf-8")
+        assert embedded_section(doc) == wire.dump_catalogue()
+
+    def test_check_docs_passes_on_the_repo_file(self):
+        assert check_docs(str(REPO / "PROTOCOLS.md")) == 0
+
+    def test_check_docs_flags_a_stale_section(self, tmp_path):
+        stale = tmp_path / "stale.md"
+        stale.write_text("<!-- BEGIN GENERATED FRAME CATALOGUE -->\n"
+                         "old tables\n"
+                         "<!-- END GENERATED FRAME CATALOGUE -->\n",
+                         encoding="utf-8")
+        assert check_docs(str(stale)) == 1
+
+    def test_check_docs_flags_missing_markers(self, tmp_path):
+        bare = tmp_path / "bare.md"
+        bare.write_text("no markers here\n", encoding="utf-8")
+        assert check_docs(str(bare)) == 2
+        assert embedded_section("no markers") is None
+
+
+class TestTaxonomyDocumented:
+    def test_reject_patterns_are_registered_metric_patterns(self):
+        assert "wire.reject.oversize" in obs.METRIC_PATTERNS
+        assert "wire.reject.<msg_type>.<reason>" in obs.METRIC_PATTERNS
+
+    def test_every_reason_described_in_observability_doc(self):
+        doc = (REPO / "docs" / "OBSERVABILITY.md").read_text(
+            encoding="utf-8")
+        for reason in REASONS:
+            assert f"`{reason}`" in doc, reason
+
+    def test_sanitized_names_match_the_documented_pattern(self):
+        for spec in wire.specs():
+            name = (f"wire.reject."
+                    f"{wire.sanitize_msg_type(spec.msg_type)}.unknown_field")
+            assert obs.metric_pattern_for(
+                name) == "wire.reject.<msg_type>.<reason>", spec.msg_type
+
+
+class TestSourceLiterals:
+    def test_every_constructed_frame_type_has_a_spec(self):
+        """No code path (attack tools aside) mints an unregistered frame."""
+        literal = re.compile(r'Message\(\s*"([a-z0-9_]+)"')
+        for path in (REPO / "src" / "repro").rglob("*.py"):
+            if "attacks" in path.parts:
+                continue
+            for msg_type in literal.findall(path.read_text(encoding="utf-8")):
+                assert msg_type in wire.REGISTRY, f"{path.name}: {msg_type}"

@@ -1,0 +1,148 @@
+"""Unit tests for the declarative schema layer and message hardening."""
+
+from __future__ import annotations
+
+import pytest
+
+from frames import fresh_registry
+from repro import wire
+from repro.errors import FrameTooLargeError, JxtaError
+from repro.jxta import messages
+from repro.jxta.messages import Message
+from repro.wire.schema import DEFAULT_MAX_SIZE, Field
+from repro.xmllib import Element
+
+
+class TestField:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Field("x", "float")
+
+    def test_unknown_json_type_rejected(self):
+        with pytest.raises(ValueError):
+            Field("x", "json", json_type="tuple")
+
+    def test_numeric_requires_text_kind(self):
+        with pytest.raises(ValueError):
+            Field("x", "bytes", numeric=True)
+
+    def test_default_size_bounds_by_kind(self):
+        for kind, expected in DEFAULT_MAX_SIZE.items():
+            assert Field("x", kind).max_size == expected
+
+    def test_explicit_none_means_uncapped(self):
+        field = Field("x", "text", max_size=None)
+        assert field.check("t", "y" * (DEFAULT_MAX_SIZE["text"] + 1))
+
+
+class TestDecode:
+    def test_every_sample_survives_a_wire_round_trip(self):
+        for spec in wire.specs():
+            raw = spec.sample_message().to_wire()
+            assert wire.check(Message.from_wire(raw)), spec.msg_type
+
+    def test_typed_views_numeric_and_json(self):
+        req = Message("file_req")
+        req.add_text("file_name", "notes.txt")
+        req.add_text("offset", "4096")
+        req.add_text("length", "512")
+        frame = wire.decode(req)
+        assert frame["offset"] == 4096 and frame["length"] == 512
+        ok = Message("login_ok")
+        ok.add_json("groups", ["students", "teachers"])
+        ok.add_text("peer_id", "urn:jxta:p0")
+        assert wire.decode(ok)["groups"] == ["students", "teachers"]
+
+    def test_unknown_type_raises_classified(self):
+        with pytest.raises(wire.WireRejected) as info:
+            wire.decode(Message("no_such_frame"))
+        assert info.value.reason == "unknown_type"
+        assert isinstance(info.value, JxtaError)
+
+    def test_wrong_json_shape_rejected(self):
+        ok = Message("login_ok")
+        ok.add_json("groups", {"not": "a list"})
+        ok.add_text("peer_id", "urn:jxta:p0")
+        with pytest.raises(wire.WireRejected) as info:
+            wire.decode(ok)
+        assert info.value.reason == "bad_json"
+
+    def test_view_access(self):
+        resp = Message("peer_status_resp")
+        resp.add_text("peer_id", "urn:jxta:p0")
+        resp.add_text("online", "true")
+        frame = wire.decode(resp)
+        assert frame["online"] == "true"
+        assert frame.get("username") is None
+        assert frame.get("username", "?") == "?"
+        assert frame.has("peer_id") and "peer_id" in frame
+        assert not frame.has("last_seen")
+        with pytest.raises(JxtaError):
+            frame["last_seen"]
+
+    def test_decode_is_memoized_until_mutation(self):
+        resp = Message("task_resp")
+        resp.add_text("result", "ok")
+        first = wire.decode(resp)
+        assert wire.decode(resp) is first
+        resp.add_text("rider", "x")  # any add_* drops the cached view
+        with pytest.raises(wire.WireRejected) as info:
+            wire.decode(resp)
+        assert info.value.reason == "unknown_field"
+
+
+class TestSanitize:
+    def test_metric_unsafe_characters_folded(self):
+        assert wire.sanitize_msg_type("weird type!") == "weird-type-"
+
+    def test_empty_type_becomes_unknown(self):
+        assert wire.sanitize_msg_type("") == "unknown"
+
+    def test_long_type_truncated(self):
+        assert len(wire.sanitize_msg_type("a" * 100)) == 48
+
+
+class TestMessageHardening:
+    def test_add_text_refuses_non_str(self):
+        msg = Message("chat")
+        with pytest.raises(JxtaError):
+            msg.add_text("text", 42)
+        with pytest.raises(JxtaError):
+            msg.add_text("text", b"bytes")
+
+    def test_add_xml_refuses_non_element(self):
+        with pytest.raises(JxtaError):
+            Message("adv_push").add_xml("adv", "<Doc/>")
+
+    def test_wire_cap_configurable_and_enforced(self):
+        previous = messages.set_max_wire_bytes(128)
+        try:
+            big = Message("task_resp")
+            big.add_text("result", "x" * 256)
+            with pytest.raises(FrameTooLargeError):
+                Message.from_wire(big.to_wire())
+            assert messages.max_wire_bytes() == 128
+        finally:
+            messages.set_max_wire_bytes(previous)
+        assert messages.max_wire_bytes() == previous
+
+    def test_wire_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            messages.set_max_wire_bytes(0)
+
+    def test_oversize_counted_flat_at_the_boundary(self, plain_world):
+        from repro.jxta import Endpoint
+
+        rogue = Endpoint(plain_world.net, "rogue:oversize")
+        broker_ep = plain_world.broker.control.endpoint
+        big = Message("task_resp")
+        big.add_text("result", "x" * 512)
+        previous = messages.set_max_wire_bytes(256)
+        try:
+            with fresh_registry() as registry:
+                assert rogue.send("broker:0", big)
+                assert registry.count("wire.reject.oversize") == 1
+        finally:
+            messages.set_max_wire_bytes(previous)
+        assert broker_ep.metrics.count(
+            "rx.undecodable.FrameTooLargeError") == 1
