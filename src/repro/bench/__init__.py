@@ -33,6 +33,17 @@ from repro.bench.msgfast import (
     msgfast_report,
     write_bench_msgfast,
 )
+from repro.bench.profile import (
+    HOTPATH_SPEEDUP_TARGET,
+    REGRESSION_TOLERANCE,
+    format_hotpath,
+    hotpath_report,
+    layer_ladder,
+    render_layer_table,
+    stage_report,
+    steady_state_ab,
+    write_bench_hotpath,
+)
 from repro.bench.experiments import (
     OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
@@ -62,8 +73,17 @@ __all__ = [
     "secure_reject_probe",
     "write_bench_fed",
     "GROUP_SIZES",
+    "HOTPATH_SPEEDUP_TARGET",
     "LOSS_RATES",
     "RATE_COUNTS",
+    "REGRESSION_TOLERANCE",
+    "format_hotpath",
+    "hotpath_report",
+    "layer_ladder",
+    "render_layer_table",
+    "stage_report",
+    "steady_state_ab",
+    "write_bench_hotpath",
     "format_msgfast",
     "msgfast_report",
     "write_bench_msgfast",

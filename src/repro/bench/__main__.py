@@ -1,13 +1,18 @@
 """``python -m repro.bench``: run every experiment and print the report.
 
-``--experiment fault`` runs only E-FAULT (the fault-injection sweep and
-broker-crash recovery scenario) and writes ``BENCH_FAULT.json``;
-``--experiment msgfast`` runs only E-MSGFAST (the secure-messaging
-fast-path sweeps) and writes ``BENCH_MSGFAST.json``, exiting nonzero if
-any acceptance check fails; ``--experiment fed`` runs only E-FED (the
-sharded-federation sweep) and writes ``BENCH_FED.json``, likewise
-gating on its acceptance checks; ``--quick`` shrinks every experiment
-for CI smoke runs.
+``--experiment NAME`` runs one named experiment (see
+:data:`EXPERIMENTS`) and writes its ``BENCH_<NAME>.json``, exiting
+nonzero if the experiment's acceptance checks fail; ``--quick`` shrinks
+every experiment for CI smoke runs.
+
+* ``fault`` — E-FAULT: fault-injection sweep + broker-crash recovery,
+  ``BENCH_FAULT.json``.
+* ``msgfast`` — E-MSGFAST: secure-messaging fast-path sweeps,
+  ``BENCH_MSGFAST.json``.
+* ``fed`` — E-FED: sharded-federation sweep, ``BENCH_FED.json``.
+* ``hotpath`` — E-HOTPATH: per-stage hot-path profile, the legacy-vs-
+  optimized steady-state A/B and the layer-cost ladder,
+  ``BENCH_HOTPATH.json``.
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ from repro.bench import (
     format_baselines,
     format_fault_report,
     format_group_scaling,
+    format_hotpath,
     format_join_overhead,
     format_msg_overhead,
     format_msgfast,
     format_obs,
     format_policy_ablation,
     group_scaling,
+    hotpath_report,
     join_overhead,
     msg_overhead_curve,
     msgfast_report,
@@ -35,6 +42,7 @@ from repro.bench import (
     policy_ablation,
     write_bench_fault,
     write_bench_fed,
+    write_bench_hotpath,
     write_bench_msgfast,
     write_bench_obs,
 )
@@ -64,19 +72,36 @@ def run_msgfast(quick: bool) -> int:
     return 0 if data["checks"]["all_passed"] else 1
 
 
+def run_hotpath(quick: bool) -> int:
+    data = hotpath_report(quick=quick)
+    print(format_hotpath(data))
+    out = write_bench_hotpath(data)
+    print(f"  wrote {out}")
+    return 0 if data["checks"]["all_passed"] else 1
+
+
+#: ``--experiment`` name -> runner.  The README quickstart lists these
+#: names; ``tests/bench/test_experiment_registry.py`` keeps the two in
+#: sync (same drift-gate idea as the PROTOCOLS.md frame catalogue).
+EXPERIMENTS = {
+    "fault": run_fault,
+    "fed": run_fed,
+    "hotpath": run_hotpath,
+    "msgfast": run_msgfast,
+}
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     if "--experiment" in argv:
         which = argv[argv.index("--experiment") + 1]
-        if which == "fault":
-            return run_fault(quick)
-        if which == "msgfast":
-            return run_msgfast(quick)
-        if which == "fed":
-            return run_fed(quick)
-        print(f"unknown experiment {which!r}; known: fault, fed, msgfast",
-              file=sys.stderr)
-        return 2
+        runner = EXPERIMENTS.get(which)
+        if runner is None:
+            known = ", ".join(sorted(EXPERIMENTS))
+            print(f"unknown experiment {which!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        return runner(quick)
     print(format_join_overhead(join_overhead(repeats=2 if quick else 3)))
     print()
     sizes = (100, 1_000, 10_000, 100_000) if quick else (100, 1_000, 10_000, 100_000, 1_000_000)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Sequence
 
-from repro import obs, wire
+from repro import obs, perf, wire
 from repro.core import secure_connection as sc
 from repro.core import secure_exec as sx
 from repro.core import secure_filesharing as sf
@@ -104,6 +104,13 @@ class SecureClientPeer(ClientPeer):
         self.broker_credential: Credential | None = None
         self._broker_chain: list[Credential] = []
         self._seen_nonces: OrderedDict[bytes, None] = OrderedDict()
+        #: Validated-pipe memo: (peer_id, group) -> (cache element as
+        #: validated, ValidatedAdvertisement).  Keyed on the cache entry's
+        #: *object identity*: a republished advertisement is a fresh
+        #: element, so it revalidates; revocation flushes the memo; and
+        #: validity windows are re-checked on every hit.
+        self._validated_pipes: OrderedDict[
+            tuple[str, str], tuple[Element, ValidatedAdvertisement]] = OrderedDict()
         #: usernames allowed to run tasks here (None = any validated user)
         self.task_acl: set[str] | None = None
         self._install_secure_functions()
@@ -146,6 +153,7 @@ class SecureClientPeer(ClientPeer):
         validated advertisements, memoized signature verifications, and
         live resumption sessions (which skip per-frame chain checks)."""
         self.validator.invalidate()  # also clears the shared sigcache
+        self._validated_pipes.clear()
         self.resume_sessions.invalidate()
         self.resume_store.invalidate()
 
@@ -434,13 +442,55 @@ class SecureClientPeer(ClientPeer):
                 sig_alg=self.policy.signature_scheme, drbg=self.control.drbg)
         return element
 
+    #: LRU bound on the validated-pipe memo (distinct conversation targets).
+    _VALIDATED_PIPES_MAX = 1024
+
     def _resolve_validated_pipe(self, peer_id: str, group: str) -> ValidatedAdvertisement:
-        """Steps 1-3 of §4.3.1: fetch and validate the signed pipe adv."""
-        element = self._resolve_pipe(peer_id, group)
-        validated = self.validator.validate(element, self.clock.now)
+        """Steps 1-3 of §4.3.1: fetch and validate the signed pipe adv.
+
+        The full path canonicalizes and hash-checks the signed document
+        on every send just to *find* the validator's cache entry.  With
+        ``perf.FLAGS.pipe_validation_memo`` the client memoizes the
+        outcome against the cache element's object identity instead —
+        the element cannot have changed if it is literally the same
+        object — while still honouring what can change underneath an
+        unchanged document: credential validity windows and freshly
+        arrived revocations are re-checked on every hit, and
+        :meth:`_flush_trust_caches` drops the memo wholesale.
+        """
+        if not perf.FLAGS.pipe_validation_memo:
+            element = self._resolve_pipe(peer_id, group)
+            validated = self.validator.validate(element, self.clock.now)
+            if not isinstance(validated.advertisement, PipeAdvertisement):
+                raise SecurityError(
+                    f"expected a signed PipeAdvertisement from {peer_id}")
+            return validated
+        raw = self._resolve_pipe_entry(peer_id, group)
+        memo = self._validated_pipes.get((peer_id, group))
+        if memo is not None:
+            source, validated = memo
+            if source is raw:
+                try:
+                    validated.credential.check_validity_window(self.clock.now)
+                except CredentialError:
+                    del self._validated_pipes[(peer_id, group)]
+                else:
+                    if self.validator.revocation is not None:
+                        self.validator.revocation.check_chain(validated.chain)
+                    self._validated_pipes.move_to_end((peer_id, group))
+                    return validated
+            else:
+                del self._validated_pipes[(peer_id, group)]
+        # Validate a private copy so the memoized result can never alias
+        # later cache mutations; `raw` itself is kept only as the
+        # identity anchor.
+        validated = self.validator.validate(raw.deep_copy(), self.clock.now)
         if not isinstance(validated.advertisement, PipeAdvertisement):
             raise SecurityError(
                 f"expected a signed PipeAdvertisement from {peer_id}")
+        self._validated_pipes[(peer_id, group)] = (raw, validated)
+        if len(self._validated_pipes) > self._VALIDATED_PIPES_MAX:
+            self._validated_pipes.popitem(last=False)
         return validated
 
     # ======================================================================

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import struct
 
-from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+import numpy as np
+
+from repro import perf
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor, keystream
 from repro.crypto.poly1305 import poly1305_mac
 from repro.errors import InvalidTagError
 from repro.utils.bytesutil import constant_time_eq
@@ -29,10 +32,31 @@ def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
             + struct.pack("<QQ", len(aad), len(ciphertext)))
 
 
+def _otk_and_xor(key: bytes, nonce: bytes, data: bytes) -> tuple[bytes, bytes]:
+    """The Poly1305 one-time key plus ``data`` XOR keystream(counter=1..).
+
+    Fused fast path: block 0 (the OTK) and the message blocks come from
+    **one** keystream call, so the vectorized batch amortizes the block
+    function over the whole operation.  Byte-identical to the two-call
+    legacy path (same blocks at the same counters).
+    """
+    if not perf.FLAGS.chacha_vector:
+        return (chacha20_block(key, 0, nonce)[:32],
+                chacha20_xor(key, nonce, data, counter=1))
+    n_blocks = (len(data) + 63) // 64
+    stream = keystream(key, 0, nonce, n_blocks + 1)
+    otk = stream[:32]
+    if not data:
+        return otk, b""
+    buf = np.frombuffer(data, dtype=np.uint8) ^ np.frombuffer(
+        stream[64:64 + len(data)], dtype=np.uint8
+    )
+    return otk, buf.tobytes()
+
+
 def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
     """Encrypt and authenticate; returns ``ciphertext || tag``."""
-    otk = chacha20_block(key, 0, nonce)[:32]  # one-time Poly1305 key
-    ciphertext = chacha20_xor(key, nonce, plaintext, counter=1)
+    otk, ciphertext = _otk_and_xor(key, nonce, plaintext)
     tag = poly1305_mac(otk, _auth_input(aad, ciphertext))
     return ciphertext + tag
 
@@ -42,8 +66,8 @@ def open_(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
     if len(sealed) < TAG_SIZE:
         raise InvalidTagError("sealed message shorter than the tag")
     ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
-    otk = chacha20_block(key, 0, nonce)[:32]
+    otk, plaintext = _otk_and_xor(key, nonce, ciphertext)
     expected = poly1305_mac(otk, _auth_input(aad, ciphertext))
     if not constant_time_eq(expected, tag):
         raise InvalidTagError("Poly1305 tag mismatch")
-    return chacha20_xor(key, nonce, ciphertext, counter=1)
+    return plaintext

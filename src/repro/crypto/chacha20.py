@@ -1,11 +1,25 @@
-"""ChaCha20 stream cipher (RFC 8439) with a numpy-vectorized fast path.
+"""ChaCha20 stream cipher (RFC 8439) with vectorized fast paths.
 
-The scalar implementation follows the RFC block function literally and is
-the reference; ``chacha20_xor`` dispatches to a numpy implementation that
-evaluates the 20 rounds over *all* blocks of the message simultaneously
-(arrays of uint32, one lane per block), which is an order of magnitude
-faster in pure Python for multi-kilobyte messages.  The test suite checks
-both paths against the RFC 8439 vectors and against each other.
+The scalar implementation follows the RFC block function literally and
+is the reference.  Two numpy formulations exist on top of it:
+
+* ``_keystream_numpy`` — the original lane-per-block layout: a
+  ``(16, n_blocks)`` uint32 array, one quarter-round call per QR of the
+  round schedule (8 per double round).  Kept as the legacy path
+  (``perf.FLAGS.chacha_vector`` off) and as a differential reference.
+* ``_keystream_rows`` — the row formulation: state held as a
+  ``(4, 4, n_blocks)`` array so the four column quarter-rounds of each
+  round collapse into **one** vectorized quarter-round over ``(4, n)``
+  rows (diagonal rounds roll rows into column position and back).
+  Four times fewer Python-level numpy calls per round, with explicit
+  ``out=`` scratch to avoid temporaries — measured ~2x the legacy numpy
+  path at any size.
+
+Even so, numpy's fixed per-call overhead makes the scalar path cheaper
+below :data:`SCALAR_MAX_BLOCKS` blocks (the E-HOTPATH stage bench
+measures the crossover); ``keystream``/``chacha20_xor`` dispatch on
+that.  The test suite checks all paths against the RFC 8439 vectors and
+against each other.
 """
 
 from __future__ import annotations
@@ -14,8 +28,19 @@ import struct
 
 import numpy as np
 
+from repro import perf
+
 _MASK32 = 0xFFFFFFFF
 _CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+#: Messages of at most this many 64-byte blocks take the scalar path —
+#: numpy's fixed per-call overhead dominates below the crossover (the
+#: E-HOTPATH ``crypto.keystream`` stage timings are the evidence).
+SCALAR_MAX_BLOCKS = 8
+
+#: The legacy dispatch threshold (blocks at which the old numpy path
+#: engaged), preserved for ``perf.FLAGS.chacha_vector = False``.
+_LEGACY_NUMPY_MIN_BLOCKS = 4
 
 
 def _quarter(state: list[int], a: int, b: int, c: int, d: int) -> None:
@@ -73,7 +98,7 @@ def _np_quarter(x: np.ndarray, a: int, b: int, c: int, d: int) -> None:
 
 
 def _keystream_numpy(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> bytes:
-    """Keystream for ``n_blocks`` consecutive blocks, all lanes at once."""
+    """Legacy lane-per-block keystream (one QR call per schedule entry)."""
     init = np.empty((16, n_blocks), dtype=np.uint32)
     init[0:4] = np.array(_CONSTANTS, dtype=np.uint32)[:, None]
     init[4:12] = np.frombuffer(key, dtype="<u4").astype(np.uint32)[:, None]
@@ -96,24 +121,102 @@ def _keystream_numpy(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> b
     return x.T.astype("<u4").tobytes()
 
 
+def _qr_rows(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
+             t: np.ndarray) -> None:
+    """One quarter round over four (4, n_blocks) rows at once, in place.
+
+    ``t`` is caller-provided scratch of the same shape; the rotations are
+    expressed with ``out=`` so the round allocates nothing.
+    """
+    a += b
+    d ^= a
+    np.left_shift(d, 16, out=t)
+    np.right_shift(d, 16, out=d)
+    np.bitwise_or(d, t, out=d)
+    c += d
+    b ^= c
+    np.left_shift(b, 12, out=t)
+    np.right_shift(b, 20, out=b)
+    np.bitwise_or(b, t, out=b)
+    a += b
+    d ^= a
+    np.left_shift(d, 8, out=t)
+    np.right_shift(d, 24, out=d)
+    np.bitwise_or(d, t, out=d)
+    c += d
+    b ^= c
+    np.left_shift(b, 7, out=t)
+    np.right_shift(b, 25, out=b)
+    np.bitwise_or(b, t, out=b)
+
+
+def _keystream_rows(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> bytes:
+    """Row-formulation keystream: the state as a (4, 4, n_blocks) array.
+
+    Rows are the four words each quarter-round touches; a column round is
+    a single vectorized quarter-round, a diagonal round rolls rows 1-3
+    into column position and back.
+    """
+    init = np.empty((4, 4, n_blocks), dtype=np.uint32)
+    init[0] = np.array(_CONSTANTS, dtype=np.uint32)[:, None]
+    init[1:3] = np.frombuffer(key, dtype="<u4").reshape(2, 4, 1)
+    counters = (np.arange(n_blocks, dtype=np.uint64) + np.uint64(counter)) & np.uint64(_MASK32)
+    init[3, 0] = counters.astype(np.uint32)
+    init[3, 1:4] = np.frombuffer(nonce, dtype="<u4")[:, None]
+    x = init.copy()
+    t = np.empty((4, n_blocks), dtype=np.uint32)
+    r0, r1, r2, r3 = x[0], x[1], x[2], x[3]
+    with np.errstate(over="ignore"):
+        for _ in range(10):
+            _qr_rows(r0, r1, r2, r3, t)
+            x[1] = np.roll(r1, -1, axis=0)
+            x[2] = np.roll(r2, -2, axis=0)
+            x[3] = np.roll(r3, -3, axis=0)
+            _qr_rows(r0, r1, r2, r3, t)
+            x[1] = np.roll(r1, 1, axis=0)
+            x[2] = np.roll(r2, 2, axis=0)
+            x[3] = np.roll(r3, 3, axis=0)
+        x += init
+    return x.reshape(16, n_blocks).T.astype("<u4").tobytes()
+
+
+def keystream(key: bytes, counter: int, nonce: bytes, n_blocks: int,
+              use_numpy: bool | None = None) -> bytes:
+    """``n_blocks`` consecutive 64-byte keystream blocks from ``counter``.
+
+    Dispatches scalar vs vectorized on the measured crossover; the AEAD
+    layer uses this to fuse the Poly1305 one-time-key block and the
+    message keystream into a single call.
+    """
+    if use_numpy is None:
+        use_numpy = n_blocks > SCALAR_MAX_BLOCKS
+    if use_numpy:
+        if perf.FLAGS.chacha_vector:
+            return _keystream_rows(key, counter, nonce, n_blocks)
+        return _keystream_numpy(key, counter, nonce, n_blocks)
+    return b"".join(
+        chacha20_block(key, counter + i, nonce) for i in range(n_blocks)
+    )
+
+
 def chacha20_xor(key: bytes, nonce: bytes, data: bytes, counter: int = 1,
                  use_numpy: bool | None = None) -> bytes:
     """Encrypt/decrypt ``data`` (XOR with keystream starting at ``counter``).
 
-    ``use_numpy=None`` picks the vectorized path for messages of 4 blocks
-    or more, where the numpy fixed overhead is amortized.
+    ``use_numpy=None`` picks the path by block count: the optimized
+    dispatch crosses over at :data:`SCALAR_MAX_BLOCKS`; the legacy
+    configuration (``perf.FLAGS.chacha_vector`` off) keeps the original
+    4-block threshold and the lane-per-block implementation.
     """
     if not data:
         return b""
     n_blocks = (len(data) + 63) // 64
     if use_numpy is None:
-        use_numpy = n_blocks >= 4
-    if use_numpy:
-        stream = _keystream_numpy(key, counter, nonce, n_blocks)
-    else:
-        stream = b"".join(
-            chacha20_block(key, counter + i, nonce) for i in range(n_blocks)
-        )
+        if perf.FLAGS.chacha_vector:
+            use_numpy = n_blocks > SCALAR_MAX_BLOCKS
+        else:
+            use_numpy = n_blocks >= _LEGACY_NUMPY_MIN_BLOCKS
+    stream = keystream(key, counter, nonce, n_blocks, use_numpy=use_numpy)
     buf = np.frombuffer(data, dtype=np.uint8) ^ np.frombuffer(
         stream[: len(data)], dtype=np.uint8
     )

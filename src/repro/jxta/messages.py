@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro import perf
 from repro.errors import FrameTooLargeError, JxtaError, XMLError, XMLParseError
 from repro.utils.encoding import b64decode, b64encode
 from repro.xmllib import Element, parse, serialize
@@ -61,12 +62,15 @@ class Message:
         self.ns = ns
         self._elements: list[tuple[str, Any]] = []
         self._decoded: Any = None  # repro.wire decode cache; see invalidate()
+        self._wire: bytes | None = None  # serialized-bytes cache
 
     # -- building ----------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Drop the cached :mod:`repro.wire` decoded view after a mutation."""
+        """Drop the cached views (decoded frame, serialized bytes) after a
+        mutation."""
         self._decoded = None
+        self._wire = None
 
     def add_text(self, name: str, value: str) -> "Message":
         if not isinstance(value, str):
@@ -148,7 +152,19 @@ class Message:
         return root
 
     def to_wire(self) -> bytes:
-        return serialize(self.to_element()).encode("utf-8")
+        """Serialized frame bytes, memoized until the next mutation.
+
+        A message resent verbatim (datagram retry, group fan-out, relay)
+        reuses the buffer it was first serialized into — or, for a
+        message that arrived off the wire, the exact buffer it arrived
+        in — instead of re-walking the element tree.
+        """
+        if self._wire is not None:
+            return self._wire
+        wire = serialize(self.to_element()).encode("utf-8")
+        if perf.FLAGS.wire_cache:
+            self._wire = wire
+        return wire
 
     @classmethod
     def from_element(cls, root: Element) -> "Message":
@@ -187,7 +203,10 @@ class Message:
             root = parse(wire.decode("utf-8"))
         except (UnicodeDecodeError, XMLParseError, XMLError) as exc:
             raise JxtaError(f"undecodable message: {exc}") from exc
-        return cls.from_element(root)
+        message = cls.from_element(root)
+        if perf.FLAGS.wire_cache:
+            message._wire = bytes(wire)
+        return message
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Message {self.ns}:{self.msg_type} elems={self.names()}>"

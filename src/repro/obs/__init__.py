@@ -35,6 +35,8 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    InternedCounter,
+    InternedHistogram,
     Registry,
     get_registry,
     set_registry,
@@ -154,6 +156,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "InternedCounter",
+    "InternedHistogram",
     "ProtocolEvents",
     "Registry",
     "Span",

@@ -1,7 +1,8 @@
 """Counters, gauges and histogram timers behind a process-local registry.
 
 This module is deliberately **zero-dependency** (stdlib only) and imports
-nothing from the rest of ``repro``, so every layer — crypto, simulator,
+nothing from the rest of ``repro`` except the dependency-free
+:mod:`repro.perf` switch set, so every layer — crypto, simulator,
 overlay, secure core — can instrument itself without creating cycles.
 
 Design goals, in order:
@@ -26,6 +27,8 @@ import json
 import math
 import os
 import time
+
+from repro import perf
 
 #: Environment variable that disables the default registry at import time.
 DISABLE_ENV = "REPRO_OBS_DISABLED"
@@ -311,6 +314,60 @@ class Registry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+class InternedCounter:
+    """A counter name resolved to its instrument once per registry.
+
+    ``registry.incr(name)`` hashes the name into the instrument dict on
+    every call; hot paths (one or more increments *per frame*) instead
+    hold one of these, which caches the :class:`Counter` object and
+    re-resolves only when the process registry is swapped (bench/test
+    isolation).  With ``perf.FLAGS.interned_metrics`` off it degrades to
+    exactly the legacy string-keyed path.
+    """
+
+    __slots__ = ("name", "_registry", "_counter")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registry: Registry | None = None
+        self._counter: Counter | None = None
+
+    def incr(self, by: int = 1) -> None:
+        registry = _REGISTRY
+        if not registry.enabled:
+            return
+        if not perf.FLAGS.interned_metrics:
+            registry.incr(self.name, by)
+            return
+        if registry is not self._registry:
+            self._counter = registry.counter(self.name)
+            self._registry = registry
+        self._counter.value += by
+
+
+class InternedHistogram:
+    """Histogram twin of :class:`InternedCounter` (per-frame observes)."""
+
+    __slots__ = ("name", "_registry", "_histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registry: Registry | None = None
+        self._histogram: Histogram | None = None
+
+    def observe(self, value: float) -> None:
+        registry = _REGISTRY
+        if not registry.enabled:
+            return
+        if not perf.FLAGS.interned_metrics:
+            registry.observe(self.name, value)
+            return
+        if registry is not self._registry:
+            self._histogram = registry.histogram(self.name)
+            self._registry = registry
+        self._histogram.observe(value)
 
 
 def _enabled_by_default() -> bool:

@@ -524,13 +524,19 @@ class ClientPeer:
 
     def _resolve_pipe(self, peer_id: str, group: str) -> Element:
         """Find the target's pipe advertisement: local cache, then broker."""
+        return self._resolve_pipe_entry(peer_id, group).deep_copy()
+
+    def _resolve_pipe_entry(self, peer_id: str, group: str) -> Element:
+        """Like :meth:`_resolve_pipe`, but returns the cache's element
+        without copying (read-only; the secure client memoizes validation
+        results against its identity)."""
         try:
-            return self.control.cached_pipe_advertisement(peer_id, group)
+            return self.control.cached_pipe_element(peer_id, group)
         except (OverlayError, JxtaError):
             pass
         self.search_advertisements(adv_type="PipeAdvertisement",
                                    peer_id=peer_id, group=group)
-        return self.control.cached_pipe_advertisement(peer_id, group)
+        return self.control.cached_pipe_element(peer_id, group)
 
     def _pipe_send(self, pipe, message: Message, retry: RetryPolicy,
                    timeout: Timeout) -> tuple[bool, int, Exception | None]:

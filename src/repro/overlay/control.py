@@ -101,5 +101,15 @@ class ControlModule:
 
     def cached_pipe_advertisement(self, peer_id: str, group: str) -> Element:
         """The raw cached pipe advertisement for (peer, group)."""
+        return self.cached_pipe_element(peer_id, group).deep_copy()
+
+    def cached_pipe_element(self, peer_id: str, group: str) -> Element:
+        """The cache's own element for (peer, group) — **no copy**.
+
+        Callers must treat the result as read-only: it is the live cache
+        entry, and its object identity is what the secure client's
+        validated-pipe memo keys on (a republished advertisement is a
+        new object, so identity-misses force revalidation).
+        """
         entry = self.cache.find_one("PipeAdvertisement", peer_id, group=group)
-        return entry.element.deep_copy()
+        return entry.element

@@ -40,7 +40,7 @@ import bisect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from repro import obs, wire
+from repro import obs, perf, wire
 from repro.crypto.sha2 import sha256
 from repro.errors import JxtaError, NetworkError, OverlayError
 from repro.jxta.advertisements import Advertisement
@@ -63,11 +63,16 @@ DELTA_BATCH = 32
 DIRECTORY_MAX_AGE = 600.0
 
 
+#: ``fed.*`` counter handles, interned on first use (hot routing paths).
+_FED_COUNTERS: dict[str, obs.InternedCounter] = {}
+
+
 def fed_metric(name: str, by: int = 1) -> None:
     """Counter increment guarded on the registry switch (hot paths)."""
-    registry = obs.get_registry()
-    if registry.enabled:
-        registry.incr(name, by)
+    counter = _FED_COUNTERS.get(name)
+    if counter is None:
+        counter = _FED_COUNTERS[name] = obs.InternedCounter(name)
+    counter.incr(by)
 
 
 def entry_key(parsed: Advertisement) -> str:
@@ -90,10 +95,16 @@ class HashRing:
     a *delta* instead of a full copy.
     """
 
+    #: Memoized owner lookups are capped so an adversarial key stream
+    #: cannot grow the cache without bound; a full cache is simply
+    #: cleared (lookups stay correct, they just recompute).
+    OWNER_CACHE_MAX = 4096
+
     def __init__(self, vnodes: int = VNODES) -> None:
         self.vnodes = vnodes
         self._points: list[tuple[int, str]] = []  # sorted (hash, address)
         self._nodes: set[str] = set()
+        self._owner_cache: dict[str, str] = {}
 
     @staticmethod
     def _hash(label: str) -> int:
@@ -106,14 +117,35 @@ class HashRing:
         for i in range(self.vnodes):
             self._points.append((self._hash(f"node|{address}|{i}"), address))
         self._points.sort()
+        self._owner_cache.clear()
 
     def remove(self, address: str) -> None:
         if address not in self._nodes:
             return
         self._nodes.discard(address)
         self._points = [p for p in self._points if p[1] != address]
+        self._owner_cache.clear()
 
     def owner(self, key: str) -> str:
+        """The broker owning ``key`` — memoized until membership changes.
+
+        Every lookup costs a SHA-256 plus a bisect; the shard owner of a
+        given key only ever changes when a broker joins or leaves, so
+        ``add``/``remove`` are the exact (and only) invalidation points.
+        """
+        if perf.FLAGS.ring_memo:
+            cached = self._owner_cache.get(key)
+            if cached is not None:
+                return cached
+        address = self.owner_uncached(key)
+        if perf.FLAGS.ring_memo:
+            if len(self._owner_cache) >= self.OWNER_CACHE_MAX:
+                self._owner_cache.clear()
+            self._owner_cache[key] = address
+        return address
+
+    def owner_uncached(self, key: str) -> str:
+        """The reference lookup (hash + bisect every call)."""
         if not self._points:
             raise OverlayError("hash ring is empty")
         point = self._hash(f"key|{key}")

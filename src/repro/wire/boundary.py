@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 
-from repro import obs
+from repro import obs, perf
 from repro.jxta.messages import Message
 from repro.wire import catalogue
 from repro.wire.schema import (
@@ -32,18 +32,30 @@ def sanitize_msg_type(msg_type: str) -> str:
     return cleaned or "unknown"
 
 
+#: Reject counters interned per (msg_type, reason) so a malformed-frame
+#: storm skips the sanitize + format work after the first occurrence.
+#: Bounded: both segments are drawn from the catalogue/taxonomy on the
+#: defender side, and attacker-minted types collapse via sanitize.
+_REJECT_COUNTERS: dict[tuple[str, str], obs.InternedCounter] = {}
+_REJECT_CACHE_MAX = 4096
+
+_M_OVERSIZE = obs.InternedCounter(f"wire.reject.{REASON_OVERSIZE}")
+
+
 def count_reject(msg_type: str, reason: str) -> None:
     """Record one boundary rejection in the process metrics registry."""
-    registry = obs.get_registry()
-    if registry.enabled:
-        registry.incr(f"wire.reject.{sanitize_msg_type(msg_type)}.{reason}")
+    counter = _REJECT_COUNTERS.get((msg_type, reason))
+    if counter is None:
+        if len(_REJECT_COUNTERS) >= _REJECT_CACHE_MAX:
+            _REJECT_COUNTERS.clear()
+        counter = _REJECT_COUNTERS[(msg_type, reason)] = obs.InternedCounter(
+            f"wire.reject.{sanitize_msg_type(msg_type)}.{reason}")
+    counter.incr()
 
 
 def count_oversize() -> None:
     """Record a frame refused by the global wire cap (type unparsed)."""
-    registry = obs.get_registry()
-    if registry.enabled:
-        registry.incr(f"wire.reject.{REASON_OVERSIZE}")
+    _M_OVERSIZE.incr()
 
 
 def decode(message: Message) -> DecodedFrame:
@@ -60,7 +72,10 @@ def decode(message: Message) -> DecodedFrame:
     spec = catalogue.get(message.msg_type)
     if spec is None:
         raise WireRejected(message.msg_type, REASON_UNKNOWN_TYPE)
-    view = spec.decode(message)
+    if perf.FLAGS.compiled_decoders:
+        view = spec.compiled()(message)
+    else:
+        view = spec.decode(message)
     message._decoded = view
     return view
 

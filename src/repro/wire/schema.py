@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import JxtaError
 from repro.jxta.messages import Message
@@ -205,6 +205,72 @@ class DecodedFrame:
         return f"<DecodedFrame {self.msg_type} {sorted(self._values)}>"
 
 
+def _compile_field(msg_type: str, field: Field) -> Callable[[Any], Any]:
+    """Specialize :meth:`Field.check` into a closure for one field.
+
+    All per-kind branching is resolved here, once, so the returned
+    checker runs only the tests that can actually fail for this field.
+    The decision logic (and every reject reason) is identical to
+    :meth:`Field.check` — the differential tests hold the two paths
+    byte-for-byte equal over the mutation-fuzz corpus.
+    """
+    name, kind = field.name, field.kind
+    expected = _PY_KIND["text" if kind == "json" else kind]
+    max_size = field.max_size
+    # xml values are Elements, which the reference path never measures.
+    check_size = max_size is not None and kind != "xml"
+
+    if kind == "json":
+        json_type = _JSON_TYPES[field.json_type] if field.json_type else None
+        loads = json.loads
+
+        def check(value: Any) -> Any:
+            if not isinstance(value, str):
+                raise WireRejected(msg_type, REASON_WRONG_KIND,
+                                   f"field {name!r} expects {kind}")
+            if check_size and len(value) > max_size:
+                raise WireRejected(msg_type, REASON_TOO_LARGE,
+                                   f"field {name!r} over {max_size} bytes")
+            try:
+                decoded = loads(value)
+            except json.JSONDecodeError as exc:
+                raise WireRejected(msg_type, REASON_BAD_JSON,
+                                   f"field {name!r}: {exc}") from None
+            if json_type is not None and not isinstance(decoded, json_type):
+                raise WireRejected(
+                    msg_type, REASON_BAD_JSON,
+                    f"field {name!r} must be a JSON {field.json_type}")
+            return decoded
+
+    elif field.numeric:
+
+        def check(value: Any) -> Any:
+            if not isinstance(value, str):
+                raise WireRejected(msg_type, REASON_WRONG_KIND,
+                                   f"field {name!r} expects {kind}")
+            if check_size and len(value) > max_size:
+                raise WireRejected(msg_type, REASON_TOO_LARGE,
+                                   f"field {name!r} over {max_size} bytes")
+            try:
+                return int(value, 10)
+            except ValueError:
+                raise WireRejected(msg_type, REASON_BAD_NUMBER,
+                                   f"field {name!r} is not an integer") from None
+
+    else:
+
+        def check(value: Any) -> Any:
+            if not isinstance(value, expected):
+                raise WireRejected(msg_type, REASON_WRONG_KIND,
+                                   f"field {name!r} expects {kind}")
+            if check_size and len(value) > max_size:
+                raise WireRejected(msg_type, REASON_TOO_LARGE,
+                                   f"field {name!r} over {max_size} bytes")
+            return value
+
+    return check
+
+
 @dataclass(frozen=True)
 class FrameSpec:
     """The declarative schema for one message type."""
@@ -250,6 +316,45 @@ class FrameSpec:
                     self.msg_type, REASON_MISSING_FIELD,
                     f"element {field.name!r} required")
         return DecodedFrame(message.msg_type, self, values)
+
+    def compiled(self) -> Callable[[Message], DecodedFrame]:
+        """The precompiled decoder for this spec (built once, memoized).
+
+        Semantically identical to :meth:`decode` — same decisions, same
+        reject reasons, in the same order — but with the per-field
+        dispatch specialized into closures, so the dispatch boundary
+        pays no interpretive overhead per frame.  :meth:`decode` stays
+        the reference implementation the differential tests diff
+        against.
+        """
+        compiled = getattr(self, "_compiled", None)
+        if compiled is not None:
+            return compiled
+        msg_type = self.msg_type
+        checkers = {f.name: _compile_field(msg_type, f) for f in self.fields}
+        required = tuple(f.name for f in self.fields if f.required)
+        lookup = checkers.get
+        spec = self
+
+        def decode_fast(message: Message) -> DecodedFrame:
+            values: dict[str, Any] = {}
+            for name, raw in message._elements:
+                checker = lookup(name)
+                if checker is None:
+                    raise WireRejected(msg_type, REASON_UNKNOWN_FIELD,
+                                       f"unexpected element {name!r}")
+                if name in values:
+                    raise WireRejected(msg_type, REASON_DUPLICATE_FIELD,
+                                       f"element {name!r} repeated")
+                values[name] = checker(raw)
+            for name in required:
+                if name not in values:
+                    raise WireRejected(msg_type, REASON_MISSING_FIELD,
+                                       f"element {name!r} required")
+            return DecodedFrame(message.msg_type, spec, values)
+
+        object.__setattr__(self, "_compiled", decode_fast)
+        return decode_fast
 
     # -- fuzz/coverage synthesis -------------------------------------------
 

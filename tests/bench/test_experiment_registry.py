@@ -1,0 +1,44 @@
+"""README quickstart vs the ``--experiment`` registry (drift gate).
+
+The install-and-run block in ``README.md`` documents one line per named
+experiment.  This suite keeps that list exactly in sync with
+:data:`repro.bench.__main__.EXPERIMENTS` — the same
+generated-docs-must-match-the-code idea as the ``PROTOCOLS.md`` frame
+catalogue check.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.bench.__main__ import EXPERIMENTS
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def readme_experiments() -> set[str]:
+    text = README.read_text(encoding="utf-8")
+    return set(re.findall(
+        r"python -m repro\.bench --experiment (\w+)", text))
+
+
+def test_readme_lists_every_experiment():
+    assert readme_experiments() == set(EXPERIMENTS)
+
+
+def test_every_experiment_writes_its_bench_json():
+    """Each README experiment line names its BENCH_<NAME>.json artifact."""
+    text = README.read_text(encoding="utf-8")
+    for name in EXPERIMENTS:
+        assert f"BENCH_{name.upper()}.json" in text, name
+
+
+def test_unknown_experiment_exits_2(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--experiment", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    for name in EXPERIMENTS:
+        assert name in err  # the error lists every valid name

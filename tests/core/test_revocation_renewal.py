@@ -125,11 +125,31 @@ class TestEndToEndRevocation:
 
         Revoke WITHOUT disconnecting so bob's advertisement stays in
         alice's cache: the rejection must come from the validator's
-        revocation check on the cache-hit path."""
+        revocation check on the cache-hit path.  The validator digest
+        cache is exercised with the pipe-validation memo disabled so
+        cache hits land there rather than in the memo above it."""
+        from repro import perf
+
         w = joined_secure_world
-        for i in range(3):  # warm alice's validation cache on bob
+        with perf.flags(pipe_validation_memo=False):
+            for i in range(3):  # warm alice's validation cache on bob
+                w.alice.secure_msg_peer(str(w.bob.peer_id), "students", f"m{i}")
+            assert w.alice.validator.cache_hits > 0
+            w.broker.revocations.revoke(str(w.bob.peer_id))
+            w.broker.publish_revocations()
+            with pytest.raises(RevokedCredentialError):
+                w.alice.secure_msg_peer(str(w.bob.peer_id), "students", "cached?")
+
+    def test_revocation_respects_pipe_memo(self, joined_secure_world):
+        """The validated-pipe memo must not shield a revoked peer either.
+
+        With the memo enabled (the default), repeat sends hit the memo
+        above the validator's digest cache — the revocation check must
+        still run on every memo hit."""
+        w = joined_secure_world
+        for i in range(3):  # warm alice's validated-pipe memo on bob
             w.alice.secure_msg_peer(str(w.bob.peer_id), "students", f"m{i}")
-        assert w.alice.validator.cache_hits > 0
+        assert w.alice._validated_pipes  # memo actually warm
         w.broker.revocations.revoke(str(w.bob.peer_id))
         w.broker.publish_revocations()
         with pytest.raises(RevokedCredentialError):

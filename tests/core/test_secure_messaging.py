@@ -161,7 +161,20 @@ class TestEndToEnd:
                    for e in w.bob.events.events_named("message_rejected"))
 
     def test_adv_validation_cached_across_messages(self, joined_secure_world):
+        from repro import perf
+
+        w = joined_secure_world
+        with perf.flags(pipe_validation_memo=False):
+            for i in range(3):
+                w.alice.secure_msg_peer(str(w.bob.peer_id), "students", f"m{i}")
+            assert w.alice.validator.cache_hits >= 2
+
+    def test_adv_validation_memoized_across_messages(self, joined_secure_world):
+        """With the pipe memo on (default), repeat sends skip the validator."""
         w = joined_secure_world
         for i in range(3):
             w.alice.secure_msg_peer(str(w.bob.peer_id), "students", f"m{i}")
-        assert w.alice.validator.cache_hits >= 2
+        assert w.alice._validated_pipes  # memo holds bob's pipe
+        # the memo sits above the digest cache, so the validator itself
+        # is consulted exactly once (the miss) and never hits its cache
+        assert w.alice.validator.cache_hits == 0

@@ -72,6 +72,81 @@ class TestHashRing:
             assert counts[n] / expected == pytest.approx(1.0, abs=0.5)
 
 
+class TestRingMemo:
+    """The memoized owner lookup must be invisible except for speed."""
+
+    KEYS = [f"urn:jxta:peer-{i}" for i in range(128)]
+
+    def _ring(self, n=3):
+        ring = HashRing()
+        for i in range(n):
+            ring.add(f"broker:{i}")
+        return ring
+
+    def test_memo_matches_reference(self):
+        ring = self._ring()
+        assert [ring.owner(k) for k in self.KEYS] \
+            == [ring.owner_uncached(k) for k in self.KEYS]
+        # and again from a warm cache
+        assert [ring.owner(k) for k in self.KEYS] \
+            == [ring.owner_uncached(k) for k in self.KEYS]
+
+    def test_add_invalidates_memo(self):
+        ring = self._ring()
+        for k in self.KEYS:
+            ring.owner(k)  # warm
+        ring.add("broker:99")
+        assert [ring.owner(k) for k in self.KEYS] \
+            == [ring.owner_uncached(k) for k in self.KEYS]
+
+    def test_remove_invalidates_memo(self):
+        ring = self._ring()
+        stale = {k: ring.owner(k) for k in self.KEYS}  # warm
+        ring.remove("broker:2")
+        fresh = {k: ring.owner(k) for k in self.KEYS}
+        assert fresh == {k: ring.owner_uncached(k) for k in self.KEYS}
+        assert any(stale[k] == "broker:2" != fresh[k] for k in self.KEYS)
+
+    def test_flag_off_bypasses_cache(self):
+        from repro import perf
+
+        ring = self._ring()
+        with perf.flags(ring_memo=False):
+            for k in self.KEYS:
+                ring.owner(k)
+            assert not ring._owner_cache
+
+    def test_cache_capped(self):
+        ring = self._ring()
+        for i in range(ring.OWNER_CACHE_MAX + 10):
+            ring.owner(f"overflow-{i}")
+        assert len(ring._owner_cache) <= ring.OWNER_CACHE_MAX
+
+    def test_membership_churn_via_fed_messages(self, plain_world):
+        """fed_members gossip and fed_unlink must flush the memo.
+
+        Broker link/unlink mutates each member's ring through the
+        ``fed_members``/``fed_unlink`` wire frames — after every churn
+        step the memoized owner map must equal the reference map."""
+        world, (b1,) = _federated_world(plain_world)
+        ring = world.broker.federation.ring
+
+        def consistent():
+            return all(ring.owner(k) == ring.owner_uncached(k)
+                       for k in self.KEYS)
+
+        assert consistent()
+        b2 = Broker(world.net, "broker:2", world.db,
+                    world.root.fork(b"memo-br2"), name="B2")
+        b1.link_broker(b2)  # reaches broker:0 via fed_members gossip
+        assert "broker:2" in world.broker.federation.members
+        assert consistent()
+        world.broker.unlink_broker(b1)  # fed_unlink both ways
+        assert consistent()
+        world.broker.link_broker(b1)
+        assert consistent()
+
+
 def _federated_world(plain_world, n_extra=1):
     """The plain-world broker plus ``n_extra`` linked brokers."""
     world = plain_world
