@@ -64,7 +64,7 @@ def _sweep_variant(variant: str, messages: int) -> list[LossCell]:
             result = sender.send_msg_peer(
                 str(receiver.peer_id), "bench", "fault-sweep probe",
                 retry=retry)
-            return bool(result)
+            return result.ok
     else:
         net, _admin, _broker, clients = build_secure_world(
             n_clients=2, seed=b"bench-fault-secure", joined=True)

@@ -356,7 +356,7 @@ def layer_ladder(messages: int = 60) -> list[dict]:
     def plain_send(wire: bool):
         _net, sender, receiver = _plain_pair(b"e-hotpath-ladder", wire=wire)
         return lambda: sender.send_msg_peer(
-            str(receiver.peer_id), "bench", _PAYLOAD_TEXT)
+            str(receiver.peer_id), "bench", _PAYLOAD_TEXT).ok
 
     def secure_send(fast: bool):
         net, _admin, _broker, clients = fixtures.build_secure_world(

@@ -32,6 +32,7 @@ from repro.errors import (
 from repro.jxta.advertisements import PeerAdvertisement
 from repro.jxta.ids import parse_id
 from repro.jxta.messages import Message
+from repro.net.base import Transport
 from repro.overlay.broker import Broker
 from repro.overlay.database import UserDatabase
 from repro.sim.network import SimNetwork
@@ -40,7 +41,8 @@ from repro.sim.network import SimNetwork
 class SecureBroker(Broker):
     """Broker with the secureConnection / secureLogin functions installed."""
 
-    def __init__(self, network: SimNetwork, address: str, database: UserDatabase,
+    def __init__(self, network: SimNetwork | Transport, address: str,
+                 database: UserDatabase,
                  drbg: HmacDrbg, keystore: Keystore, name: str = "",
                  policy: SecurityPolicy = DEFAULT_POLICY) -> None:
         super().__init__(network, address, database, drbg, name=name)
@@ -62,7 +64,8 @@ class SecureBroker(Broker):
         self._install_secure_functions()
 
     @classmethod
-    def create(cls, network: SimNetwork, address: str, admin: Administrator,
+    def create(cls, network: SimNetwork | Transport, address: str,
+               admin: Administrator,
                drbg: HmacDrbg, name: str = "",
                policy: SecurityPolicy = DEFAULT_POLICY,
                keys=None) -> "SecureBroker":
@@ -93,13 +96,15 @@ class SecureBroker(Broker):
         self.sids.reset()
 
     def _install_secure_functions(self) -> None:
-        self._install(sc.CONNECT_REQ, self.fn_secure_connect)
-        self._install(sl.LOGIN_REQ, self.fn_secure_login)
-        self._install("revocation_req", self.fn_revocation_list)
-        self._install("renew_req", self.fn_renew_credential)
         from repro.core import secure_groups as sg
 
-        self._install(sg.GROUP_OP_REQ, self.fn_secure_group_op)
+        self._install({
+            sc.CONNECT_REQ: self.fn_secure_connect,
+            sl.LOGIN_REQ: self.fn_secure_login,
+            "revocation_req": self.fn_revocation_list,
+            "renew_req": self.fn_renew_credential,
+            sg.GROUP_OP_REQ: self.fn_secure_group_op,
+        })
 
     def fn_secure_group_op(self, message: Message, src: str) -> Message:
         """Authenticated group management (§6 further work)."""

@@ -57,6 +57,7 @@ from repro.jxta.messages import Message
 from repro.overlay.client import ClientPeer
 from repro.overlay.policy import RetryPolicy, Timeout
 from repro.overlay.primitives import primitive
+from repro.net.base import Transport
 from repro.sim.network import SimNetwork
 from repro.xmllib import Element
 
@@ -67,7 +68,8 @@ NONCE_WINDOW = 1024
 class SecureClientPeer(ClientPeer):
     """Client Module + the secure primitive set."""
 
-    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
+    def __init__(self, network: "SimNetwork | Transport", address: str,
+                 drbg: HmacDrbg,
                  trust_anchor: Credential, name: str = "",
                  policy: SecurityPolicy = DEFAULT_POLICY,
                  keystore: Keystore | None = None) -> None:
@@ -116,11 +118,12 @@ class SecureClientPeer(ClientPeer):
         self._install_secure_functions()
 
     def _install_secure_functions(self) -> None:
-        ep = self.control.endpoint
-        ep.on(sf.FILE_REQ, self._fn_secure_file_request)
-        ep.on(sx.TASK_REQ, self._fn_secure_task_request)
-        ep.on("revocation_push", self._fn_revocation_push)
-        ep.on(sm.RESUME_RESET, self._fn_resume_reset)
+        self.control.endpoint.configure(handlers={
+            sf.FILE_REQ: self._fn_secure_file_request,
+            sx.TASK_REQ: self._fn_secure_task_request,
+            "revocation_push": self._fn_revocation_push,
+            sm.RESUME_RESET: self._fn_resume_reset,
+        })
 
     # ======================================================================
     # credential revocation (further work, §6)

@@ -1,55 +1,157 @@
-"""Endpoint service: a peer's attachment point to the (simulated) network.
+"""Endpoint service: a peer's attachment point to the network.
 
-Dispatches incoming frames to per-message-type handlers, mirroring JXTA's
-endpoint service.  Outgoing traffic goes through an optional
-:class:`~repro.jxta.transport.base.SecureTransport` (plain, TLS or CBJX),
-which is how the related-work baselines plug in underneath *any* JXTA
-traffic without the upper layers knowing.
+Dispatches incoming frames to per-message-type handlers, mirroring
+JXTA's endpoint service.  The endpoint is **transport-agnostic**: it
+talks to any :class:`~repro.net.base.Transport` backend — the
+discrete-event simulator (:class:`~repro.net.sim.SimTransport`,
+auto-wrapped around a bare :class:`~repro.sim.network.SimNetwork`) or
+real asyncio TCP sockets (:class:`~repro.net.tcp.TcpTransport`) — so
+the same overlay code serves simulated links and 127.0.0.1 sockets.
+
+Outgoing traffic additionally goes through an optional
+:class:`~repro.jxta.transport.base.SecureTransport` (plain, TLS or
+CBJX), which is how the related-work baselines plug in underneath
+*any* JXTA traffic without the upper layers knowing.  The two layers
+are orthogonal: the net transport moves bytes between addresses, the
+secure transport decides what those bytes look like.
+
+Everything an endpoint needs is declared through one entry point,
+:meth:`Endpoint.configure` — handler table, wire boundary, secure
+transport, and the connect/receive/close lifecycle hooks.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
+from typing import Callable, Mapping
 
 from repro.errors import FrameTooLargeError, JxtaError, NetworkError, TransportError
 from repro.jxta.messages import Message
 from repro.jxta.transport.base import PlainTransport, SecureTransport
+from repro.net.base import Frame, Transport, as_transport
 from repro.sim.metrics import Metrics
-from repro.sim.network import Frame, SimNetwork
 
 MessageHandler = Callable[[Message, str], Message | None]
 """Receives (message, source_address); may return a response message."""
 
+ReceiveHook = Callable[[Message, str], None]
+"""Lifecycle hook: every accepted inbound message, before dispatch."""
+
+PeerHook = Callable[[str], None]
+"""Lifecycle hook: a peer connected to us / its connection closed."""
+
 
 class Endpoint:
-    """A named attachment to the simulated network."""
+    """A named attachment to a transport backend."""
 
-    def __init__(self, network: SimNetwork, address: str,
+    def __init__(self, network, address: str,
                  transport: SecureTransport | None = None) -> None:
+        """Attach to ``network`` — a :class:`~repro.net.base.Transport`
+        or a bare :class:`~repro.sim.network.SimNetwork` (wrapped
+        transparently).  ``transport`` is the optional *secure*
+        (crypto) transport, kept under its historical name."""
         self.network = network
+        self.net: Transport = as_transport(network)
         self.address = address
         self.transport = transport if transport is not None else PlainTransport()
         self.metrics = Metrics()
         self._handlers: dict[str, MessageHandler] = {}
         self._default_handler: MessageHandler | None = None
-        self._wire = None  # set by install_wire_boundary()
-        network.register(address, self._on_frame)
+        self._wire = None  # set by configure(wire=True)
+        self._on_connect: PeerHook | None = None
+        self._on_receive: ReceiveHook | None = None
+        self._on_close: PeerHook | None = None
+        self._closed = False
+        self.net.register(address, self._on_frame,
+                          on_connect=self._fire_connect,
+                          on_close=self._fire_close)
 
-    def close(self) -> None:
-        self.network.unregister(self.address)
+    @property
+    def clock(self):
+        return self.net.clock
+
+    # -- declarative configuration -----------------------------------------
+
+    def configure(self, *, handlers: Mapping[str, MessageHandler] | None = None,
+                  default: MessageHandler | None = None,
+                  wire: bool | None = None,
+                  transport: SecureTransport | None = None,
+                  on_connect: PeerHook | None = None,
+                  on_receive: ReceiveHook | None = None,
+                  on_close: PeerHook | None = None) -> "Endpoint":
+        """Declare this endpoint's runtime surface in one call.
+
+        * ``handlers`` — message-type → handler table, merged into the
+          registry (a duplicate type raises, exactly like :meth:`on`);
+          layered stacks call ``configure`` once per layer (plain
+          broker functions, then the secure extension's).
+        * ``default`` — fallback handler for unmatched types.
+        * ``wire`` — ``True`` validates every inbound frame against
+          :mod:`repro.wire` *before* dispatch (rejects counted under
+          ``wire.reject.*``); ``False`` removes the boundary; ``None``
+          leaves it unchanged.  Raw endpoints (tests, taps) stay
+          schema-free unless they opt in.
+        * ``transport`` — the :class:`SecureTransport` wrapping frame
+          bytes (plain/TLS/CBJX).
+        * ``on_connect`` / ``on_receive`` / ``on_close`` — lifecycle
+          hooks: first traffic from a peer, every accepted message
+          (after decode + wire check, before dispatch), and a peer's
+          connection going away.
+
+        Returns ``self`` so construction can chain.
+        """
+        if handlers:
+            for msg_type, handler in handlers.items():
+                self.on(msg_type, handler)
+        if default is not None:
+            self.on_default(default)
+        if wire is not None:
+            if wire:
+                # Imported lazily: repro.wire itself imports
+                # repro.jxta.messages, so a module-level import here
+                # would cycle through the package.
+                from repro import wire as wire_mod
+                self._wire = wire_mod
+            else:
+                self._wire = None
+        if transport is not None:
+            self.transport = transport
+        if on_connect is not None:
+            self._on_connect = on_connect
+        if on_receive is not None:
+            self._on_receive = on_receive
+        if on_close is not None:
+            self._on_close = on_close
+        return self
 
     def install_wire_boundary(self) -> None:
-        """Validate every inbound frame against :mod:`repro.wire`.
+        """Deprecated alias for ``configure(wire=True)``."""
+        warnings.warn(
+            "Endpoint.install_wire_boundary() is deprecated; use "
+            "Endpoint.configure(wire=True)",
+            DeprecationWarning, stacklevel=2)
+        self.configure(wire=True)
 
-        Once installed, frames that are oversized, of an unknown type or
-        that fail their :class:`~repro.wire.schema.FrameSpec` are counted
-        under ``wire.reject.*`` and dropped *before* handler dispatch.
-        Raw endpoints (tests, taps) stay schema-free unless they opt in.
+    def close(self) -> None:
+        """Detach from the transport and drain in-flight state.
+
+        Idempotent.  The handler table is cleared and a closed flag
+        raised *before* unregistering, so a frame already inside the
+        backend (a socket read racing the shutdown) is dropped rather
+        than dispatched; the backend then tears down its listening
+        socket, live connections and pending requests, so a socket
+        backend can never leak connections past ``close()``.
         """
-        # Imported lazily: repro.wire itself imports repro.jxta.messages,
-        # so a module-level import here would cycle through the package.
-        from repro import wire
-        self._wire = wire
+        if self._closed:
+            return
+        self._closed = True
+        self._handlers.clear()
+        self._default_handler = None
+        self.net.unregister(self.address)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- handler registry ----------------------------------------------------
 
@@ -61,9 +163,22 @@ class Endpoint:
     def on_default(self, handler: MessageHandler) -> None:
         self._default_handler = handler
 
+    # -- lifecycle hook plumbing ---------------------------------------------
+
+    def _fire_connect(self, peer: str) -> None:
+        if self._on_connect is not None and not self._closed:
+            self._on_connect(peer)
+
+    def _fire_close(self, peer: str) -> None:
+        if self._on_close is not None:
+            self._on_close(peer)
+
     # -- receive path ----------------------------------------------------------
 
     def _on_frame(self, frame: Frame) -> bytes | None:
+        if self._closed:
+            self.metrics.incr("rx.closed")
+            return None
         try:
             plain = self.transport.unwrap(frame.payload, peer=frame.src,
                                           local=self.address)
@@ -79,6 +194,8 @@ class Endpoint:
             self.metrics.incr("rx.rejected")
             return None
         self.metrics.incr("rx.messages")
+        if self._on_receive is not None:
+            self._on_receive(message, frame.src)
         handler = self._handlers.get(message.msg_type, self._default_handler)
         if handler is None:
             self.metrics.incr("rx.unhandled")
@@ -93,10 +210,12 @@ class Endpoint:
 
     def send(self, dst: str, message: Message) -> bool:
         """Best-effort one-way message (pipe semantics)."""
+        if self._closed:
+            raise NetworkError(f"endpoint {self.address!r} is closed")
         wire = self.transport.wrap(message.to_wire(), peer=dst, local=self.address)
         self.metrics.incr("tx.messages")
         self.metrics.incr("tx.bytes", len(wire))
-        return self.network.send(self.address, dst, wire)
+        return self.net.send(self.address, dst, wire)
 
     def request(self, dst: str, message: Message) -> Message:
         """Round-trip request/response exchange.
@@ -104,10 +223,12 @@ class Endpoint:
         Raises :class:`NetworkError` on drop and :class:`JxtaError` on an
         undecodable response.
         """
+        if self._closed:
+            raise NetworkError(f"endpoint {self.address!r} is closed")
         wire = self.transport.wrap(message.to_wire(), peer=dst, local=self.address)
         self.metrics.incr("tx.requests")
         self.metrics.incr("tx.bytes", len(wire))
-        raw = self.network.request(self.address, dst, wire)
+        raw = self.net.request(self.address, dst, wire)
         plain = self.transport.unwrap(raw, peer=dst, local=self.address)
         try:
             return Message.from_wire(plain)

@@ -49,7 +49,7 @@ class PipeRegistry:
     def __init__(self, endpoint: Endpoint) -> None:
         self.endpoint = endpoint
         self._pipes: dict[str, InputPipe] = {}
-        endpoint.on(PIPE_MSG_TYPE, self._on_pipe_message)
+        endpoint.configure(handlers={PIPE_MSG_TYPE: self._on_pipe_message})
 
     def create_input_pipe(self, pipe_id: JxtaID, group: str) -> InputPipe:
         key = str(pipe_id)

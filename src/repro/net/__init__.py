@@ -1,0 +1,49 @@
+"""Transport backends for the endpoint runtime.
+
+The overlay's endpoints are transport-agnostic: the same broker,
+client, federation and secure-* code runs on
+
+* :class:`~repro.net.sim.SimTransport` — the deterministic
+  discrete-event simulator (the test harness), and
+* :class:`~repro.net.tcp.TcpTransport` — real asyncio TCP sockets with
+  length-prefixed framing (the production path).
+
+See ``docs/TRANSPORTS.md`` for the backend matrix, the framing format
+and the lifecycle-hook contract.
+
+The backend classes are exported lazily: ``repro.sim.network`` imports
+:class:`~repro.net.base.Frame` from this package, so eagerly importing
+the sim backend here would cycle through ``repro.sim``.
+"""
+
+from repro.net.base import (
+    Frame,
+    FrameHandler,
+    PeerHook,
+    Transport,
+    TransportClock,
+    as_transport,
+)
+from repro.net.clock import WallClock
+
+__all__ = [
+    "Frame",
+    "FrameHandler",
+    "PeerHook",
+    "SimTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportClock",
+    "WallClock",
+    "as_transport",
+]
+
+
+def __getattr__(name: str):
+    if name == "SimTransport":
+        from repro.net.sim import SimTransport
+        return SimTransport
+    if name == "TcpTransport":
+        from repro.net.tcp import TcpTransport
+        return TcpTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Length-prefixed wire framing for the socket backend.
+
+One transport frame carries one serialized overlay message (the exact
+bytes :meth:`repro.jxta.messages.Message.to_wire` produced, after the
+optional :class:`~repro.jxta.transport.base.SecureTransport` wrap) plus
+the minimal routing/correlation header a stream transport needs::
+
+    frame   := u32 body_len (big-endian) | body
+    body    := u8 kind | u64 request_id | u16 src_len | src utf-8 | payload
+
+Kinds:
+
+====  =========  ====================================================
+0x00  DATA       one-way datagram (pipe semantics); no reply expected
+0x01  REQUEST    request leg of a round trip; a RESPONSE or ERROR with
+                 the same ``request_id`` must come back
+0x02  RESPONSE   payload answers the matching REQUEST
+0x03  ERROR      utf-8 reason; the matching REQUEST failed remotely
+====  =========  ====================================================
+
+``src`` is the sender's *logical* endpoint address ("peer:alice"), not
+its socket address — the overlay routes, authenticates and seals by
+logical address on both backends, so a TCP frame carries exactly the
+information a simulator frame does.
+
+The decoder enforces a hard body ceiling derived from the global
+message-size cap (:func:`repro.jxta.messages.max_wire_bytes`) plus
+header slack, so a garbage or adversarial length prefix cannot balloon
+the read buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import NetworkError
+from repro.jxta import messages
+
+KIND_DATA = 0x00
+KIND_REQUEST = 0x01
+KIND_RESPONSE = 0x02
+KIND_ERROR = 0x03
+
+_KINDS = frozenset({KIND_DATA, KIND_REQUEST, KIND_RESPONSE, KIND_ERROR})
+
+#: struct layout of the fixed body prefix: kind, request_id, src_len
+_PREFIX = struct.Struct(">BQH")
+
+#: header room on top of the message-size cap (src address + prefix)
+HEADER_SLACK = 4096
+
+LENGTH_BYTES = 4
+
+
+def max_body_bytes() -> int:
+    """Current ceiling on one frame body (tracks the global wire cap)."""
+    return messages.max_wire_bytes() + HEADER_SLACK
+
+
+class FramingError(NetworkError):
+    """A malformed transport frame (bad length, kind or header)."""
+
+
+def encode_frame(kind: int, request_id: int, src: str, payload: bytes) -> bytes:
+    """One ready-to-write frame: length prefix + body."""
+    if kind not in _KINDS:
+        raise FramingError(f"unknown frame kind {kind:#x}")
+    src_bytes = src.encode("utf-8")
+    if len(src_bytes) > 0xFFFF:
+        raise FramingError("source address exceeds 65535 bytes")
+    body = _PREFIX.pack(kind, request_id, len(src_bytes)) + src_bytes + payload
+    if len(body) > max_body_bytes():
+        raise FramingError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_body_bytes()}-byte framing cap")
+    return struct.pack(">I", len(body)) + body
+
+
+def decode_body(body: bytes) -> tuple[int, int, str, bytes]:
+    """Split a frame body into (kind, request_id, src, payload)."""
+    if len(body) < _PREFIX.size:
+        raise FramingError(f"truncated frame body ({len(body)} bytes)")
+    kind, request_id, src_len = _PREFIX.unpack_from(body)
+    if kind not in _KINDS:
+        raise FramingError(f"unknown frame kind {kind:#x}")
+    src_end = _PREFIX.size + src_len
+    if len(body) < src_end:
+        raise FramingError("frame body shorter than its source address")
+    try:
+        src = body[_PREFIX.size:src_end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FramingError(f"undecodable source address: {exc}") from exc
+    return kind, request_id, src, body[src_end:]
+
+
+def check_length(length: int) -> int:
+    """Validate a length prefix before reading the body it announces."""
+    if length > max_body_bytes():
+        raise FramingError(
+            f"announced frame body of {length} bytes exceeds the "
+            f"{max_body_bytes()}-byte framing cap")
+    return length
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of length-prefixed frames.
+
+    Feed arbitrary chunks; completed ``(kind, request_id, src,
+    payload)`` tuples come back in order.  Useful for tests and any
+    integration that reads sockets without asyncio's ``readexactly``.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, int, str, bytes]]:
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < LENGTH_BYTES:
+                break
+            (length,) = struct.unpack_from(">I", self._buf)
+            check_length(length)
+            if len(self._buf) < LENGTH_BYTES + length:
+                break
+            body = bytes(self._buf[LENGTH_BYTES:LENGTH_BYTES + length])
+            del self._buf[:LENGTH_BYTES + length]
+            frames.append(decode_body(body))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,64 @@
+"""The simulator as a :class:`~repro.net.base.Transport` backend.
+
+A thin adapter: delivery, adversary hooks, link models and the virtual
+clock all stay in :class:`~repro.sim.network.SimNetwork`; this class
+only adds the per-registration connect/close lifecycle bookkeeping the
+transport contract promises.  On a simulated star network there is no
+socket to accept, so "connect" is synthesized from the first frame a
+peer delivers here, and every known peer is "closed" at unregister
+time — which is exactly when a socket backend would drop the
+connections of a disappearing endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.net.base import Frame, FrameHandler, PeerHook
+from repro.sim.network import SimNetwork
+
+
+class SimTransport:
+    """Adapter presenting a :class:`SimNetwork` as a transport backend."""
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+        self.clock = network.clock
+        #: per-address lifecycle state: (on_connect, on_close, seen peers)
+        self._lifecycles: dict[str, tuple[PeerHook | None, PeerHook | None,
+                                          set[str]]] = {}
+
+    def register(self, address: str, handler: FrameHandler, *,
+                 on_connect: PeerHook | None = None,
+                 on_close: PeerHook | None = None) -> None:
+        if on_connect is None and on_close is None:
+            self.network.register(address, handler)
+            return
+        seen: set[str] = set()
+        self._lifecycles[address] = (on_connect, on_close, seen)
+
+        def hooked(frame: Frame) -> bytes | None:
+            if on_connect is not None and frame.src not in seen:
+                seen.add(frame.src)
+                on_connect(frame.src)
+            elif frame.src not in seen:
+                seen.add(frame.src)
+            return handler(frame)
+
+        self.network.register(address, hooked)
+
+    def unregister(self, address: str) -> None:
+        lifecycle = self._lifecycles.pop(address, None)
+        self.network.unregister(address)
+        if lifecycle is not None:
+            _, on_close, seen = lifecycle
+            if on_close is not None:
+                for peer in sorted(seen):
+                    on_close(peer)
+
+    def is_registered(self, address: str) -> bool:
+        return self.network.is_registered(address)
+
+    def send(self, src: str, dst: str, payload: bytes) -> bool:
+        return self.network.send(src, dst, payload)
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        return self.network.request(src, dst, payload)

@@ -1,0 +1,449 @@
+"""Real sockets: an asyncio TCP :class:`~repro.net.base.Transport`.
+
+One ``TcpTransport`` owns a background asyncio event loop (daemon
+thread).  Every registered endpoint address gets its **own listening
+socket** on ``host`` (an OS-assigned port by default), recorded in an
+address directory so logical overlay addresses ("broker:0",
+"peer:alice") resolve to ``host:port`` pairs; :meth:`add_route` seeds
+the directory for endpoints living in other processes.
+
+Threading model — the part that makes synchronous overlay code work
+over real sockets:
+
+* the **event loop thread** only moves bytes (accept, read, write);
+* every **handler dispatch** runs on a worker-thread pool, so a broker
+  function may itself issue blocking :meth:`request` calls mid-handler
+  (the federation link handshake does exactly this: the responder
+  digest-syncs *back at the initiator* while the initiator is still
+  blocked in ``fed_link_req``) without stalling the loop;
+* ``REQUEST`` frames dispatch as independent tasks — concurrent
+  requests on one connection are multiplexed by ``request_id`` — while
+  ``DATA`` frames dispatch sequentially per connection, preserving the
+  per-link datagram ordering the simulator provides.
+
+Delivery semantics match the simulator contract: :meth:`send` raises
+:class:`~repro.errors.NetworkError` for an address the directory does
+not know and returns ``False`` when the connection fails (best-effort
+datagram); :meth:`request` raises :class:`NetworkError` on connection
+failure, timeout, or a responder that answered nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import struct
+import threading
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import NetworkError
+from repro.net import framing
+from repro.net.base import Frame, FrameHandler, PeerHook
+from repro.net.clock import WallClock
+
+#: how long ``close()`` waits for the loop thread to wind down
+_SHUTDOWN_GRACE = 5.0
+
+
+@dataclass
+class _EndpointState:
+    """Everything the transport tracks for one registered address."""
+
+    handler: FrameHandler
+    on_connect: PeerHook | None
+    on_close: PeerHook | None
+    server: asyncio.AbstractServer | None = None
+    #: inbound connection writers (server side), for drain-on-unregister
+    inbound: set[asyncio.StreamWriter] = field(default_factory=set)
+
+
+class _Conn:
+    """One pooled outbound connection (src endpoint -> dst address)."""
+
+    def __init__(self, src: str, dst: str, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.src = src
+        self.dst = dst
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.pending: set[int] = set()  # request ids in flight on this conn
+        self.reader_task: asyncio.Task | None = None
+
+
+class TcpTransport:
+    """Length-prefix-framed overlay frames over 127.0.0.1 (or any host)."""
+
+    def __init__(self, host: str = "127.0.0.1", *,
+                 request_timeout: float = 30.0,
+                 connect_timeout: float = 5.0,
+                 max_workers: int = 32) -> None:
+        self.host = host
+        self.clock = WallClock()
+        self.request_timeout = request_timeout
+        self.connect_timeout = connect_timeout
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-net")
+        self._lock = threading.Lock()
+        self._directory: dict[str, tuple[str, int]] = {}
+        self._endpoints: dict[str, _EndpointState] = {}
+        self._conns: dict[tuple[str, str], _Conn] = {}
+        self._pending: dict[int, tuple[concurrent.futures.Future, str]] = {}
+        self._req_ids = itertools.count(1)
+        self._closed = False
+
+    # -- loop plumbing -----------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise NetworkError("transport is closed")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever, name="repro-net-loop", daemon=True)
+                thread.start()
+                self._loop, self._thread = loop, thread
+            return self._loop
+
+    def _run(self, coro, timeout: float | None):
+        """Run ``coro`` on the loop from any other thread and wait."""
+        loop = self._ensure_loop()
+        future = asyncio.run_coroutine_threadsafe(coro, loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError as exc:
+            future.cancel()
+            raise NetworkError("transport operation timed out") from exc
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, address: str, handler: FrameHandler, *,
+                 on_connect: PeerHook | None = None,
+                 on_close: PeerHook | None = None) -> None:
+        with self._lock:
+            if self._closed:
+                raise NetworkError("transport is closed")
+            if address in self._endpoints:
+                raise NetworkError(f"address {address!r} is already registered")
+            state = _EndpointState(handler=handler, on_connect=on_connect,
+                                   on_close=on_close)
+            self._endpoints[address] = state
+        try:
+            self._run(self._start_server(address, state), self.connect_timeout)
+        except Exception:
+            with self._lock:
+                self._endpoints.pop(address, None)
+            raise
+        obs.get_registry().set_gauge("net.tcp.endpoints", len(self._endpoints))
+
+    async def _start_server(self, address: str, state: _EndpointState) -> None:
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_connection(address, state, r, w),
+            self.host, 0)
+        state.server = server
+        port = server.sockets[0].getsockname()[1]
+        with self._lock:
+            self._directory[address] = (self.host, port)
+
+    def location(self, address: str) -> tuple[str, int]:
+        """The (host, port) a registered address listens on."""
+        try:
+            return self._directory[address]
+        except KeyError:
+            raise NetworkError(f"no endpoint registered at {address!r}") from None
+
+    def add_route(self, address: str, host: str, port: int) -> None:
+        """Seed the directory for an endpoint served by another process."""
+        with self._lock:
+            self._directory[address] = (host, port)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._directory
+
+    # -- server side -------------------------------------------------------
+
+    async def _serve_connection(self, address: str, state: _EndpointState,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        state.inbound.add(writer)
+        write_lock = asyncio.Lock()
+        peer_src: str | None = None
+        request_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    head = await reader.readexactly(framing.LENGTH_BYTES)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                (length,) = struct.unpack(">I", head)
+                try:
+                    framing.check_length(length)
+                    body = await reader.readexactly(length)
+                    kind, req_id, src, payload = framing.decode_body(body)
+                except framing.FramingError:
+                    obs.get_registry().incr("net.tcp.bad_frames")
+                    break  # unframeable stream: drop the connection
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if peer_src is None:
+                    peer_src = src
+                    if state.on_connect is not None:
+                        await self._loop_safe_hook(state.on_connect, src)
+                frame = Frame(src=src, dst=address, payload=payload,
+                              sent_at=self.clock.now)
+                obs.get_registry().incr("net.tcp.frames_received")
+                if kind == framing.KIND_REQUEST:
+                    # Independent task: a handler may block on a nested
+                    # request back at this very peer (federation link
+                    # handshake), so responses must multiplex by id.
+                    task = asyncio.ensure_future(self._dispatch_request(
+                        state, frame, req_id, writer, write_lock))
+                    request_tasks.add(task)
+                    task.add_done_callback(request_tasks.discard)
+                elif kind == framing.KIND_DATA:
+                    # Sequential per connection: datagram order on one
+                    # link is preserved, exactly like the simulator.
+                    await self._dispatch_data(state, frame)
+                else:
+                    obs.get_registry().incr("net.tcp.unexpected_kind")
+        finally:
+            for task in list(request_tasks):
+                task.cancel()
+            state.inbound.discard(writer)
+            writer.close()
+            if peer_src is not None and state.on_close is not None:
+                await self._loop_safe_hook(state.on_close, peer_src)
+
+    async def _loop_safe_hook(self, hook: PeerHook, peer: str) -> None:
+        """Run a lifecycle hook on the pool so it may touch the overlay."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(self._pool, hook, peer)
+        except Exception:
+            obs.get_registry().incr("net.tcp.hook_errors")
+
+    async def _dispatch_data(self, state: _EndpointState, frame: Frame) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(self._pool, state.handler, frame)
+        except Exception:
+            obs.get_registry().incr("net.tcp.handler_errors")
+
+    async def _dispatch_request(self, state: _EndpointState, frame: Frame,
+                                req_id: int, writer: asyncio.StreamWriter,
+                                write_lock: asyncio.Lock) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            response = await loop.run_in_executor(
+                self._pool, state.handler, frame)
+        except Exception as exc:
+            obs.get_registry().incr("net.tcp.handler_errors")
+            response = None
+            reason = f"handler failed: {type(exc).__name__}"
+        else:
+            reason = f"endpoint {frame.dst!r} did not answer the request"
+        try:
+            if response is None:
+                out = framing.encode_frame(
+                    framing.KIND_ERROR, req_id, frame.dst,
+                    reason.encode("utf-8"))
+            else:
+                out = framing.encode_frame(
+                    framing.KIND_RESPONSE, req_id, frame.dst, bytes(response))
+            async with write_lock:
+                writer.write(out)
+                await writer.drain()
+        except (ConnectionError, RuntimeError, framing.FramingError):
+            obs.get_registry().incr("net.tcp.response_write_failures")
+
+    # -- client side -------------------------------------------------------
+
+    async def _get_conn(self, src: str, dst: str) -> _Conn:
+        key = (src, dst)
+        conn = self._conns.get(key)
+        if conn is not None and not conn.writer.is_closing():
+            return conn
+        host, port = self.location(dst)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), self.connect_timeout)
+        conn = _Conn(src, dst, reader, writer)
+        conn.reader_task = asyncio.ensure_future(self._conn_reader(conn))
+        self._conns[key] = conn
+        return conn
+
+    async def _conn_reader(self, conn: _Conn) -> None:
+        """Resolve RESPONSE/ERROR frames arriving on an outbound conn."""
+        try:
+            while True:
+                head = await conn.reader.readexactly(framing.LENGTH_BYTES)
+                (length,) = struct.unpack(">I", head)
+                framing.check_length(length)
+                body = await conn.reader.readexactly(length)
+                kind, req_id, _src, payload = framing.decode_body(body)
+                entry = self._pending.pop(req_id, None)
+                conn.pending.discard(req_id)
+                if entry is None:
+                    obs.get_registry().incr("net.tcp.orphan_responses")
+                    continue
+                future, _owner = entry
+                if kind == framing.KIND_RESPONSE:
+                    future.set_result(payload)
+                elif kind == framing.KIND_ERROR:
+                    future.set_exception(NetworkError(
+                        payload.decode("utf-8", "replace")))
+                else:
+                    future.set_exception(NetworkError(
+                        f"unexpected frame kind {kind:#x} in response"))
+        except (asyncio.IncompleteReadError, ConnectionError,
+                framing.FramingError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conns.pop((conn.src, conn.dst), None)
+            try:
+                conn.writer.close()
+            except RuntimeError:
+                pass  # loop already closed (coroutine finalized at GC)
+            for req_id in list(conn.pending):
+                entry = self._pending.pop(req_id, None)
+                if entry is not None and not entry[0].done():
+                    entry[0].set_exception(NetworkError(
+                        f"connection from {conn.src!r} to {conn.dst!r} "
+                        f"was lost"))
+
+    async def _write_frame(self, src: str, dst: str, kind: int,
+                           req_id: int, payload: bytes) -> None:
+        conn = await self._get_conn(src, dst)
+        out = framing.encode_frame(kind, req_id, src, payload)
+        async with conn.write_lock:
+            conn.writer.write(out)
+            await conn.writer.drain()
+        if kind == framing.KIND_REQUEST:
+            conn.pending.add(req_id)
+
+    # -- transport contract ------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: bytes) -> bool:
+        """Best-effort datagram; ``False`` when the connection fails."""
+        self.location(dst)  # unknown destination raises, like the sim
+        registry = obs.get_registry()
+        try:
+            self._run(self._write_frame(src, dst, framing.KIND_DATA, 0,
+                                        bytes(payload)),
+                      self.connect_timeout)
+        except (NetworkError, OSError):
+            registry.incr("net.tcp.frames_dropped")
+            return False
+        registry.incr("net.tcp.frames_sent")
+        registry.incr("net.tcp.bytes_sent", len(payload))
+        return True
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        """Round-trip exchange; raises :class:`NetworkError` on failure."""
+        self.location(dst)
+        req_id = next(self._req_ids)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._pending[req_id] = (future, src)
+        registry = obs.get_registry()
+        try:
+            self._run(self._write_frame(src, dst, framing.KIND_REQUEST,
+                                        req_id, bytes(payload)),
+                      self.connect_timeout)
+        except (NetworkError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            raise NetworkError(
+                f"request from {src!r} to {dst!r} was dropped: {exc}") from exc
+        registry.incr("net.tcp.frames_sent")
+        registry.incr("net.tcp.bytes_sent", len(payload))
+        try:
+            return future.result(self.request_timeout)
+        except concurrent.futures.TimeoutError as exc:
+            self._pending.pop(req_id, None)
+            raise NetworkError(
+                f"request from {src!r} to {dst!r} timed out after "
+                f"{self.request_timeout}s") from exc
+
+    def unregister(self, address: str) -> None:
+        """Drop an endpoint and drain everything attached to it.
+
+        Closes its listening socket, every inbound connection, every
+        pooled outbound connection it originated, and fails its pending
+        requests — so a closed endpoint can never leak connections.
+        """
+        with self._lock:
+            state = self._endpoints.pop(address, None)
+            self._directory.pop(address, None)
+        if state is None:
+            return
+        if self._loop is not None and self._loop.is_running():
+            try:
+                self._run(self._teardown_endpoint(address, state),
+                          _SHUTDOWN_GRACE)
+            except NetworkError:
+                pass
+        for req_id, (future, owner) in list(self._pending.items()):
+            if owner == address and not future.done():
+                self._pending.pop(req_id, None)
+                future.set_exception(NetworkError(
+                    f"endpoint {address!r} closed with the request in flight"))
+        obs.get_registry().set_gauge("net.tcp.endpoints", len(self._endpoints))
+
+    async def _teardown_endpoint(self, address: str,
+                                 state: _EndpointState) -> None:
+        if state.server is not None:
+            state.server.close()
+            await state.server.wait_closed()
+        for writer in list(state.inbound):
+            writer.close()
+        state.inbound.clear()
+        for key, conn in list(self._conns.items()):
+            if key[0] == address:
+                if conn.reader_task is not None:
+                    conn.reader_task.cancel()
+                conn.writer.close()
+                self._conns.pop(key, None)
+
+    async def _drain_tasks(self) -> None:
+        tasks = [task for task in asyncio.all_tasks()
+                 if task is not asyncio.current_task()]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    def close(self) -> None:
+        """Tear down every endpoint, the pool, and the event loop."""
+        with self._lock:
+            if self._closed:
+                return
+            addresses = list(self._endpoints)
+        for address in addresses:
+            self.unregister(address)
+        with self._lock:
+            loop, thread = self._loop, self._thread
+        if loop is not None and loop.is_running():
+            # Let cancelled reader/request tasks run their finally blocks
+            # while the loop is still alive, so no coroutine is finalized
+            # against a closed loop at GC time.
+            try:
+                self._run(self._drain_tasks(), _SHUTDOWN_GRACE)
+            except NetworkError:
+                pass
+        with self._lock:
+            self._closed = True
+            self._loop = self._thread = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(_SHUTDOWN_GRACE)
+            loop.close()
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,6 +27,7 @@ from repro.jxta.peergroup import GroupTable
 from repro.overlay.control import ControlModule, pack_results
 from repro.overlay.database import UserDatabase
 from repro.overlay.federation import Federation
+from repro.net.base import Transport
 from repro.sim.network import SimNetwork
 from repro.xmllib import Element
 
@@ -44,10 +45,9 @@ class ConnectedPeer:
 class Broker:
     """A JXTA-Overlay broker."""
 
-    def __init__(self, network: SimNetwork, address: str, database: UserDatabase,
-                 drbg: HmacDrbg, name: str = "") -> None:
+    def __init__(self, network: SimNetwork | Transport, address: str,
+                 database: UserDatabase, drbg: HmacDrbg, name: str = "") -> None:
         self.control = ControlModule(network, address, drbg)
-        self.control.endpoint.install_wire_boundary()
         self.database = database
         self.name = name or address
         self.peer_id = random_peer_id(drbg)
@@ -71,34 +71,38 @@ class Broker:
     def clock(self):
         return self.control.clock
 
-    def _install(self, msg_type: str, handler) -> None:
-        """Register a broker function with call/latency observability."""
-        self.control.endpoint.on(
-            msg_type, obs.timed_handler(f"broker.fn.{msg_type}", handler))
+    def _install(self, functions: dict) -> None:
+        """Declare broker functions with call/latency observability."""
+        self.control.endpoint.configure(wire=True, handlers={
+            msg_type: obs.timed_handler(f"broker.fn.{msg_type}", handler)
+            for msg_type, handler in functions.items()})
 
     def _install_functions(self) -> None:
-        self._install("connect_req", self.fn_connect)
-        self._install("login_req", self.fn_login)
-        self._install("logout_req", self.fn_logout)
-        self._install("publish_adv", self.fn_publish_adv)
-        self._install("query_req", self.fn_query)
-        self._install("create_group_req", self.fn_create_group)
-        self._install("join_group_req", self.fn_join_group)
-        self._install("leave_group_req", self.fn_leave_group)
-        self._install("list_groups_req", self.fn_list_groups)
-        self._install("group_members_req", self.fn_group_members)
-        self._install("peer_status_req", self.fn_peer_status)
-        self._install("presence_beat", self.fn_presence)
-        self._install("index_sync", self.fn_index_sync)
-        # Federation frames delegate through ``self.federation`` at call
-        # time so the secure stack can swap the object after construction.
-        self._install("fed_link_req", self.fn_fed_link_req)
-        self._install("fed_members", self.fn_fed_members)
-        self._install("fed_unlink", self.fn_fed_unlink)
-        self._install("fed_digest", self.fn_fed_digest)
-        self._install("fed_delta", self.fn_fed_delta)
-        self._install("fed_presence", self.fn_fed_presence)
-        self._install("fed_query", self.fn_fed_query)
+        self._install({
+            "connect_req": self.fn_connect,
+            "login_req": self.fn_login,
+            "logout_req": self.fn_logout,
+            "publish_adv": self.fn_publish_adv,
+            "query_req": self.fn_query,
+            "create_group_req": self.fn_create_group,
+            "join_group_req": self.fn_join_group,
+            "leave_group_req": self.fn_leave_group,
+            "list_groups_req": self.fn_list_groups,
+            "group_members_req": self.fn_group_members,
+            "peer_status_req": self.fn_peer_status,
+            "presence_beat": self.fn_presence,
+            "index_sync": self.fn_index_sync,
+            # Federation frames delegate through ``self.federation`` at
+            # call time so the secure stack can swap the object after
+            # construction.
+            "fed_link_req": self.fn_fed_link_req,
+            "fed_members": self.fn_fed_members,
+            "fed_unlink": self.fn_fed_unlink,
+            "fed_digest": self.fn_fed_digest,
+            "fed_delta": self.fn_fed_delta,
+            "fed_presence": self.fn_fed_presence,
+            "fed_query": self.fn_fed_query,
+        })
 
     def link_broker(self, other: "Broker | str") -> None:
         """Federate with another broker, by object or by address (§2.1).

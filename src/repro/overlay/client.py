@@ -62,6 +62,7 @@ from repro.overlay.policy import (
 )
 from repro.overlay.primitives import current_primitive, primitive
 from repro.overlay.results import PrimitiveResult
+from repro.net.base import Transport
 from repro.sim.network import SimNetwork
 from repro.sim.scheduler import EventHandle, Scheduler
 from repro.xmllib import Element
@@ -84,10 +85,9 @@ def _fail_reason(resp: Message) -> str:
 class ClientPeer:
     """A JXTA-Overlay client peer (one end-user application instance)."""
 
-    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
-                 name: str = "") -> None:
+    def __init__(self, network: "SimNetwork | Transport", address: str,
+                 drbg: HmacDrbg, name: str = "") -> None:
         self.control = ControlModule(network, address, drbg)
-        self.control.endpoint.install_wire_boundary()
         self.name = name or address
         self.peer_id: JxtaID = random_peer_id(drbg)
         self.broker_address: str | None = None
@@ -136,12 +136,13 @@ class ClientPeer:
         return self.control.clock
 
     def _install_functions(self) -> None:
-        ep = self.control.endpoint
-        ep.on("adv_push", self._fn_adv_push)
-        ep.on("peer_joined", self._fn_peer_joined)
-        ep.on("peer_left", self._fn_peer_left)
-        ep.on("file_req", self._fn_file_request)
-        ep.on("task_req", self._fn_task_request)
+        self.control.endpoint.configure(wire=True, handlers={
+            "adv_push": self._fn_adv_push,
+            "peer_joined": self._fn_peer_joined,
+            "peer_left": self._fn_peer_left,
+            "file_req": self._fn_file_request,
+            "task_req": self._fn_task_request,
+        })
 
     def _require_broker(self) -> str:
         if self.broker_address is None:
@@ -631,7 +632,7 @@ class ClientPeer:
                 last_error = exc
                 continue
             attempts += result.attempts - 1
-            if result:
+            if result.ok:
                 delivered += 1
             else:
                 self.metrics.incr("client.group_send_miss")

@@ -18,6 +18,7 @@ from repro.jxta.ids import JxtaID, random_pipe_id
 from repro.jxta.messages import Message
 from repro.jxta.pipes import InputPipe, OutputPipe, PipeRegistry
 from repro.jxta.transport.base import SecureTransport
+from repro.net.base import Transport
 from repro.overlay.events import EventBus
 from repro.sim.metrics import Metrics
 from repro.sim.network import SimNetwork
@@ -62,9 +63,13 @@ def merge_results(*element_lists: list[Element]) -> list[Element]:
 class ControlModule:
     """Endpoint + pipes + advertisement cache for one overlay entity."""
 
-    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
-                 adv_lifetime: float = 3600.0,
+    def __init__(self, network: SimNetwork | Transport, address: str,
+                 drbg: HmacDrbg, adv_lifetime: float = 3600.0,
                  transport: SecureTransport | None = None) -> None:
+        """``network`` may be the simulator or any
+        :class:`~repro.net.base.Transport` backend (e.g. a
+        :class:`~repro.net.tcp.TcpTransport`); the whole overlay stack
+        above this module is backend-agnostic."""
         self.network = network
         self.clock = network.clock
         self.drbg = drbg

@@ -6,14 +6,20 @@ delivery count, ``request_file`` raw ``bytes`` (or raised).  With the
 robustness layer there is more to report than one scalar — how many
 attempts a call burned, whether it completed degraded (e.g. a partial
 group delivery or a fail-over broker), and how much virtual time it
-cost.  :class:`PrimitiveResult` carries all of that while remaining a
-drop-in stand-in for the old bare values via ``__bool__`` / ``__int__``
-/ ``__eq__`` / ``__len__`` delegation, so pre-redesign callers keep
-working unchanged.
+cost.  :class:`PrimitiveResult` carries all of that.
+
+The explicit accessors are the API: ``result.ok`` answers "did the
+primitive succeed", ``result.value`` is the payload (delivery count,
+file bytes, sent flag), ``result.unwrap()`` is value-or-raise.  The
+``__bool__`` / ``__int__`` shims that made the object a drop-in
+stand-in for the legacy bare returns are **deprecated** and now emit a
+:class:`DeprecationWarning`; they will be removed one release after
+every known caller has migrated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -52,11 +58,20 @@ class PrimitiveResult:
     error: Exception | None = field(default=None, compare=False)
 
     # -- compatibility shims: behave like the legacy bare return ----------
+    # Deprecated: truth-testing silently collapses the attempts/degraded
+    # story into one bit, which is exactly what this type exists to avoid.
 
     def __bool__(self) -> bool:
+        warnings.warn(
+            "truth-testing a PrimitiveResult is deprecated; use result.ok",
+            DeprecationWarning, stacklevel=2)
         return self.ok
 
     def __int__(self) -> int:
+        warnings.warn(
+            "int(PrimitiveResult) is deprecated; use result.value "
+            "(or result.attempts / result.unwrap() as appropriate)",
+            DeprecationWarning, stacklevel=2)
         return int(self.value) if self.value is not None else int(self.ok)
 
     def __eq__(self, other: object) -> bool:

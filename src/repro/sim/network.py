@@ -27,22 +27,11 @@ from typing import Callable, Protocol
 
 from repro import obs
 from repro.errors import NetworkError
+from repro.net.base import Frame
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LAN_2009, LinkModel
 
-
-@dataclass(frozen=True)
-class Frame:
-    """One message on the wire."""
-
-    src: str
-    dst: str
-    payload: bytes
-    sent_at: float
-
-    @property
-    def size(self) -> int:
-        return len(self.payload)
+__all__ = ["Frame", "Handler", "Interceptor", "NetworkStats", "SimNetwork", "Tap"]
 
 
 class Tap(Protocol):

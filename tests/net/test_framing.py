@@ -1,0 +1,120 @@
+"""Unit tests for the socket backend's length-prefixed framing."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.net import framing
+from repro.net.framing import (
+    KIND_DATA,
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameDecoder,
+    FramingError,
+    decode_body,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", [KIND_DATA, KIND_REQUEST,
+                                      KIND_RESPONSE, KIND_ERROR])
+    def test_every_kind_round_trips(self, kind):
+        frame = encode_frame(kind, 42, "peer:alice", b"payload bytes")
+        (length,) = struct.unpack_from(">I", frame)
+        assert length == len(frame) - framing.LENGTH_BYTES
+        assert decode_body(frame[framing.LENGTH_BYTES:]) == \
+            (kind, 42, "peer:alice", b"payload bytes")
+
+    def test_empty_payload_and_zero_request_id(self):
+        frame = encode_frame(KIND_DATA, 0, "broker:0", b"")
+        assert decode_body(frame[4:]) == (KIND_DATA, 0, "broker:0", b"")
+
+    def test_non_ascii_source_address(self):
+        frame = encode_frame(KIND_DATA, 1, "peer:ålice", b"x")
+        _, _, src, _ = decode_body(frame[4:])
+        assert src == "peer:ålice"
+
+    def test_large_request_id(self):
+        frame = encode_frame(KIND_RESPONSE, 2**63, "b", b"x")
+        assert decode_body(frame[4:])[1] == 2**63
+
+
+class TestRejection:
+    def test_unknown_kind_on_encode(self):
+        with pytest.raises(FramingError, match="unknown frame kind"):
+            encode_frame(0x7F, 1, "a", b"")
+
+    def test_unknown_kind_on_decode(self):
+        body = bytes(encode_frame(KIND_DATA, 1, "a", b"")[4:])
+        with pytest.raises(FramingError, match="unknown frame kind"):
+            decode_body(b"\x7f" + body[1:])
+
+    def test_truncated_body(self):
+        with pytest.raises(FramingError, match="truncated"):
+            decode_body(b"\x00\x01")
+
+    def test_body_shorter_than_source_address(self):
+        body = framing._PREFIX.pack(KIND_DATA, 0, 500) + b"short"
+        with pytest.raises(FramingError, match="shorter than its source"):
+            decode_body(body)
+
+    def test_undecodable_source_address(self):
+        body = framing._PREFIX.pack(KIND_DATA, 0, 2) + b"\xff\xfe" + b"p"
+        with pytest.raises(FramingError, match="undecodable source"):
+            decode_body(body)
+
+    def test_oversize_body_rejected_on_encode(self):
+        big = b"\x00" * framing.max_body_bytes()
+        with pytest.raises(FramingError, match="framing cap"):
+            encode_frame(KIND_DATA, 1, "peer:alice", big)
+
+    def test_announced_length_cap(self):
+        with pytest.raises(FramingError, match="framing cap"):
+            framing.check_length(framing.max_body_bytes() + 1)
+        assert framing.check_length(10) == 10
+
+    def test_cap_tracks_global_wire_cap(self):
+        from repro.jxta import messages
+        assert framing.max_body_bytes() == \
+            messages.max_wire_bytes() + framing.HEADER_SLACK
+
+
+class TestFrameDecoder:
+    def test_single_frame_in_one_feed(self):
+        decoder = FrameDecoder()
+        out = decoder.feed(encode_frame(KIND_DATA, 7, "peer:a", b"hello"))
+        assert out == [(KIND_DATA, 7, "peer:a", b"hello")]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(KIND_REQUEST, 9, "peer:bob", b"req body")
+        collected = []
+        for i in range(len(frame)):
+            collected += decoder.feed(frame[i:i + 1])
+        assert collected == [(KIND_REQUEST, 9, "peer:bob", b"req body")]
+
+    def test_multiple_frames_in_one_feed(self):
+        stream = (encode_frame(KIND_DATA, 1, "a", b"one") +
+                  encode_frame(KIND_DATA, 2, "a", b"two") +
+                  encode_frame(KIND_RESPONSE, 3, "b", b"three"))
+        out = FrameDecoder().feed(stream)
+        assert [payload for _, _, _, payload in out] == \
+            [b"one", b"two", b"three"]
+
+    def test_partial_trailing_frame_stays_buffered(self):
+        whole = encode_frame(KIND_DATA, 1, "a", b"one")
+        tail = encode_frame(KIND_DATA, 2, "a", b"two")
+        decoder = FrameDecoder()
+        out = decoder.feed(whole + tail[:5])
+        assert len(out) == 1 and decoder.pending_bytes == 5
+        assert decoder.feed(tail[5:])[0][3] == b"two"
+
+    def test_poisoned_length_prefix_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FramingError, match="framing cap"):
+            decoder.feed(struct.pack(">I", 2**31) + b"junk")

@@ -1,0 +1,69 @@
+"""WallClock: the TransportClock surface over real monotonic time."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.net.clock import WallClock
+from repro.sim.clock import VirtualClock
+
+
+class TestWallClock:
+    def test_zeroed_at_construction_and_monotonic(self):
+        clock = WallClock()
+        first = clock.now
+        assert first >= 0.0
+        assert clock.now >= first
+
+    def test_advance_really_sleeps(self):
+        clock = WallClock()
+        t0 = time.monotonic()
+        clock.advance(0.05)
+        assert time.monotonic() - t0 >= 0.045
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WallClock().advance(-1.0)
+
+    def test_network_and_cpu_are_accounting_only(self):
+        clock = WallClock()
+        t0 = time.monotonic()
+        clock.advance_network(100.0)
+        clock.charge_cpu(100.0)
+        assert time.monotonic() - t0 < 1.0      # no sleeping happened
+        assert clock.network_time == 100.0
+        assert clock.cpu_time == 100.0
+
+    def test_cpu_section_measures_real_work(self):
+        clock = WallClock()
+        with clock.cpu_section():
+            time.sleep(0.02)
+        assert clock.cpu_time >= 0.015
+
+    def test_cpu_scale_applies(self):
+        clock = WallClock()
+        clock.cpu_scale = 2.0
+        clock.charge_cpu(1.0)
+        assert clock.cpu_time == 2.0
+
+    def test_reset(self):
+        clock = WallClock()
+        clock.charge_cpu(5.0)
+        clock.advance_network(5.0)
+        clock.reset()
+        assert clock.cpu_time == 0.0 and clock.network_time == 0.0
+        assert clock.now < 1.0
+
+
+class TestClockSurfaceParity:
+    """Both clocks satisfy the protocol the overlay is written against."""
+
+    @pytest.mark.parametrize("clock", [WallClock(), VirtualClock()])
+    def test_transport_clock_surface(self, clock):
+        for attr in ("now", "advance", "advance_network", "charge_cpu",
+                     "cpu_section", "reset"):
+            assert hasattr(clock, attr)
+        with clock.cpu_section():
+            pass

@@ -106,7 +106,8 @@ class TestMessaging:
         world = joined_plain_world
         got = []
         world.bob.events.subscribe("message_received", lambda **kw: got.append(kw))
-        assert world.alice.send_msg_peer(str(world.bob.peer_id), "students", "hi")
+        assert world.alice.send_msg_peer(str(world.bob.peer_id), "students",
+                                         "hi").ok
         assert got[0]["text"] == "hi"
         assert got[0]["from_user"] == "alice"
         assert got[0]["group"] == "students"
@@ -157,7 +158,8 @@ class TestGroups:
         world.alice.join_group("mixed")
         got = []
         world.carol.events.subscribe("message_received", lambda **kw: got.append(kw))
-        assert world.alice.send_msg_peer(str(world.carol.peer_id), "mixed", "x")
+        assert world.alice.send_msg_peer(str(world.carol.peer_id), "mixed",
+                                         "x").ok
         assert got
 
     def test_group_members_unknown_group(self, joined_plain_world):

@@ -188,11 +188,13 @@ class TestCircuitBreaker:
 
 
 class TestPrimitiveResult:
-    def test_bool_and_int_shims(self):
+    def test_bool_and_int_shims_warn(self):
         ok = PrimitiveResult(ok=True, value=True)
         failed = PrimitiveResult(ok=False, value=False)
-        assert ok and not failed
-        assert int(PrimitiveResult(ok=True, value=3)) == 3
+        with pytest.warns(DeprecationWarning, match="use result.ok"):
+            assert bool(ok) and not bool(failed)
+        with pytest.warns(DeprecationWarning, match="use result.value"):
+            assert int(PrimitiveResult(ok=True, value=3)) == 3
 
     def test_eq_delegates_to_value(self):
         assert PrimitiveResult(ok=True, value=2) == 2
@@ -219,7 +221,7 @@ class TestMessengerRetries:
         results = [w.alice.send_msg_peer(bob, "students", f"msg {i}")
                    for i in range(20)]
         injector.uninstall()
-        delivered = sum(1 for r in results if r)
+        delivered = sum(1 for r in results if r.ok)
         assert delivered == 20      # 4 attempts beat 40% loss, every time
         assert any(r.attempts > 1 and r.degraded for r in results)
 
@@ -231,7 +233,7 @@ class TestMessengerRetries:
         result = w.alice.send_msg_peer(bob, "students", "doomed",
                                        retry=RetryPolicy(max_attempts=2))
         injector.uninstall()
-        assert not result and result.attempts == 2 and result.error is not None
+        assert not result.ok and result.attempts == 2 and result.error is not None
 
     def test_group_send_isolates_unreachable_member(self, joined_plain_world):
         w = joined_plain_world
@@ -253,7 +255,7 @@ class TestMessengerRetries:
                                                        base_delay_s=1.0),
             timeout=Timeout(1.5))
         injector.uninstall()
-        assert not result and isinstance(result.error, PrimitiveTimeoutError)
+        assert not result.ok and isinstance(result.error, PrimitiveTimeoutError)
 
     def test_optional_filters_are_keyword_only(self, joined_plain_world):
         with pytest.raises(TypeError):

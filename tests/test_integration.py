@@ -43,7 +43,8 @@ class TestMixedNetwork:
         dave.login("dave", "pw-d")
         got = []
         dave.events.subscribe("message_received", lambda **kw: got.append(kw))
-        assert w.alice.send_msg_peer(str(dave.peer_id), "students", "legacy hi")
+        assert w.alice.send_msg_peer(str(dave.peer_id), "students",
+                                     "legacy hi").ok
         assert got[0]["text"] == "legacy hi"
 
 
