@@ -12,6 +12,13 @@ baseline (both fast paths off — exactly what ``ERA_2009_POLICY`` ships):
 * **message-rate sweep** — a two-peer conversation at increasing message
   counts, showing per-message cost amortizing to the symmetric-only
   steady state.
+* **wire sweep** — transport-level bytes-on-wire and frames-per-wire-unit
+  under the link-layer send scheduler (:mod:`repro.net.linkq`): burst vs
+  trickle load across legacy framing, adaptive batching, and batching
+  with negotiated zlib compression.  Everything here is measured on the
+  virtual-time simulator, so the numbers are deterministic and the
+  ``--gate`` regression check (see below) compares them across machines
+  without noise tolerance games.
 
 RSA operation counts are read from the observability registry
 (``crypto.rsa.private_op`` / ``public_op`` / ``verify_op``) under a
@@ -21,11 +28,17 @@ sends — world setup, joins and advertisement exchange are excluded.
 ``python -m repro.bench --experiment msgfast`` prints the report, writes
 ``BENCH_MSGFAST.json`` and exits nonzero if any acceptance check fails
 (CI runs the ``--quick`` variant and relies on that exit code).
+``python -m repro.bench.msgfast --gate FRESH [BASELINE]`` compares a
+fresh document against the committed
+``benchmarks/baselines/BENCH_MSGFAST.json`` on the deterministic wire
+quantities and fails CI on a >20% regression.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -34,6 +47,9 @@ from repro.bench import fixtures
 from repro.bench.timing import timed_call
 from repro.core.policy import SecurityPolicy
 from repro.crypto import envelope, signing
+from repro.net import linkq
+from repro.net.sim import SimTransport
+from repro.sim.network import SimNetwork
 
 #: group sizes of the fan-out sweep (recipients per message)
 GROUP_SIZES = (1, 2, 4, 8, 16, 32, 64)
@@ -45,6 +61,15 @@ RATE_COUNTS_QUICK = (1, 4, 8)
 
 #: the group size the acceptance checks are evaluated at
 CHECK_GROUP_SIZE = 16
+
+#: messages per wire-sweep cell (same in quick mode: virtual time is free)
+WIRE_MESSAGES = 64
+WIRE_MODES = ("legacy", "batched", "batched+zlib")
+WIRE_LOADS = ("burst", "trickle")
+
+#: --gate inputs: committed baseline and tolerance on the wire quantities
+WIRE_BASELINE_PATH = "benchmarks/baselines/BENCH_MSGFAST.json"
+WIRE_TOLERANCE = 0.20
 
 #: RSA-op counters snapshotted around every measured send loop
 _RSA_COUNTERS = ("crypto.rsa.private_op", "crypto.rsa.public_op",
@@ -204,6 +229,112 @@ def steady_state_probe(messages: int = 8) -> dict:
     }
 
 
+@dataclass
+class WireCell:
+    """One (mode, load) cell of the wire sweep."""
+
+    mode: str            # "legacy" | "batched" | "batched+zlib"
+    load: str            # "burst" | "trickle"
+    messages: int
+    delivered: int
+    intact: bool         # payload sequence survived byte-for-byte, in order
+    wire_units: int      # simulated deliveries (frames the link model saw)
+    bytes_on_wire: int
+    frames_per_unit: float
+    bytes_per_msg: float
+    virtual_ms: float
+    msgs_per_sec: float  # virtual-time rate; deterministic across machines
+
+
+def _wire_payloads(messages: int) -> list[bytes]:
+    """Distinct, compressible payloads shaped like small overlay frames."""
+    filler = b" payload-filler" * 8
+    return [b"wire-sweep message %04d%s" % (i, filler)
+            for i in range(messages)]
+
+
+def _wire_cell(mode: str, load: str,
+               messages: int = WIRE_MESSAGES) -> WireCell:
+    """Drive one cell through a fresh simulator and read the wire stats."""
+    net = SimNetwork()
+    received: list[bytes] = []
+    rx = SimTransport(net)
+    rx.register("rx", lambda frame: received.append(frame.payload) or None)
+    tx = SimTransport(net)
+    policy = linkq.LinkPolicy()
+    tx.configure_links(policy)
+    if mode == "batched+zlib":
+        tx.set_link_compression("tx", "rx", 6)
+    payloads = _wire_payloads(messages)
+    units0 = net.stats.frames_sent
+    bytes0 = net.stats.bytes_sent
+    t0 = net.clock.now
+    # "legacy" exercises the off-switch: scheduler installed, batching
+    # flag down — the wire must look exactly like the pre-scheduler code.
+    ctx = (linkq.flags(frame_batching=False) if mode == "legacy"
+           else nullcontext())
+    with ctx:
+        if load == "burst":
+            with tx.corked():
+                for payload in payloads:
+                    tx.send("tx", "rx", payload)
+        else:
+            for payload in payloads:
+                tx.send("tx", "rx", payload)
+                net.clock.advance(policy.idle_flush_s * 2)
+    wire_units = net.stats.frames_sent - units0
+    bytes_on_wire = net.stats.bytes_sent - bytes0
+    virtual_s = net.clock.now - t0
+    return WireCell(
+        mode=mode, load=load, messages=messages,
+        delivered=len(received), intact=received == payloads,
+        wire_units=wire_units, bytes_on_wire=bytes_on_wire,
+        frames_per_unit=messages / wire_units if wire_units else 0.0,
+        bytes_per_msg=bytes_on_wire / messages if messages else 0.0,
+        virtual_ms=virtual_s * 1e3,
+        msgs_per_sec=messages / virtual_s if virtual_s > 0 else 0.0)
+
+
+def wire_sweep(messages: int = WIRE_MESSAGES) -> list[WireCell]:
+    """Bytes-on-wire and frames-per-wire-unit, every (mode, load) pair."""
+    cells: list[WireCell] = []
+    for mode in WIRE_MODES:
+        for load in WIRE_LOADS:
+            _registry, saved = _swap_registry()
+            try:
+                cells.append(_wire_cell(mode, load, messages=messages))
+            finally:
+                _restore_registry(saved)
+    return cells
+
+
+def _wire_checks(cells: list[WireCell]) -> dict:
+    """Acceptance gates over the wire sweep (merged into ``checks``)."""
+    by_key = {(c.mode, c.load): c for c in cells}
+    legacy = by_key[("legacy", "burst")]
+    batched = by_key[("batched", "burst")]
+    zlib_cell = by_key[("batched+zlib", "burst")]
+    reduction = (legacy.wire_units / batched.wire_units
+                 if batched.wire_units else float("inf"))
+    legacy_trickle = by_key[("legacy", "trickle")]
+    batched_trickle = by_key[("batched", "trickle")]
+    return {
+        "wire_burst_frames_per_unit": batched.frames_per_unit,
+        "wire_burst_batching_at_least_4": batched.frames_per_unit >= 4.0,
+        "wire_unit_reduction": reduction,
+        "wire_unit_reduction_at_least_2x": reduction >= 2.0,
+        "wire_compression_shrinks_bytes":
+            zlib_cell.bytes_on_wire < batched.bytes_on_wire,
+        # Single-frame flushes reuse the legacy framing byte-for-byte, so
+        # trickle traffic is identical whether the scheduler is on or off.
+        "wire_trickle_byte_identical":
+            batched_trickle.bytes_on_wire == legacy_trickle.bytes_on_wire
+            and batched_trickle.wire_units == legacy_trickle.wire_units,
+        "wire_all_delivered": all(
+            c.intact and c.delivered == c.messages for c in cells),
+    }
+
+
 def _checks(group_cells: list[SweepCell], steady: dict,
             check_size: int = CHECK_GROUP_SIZE) -> dict:
     """The acceptance gates (CI fails the build on any False)."""
@@ -242,6 +373,14 @@ def msgfast_report(quick: bool = False) -> dict:
     group_cells = group_sweep(sizes=sizes, messages=messages)
     rate_cells = rate_sweep(counts=counts)
     steady = steady_state_probe(messages=4 if quick else 8)
+    # The wire sweep runs at full size even in quick mode: it is pure
+    # virtual time, so 64 messages cost milliseconds — and the gate
+    # needs identical parameters in CI and baseline runs.
+    wire_cells = wire_sweep()
+    checks = _checks(group_cells, steady)
+    checks.update(_wire_checks(wire_cells))
+    checks["all_passed"] = all(
+        value for value in checks.values() if isinstance(value, bool))
     return {
         "experiment": "E-MSGFAST",
         "quick": quick,
@@ -249,8 +388,9 @@ def msgfast_report(quick: bool = False) -> dict:
         "messages_per_group_cell": messages,
         "group_sweep": [asdict(c) for c in group_cells],
         "rate_sweep": [asdict(c) for c in rate_cells],
+        "wire_sweep": [asdict(c) for c in wire_cells],
         "steady_state": steady,
-        "checks": _checks(group_cells, steady),
+        "checks": checks,
     }
 
 
@@ -281,6 +421,17 @@ def format_msgfast(data: dict) -> str:
             f"{'fast' if cell['fast'] else 'baseline':>8}  "
             f"{cell['rsa_private_ops']:>9}  {cell['rsa_public_ops']:>8}  "
             f"{cell['resumed_frames']:>8}  {cell['mean_ms_per_msg']:>8.2f}")
+    lines += [
+        "",
+        f"E-MSGFAST: wire sweep ({WIRE_MESSAGES} msgs/cell, link scheduler)",
+        f"  {'mode':>12}  {'load':>8}  {'units':>6}  {'frames/u':>9}  "
+        f"{'bytes':>8}  {'B/msg':>8}",
+    ]
+    for cell in data.get("wire_sweep", ()):
+        lines.append(
+            f"  {cell['mode']:>12}  {cell['load']:>8}  "
+            f"{cell['wire_units']:>6}  {cell['frames_per_unit']:>9.1f}  "
+            f"{cell['bytes_on_wire']:>8}  {cell['bytes_per_msg']:>8.1f}")
     steady = data["steady_state"]
     checks = data["checks"]
     lines += [
@@ -307,3 +458,92 @@ def write_bench_msgfast(data: dict,
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out
+
+
+# -- CI regression gate ----------------------------------------------------
+
+
+def check_wire_regression(fresh: dict, baseline: dict,
+                          tolerance: float = WIRE_TOLERANCE) -> list[str]:
+    """Problems (empty = pass) comparing fresh wire numbers to baseline.
+
+    Only virtual-time quantities are gated — bytes per message, frames
+    per wire unit and the deterministic msgs/sec — so the comparison is
+    machine-independent.  Wall-clock numbers elsewhere in the document
+    stay informational.
+    """
+    problems: list[str] = []
+    fresh_cells = {(c["mode"], c["load"]): c
+                   for c in fresh.get("wire_sweep", ())}
+    base_cells = {(c["mode"], c["load"]): c
+                  for c in baseline.get("wire_sweep", ())}
+    if not base_cells:
+        return ["baseline document has no wire_sweep section"]
+    for key, base in sorted(base_cells.items()):
+        cell = fresh_cells.get(key)
+        label = "/".join(key)
+        if cell is None:
+            problems.append(f"{label}: missing from fresh run")
+            continue
+        byte_ceiling = base["bytes_per_msg"] * (1.0 + tolerance)
+        if cell["bytes_per_msg"] > byte_ceiling:
+            problems.append(
+                f"{label}: bytes/msg regressed "
+                f"{cell['bytes_per_msg']:.1f} > {byte_ceiling:.1f} "
+                f"(baseline {base['bytes_per_msg']:.1f})")
+        unit_floor = base["frames_per_unit"] * (1.0 - tolerance)
+        if cell["frames_per_unit"] < unit_floor:
+            problems.append(
+                f"{label}: frames/wire-unit regressed "
+                f"{cell['frames_per_unit']:.2f} < {unit_floor:.2f} "
+                f"(baseline {base['frames_per_unit']:.2f})")
+        rate_floor = base["msgs_per_sec"] * (1.0 - tolerance)
+        if cell["msgs_per_sec"] < rate_floor:
+            problems.append(
+                f"{label}: virtual msgs/sec regressed "
+                f"{cell['msgs_per_sec']:.1f} < {rate_floor:.1f} "
+                f"(baseline {base['msgs_per_sec']:.1f})")
+    if not fresh["checks"]["all_passed"]:
+        failed = [k for k, v in fresh["checks"].items()
+                  if isinstance(v, bool) and not v]
+        problems.append(f"fresh run failed its own checks: {failed}")
+    return problems
+
+
+def gate(fresh_path: str, baseline_path: str = WIRE_BASELINE_PATH,
+         tolerance: float = WIRE_TOLERANCE) -> int:
+    try:
+        fresh = json.loads(Path(fresh_path).read_text(encoding="utf-8"))
+        baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"msgfast gate: cannot load inputs: {exc}")
+        return 2
+    problems = check_wire_regression(fresh, baseline, tolerance)
+    fresh_cells = {(c["mode"], c["load"]): c
+                   for c in fresh.get("wire_sweep", ())}
+    burst = fresh_cells.get(("batched", "burst"))
+    if burst is not None:
+        print(f"msgfast gate: burst batching "
+              f"{burst['frames_per_unit']:.1f} frames/wire-unit, "
+              f"{burst['bytes_per_msg']:.1f} bytes/msg")
+    for problem in problems:
+        print(f"msgfast gate: FAIL: {problem}")
+    if not problems:
+        print("msgfast gate: pass")
+    return 1 if problems else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.msgfast",
+        description="E-MSGFAST wire-throughput regression gate")
+    parser.add_argument("--gate", nargs="+", metavar="JSON", required=True,
+                        help="compare FRESH [BASELINE] msgfast documents; "
+                             f"baseline defaults to {WIRE_BASELINE_PATH}")
+    args = parser.parse_args(argv)
+    baseline = args.gate[1] if len(args.gate) > 1 else WIRE_BASELINE_PATH
+    return gate(args.gate[0], baseline)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ transport, and the connect/receive/close lifecycle hooks.
 from __future__ import annotations
 
 import warnings
+from contextlib import nullcontext
 from typing import Callable, Mapping
 
 from repro.errors import FrameTooLargeError, JxtaError, NetworkError, TransportError
@@ -69,6 +70,31 @@ class Endpoint:
     @property
     def clock(self):
         return self.net.clock
+
+    # -- link scheduling -----------------------------------------------------
+
+    def configure_links(self, policy=None, *, breaker_factory=None):
+        """Install a link scheduler on the transport underneath.
+
+        Returns the :class:`~repro.net.linkq.LinkScheduler`, or ``None``
+        when the backend has no link layer (discovered by capability,
+        not by type, so third-party transports stay valid).
+        """
+        configure = getattr(self.net, "configure_links", None)
+        if configure is None:
+            return None
+        return configure(policy, breaker_factory=breaker_factory)
+
+    def corked(self):
+        """Coalesce sends inside the context into shared wire units.
+
+        A no-op context on transports without a link scheduler, so
+        fan-out loops may cork unconditionally.
+        """
+        corked = getattr(self.net, "corked", None)
+        if corked is None:
+            return nullcontext()
+        return corked()
 
     # -- declarative configuration -----------------------------------------
 

@@ -29,6 +29,8 @@ from repro.net.clock import WallClock
 __all__ = [
     "Frame",
     "FrameHandler",
+    "LinkPolicy",
+    "LinkScheduler",
     "PeerHook",
     "SimTransport",
     "TcpTransport",
@@ -46,4 +48,10 @@ def __getattr__(name: str):
     if name == "TcpTransport":
         from repro.net.tcp import TcpTransport
         return TcpTransport
+    if name in ("LinkPolicy", "LinkScheduler"):
+        # Lazy for the same reason as the backends: repro.net.framing
+        # (pulled in by repro.net.linkq) imports repro.jxta, which
+        # imports this package back.
+        from repro.net import linkq
+        return getattr(linkq, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

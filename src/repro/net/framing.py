@@ -16,7 +16,23 @@ Kinds:
                  the same ``request_id`` must come back
 0x02  RESPONSE   payload answers the matching REQUEST
 0x03  ERROR      utf-8 reason; the matching REQUEST failed remotely
+0x04  BATCH      one wire unit carrying several coalesced DATA
+                 payloads (see the batch payload grammar below)
 ====  =========  ====================================================
+
+A BATCH payload is a count-prefixed sequence of datagram payloads,
+optionally zlib-compressed as a whole::
+
+    batch   := u8 flags | u32 count | blob
+    blob    := (u32 len | payload) * count          -- flags & 0x01 == 0
+             | zlib(blob_uncompressed)              -- flags & 0x01 == 1
+
+Batches carry only DATA semantics (``request_id`` 0); a decoder splits
+them back into individual datagram frames *before* dispatch, so the
+layers above the transport never observe coalescing.  Decoding bounds
+the frame count, every inner length, and the decompressed size, so a
+forged batch can neither balloon memory nor smuggle oversize frames
+past :func:`check_length`.
 
 ``src`` is the sender's *logical* endpoint address ("peer:alice"), not
 its socket address — the overlay routes, authenticates and seals by
@@ -32,6 +48,7 @@ the read buffer.
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import NetworkError
 from repro.jxta import messages
@@ -40,8 +57,10 @@ KIND_DATA = 0x00
 KIND_REQUEST = 0x01
 KIND_RESPONSE = 0x02
 KIND_ERROR = 0x03
+KIND_BATCH = 0x04
 
-_KINDS = frozenset({KIND_DATA, KIND_REQUEST, KIND_RESPONSE, KIND_ERROR})
+_KINDS = frozenset({KIND_DATA, KIND_REQUEST, KIND_RESPONSE, KIND_ERROR,
+                    KIND_BATCH})
 
 #: struct layout of the fixed body prefix: kind, request_id, src_len
 _PREFIX = struct.Struct(">BQH")
@@ -100,6 +119,105 @@ def check_length(length: int) -> int:
             f"announced frame body of {length} bytes exceeds the "
             f"{max_body_bytes()}-byte framing cap")
     return length
+
+
+# -- batched wire units -----------------------------------------------------
+
+#: batch flags bit 0: the blob after the count is zlib-compressed
+BATCH_FLAG_ZLIB = 0x01
+
+#: hard ceiling on frames per batch (scheduler policies sit far below)
+MAX_BATCH_FRAMES = 4096
+
+#: struct layout of the batch payload prefix: flags, frame count
+_BATCH_PREFIX = struct.Struct(">BI")
+
+
+def _max_decompressed_bytes() -> int:
+    """Zip-bomb guard: a batch blob may not inflate past this."""
+    return max_body_bytes() * 4
+
+
+def encode_batch_payload(payloads: list[bytes],
+                         compress_level: int = 0,
+                         min_compress_bytes: int = 512) -> bytes:
+    """Pack datagram ``payloads`` into one BATCH payload.
+
+    ``compress_level`` > 0 zlib-compresses the packed blob when it is at
+    least ``min_compress_bytes`` long *and* compression actually shrinks
+    it; otherwise the uncompressed form ships (the flags byte tells the
+    decoder which it got).
+    """
+    if not payloads:
+        raise FramingError("a batch must carry at least one frame")
+    if len(payloads) > MAX_BATCH_FRAMES:
+        raise FramingError(
+            f"batch of {len(payloads)} frames exceeds the "
+            f"{MAX_BATCH_FRAMES}-frame cap")
+    parts = []
+    for payload in payloads:
+        if len(payload) > max_body_bytes():
+            raise FramingError(
+                f"batched frame of {len(payload)} bytes exceeds the "
+                f"{max_body_bytes()}-byte framing cap")
+        parts.append(struct.pack(">I", len(payload)))
+        parts.append(payload)
+    blob = b"".join(parts)
+    flags = 0
+    if compress_level > 0 and len(blob) >= min_compress_bytes:
+        packed = zlib.compress(blob, compress_level)
+        if len(packed) < len(blob):
+            blob, flags = packed, BATCH_FLAG_ZLIB
+    return _BATCH_PREFIX.pack(flags, len(payloads)) + blob
+
+
+def decode_batch_payload(data: bytes) -> list[bytes]:
+    """Split a BATCH payload back into its datagram payloads, in order."""
+    if len(data) < _BATCH_PREFIX.size:
+        raise FramingError(f"truncated batch payload ({len(data)} bytes)")
+    flags, count = _BATCH_PREFIX.unpack_from(data)
+    if flags & ~BATCH_FLAG_ZLIB:
+        raise FramingError(f"unknown batch flags {flags:#x}")
+    if not 1 <= count <= MAX_BATCH_FRAMES:
+        raise FramingError(f"batch frame count {count} out of range")
+    blob = data[_BATCH_PREFIX.size:]
+    if flags & BATCH_FLAG_ZLIB:
+        limit = _max_decompressed_bytes()
+        try:
+            inflater = zlib.decompressobj()
+            blob = inflater.decompress(blob, limit)
+            if inflater.unconsumed_tail:
+                raise FramingError(
+                    f"batch blob inflates past the {limit}-byte guard")
+            blob += inflater.flush()
+        except zlib.error as exc:
+            raise FramingError(f"undecompressable batch blob: {exc}") from exc
+    payloads: list[bytes] = []
+    offset = 0
+    for _ in range(count):
+        if len(blob) - offset < 4:
+            raise FramingError("batch blob shorter than its frame table")
+        (length,) = struct.unpack_from(">I", blob, offset)
+        check_length(length)
+        offset += 4
+        if len(blob) - offset < length:
+            raise FramingError("batch frame truncated inside the blob")
+        payloads.append(blob[offset:offset + length])
+        offset += length
+    if offset != len(blob):
+        raise FramingError(
+            f"{len(blob) - offset} trailing bytes after the last batched frame")
+    return payloads
+
+
+def encode_batch_frame(src: str, payloads: list[bytes],
+                       compress_level: int = 0,
+                       min_compress_bytes: int = 512) -> bytes:
+    """One ready-to-write BATCH wire unit (length prefix + body)."""
+    return encode_frame(
+        KIND_BATCH, 0, src,
+        encode_batch_payload(payloads, compress_level=compress_level,
+                             min_compress_bytes=min_compress_bytes))
 
 
 class FrameDecoder:

@@ -37,9 +37,11 @@ import struct
 import threading
 from dataclasses import dataclass, field
 
+from contextlib import nullcontext
+
 from repro import obs
 from repro.errors import NetworkError
-from repro.net import framing
+from repro.net import framing, linkq
 from repro.net.base import Frame, FrameHandler, PeerHook
 from repro.net.clock import WallClock
 
@@ -95,6 +97,7 @@ class TcpTransport:
         self._pending: dict[int, tuple[concurrent.futures.Future, str]] = {}
         self._req_ids = itertools.count(1)
         self._closed = False
+        self.scheduler: linkq.LinkScheduler | None = None
 
     # -- loop plumbing -----------------------------------------------------
 
@@ -119,6 +122,54 @@ class TcpTransport:
         except concurrent.futures.TimeoutError as exc:
             future.cancel()
             raise NetworkError("transport operation timed out") from exc
+
+    # -- link scheduling ---------------------------------------------------
+
+    def configure_links(self, policy: linkq.LinkPolicy | None = None, *,
+                        breaker_factory=None) -> linkq.LinkScheduler:
+        """Install (or replace) the link scheduler for this transport.
+
+        Datagrams to a busy link coalesce into BATCH wire units — one
+        ``writer.write`` per flush — with the adaptive window armed as
+        an event-loop timer; an idle link still flushes immediately,
+        so request/response latency is untouched.
+        """
+        self.scheduler = linkq.LinkScheduler(
+            policy if policy is not None else linkq.LinkPolicy(),
+            clock_now=lambda: self.clock.now,
+            send_single=lambda src, dst, payload: self._wire_send(
+                src, dst, framing.KIND_DATA, payload),
+            send_batch=lambda src, dst, payload: self._wire_send(
+                src, dst, framing.KIND_BATCH, payload),
+            breaker_factory=breaker_factory,
+            defer=self._arm_flush_timer)
+        return self.scheduler
+
+    def _arm_flush_timer(self, delay: float, callback) -> None:
+        """Run ``callback`` on the worker pool after ``delay`` seconds."""
+
+        def fire() -> None:
+            try:
+                self._pool.submit(callback)
+            except RuntimeError:
+                pass  # pool already shut down
+
+        try:
+            loop = self._ensure_loop()
+        except NetworkError:
+            return
+        loop.call_soon_threadsafe(loop.call_later, delay, fire)
+
+    def corked(self):
+        """Batch every send inside the context into shared wire units."""
+        if self.scheduler is None or not linkq.FLAGS.frame_batching:
+            return nullcontext()
+        return self.scheduler.corked()
+
+    def set_link_compression(self, src: str, dst: str, level: int) -> None:
+        if self.scheduler is None:
+            raise NetworkError("configure_links() before negotiating compression")
+        self.scheduler.set_link_compression(src, dst, level)
 
     # -- registration ------------------------------------------------------
 
@@ -209,6 +260,18 @@ class TcpTransport:
                     # Sequential per connection: datagram order on one
                     # link is preserved, exactly like the simulator.
                     await self._dispatch_data(state, frame)
+                elif kind == framing.KIND_BATCH:
+                    # One wire unit, several datagrams: split and
+                    # dispatch sequentially so per-link order holds.
+                    try:
+                        inner = framing.decode_batch_payload(payload)
+                    except framing.FramingError:
+                        obs.get_registry().incr("net.batch.decode_errors")
+                        break
+                    for data in inner:
+                        await self._dispatch_data(state, Frame(
+                            src=src, dst=address, payload=data,
+                            sent_at=self.clock.now))
                 else:
                     obs.get_registry().incr("net.tcp.unexpected_kind")
         finally:
@@ -327,13 +390,11 @@ class TcpTransport:
 
     # -- transport contract ------------------------------------------------
 
-    def send(self, src: str, dst: str, payload: bytes) -> bool:
-        """Best-effort datagram; ``False`` when the connection fails."""
-        self.location(dst)  # unknown destination raises, like the sim
+    def _wire_send(self, src: str, dst: str, kind: int, payload: bytes) -> bool:
+        """Write one wire unit (DATA or BATCH); ``False`` on failure."""
         registry = obs.get_registry()
         try:
-            self._run(self._write_frame(src, dst, framing.KIND_DATA, 0,
-                                        bytes(payload)),
+            self._run(self._write_frame(src, dst, kind, 0, bytes(payload)),
                       self.connect_timeout)
         except (NetworkError, OSError):
             registry.incr("net.tcp.frames_dropped")
@@ -342,9 +403,23 @@ class TcpTransport:
         registry.incr("net.tcp.bytes_sent", len(payload))
         return True
 
+    def send(self, src: str, dst: str, payload: bytes) -> bool:
+        """Best-effort datagram; ``False`` when the connection fails."""
+        self.location(dst)  # unknown destination raises, like the sim
+        scheduler = self.scheduler
+        if scheduler is None or not linkq.FLAGS.frame_batching:
+            return self._wire_send(src, dst, framing.KIND_DATA, payload)
+        # coalesce=None: the idle heuristic — a quiet link flushes this
+        # frame immediately, a busy one queues behind the adaptive timer.
+        return scheduler.enqueue(src, dst, payload)
+
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
         """Round-trip exchange; raises :class:`NetworkError` on failure."""
         self.location(dst)
+        if self.scheduler is not None and linkq.FLAGS.frame_batching:
+            # Ordering barrier: datagrams queued to this link must hit
+            # the wire before the request does.
+            self.scheduler.flush_link(src, dst)
         req_id = next(self._req_ids)
         future: concurrent.futures.Future = concurrent.futures.Future()
         self._pending[req_id] = (future, src)
@@ -374,6 +449,8 @@ class TcpTransport:
         pooled outbound connection it originated, and fails its pending
         requests — so a closed endpoint can never leak connections.
         """
+        if self.scheduler is not None:
+            self.scheduler.flush_for(address)
         with self._lock:
             state = self._endpoints.pop(address, None)
             self._directory.pop(address, None)
@@ -420,6 +497,8 @@ class TcpTransport:
             if self._closed:
                 return
             addresses = list(self._endpoints)
+        if self.scheduler is not None:
+            self.scheduler.flush_all()
         for address in addresses:
             self.unregister(address)
         with self._lock:

@@ -54,6 +54,19 @@ METRIC_PATTERNS: tuple[str, ...] = (
     "net.bytes_sent",
     "net.frame_bytes",
     "net.endpoints",
+    # link-layer send scheduler (net/linkq.py)
+    "net.queue.enqueued",
+    "net.queue.depth",
+    "net.queue.drop",
+    "net.queue.defer",
+    "net.queue.flush",
+    "net.batch.units",
+    "net.batch.frames",
+    "net.batch.decode_errors",
+    "net.compress.units",
+    "net.compress.bytes_in",
+    "net.compress.bytes_out",
+    "net.compress.ratio",
     # client primitives (overlay/primitives.py decorator)
     "overlay.<primitive>.calls",
     "overlay.<primitive>.errors",

@@ -27,6 +27,7 @@ from repro.jxta.peergroup import GroupTable
 from repro.overlay.control import ControlModule, pack_results
 from repro.overlay.database import UserDatabase
 from repro.overlay.federation import Federation
+from repro.overlay.linkcaps import LinkCapsMixin
 from repro.net.base import Transport
 from repro.sim.network import SimNetwork
 from repro.xmllib import Element
@@ -42,7 +43,7 @@ class ConnectedPeer:
     last_seen: float
 
 
-class Broker:
+class Broker(LinkCapsMixin):
     """A JXTA-Overlay broker."""
 
     def __init__(self, network: SimNetwork | Transport, address: str,
@@ -92,6 +93,7 @@ class Broker:
             "peer_status_req": self.fn_peer_status,
             "presence_beat": self.fn_presence,
             "index_sync": self.fn_index_sync,
+            "link_caps_req": self.fn_link_caps,
             # Federation frames delegate through ``self.federation`` at
             # call time so the secure stack can swap the object after
             # construction.

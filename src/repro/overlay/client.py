@@ -52,6 +52,7 @@ from repro.jxta.pipes import InputPipe
 from repro.overlay.control import ControlModule, unpack_results
 from repro.overlay.federation import fed_metric
 from repro.overlay.filesharing import FileStore, chunked_fetch
+from repro.overlay.linkcaps import LinkCapsMixin
 from repro.overlay.policy import (
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUTS,
@@ -82,7 +83,7 @@ def _fail_reason(resp: Message) -> str:
         return ""
 
 
-class ClientPeer:
+class ClientPeer(LinkCapsMixin):
     """A JXTA-Overlay client peer (one end-user application instance)."""
 
     def __init__(self, network: "SimNetwork | Transport", address: str,
@@ -142,6 +143,7 @@ class ClientPeer:
             "peer_left": self._fn_peer_left,
             "file_req": self._fn_file_request,
             "task_req": self._fn_task_request,
+            "link_caps_req": self.fn_link_caps,
         })
 
     def _require_broker(self) -> str:

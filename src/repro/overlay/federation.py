@@ -55,7 +55,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (broker imports us)
 #: brokers split a few hundred keys within a small constant of 1/N each
 VNODES = 128
 
-#: advertisements per ``fed_delta`` frame during anti-entropy
+#: advertisements per ``fed_delta`` frame during anti-entropy — the
+#: fallback when the broker has no :class:`~repro.net.linkq.LinkPolicy`
+#: (``enable_link_batching`` makes it a configurable knob,
+#: ``LinkPolicy.delta_batch``)
 DELTA_BATCH = 32
 
 #: directory entries from a crashed/unreachable home broker expire after
@@ -222,6 +225,12 @@ class Federation:
     @property
     def clock(self):
         return self.broker.control.clock
+
+    @property
+    def delta_batch(self) -> int:
+        """Advertisements per anti-entropy delta frame (policy knob)."""
+        policy = getattr(self.broker, "link_policy", None)
+        return policy.delta_batch if policy is not None else DELTA_BATCH
 
     def owner_of(self, shard_key: str) -> str:
         return self.ring.owner(shard_key)
@@ -450,6 +459,38 @@ class Federation:
 
     # -- anti-entropy -------------------------------------------------------
 
+    def _ship_deltas(self, address: str, need: list[str],
+                     sendable: dict[str, Element],
+                     digests: dict[str, str]) -> bool:
+        """Ship the entries ``address`` asked for, then confirm receipt.
+
+        Delta frames are best-effort datagrams issued inside a corked
+        section, so on a batching transport the whole hand-off rides the
+        link's send queue as a few coalesced wire units instead of one
+        request round trip per :attr:`delta_batch` entries.  One
+        confirming ``fed_digest`` round replaces the per-batch acks: the
+        hand-off only counts (and local copies are only retired) if the
+        owner's digest answer shows it now holds every shipped entry.
+        """
+        step = self.delta_batch
+        with self.endpoint.corked():
+            for start in range(0, len(need), step):
+                batch = [sendable[k].deep_copy()
+                         for k in need[start:start + step]]
+                req = Message("fed_delta")
+                req.add_xml("advs", pack_results(batch))
+                if not self._send(address, req):
+                    return False
+                fed_metric("fed.sync.entries_sent", len(batch))
+        confirm = Message("fed_digest")
+        confirm.add_json("entries", {k: digests[k] for k in need})
+        cresp = self._request(address, confirm)
+        if cresp.msg_type != "fed_digest_resp" or not self.authorize(
+                cresp, address, link=True):
+            return False
+        still_missing = set(wire.decode(cresp)["need"]) & set(need)
+        return not still_missing
+
     def sync_with(self, address: str) -> bool:
         """One digest/delta round toward ``address`` (a shard owner).
 
@@ -495,17 +536,10 @@ class Federation:
                     return False
                 fed_metric("fed.sync.digest_keys", len(digests))
                 need = [k for k in wire.decode(dresp)["need"] if k in sendable]
-                for start in range(0, len(need), DELTA_BATCH):
-                    batch = [sendable[k].deep_copy()
-                             for k in need[start:start + DELTA_BATCH]]
-                    req = Message("fed_delta")
-                    req.add_xml("advs", pack_results(batch))
-                    resp = self._request(address, req)
-                    if resp.msg_type != "fed_delta_ok" or not self.authorize(
-                            resp, address, link=True):
-                        fed_metric("fed.sync.failed")
-                        return False
-                    fed_metric("fed.sync.entries_sent", len(batch))
+                if need and not self._ship_deltas(address, need, sendable,
+                                                  digests):
+                    fed_metric("fed.sync.failed")
+                    return False
             if ups:
                 msg = Message("fed_presence")
                 msg.add_json("ops", ups)

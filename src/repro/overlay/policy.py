@@ -33,6 +33,7 @@ from repro.errors import (
     NetworkError,
     PrimitiveTimeoutError,
 )
+from repro.net.linkq import LinkPolicy
 from repro.overlay.primitives import current_primitive
 from repro.sim.clock import VirtualClock
 
@@ -107,6 +108,33 @@ DEFAULT_TIMEOUTS: dict[str, Timeout] = {
     "messenger": Timeout(30.0),
     "file": Timeout(120.0),
 }
+
+
+#: Default link-layer scheduling knobs (batching caps, adaptive flush
+#: window, bounded-queue overflow policy, compression floor) — see
+#: :class:`repro.net.linkq.LinkPolicy`.  Re-exported here because the
+#: link queues are a robustness surface: their overflow handling feeds
+#: the same circuit breakers this module defines.
+DEFAULT_LINK_POLICY = LinkPolicy()
+
+
+def link_breaker_factory(clock: VirtualClock,
+                         failure_threshold: int = 5,
+                         reset_timeout_s: float = 30.0):
+    """Per-destination breakers for a link scheduler.
+
+    Returns the ``breaker_factory`` callable
+    :meth:`~repro.net.linkq.LinkScheduler` expects: each destination
+    gets its own :class:`CircuitBreaker`, so a dead link trips
+    fail-fast drops without affecting traffic to healthy peers.
+    """
+
+    def factory(dst: str) -> CircuitBreaker:
+        return CircuitBreaker(clock, failure_threshold=failure_threshold,
+                              reset_timeout_s=reset_timeout_s,
+                              name=f"link:{dst}")
+
+    return factory
 
 
 class CircuitBreaker:

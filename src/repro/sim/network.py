@@ -104,6 +104,10 @@ class SimNetwork:
         self._jitter_draw = jitter_draw
         self._loss_draw = loss_draw
         self.stats = NetworkStats()
+        #: nesting depth of in-flight send/request calls (drain boundary)
+        self._op_depth = 0
+        self._draining = False
+        self._flush_hooks: list[Callable[[], None]] = []
 
     # -- topology -----------------------------------------------------------
 
@@ -145,6 +149,44 @@ class SimNetwork:
     def remove_interceptor(self, interceptor: Interceptor) -> None:
         self._interceptors.remove(interceptor)
 
+    # -- link-scheduler drain boundary ----------------------------------------
+
+    @property
+    def op_depth(self) -> int:
+        """How many send/request calls are on the stack right now.
+
+        Depth > 0 means delivery is happening *inside* a handler of an
+        outer operation — the window in which a link scheduler may
+        coalesce frames without changing observable ordering, because
+        the drain below runs before the outermost call returns.
+        """
+        return self._op_depth
+
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` whenever the outermost network op completes.
+
+        Link schedulers register their drain here: every queued frame
+        is shipped before test or application code regains control, so
+        batching never changes when a frame is observable — only how
+        many wire units carried it.
+        """
+        if hook not in self._flush_hooks:
+            self._flush_hooks.append(hook)
+
+    def remove_flush_hook(self, hook: Callable[[], None]) -> None:
+        if hook in self._flush_hooks:
+            self._flush_hooks.remove(hook)
+
+    def _drain_flushes(self) -> None:
+        if self._draining or not self._flush_hooks:
+            return
+        self._draining = True
+        try:
+            for hook in list(self._flush_hooks):
+                hook()
+        finally:
+            self._draining = False
+
     # -- delivery -------------------------------------------------------------
 
     def _through_adversaries(self, frame: Frame) -> Frame | None:
@@ -174,17 +216,23 @@ class SimNetwork:
         """
         if dst not in self._handlers:
             raise NetworkError(f"no endpoint registered at {dst!r}")
-        frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
-        out = self._through_adversaries(frame)
-        if out is None or out.dst not in self._handlers:
-            self.stats.record(frame, delivered=False)
-            return False
-        if not self._transit(out):
-            self.stats.record(out, delivered=False)
-            return False
-        self.stats.record(out, delivered=True)
-        self._handlers[out.dst](out)
-        return True
+        self._op_depth += 1
+        try:
+            frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
+            out = self._through_adversaries(frame)
+            if out is None or out.dst not in self._handlers:
+                self.stats.record(frame, delivered=False)
+                return False
+            if not self._transit(out):
+                self.stats.record(out, delivered=False)
+                return False
+            self.stats.record(out, delivered=True)
+            self._handlers[out.dst](out)
+            return True
+        finally:
+            self._op_depth -= 1
+            if self._op_depth == 0:
+                self._drain_flushes()
 
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
         """Round-trip exchange; returns the responder's bytes.
@@ -195,26 +243,32 @@ class SimNetwork:
         """
         if dst not in self._handlers:
             raise NetworkError(f"no endpoint registered at {dst!r}")
-        frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
-        out = self._through_adversaries(frame)
-        if out is None or out.dst not in self._handlers:
-            self.stats.record(frame, delivered=False)
-            raise NetworkError(f"request from {src!r} to {dst!r} was dropped")
-        if not self._transit(out):
-            self.stats.record(out, delivered=False)
-            raise NetworkError(f"request from {src!r} to {dst!r} was lost in transit")
-        self.stats.record(out, delivered=True)
-        with self.clock.cpu_section():
-            response = self._handlers[out.dst](out)
-        if response is None:
-            raise NetworkError(f"endpoint {out.dst!r} did not answer the request")
-        back = Frame(src=out.dst, dst=src, payload=bytes(response), sent_at=self.clock.now)
-        back_out = self._through_adversaries(back)
-        if back_out is None:
-            self.stats.record(back, delivered=False)
-            raise NetworkError(f"response from {out.dst!r} to {src!r} was dropped")
-        if not self._transit(back_out):
-            self.stats.record(back_out, delivered=False)
-            raise NetworkError(f"response from {out.dst!r} to {src!r} was lost in transit")
-        self.stats.record(back_out, delivered=True)
-        return back_out.payload
+        self._op_depth += 1
+        try:
+            frame = Frame(src=src, dst=dst, payload=bytes(payload), sent_at=self.clock.now)
+            out = self._through_adversaries(frame)
+            if out is None or out.dst not in self._handlers:
+                self.stats.record(frame, delivered=False)
+                raise NetworkError(f"request from {src!r} to {dst!r} was dropped")
+            if not self._transit(out):
+                self.stats.record(out, delivered=False)
+                raise NetworkError(f"request from {src!r} to {dst!r} was lost in transit")
+            self.stats.record(out, delivered=True)
+            with self.clock.cpu_section():
+                response = self._handlers[out.dst](out)
+            if response is None:
+                raise NetworkError(f"endpoint {out.dst!r} did not answer the request")
+            back = Frame(src=out.dst, dst=src, payload=bytes(response), sent_at=self.clock.now)
+            back_out = self._through_adversaries(back)
+            if back_out is None:
+                self.stats.record(back, delivered=False)
+                raise NetworkError(f"response from {out.dst!r} to {src!r} was dropped")
+            if not self._transit(back_out):
+                self.stats.record(back_out, delivered=False)
+                raise NetworkError(f"response from {out.dst!r} to {src!r} was lost in transit")
+            self.stats.record(back_out, delivered=True)
+            return back_out.payload
+        finally:
+            self._op_depth -= 1
+            if self._op_depth == 0:
+                self._drain_flushes()

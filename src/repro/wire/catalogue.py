@@ -109,6 +109,16 @@ _SPECS: tuple[FrameSpec, ...] = (
               "plain", "presence answer"),
     FrameSpec("presence_beat", (Field("adv", "xml", required=False),),
               "plain", "periodic client heartbeat with its peer advertisement"),
+    # -- plain overlay: link-layer capability negotiation --------------------
+    FrameSpec("link_caps_req",
+              (Field("codecs", "json", json_type="list", max_size=1024,
+                     sample=["zlib"]),
+               Field("level", "text", numeric=True, max_size=8, sample="6")),
+              "plain", "offer batch-payload codecs and a max zlib level"),
+    FrameSpec("link_caps_ok",
+              (_ident("codec", sample="zlib"),
+               Field("level", "text", numeric=True, max_size=8, sample="6")),
+              "plain", "selected batch-payload codec and level for the link"),
     # -- plain overlay: group management -------------------------------------
     FrameSpec("create_group_req",
               (_ident("name", sample="students"),

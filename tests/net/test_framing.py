@@ -6,15 +6,22 @@ import struct
 
 import pytest
 
+import zlib
+
 from repro.net import framing
 from repro.net.framing import (
+    BATCH_FLAG_ZLIB,
+    KIND_BATCH,
     KIND_DATA,
     KIND_ERROR,
     KIND_REQUEST,
     KIND_RESPONSE,
     FrameDecoder,
     FramingError,
+    decode_batch_payload,
     decode_body,
+    encode_batch_frame,
+    encode_batch_payload,
     encode_frame,
 )
 
@@ -118,3 +125,129 @@ class TestFrameDecoder:
         decoder = FrameDecoder()
         with pytest.raises(FramingError, match="framing cap"):
             decoder.feed(struct.pack(">I", 2**31) + b"junk")
+
+
+_BATCH_PAYLOADS = [b"one", b"", b"three three three", b"\x00binary\xff",
+                   b"x" * 700]
+
+
+class TestBatchPayload:
+    def test_round_trip_uncompressed(self):
+        packed = encode_batch_payload(_BATCH_PAYLOADS)
+        assert packed[0] == 0
+        assert decode_batch_payload(packed) == _BATCH_PAYLOADS
+
+    def test_round_trip_compressed(self):
+        payloads = [b"compressible " * 50] * 4
+        packed = encode_batch_payload(payloads, compress_level=6)
+        assert packed[0] & BATCH_FLAG_ZLIB
+        assert decode_batch_payload(packed) == payloads
+
+    def test_incompressible_blob_ships_raw(self):
+        # Already-compressed bytes: zlib cannot shrink them, so the
+        # encoder must fall back to the uncompressed form.
+        noise = zlib.compress(b"seed material " * 100, 9)
+        packed = encode_batch_payload([noise], compress_level=9,
+                                      min_compress_bytes=1)
+        assert packed[0] == 0
+        assert decode_batch_payload(packed) == [noise]
+
+    def test_small_blob_skips_compression(self):
+        packed = encode_batch_payload([b"tiny"], compress_level=9,
+                                      min_compress_bytes=512)
+        assert packed[0] == 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(FramingError, match="at least one frame"):
+            encode_batch_payload([])
+
+    def test_frame_count_cap(self):
+        with pytest.raises(FramingError, match="frame cap"):
+            encode_batch_payload([b"x"] * (framing.MAX_BATCH_FRAMES + 1))
+
+    def test_oversize_inner_frame_rejected(self):
+        big = b"\x00" * (framing.max_body_bytes() + 1)
+        with pytest.raises(FramingError, match="framing cap"):
+            encode_batch_payload([b"ok", big])
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(FramingError, match="truncated batch"):
+            decode_batch_payload(b"\x00\x00")
+
+    def test_unknown_flags_rejected(self):
+        packed = encode_batch_payload([b"x"])
+        with pytest.raises(FramingError, match="unknown batch flags"):
+            decode_batch_payload(bytes([packed[0] | 0x80]) + packed[1:])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(FramingError, match="count 0 out of range"):
+            decode_batch_payload(framing._BATCH_PREFIX.pack(0, 0))
+
+    def test_count_blob_mismatch_rejected(self):
+        packed = encode_batch_payload([b"a", b"b"])
+        lying = framing._BATCH_PREFIX.pack(0, 3) + \
+            packed[framing._BATCH_PREFIX.size:]
+        with pytest.raises(FramingError, match="shorter than its frame"):
+            decode_batch_payload(lying)
+
+    def test_truncated_inner_frame_rejected(self):
+        packed = encode_batch_payload([b"payload bytes"])
+        with pytest.raises(FramingError, match="truncated inside"):
+            decode_batch_payload(packed[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        packed = encode_batch_payload([b"a"])
+        with pytest.raises(FramingError, match="trailing bytes"):
+            decode_batch_payload(packed + b"junk")
+
+    def test_corrupt_zlib_stream_rejected(self):
+        packed = framing._BATCH_PREFIX.pack(BATCH_FLAG_ZLIB, 1) + b"not-zlib"
+        with pytest.raises(FramingError, match="undecompressable"):
+            decode_batch_payload(packed)
+
+    def test_decompression_bomb_rejected(self):
+        bomb = zlib.compress(b"\x00" * (framing._max_decompressed_bytes() + 64))
+        packed = framing._BATCH_PREFIX.pack(BATCH_FLAG_ZLIB, 1) + bomb
+        with pytest.raises(FramingError, match="inflates past"):
+            decode_batch_payload(packed)
+
+
+class TestBatchFraming:
+    """BATCH wire units through the stream decoder, fuzzing read splits."""
+
+    def test_batch_frame_round_trips(self):
+        frame = encode_batch_frame("peer:a", _BATCH_PAYLOADS)
+        out = FrameDecoder().feed(frame)
+        assert len(out) == 1
+        kind, request_id, src, payload = out[0]
+        assert (kind, request_id, src) == (KIND_BATCH, 0, "peer:a")
+        assert decode_batch_payload(payload) == _BATCH_PAYLOADS
+
+    @pytest.mark.parametrize("compress_level", [0, 6])
+    def test_every_split_boundary_decodes_identically(self, compress_level):
+        # The satellite's fuzz: a batched wire unit handed to the
+        # decoder split at *every* byte boundary must come out as the
+        # identical frame sequence.
+        frame = encode_batch_frame("peer:fuzz", _BATCH_PAYLOADS,
+                                   compress_level=compress_level,
+                                   min_compress_bytes=1)
+        whole = FrameDecoder().feed(frame)
+        for cut in range(1, len(frame)):
+            decoder = FrameDecoder()
+            out = decoder.feed(frame[:cut]) + decoder.feed(frame[cut:])
+            assert out == whole, f"split at byte {cut} diverged"
+            assert decode_batch_payload(out[0][3]) == _BATCH_PAYLOADS
+        assert decoder.pending_bytes == 0
+
+    def test_batch_between_singles_byte_at_a_time(self):
+        stream = (encode_frame(KIND_DATA, 1, "a", b"before") +
+                  encode_batch_frame("a", [b"in-1", b"in-2", b"in-3"]) +
+                  encode_frame(KIND_REQUEST, 2, "a", b"after"))
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(stream)):
+            collected += decoder.feed(stream[i:i + 1])
+        kinds = [kind for kind, _, _, _ in collected]
+        assert kinds == [KIND_DATA, KIND_BATCH, KIND_REQUEST]
+        assert decode_batch_payload(collected[1][3]) == \
+            [b"in-1", b"in-2", b"in-3"]

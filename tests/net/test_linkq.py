@@ -1,0 +1,380 @@
+"""The link-layer send scheduler: batching, overflow, breaker backpressure.
+
+Unit tests drive a :class:`~repro.net.linkq.LinkScheduler` directly
+through recording callbacks; the integration tests put a scheduler-backed
+:class:`~repro.net.sim.SimTransport` under an injected link outage
+(`repro.sim.faults`) and check the backpressure contract: bounded
+queues, defer/drop per policy, a breaker that opens — and a clean,
+deadlock-free drain on close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.net import framing, linkq
+from repro.net.linkq import FLAGS, LinkPolicy, LinkScheduler
+from repro.net.sim import SIM_BATCH_MAGIC, SimTransport
+from repro.overlay.policy import link_breaker_factory
+from repro.sim import SimNetwork, VirtualClock
+from repro.sim.faults import FaultPlan, LinkOutage
+
+
+@pytest.fixture()
+def fresh_obs():
+    saved = (obs.get_registry(), obs.get_tracer(), obs.get_events())
+    registry = obs.set_registry(obs.Registry(enabled=True))
+    obs.set_tracer(obs.Tracer(registry=registry))
+    obs.set_events(obs.ProtocolEvents(registry=registry))
+    try:
+        yield registry
+    finally:
+        obs.set_registry(saved[0])
+        obs.set_tracer(saved[1])
+        obs.set_events(saved[2])
+
+
+class Wire:
+    """Recording backend callbacks for a bare scheduler."""
+
+    def __init__(self, delivered: bool = True) -> None:
+        self.singles: list[tuple[str, str, bytes]] = []
+        self.batches: list[tuple[str, str, bytes]] = []
+        self.delivered = delivered
+
+    def send_single(self, src: str, dst: str, payload: bytes) -> bool:
+        self.singles.append((src, dst, payload))
+        return self.delivered
+
+    def send_batch(self, src: str, dst: str, payload: bytes) -> bool:
+        self.batches.append((src, dst, payload))
+        return self.delivered
+
+    @property
+    def units(self) -> int:
+        return len(self.singles) + len(self.batches)
+
+    def batched_payloads(self, index: int = -1) -> list[bytes]:
+        return framing.decode_batch_payload(self.batches[index][2])
+
+
+def scheduler(policy: LinkPolicy | None = None, wire: Wire | None = None,
+              clock: VirtualClock | None = None, **kwargs) -> tuple:
+    clock = clock or VirtualClock()
+    wire = wire or Wire()
+    sched = LinkScheduler(policy or LinkPolicy(),
+                          clock_now=lambda: clock.now,
+                          send_single=wire.send_single,
+                          send_batch=wire.send_batch, **kwargs)
+    return sched, wire, clock
+
+
+class TestScheduling:
+    def test_idle_link_flushes_immediately_as_legacy_frame(self):
+        sched, wire, _clock = scheduler()
+        assert sched.enqueue("a", "b", b"solo") is True
+        assert wire.singles == [("a", "b", b"solo")]
+        assert wire.batches == []
+        assert sched.pending_frames() == 0
+
+    def test_busy_link_coalesces_under_idle_heuristic(self):
+        sched, wire, clock = scheduler()
+        sched.enqueue("a", "b", b"first")            # idle -> ships now
+        sched.enqueue("a", "b", b"second")           # hot link -> queues
+        assert sched.pending_frames() == 1
+        clock.advance(1.0)
+        sched.pump()
+        assert wire.singles == [("a", "b", b"first"), ("a", "b", b"second")]
+
+    def test_quiet_link_goes_back_to_immediate(self):
+        sched, wire, clock = scheduler()
+        sched.enqueue("a", "b", b"one")
+        clock.advance(LinkPolicy().idle_flush_s * 3)
+        sched.enqueue("a", "b", b"two")              # link went quiet again
+        assert [p for _, _, p in wire.singles] == [b"one", b"two"]
+
+    def test_corked_burst_ships_one_batch_in_order(self):
+        sched, wire, _clock = scheduler()
+        payloads = [b"frame-%d" % i for i in range(6)]
+        with sched.corked():
+            for payload in payloads:
+                sched.enqueue("a", "b", payload)
+            assert wire.units == 0                   # held open
+        assert wire.singles == []
+        assert len(wire.batches) == 1
+        assert wire.batched_payloads() == payloads
+
+    def test_batch_frame_cap_chunks_units(self):
+        policy = LinkPolicy(max_batch_frames=4)
+        sched, wire, _clock = scheduler(policy)
+        with sched.corked():
+            for i in range(10):
+                sched.enqueue("a", "b", b"p%d" % i)
+        # 4 + 4 inside the cork (cap-triggered), 2 at cork exit
+        assert [len(framing.decode_batch_payload(p))
+                for _, _, p in wire.batches] == [4, 4, 2]
+
+    def test_batch_byte_cap_chunks_units(self):
+        policy = LinkPolicy(max_batch_bytes=1024)
+        sched, wire, _clock = scheduler(policy)
+        with sched.corked():
+            for _ in range(4):
+                sched.enqueue("a", "b", b"x" * 700)
+        # no two 700-byte frames fit under 1024 together
+        assert wire.units == 4
+
+    def test_per_destination_queues_are_independent(self):
+        sched, wire, _clock = scheduler()
+        with sched.corked():
+            sched.enqueue("a", "b", b"to-b-1")
+            sched.enqueue("a", "c", b"to-c-1")
+            sched.enqueue("a", "b", b"to-b-2")
+        assert len(wire.batches) == 1               # a->b pair
+        assert wire.batched_payloads() == [b"to-b-1", b"to-b-2"]
+        assert wire.singles == [("a", "c", b"to-c-1")]
+
+    def test_request_barrier_flush_link(self):
+        sched, wire, _clock = scheduler()
+        with sched.corked():
+            sched.enqueue("a", "b", b"datagram")
+            sched.flush_link("a", "b")
+            assert wire.singles == [("a", "b", b"datagram")]
+
+    def test_adaptive_window_widens_with_depth(self):
+        policy = LinkPolicy(base_delay_s=0.002, max_delay_s=0.02)
+        assert policy.delay_for(1) == pytest.approx(0.002)
+        assert policy.delay_for(5) == pytest.approx(0.010)
+        assert policy.delay_for(1000) == pytest.approx(0.020)
+
+    def test_defer_hook_arms_and_pump_flushes_on_deadline(self):
+        timers: list[float] = []
+        sched, wire, clock = scheduler(
+            defer=lambda delay, cb: timers.append(delay))
+        sched.enqueue("a", "b", b"warm")             # make the link hot
+        sched.enqueue("a", "b", b"queued")
+        assert timers and timers[-1] <= LinkPolicy().max_delay_s
+        sched.pump()                                 # window not expired yet
+        assert sched.pending_frames() == 1
+        clock.advance(LinkPolicy().max_delay_s)
+        sched.pump()
+        assert sched.pending_frames() == 0
+        assert [p for _, _, p in wire.singles] == [b"warm", b"queued"]
+
+
+class TestCompression:
+    def test_negotiated_level_compresses_large_batches(self):
+        sched, wire, _clock = scheduler(LinkPolicy(min_compress_bytes=64))
+        sched.set_link_compression("a", "b", 6)
+        with sched.corked():
+            for _ in range(8):
+                sched.enqueue("a", "b", b"compressible " * 10)
+        payload = wire.batches[0][2]
+        assert payload[0] & framing.BATCH_FLAG_ZLIB
+        assert framing.decode_batch_payload(payload) == \
+            [b"compressible " * 10] * 8
+
+    def test_unnegotiated_link_ships_raw(self):
+        sched, wire, _clock = scheduler(LinkPolicy(min_compress_bytes=64))
+        sched.set_link_compression("a", "c", 6)      # a different link
+        with sched.corked():
+            for _ in range(8):
+                sched.enqueue("a", "b", b"compressible " * 10)
+        assert wire.batches[0][2][0] == 0
+
+    def test_compression_flag_is_a_kill_switch(self):
+        sched, wire, _clock = scheduler(LinkPolicy(min_compress_bytes=64))
+        sched.set_link_compression("a", "b", 9)
+        with linkq.flags(frame_compression=False):
+            with sched.corked():
+                for _ in range(8):
+                    sched.enqueue("a", "b", b"compressible " * 10)
+        assert wire.batches[0][2][0] == 0
+
+    def test_compression_metrics(self, fresh_obs):
+        sched, wire, _clock = scheduler(LinkPolicy(min_compress_bytes=64))
+        sched.set_link_compression("a", "b", 6)
+        with sched.corked():
+            for _ in range(8):
+                sched.enqueue("a", "b", b"compressible " * 10)
+        assert fresh_obs.count("net.compress.units") == 1
+        assert fresh_obs.count("net.compress.bytes_out") < \
+            fresh_obs.count("net.compress.bytes_in")
+
+
+class TestBackpressure:
+    def test_overflow_drop_sheds_newest_and_stays_bounded(self, fresh_obs):
+        policy = LinkPolicy(max_queue_frames=4, overflow="drop")
+        sched, wire, _clock = scheduler(policy)
+        with sched.corked():
+            results = [sched.enqueue("a", "b", b"f%d" % i) for i in range(6)]
+            assert results == [True] * 4 + [False, False]
+            assert sched.pending_frames() == 4
+        assert fresh_obs.count("net.queue.drop") == 2
+        assert wire.batched_payloads() == [b"f0", b"f1", b"f2", b"f3"]
+
+    def test_overflow_defer_force_flushes(self, fresh_obs):
+        policy = LinkPolicy(max_queue_frames=4, overflow="defer")
+        sched, wire, _clock = scheduler(policy)
+        with sched.corked():
+            for i in range(6):
+                assert sched.enqueue("a", "b", b"f%d" % i) is not False
+            # the 5th enqueue hit the cap and flushed the first four
+            assert sched.pending_frames() == 2
+        assert fresh_obs.count("net.queue.defer") == 1
+        assert sum(len(framing.decode_batch_payload(p))
+                   for _, _, p in wire.batches) == 6
+
+    def test_breaker_opens_on_failed_flushes_then_fails_fast(self):
+        clock = VirtualClock()
+        wire = Wire(delivered=False)                 # every unit is lost
+        sched, wire, clock = scheduler(
+            wire=wire, clock=clock,
+            breaker_factory=link_breaker_factory(clock, failure_threshold=3,
+                                                 reset_timeout_s=5.0))
+        for i in range(3):
+            # idle gaps: each send flushes (and fails) on its own
+            clock.advance(LinkPolicy().idle_flush_s * 2)
+            assert sched.enqueue("a", "dead", b"lost-%d" % i) is False
+        # three failed deliveries opened the breaker: sends shed instantly
+        clock.advance(LinkPolicy().idle_flush_s * 2)
+        assert sched.enqueue("a", "dead", b"after") is False
+        assert wire.units == 3
+        # cooldown elapses -> half-open probe goes through again
+        clock.advance(5.0)
+        wire.delivered = True
+        assert sched.enqueue("a", "dead", b"probe") is True
+        assert wire.singles[-1][2] == b"probe"
+
+    def test_depth_gauge_tracks_queue(self, fresh_obs):
+        sched, _wire, _clock = scheduler()
+        with sched.corked():
+            sched.enqueue("a", "b", b"one")
+            sched.enqueue("a", "b", b"two")
+            assert fresh_obs.gauge("net.queue.depth").value == 2
+        assert fresh_obs.gauge("net.queue.depth").value == 0
+
+
+class TestOutageIntegration:
+    """The satellite: queue overflow under an injected outage."""
+
+    def _world(self, policy: LinkPolicy, threshold: int = 3):
+        net = SimNetwork(clock=VirtualClock())
+        rx = SimTransport(net)
+        got: list[bytes] = []
+        rx.register("rx", lambda frame: got.append(frame.payload) or None)
+        tx = SimTransport(net)
+        tx.configure_links(policy, breaker_factory=link_breaker_factory(
+            net.clock, failure_threshold=threshold, reset_timeout_s=10.0))
+        return net, tx, got
+
+    def test_outage_trips_breaker_and_bounds_the_queue(self, fresh_obs):
+        policy = LinkPolicy(max_queue_frames=8, overflow="drop")
+        net, tx, got = self._world(policy)
+        FaultPlan(LinkOutage("tx", "rx", start=0.0, heal_at=60.0)).install(net)
+        shed = 0
+        with tx.scheduler.corked():
+            for i in range(64):
+                if tx.send("tx", "rx", b"blackhole-%d" % i) is False:
+                    shed += 1
+                assert tx.scheduler.pending_frames() <= policy.max_queue_frames
+        assert got == []                             # outage ate everything
+        assert shed > 0                              # bounded, not buffered
+        assert fresh_obs.count("net.queue.drop") > 0
+        assert fresh_obs.count("faults.link_outage.injected") > 0
+        # breaker is open: a fresh send fails fast without queue growth
+        assert tx.send("tx", "rx", b"fail-fast") is False
+        assert tx.scheduler.pending_frames() == 0
+
+    def test_defer_policy_keeps_paying_flushes_during_outage(self, fresh_obs):
+        policy = LinkPolicy(max_queue_frames=4, overflow="defer")
+        net, tx, _got = self._world(policy, threshold=100)
+        FaultPlan(LinkOutage("tx", "rx", start=0.0, heal_at=60.0)).install(net)
+        with tx.scheduler.corked():
+            for i in range(32):
+                tx.send("tx", "rx", b"deferred-%d" % i)
+                assert tx.scheduler.pending_frames() <= policy.max_queue_frames
+        assert fresh_obs.count("net.queue.defer") > 0
+
+    def test_recovery_after_heal_and_cooldown(self):
+        policy = LinkPolicy(max_queue_frames=8, overflow="drop")
+        net, tx, got = self._world(policy)
+        FaultPlan(LinkOutage("tx", "rx", start=0.0, heal_at=1.0)).install(net)
+        for i in range(8):
+            tx.send("tx", "rx", b"lost-%d" % i)
+        assert got == []
+        net.clock.advance(30.0)                      # heal + breaker cooldown
+        assert tx.send("tx", "rx", b"revived") is True
+        assert got == [b"revived"]
+
+    def test_unregister_drains_without_deadlock(self):
+        policy = LinkPolicy(max_queue_frames=8, overflow="drop")
+        net, tx, got = self._world(policy, threshold=100)
+        FaultPlan(LinkOutage("tx", "rx", start=0.0, heal_at=60.0)).install(net)
+        with tx.scheduler.corked():
+            for i in range(4):
+                tx.send("tx", "rx", b"stranded-%d" % i)
+            # an endpoint disappearing mid-cork must flush-and-go, even
+            # though every delivery fails against the outage
+            tx.unregister("tx")
+        assert tx.scheduler.pending_frames("tx") == 0
+        assert got == []
+
+
+class TestLegacyByteIdentity:
+    """Flags off => the wire is indistinguishable from no scheduler."""
+
+    def _deliveries(self, use_scheduler: bool, flag_on: bool) -> list[bytes]:
+        net = SimNetwork(clock=VirtualClock())
+        seen: list[bytes] = []
+        net.add_interceptor(lambda frame: seen.append(frame.payload) or frame)
+        rx = SimTransport(net)
+        rx.register("rx", lambda frame: None)
+        tx = SimTransport(net)
+        if use_scheduler:
+            tx.configure_links(LinkPolicy())
+        with linkq.flags(frame_batching=flag_on):
+            with tx.corked():
+                for i in range(8):
+                    tx.send("tx", "rx", b"legacy-%d" % i)
+        return seen
+
+    def test_flag_off_reproduces_the_unscheduled_wire(self):
+        bare = self._deliveries(use_scheduler=False, flag_on=True)
+        killed = self._deliveries(use_scheduler=True, flag_on=False)
+        assert killed == bare
+        assert all(not p.startswith(SIM_BATCH_MAGIC) for p in killed)
+
+    def test_flag_on_batches_the_same_traffic(self):
+        batched = self._deliveries(use_scheduler=True, flag_on=True)
+        assert len(batched) == 1
+        assert batched[0].startswith(SIM_BATCH_MAGIC)
+
+    def test_flags_context_restores(self):
+        assert FLAGS.frame_batching and FLAGS.frame_compression
+        with linkq.flags(all=False):
+            assert not FLAGS.frame_batching
+        with linkq.flags(frame_compression=False):
+            assert FLAGS.frame_batching
+        assert FLAGS.frame_batching and FLAGS.frame_compression
+        with pytest.raises(ValueError, match="unknown link flag"):
+            FLAGS.apply(warp_drive=True)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(max_batch_frames=0)
+        with pytest.raises(ValueError):
+            LinkPolicy(max_queue_frames=0)
+        with pytest.raises(ValueError):
+            LinkPolicy(overflow="panic")
+        with pytest.raises(ValueError):
+            LinkPolicy(compress_level=10)
+        with pytest.raises(ValueError):
+            LinkPolicy(delta_batch=0)
+
+    def test_negotiated_level_validated(self):
+        sched, _wire, _clock = scheduler()
+        with pytest.raises(ValueError):
+            sched.set_link_compression("a", "b", 11)

@@ -10,6 +10,13 @@ lifecycle hook), the delivered plaintexts, the sid-issuance count and
 the ``wire.reject.*`` taxonomy counters must come out byte-for-byte
 identical: the backend moves frames, the protocol above it must not be
 able to tell which one it is riding.
+
+The whole comparison runs twice: in ``legacy`` mode (no link
+scheduler — the pre-batching wire) and in ``batched`` mode (every node
+runs ``enable_link_batching`` with zlib negotiated via the
+``link_caps`` exchange).  Within a mode the two backends must still
+trace identically, and the traces must be mode-invariant too: batching
+is a wire-level optimization the protocol cannot observe.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.core import Administrator, SecureBroker, SecureClientPeer
 from repro.core.keystore import Keystore
 from repro.crypto.drbg import HmacDrbg
 from repro.jxta.messages import Message
+from repro.net.linkq import LinkPolicy
 from repro.net.tcp import TcpTransport
 from repro.sim import SimNetwork, VirtualClock
 from tests.conftest import TEST_POLICY, cached_keypair
@@ -37,7 +45,7 @@ def _wait_for(predicate, timeout: float = 10.0) -> bool:
     return predicate()
 
 
-def _run_secure_flow(net) -> dict:
+def _run_secure_flow(net, batched: bool = False) -> dict:
     """The whole flow on ``net``; returns the observable trace."""
     saved = obs.get_registry()
     obs.set_registry(obs.Registry(enabled=True))
@@ -60,6 +68,14 @@ def _run_secure_flow(net) -> dict:
                 keystore=Keystore(cached_keypair(512, f"client-{name}")))
 
         alice, bob = client("alice", b"al"), client("bob", b"bo")
+
+        negotiated = None
+        if batched:
+            link_policy = LinkPolicy(compress_level=6, min_compress_bytes=64)
+            for node in (broker, alice, bob):
+                assert node.enable_link_batching(link_policy) is not None
+            negotiated = (alice.negotiate_link("broker:0"),
+                          bob.negotiate_link("broker:0"))
 
         def record(address: str):
             log = received.setdefault(address, [])
@@ -104,23 +120,36 @@ def _run_secure_flow(net) -> dict:
             "texts": list(texts),
             "rejects": rejects,
             "sids_issued": sids_issued,
+            "negotiated": negotiated,
         }
     finally:
         obs.set_registry(saved)
 
 
-@pytest.fixture(scope="module")
-def sim_trace() -> dict:
-    return _run_secure_flow(SimNetwork(clock=VirtualClock()))
+@pytest.fixture(scope="module", params=["legacy", "batched"])
+def mode(request) -> str:
+    return request.param
 
 
 @pytest.fixture(scope="module")
-def tcp_trace() -> dict:
+def sim_trace(mode) -> dict:
+    return _run_secure_flow(SimNetwork(clock=VirtualClock()),
+                            batched=mode == "batched")
+
+
+@pytest.fixture(scope="module")
+def tcp_trace(mode) -> dict:
     with TcpTransport(request_timeout=30.0) as net:
-        return _run_secure_flow(net)
+        return _run_secure_flow(net, batched=mode == "batched")
 
 
 class TestBackendParity:
+    def test_batched_mode_negotiated_compression(self, mode, sim_trace,
+                                                 tcp_trace):
+        expected = (6, 6) if mode == "batched" else None
+        assert sim_trace["negotiated"] == expected
+        assert tcp_trace["negotiated"] == expected
+
     def test_flow_succeeds_on_both_backends(self, sim_trace, tcp_trace):
         assert sim_trace["texts"] == ["parity one", "parity two"]
         assert tcp_trace["texts"] == ["parity one", "parity two"]
