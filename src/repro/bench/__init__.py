@@ -44,6 +44,11 @@ from repro.bench.profile import (
     steady_state_ab,
     write_bench_hotpath,
 )
+from repro.bench.group import (
+    format_group,
+    group_report,
+    write_bench_group,
+)
 from repro.bench.experiments import (
     OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
@@ -87,6 +92,9 @@ __all__ = [
     "format_msgfast",
     "msgfast_report",
     "write_bench_msgfast",
+    "format_group",
+    "group_report",
+    "write_bench_group",
     "OBS_PRIMITIVES",
     "PAPER_JOIN_OVERHEAD_PCT",
     "crash_recovery_scenario",

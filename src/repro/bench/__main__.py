@@ -10,6 +10,8 @@ every experiment for CI smoke runs.
 * ``msgfast`` — E-MSGFAST: secure-messaging fast-path sweeps,
   ``BENCH_MSGFAST.json``.
 * ``fed`` — E-FED: sharded-federation sweep, ``BENCH_FED.json``.
+* ``group`` — E-GROUP: broker-mediated group cast vs the iterated
+  fan-out (O(1) sender cost, relay amplification), ``BENCH_GROUP.json``.
 * ``hotpath`` — E-HOTPATH: per-stage hot-path profile, the legacy-vs-
   optimized steady-state A/B and the layer-cost ladder,
   ``BENCH_HOTPATH.json``.
@@ -24,6 +26,7 @@ from repro.bench import (
     fault_report,
     fed_report,
     format_fed,
+    format_group,
     format_baselines,
     format_fault_report,
     format_group_scaling,
@@ -33,6 +36,7 @@ from repro.bench import (
     format_msgfast,
     format_obs,
     format_policy_ablation,
+    group_report,
     group_scaling,
     hotpath_report,
     join_overhead,
@@ -42,6 +46,7 @@ from repro.bench import (
     policy_ablation,
     write_bench_fault,
     write_bench_fed,
+    write_bench_group,
     write_bench_hotpath,
     write_bench_msgfast,
     write_bench_obs,
@@ -72,6 +77,14 @@ def run_msgfast(quick: bool) -> int:
     return 0 if data["checks"]["all_passed"] else 1
 
 
+def run_group(quick: bool) -> int:
+    data = group_report(quick=quick)
+    print(format_group(data))
+    out = write_bench_group(data)
+    print(f"  wrote {out}")
+    return 0 if data["checks"]["all_passed"] else 1
+
+
 def run_hotpath(quick: bool) -> int:
     data = hotpath_report(quick=quick)
     print(format_hotpath(data))
@@ -86,6 +99,7 @@ def run_hotpath(quick: bool) -> int:
 EXPERIMENTS = {
     "fault": run_fault,
     "fed": run_fed,
+    "group": run_group,
     "hotpath": run_hotpath,
     "msgfast": run_msgfast,
 }

@@ -27,6 +27,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.bench.paths import bench_out_path
 from repro.bench.fixtures import build_plain_world, build_secure_world, join_plain
 from repro.overlay.policy import NO_RETRY, RetryPolicy
 from repro.sim.faults import BrokerCrash, FaultPlan, FrameLoss
@@ -189,9 +190,9 @@ def format_fault_report(data: dict) -> str:
     return "\n".join(lines)
 
 
-def write_bench_fault(data: dict, path: str | Path = "BENCH_FAULT.json") -> Path:
+def write_bench_fault(data: dict, path: str | Path | None = None) -> Path:
     """Persist the E-FAULT document as machine-readable JSON."""
-    out = Path(path)
+    out = Path(path) if path is not None else bench_out_path("BENCH_FAULT.json")
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.bench.paths import bench_out_path
 from repro.bench.fixtures import build_secure_world, fresh_network
 from repro.bench.msgfast import _restore_registry, _swap_registry, bench_policy
 from repro.crypto.drbg import HmacDrbg
@@ -304,9 +305,9 @@ def format_fed(data: dict) -> str:
     return "\n".join(lines)
 
 
-def write_bench_fed(data: dict, path: str | Path = "BENCH_FED.json") -> Path:
+def write_bench_fed(data: dict, path: str | Path | None = None) -> Path:
     """Persist the E-FED document as machine-readable JSON."""
-    out = Path(path)
+    out = Path(path) if path is not None else bench_out_path("BENCH_FED.json")
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out

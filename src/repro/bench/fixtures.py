@@ -80,6 +80,40 @@ def build_secure_world(n_clients: int = 2, link: LinkModel = LAN_2009,
     return net, admin, broker, clients
 
 
+def build_federated_secure_world(n_brokers: int, n_clients: int = 2,
+                                 link: LinkModel = LAN_2009,
+                                 policy: SecurityPolicy = DEFAULT_POLICY,
+                                 seed: bytes = b"bench-fed-secure",
+                                 joined: bool = True):
+    """B linked secure brokers under one admin + N clients round-robin.
+
+    Returns ``(net, admin, brokers, clients)``; client ``i`` homes on
+    broker ``i % n_brokers`` and is logged in when ``joined``.
+    """
+    net = fresh_network(link)
+    root = HmacDrbg(seed + b"|%d" % n_brokers)
+    admin = Administrator(root.fork(b"admin"), bits=policy.rsa_bits,
+                          keys=cached_keypair(policy.rsa_bits, "admin"))
+    brokers = [SecureBroker.create(
+        net, f"broker:{i}", admin, root.fork(b"br%d" % i), name=f"B{i}",
+        policy=policy, keys=cached_keypair(policy.rsa_bits, f"broker{i}"))
+        for i in range(n_brokers)]
+    for other in brokers[1:]:
+        brokers[0].link_broker(other)
+    clients = []
+    for i in range(n_clients):
+        admin.register_user(f"user{i}", f"pw{i}", {"bench"})
+        client = SecureClientPeer(
+            net, f"peer:{i}", root.fork(b"cl%d" % i), admin.credential,
+            name=f"user{i}-app", policy=policy,
+            keystore=make_client_keystore(policy.rsa_bits, f"client{i}"))
+        if joined:
+            client.secure_connect(brokers[i % n_brokers].address)
+            client.secure_login(f"user{i}", f"pw{i}")
+        clients.append(client)
+    return net, admin, brokers, clients
+
+
 def join_plain(clients, usernames=None) -> None:
     for i, client in enumerate(clients):
         client.connect("broker:0")

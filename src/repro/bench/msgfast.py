@@ -43,6 +43,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.bench.paths import bench_out_path
 from repro.bench import fixtures
 from repro.bench.timing import timed_call
 from repro.core.policy import SecurityPolicy
@@ -452,9 +453,9 @@ def format_msgfast(data: dict) -> str:
 
 
 def write_bench_msgfast(data: dict,
-                        path: str | Path = "BENCH_MSGFAST.json") -> Path:
+                        path: str | Path | None = None) -> Path:
     """Persist the E-MSGFAST document as machine-readable JSON."""
-    out = Path(path)
+    out = Path(path) if path is not None else bench_out_path("BENCH_MSGFAST.json")
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out

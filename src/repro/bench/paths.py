@@ -1,0 +1,24 @@
+"""Where benchmark documents land.
+
+Fresh ``BENCH_*.json`` runs are build artifacts, not source: they go to
+``benchmarks/out/`` (gitignored), while the committed regression
+baselines stay under ``benchmarks/baselines/``.  Every ``write_bench_*``
+helper routes through :func:`bench_out_path` so callers that pass no
+explicit path never litter the repository root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: fresh benchmark documents (gitignored build artifacts)
+OUT_DIR = Path("benchmarks") / "out"
+
+#: committed regression baselines (the gate's reference side)
+BASELINE_DIR = Path("benchmarks") / "baselines"
+
+
+def bench_out_path(name: str) -> Path:
+    """``benchmarks/out/<name>``, creating the directory on first use."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR / name

@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro import obs, perf
 from repro.bench import fixtures
+from repro.bench.paths import bench_out_path
 from repro.crypto import chacha20, envelope, resume
 from repro.crypto.drbg import HmacDrbg
 from repro.jxta.messages import Message
@@ -459,9 +460,9 @@ def format_hotpath(data: dict) -> str:
 
 
 def write_bench_hotpath(data: dict,
-                        path: str | Path = "BENCH_HOTPATH.json") -> Path:
+                        path: str | Path | None = None) -> Path:
     """Persist the E-HOTPATH document as machine-readable JSON."""
-    out = Path(path)
+    out = Path(path) if path is not None else bench_out_path("BENCH_HOTPATH.json")
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out

@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     MsgOverheadCurve,
     PolicyAblationRow,
 )
+from repro.bench.paths import bench_out_path
 
 
 def _ms(seconds: float) -> str:
@@ -104,9 +105,9 @@ def format_obs(data: dict) -> str:
     return "\n".join(lines)
 
 
-def write_bench_obs(data: dict, path: str | Path = "BENCH_OBS.json") -> Path:
+def write_bench_obs(data: dict, path: str | Path | None = None) -> Path:
     """Persist the E-OBS document as machine-readable JSON."""
-    out = Path(path)
+    out = Path(path) if path is not None else bench_out_path("BENCH_OBS.json")
     out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return out

@@ -48,6 +48,18 @@ class SecurityPolicy:
     resume_max_uses: int = 256
     #: LRU bound on live pair-wise sessions (both sender and receiver)
     resume_max_peers: int = 1024
+    #: broker-mediated group fan-out: the sender seals once under the
+    #: group's epoch key and its home broker relays along the federation
+    #: (off = the paper's sender-iterated secureMsgPeerGroup loop)
+    enable_group_cast: bool = False
+    #: epoch keys each holder retains per group (older epochs become
+    #: undecryptable — forward secrecy against departed members)
+    group_epoch_history: int = 8
+    #: store-and-forward frames a broker retains per group for replay
+    #: to members reconnecting after churn (0 disables replay)
+    group_replay_depth: int = 64
+    #: retention of store-and-forward frames (virtual seconds)
+    group_replay_ttl: float = 600.0
 
     def validate(self) -> "SecurityPolicy":
         if self.envelope_suite not in envelope.SUITES:
@@ -68,6 +80,12 @@ class SecurityPolicy:
             raise PolicyError("resumption use budget must be at least 1")
         if self.resume_max_peers < 1:
             raise PolicyError("resumption peer bound must be at least 1")
+        if self.group_epoch_history < 1:
+            raise PolicyError("epoch history must retain at least one epoch")
+        if self.group_replay_depth < 0:
+            raise PolicyError("replay depth cannot be negative")
+        if self.group_replay_ttl <= 0:
+            raise PolicyError("replay TTL must be positive")
         return self
 
     def with_(self, **changes) -> "SecurityPolicy":

@@ -34,6 +34,8 @@ from repro.jxta.ids import parse_id
 from repro.jxta.messages import Message
 from repro.net.base import Transport
 from repro.overlay.broker import Broker
+from repro.overlay.groupcast import Groupcast
+from repro.overlay import groupcast as gc
 from repro.overlay.database import UserDatabase
 from repro.sim.network import SimNetwork
 
@@ -61,6 +63,7 @@ class SecureBroker(Broker):
         self.revocations = RevocationRegistry(
             keystore.keys.private, keystore.cbid, drbg.fork(b"revoke"))
         self._current_rl: RevocationList | None = None
+        self.groupcast = Groupcast(self)
         self._install_secure_functions()
 
     @classmethod
@@ -94,6 +97,7 @@ class SecureBroker(Broker):
         """
         super().restart()
         self.sids.reset()
+        self.groupcast.reset()
 
     def _install_secure_functions(self) -> None:
         from repro.core import secure_groups as sg
@@ -104,6 +108,13 @@ class SecureBroker(Broker):
             "revocation_req": self.fn_revocation_list,
             "renew_req": self.fn_renew_credential,
             sg.GROUP_OP_REQ: self.fn_secure_group_op,
+            sg.EPOCH_REQ: self.fn_group_epoch,
+            gc.GROUP_SUB: self.groupcast.fn_sub,
+            gc.GROUP_UNSUB: self.groupcast.fn_unsub,
+            gc.GROUP_CAST: self.groupcast.fn_cast,
+            gc.FED_GROUP_CAST: self.groupcast.fn_fed_cast,
+            gc.FED_GROUP_EPOCH: self.groupcast.fn_fed_epoch,
+            gc.FED_GROUP_EPOCH_REQ: self.groupcast.fn_fed_epoch_req,
         })
 
     def fn_secure_group_op(self, message: Message, src: str) -> Message:
@@ -111,6 +122,19 @@ class SecureBroker(Broker):
         from repro.core import secure_groups as sg
 
         return sg.handle_group_op(message, self)
+
+    def fn_group_epoch(self, message: Message, src: str) -> Message:
+        """Hand an entitled member its group epoch keys (signed RPC)."""
+        from repro.core import secure_groups as sg
+
+        return sg.handle_epoch_fetch(message, self)
+
+    def _group_membership_changed(self, group_name: str,
+                                  joined: str | None = None,
+                                  left: str | None = None,
+                                  churn: bool = False) -> None:
+        self.groupcast.on_membership_change(group_name, joined=joined,
+                                            left=left, churn=churn)
 
     # -- credential revocation (further work, §6) ---------------------------
 

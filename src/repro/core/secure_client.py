@@ -36,6 +36,7 @@ from repro.core.signed_advertisement import (
     ValidatedAdvertisement,
     sign_advertisement,
 )
+from repro.crypto import groupkey
 from repro.crypto import resume as resume_mod
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import (
@@ -50,10 +51,12 @@ from repro.errors import (
     PrimitiveError,
     SecurityError,
     TamperedMessageError,
+    UnknownEpochError,
     UnknownSessionError,
 )
 from repro.jxta.advertisements import FileAdvertisement, PipeAdvertisement
 from repro.jxta.messages import Message
+from repro.overlay import groupcast as gc
 from repro.overlay.client import ClientPeer
 from repro.overlay.policy import RetryPolicy, Timeout
 from repro.overlay.primitives import primitive
@@ -115,6 +118,13 @@ class SecureClientPeer(ClientPeer):
             tuple[str, str], tuple[Element, ValidatedAdvertisement]] = OrderedDict()
         #: usernames allowed to run tasks here (None = any validated user)
         self.task_acl: set[str] | None = None
+        #: group-cast key rings, one per joined group (epoch-keyed)
+        self.group_keys: dict[str, groupkey.GroupKeyRing] = {}
+        #: groups we registered delivery interest for (``group_sub``)
+        self._group_subs: set[str] = set()
+        #: per-group high-water mark of delivered broker seq numbers —
+        #: survives re-login so a re-subscribe replays only what we missed
+        self._group_seq: dict[str, int] = {}
         self._install_secure_functions()
 
     def _install_secure_functions(self) -> None:
@@ -123,6 +133,7 @@ class SecureClientPeer(ClientPeer):
             sx.TASK_REQ: self._fn_secure_task_request,
             "revocation_push": self._fn_revocation_push,
             sm.RESUME_RESET: self._fn_resume_reset,
+            gc.GROUP_DELIVER: self._fn_group_deliver,
         })
 
     # ======================================================================
@@ -356,6 +367,13 @@ class SecureClientPeer(ClientPeer):
             self.username = username
             self._password = password  # remembered for automatic re-login
             self.groups = list(groups)
+            # A fresh session may face fresh epochs (our own login rotates
+            # them; a restarted broker restarts numbering from scratch):
+            # drop the rings and re-pull lazily.  The per-group delivery
+            # high-water marks survive so a re-subscribe replays only the
+            # frames we actually missed.
+            self.group_keys.clear()
+            self._group_subs.clear()
             for group in self.groups:
                 self._open_and_publish_pipe(group)
         self.events.emit("credential_issued", credential=credential)
@@ -408,6 +426,7 @@ class SecureClientPeer(ClientPeer):
         if name not in self.groups:
             self.groups.append(name)
             self._open_and_publish_pipe(name)
+        self._auto_subscribe(name)
         self.events.emit("group_created", group=name)
         return members
 
@@ -418,8 +437,24 @@ class SecureClientPeer(ClientPeer):
         if name not in self.groups:
             self.groups.append(name)
             self._open_and_publish_pipe(name)
+        self._auto_subscribe(name)
         self.events.emit("group_joined", group=name, members=members)
         return members
+
+    def _auto_subscribe(self, name: str) -> None:
+        """Register group-cast delivery interest alongside a join/create.
+
+        Best-effort: a refused subscription (e.g. the broker runs with
+        group cast disabled) degrades to legacy-style delivery instead
+        of failing the membership operation itself.
+        """
+        if not self.policy.enable_group_cast:
+            return
+        try:
+            self.group_subscribe(name)
+        except (SecurityError, OverlayError, NetworkError) as exc:
+            obs.emit("on_degraded", peer=str(self.peer_id),
+                     primitive="group_subscribe", reason=str(exc))
 
     @primitive("group", secure=True)
     def secure_leave_group(self, name: str) -> None:
@@ -427,6 +462,8 @@ class SecureClientPeer(ClientPeer):
         self._secure_group_op("leave", name)
         if name in self.groups:
             self.groups.remove(name)
+        self._group_subs.discard(name)
+        self.group_keys.pop(name, None)
         pipe = self.input_pipes.pop(name, None)
         if pipe is not None:
             self.control.pipes.close_pipe(pipe.pipe_id)
@@ -606,6 +643,29 @@ class SecureClientPeer(ClientPeer):
         sent, _, _ = self._pipe_send(pipe, message, retry, budget)
         return bool(sent)
 
+    def _group_targets(self, group: str, resolve):
+        """Iterate the non-self members of ``group``, yielding
+        ``(member, resolve(member))`` pairs.
+
+        The shared miss taxonomy of every fan-out mode lives here: a
+        member whose resolution fails (unvalidatable advertisement,
+        unreachable peer, ...) is skipped and counted — one
+        ``client.secure_group_send_miss`` increment plus one
+        ``message_rejected`` event — never aborting the fan-out.
+        """
+        for member in self.group_members(group):
+            if member == str(self.peer_id):
+                continue
+            try:
+                resolved = resolve(member)
+            except (SecurityError, OverlayError, DiscoveryError,
+                    NetworkError) as exc:
+                self.metrics.incr("client.secure_group_send_miss")
+                self.events.emit("message_rejected", peer_id=member,
+                                 reason=f"group send skip: {exc}")
+                continue
+            yield member, resolved
+
     @primitive("messenger", secure=True)
     def secure_msg_peer_group(self, group: str, text: str, *,
                               retry: RetryPolicy | None = None,
@@ -619,25 +679,29 @@ class SecureClientPeer(ClientPeer):
         (0 RSA), the rest share a single multi-recipient envelope
         (1 sign + 1 symmetric pass + k wraps).
 
-        Per-recipient isolation in both modes: a member whose
+        Broker-mediated path (``enable_group_cast`` on): the sender pays
+        one sign + one epoch-key seal + one frame to its home broker —
+        O(1) in the member count — and the broker fans out locally and
+        along the federation ring (see ``docs/ARCHITECTURE.md``).  The
+        return value is then the *broker-reported* local delivery count,
+        not a per-member send tally.
+
+        Per-recipient isolation in the iterated modes: a member whose
         advertisement fails validation (or who is unreachable) is
-        skipped and counted, never aborting the fan-out.
+        skipped and counted, never aborting the fan-out
+        (:meth:`_group_targets`).
         """
         self._require_login()
+        if self.policy.enable_group_cast:
+            return self._group_cast_send(group, text,
+                                         retry=retry, timeout=timeout)
         if not self.policy.enable_seal_many:
             delivered = 0
-            for member in self.group_members(group):
-                if member == str(self.peer_id):
-                    continue
-                try:
-                    if self.secure_msg_peer(member, group, text,
-                                            retry=retry, timeout=timeout):
-                        delivered += 1
-                except (SecurityError, OverlayError, DiscoveryError,
-                        NetworkError) as exc:
-                    self.metrics.incr("client.secure_group_send_miss")
-                    self.events.emit("message_rejected", peer_id=member,
-                                     reason=f"group send skip: {exc}")
+            for _member, ok in self._group_targets(
+                    group, lambda m: self.secure_msg_peer(
+                        m, group, text, retry=retry, timeout=timeout)):
+                if ok:
+                    delivered += 1
             return delivered
         if group not in self.groups:
             raise PrimitiveError(f"{self.name} is not a member of {group!r}")
@@ -652,17 +716,8 @@ class SecureClientPeer(ClientPeer):
                 nonce=self.control.drbg.generate(16),
                 timestamp=self.clock.now)
             cold: list[ValidatedAdvertisement] = []
-            for member in self.group_members(group):
-                if member == str(self.peer_id):
-                    continue
-                try:
-                    validated = self._resolve_validated_pipe(member, group)
-                except (SecurityError, OverlayError, DiscoveryError,
-                        NetworkError) as exc:
-                    self.metrics.incr("client.secure_group_send_miss")
-                    self.events.emit("message_rejected", peer_id=member,
-                                     reason=f"group send skip: {exc}")
-                    continue
+            for member, validated in self._group_targets(
+                    group, lambda m: self._resolve_validated_pipe(m, group)):
                 session = None
                 if self.policy.enable_resumption:
                     session = self.resume_sessions.get(
@@ -710,6 +765,185 @@ class SecureClientPeer(ClientPeer):
                 self._store_resume_seeds(
                     {fp: seed for fp, seed in seeds.items() if fp in reached})
         return delivered
+
+    # ======================================================================
+    # broker-mediated group cast (epoch keys, §6 further work)
+    # ======================================================================
+
+    def _group_ring(self, group: str) -> groupkey.GroupKeyRing:
+        ring = self.group_keys.get(group)
+        if ring is None:
+            ring = groupkey.GroupKeyRing(
+                group, suite=self.policy.envelope_suite,
+                history=self.policy.group_epoch_history)
+            self.group_keys[group] = ring
+        return ring
+
+    def _refresh_group_epochs(self, group: str) -> int:
+        """Pull our entitled epoch secrets from the broker (signed RPC).
+
+        Returns the ring's current epoch after installation.
+        """
+        from repro.core import secure_groups as sg
+
+        self._require_login()
+        if not self.keystore.chain or self.broker_credential is None:
+            raise SecurityError("group epoch fetch requires a credential")
+        request, nonce = sg.build_epoch_fetch(
+            group, self.keystore, self.broker_credential.public_key,
+            self.policy, self.control.drbg, self.clock.now)
+        resp = self._broker_request(request)
+        secrets = sg.parse_epoch_response(
+            resp, self.keystore, self.broker_credential.public_key,
+            nonce, self.policy)
+        ring = self._group_ring(group)
+        for epoch, secret in sorted(secrets.items()):
+            ring.install(epoch, secret)
+        self.metrics.incr("client.group_epoch_refresh")
+        return ring.epoch
+
+    def _group_cast_send(self, group: str, text: str, *,
+                         retry: RetryPolicy | None = None,
+                         timeout: Timeout | None = None) -> int:
+        """One sign + one epoch seal + one broker frame, any member count.
+
+        A ``stale_epoch`` refusal (the broker rotated under us) triggers
+        exactly one refresh + resend of the *same payload* — replay-safe
+        because every receiver keeps a nonce window.
+        """
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        with obs.span("secureMsgPeerGroup", peer=str(self.peer_id),
+                      group=group, mode="cast"):
+            ring = self._group_ring(group)
+            if ring.epoch == 0:
+                self._refresh_group_epochs(group)
+            payload = sm.build_payload(
+                from_peer=str(self.peer_id), group=group, text=text,
+                nonce=self.control.drbg.generate(16),
+                timestamp=self.clock.now)
+            resp = self._send_group_cast(group, payload, retry, timeout)
+            if (resp.msg_type == gc.GROUP_CAST_FAIL
+                    and self._cast_fail_code(resp) == "stale_epoch"):
+                self.metrics.incr("client.group_cast_stale_retry")
+                self._refresh_group_epochs(group)
+                resp = self._send_group_cast(group, payload, retry, timeout)
+        if resp.msg_type != gc.GROUP_CAST_OK:
+            reason = self._cast_fail_reason(resp)
+            self.events.emit("message_rejected", peer_id="",
+                             reason=f"group cast refused: {reason}")
+            raise SecurityError(f"group cast refused: {reason}")
+        frame = wire.decode(resp)
+        delivered = int(frame.get("delivered") or 0)
+        obs.emit("on_msg_sent", peer=str(self.peer_id), to_peer="*",
+                 group=group, n_bytes=len(text.encode("utf-8")), secure=True)
+        self.metrics.incr("client.group_cast_sent")
+        return delivered
+
+    def _send_group_cast(self, group: str, payload,
+                         retry: RetryPolicy | None,
+                         timeout: Timeout | None) -> Message:
+        ring = self._group_ring(group)
+        if ring.epoch == 0:
+            raise SecurityError(f"no epoch key established for {group!r}")
+        env = sm.seal_group_payload(
+            payload, self.keystore.keys.private, ring.get(ring.epoch),
+            self.policy.signature_scheme, self.control.drbg)
+        request = Message(gc.GROUP_CAST)
+        request.add_text("group", group)
+        request.add_text("epoch", str(ring.epoch))
+        request.add_json("envelope", env)
+        return self._broker_request(request, retry=retry, timeout=timeout)
+
+    @staticmethod
+    def _cast_fail_code(resp: Message) -> str:
+        try:
+            return wire.decode(resp).get("code", "")
+        except wire.WireRejected:
+            return ""
+
+    @staticmethod
+    def _cast_fail_reason(resp: Message) -> str:
+        try:
+            return wire.decode(resp).get("reason", "") or resp.msg_type
+        except wire.WireRejected:
+            return resp.msg_type
+
+    @primitive("group", secure=True)
+    def group_subscribe(self, group: str) -> int:
+        """group_subscribe: register delivery interest for a group.
+
+        The broker fans every group-cast frame out to subscribers only
+        (interest-based delivery) and replays its bounded backlog of
+        frames we missed — the store-and-forward path for reconnecting
+        members.  Returns the number of frames scheduled for replay.
+        """
+        self._require_login()
+        if group not in self.groups:
+            raise PrimitiveError(f"{self.name} is not a member of {group!r}")
+        if self._group_ring(group).epoch == 0:
+            # Need keys before deliveries start arriving.
+            self._refresh_group_epochs(group)
+        request = Message(gc.GROUP_SUB)
+        request.add_text("group", group)
+        since = self._group_seq.get(group, 0)
+        if since:
+            request.add_text("since", str(since))
+        resp = self._broker_request(request)
+        if resp.msg_type != gc.GROUP_SUB_OK:
+            raise SecurityError(
+                f"group subscribe refused: {self._cast_fail_reason(resp)}")
+        frame = wire.decode(resp)
+        self._group_subs.add(group)
+        if int(frame.get("epoch") or 0) > self._group_ring(group).epoch:
+            self._refresh_group_epochs(group)
+        self.metrics.incr("client.group_subscribed")
+        return int(frame.get("replayed") or 0)
+
+    @primitive("group", secure=True)
+    def group_unsubscribe(self, group: str) -> bool:
+        """group_unsubscribe: withdraw delivery interest for a group."""
+        self._require_login()
+        request = Message(gc.GROUP_UNSUB)
+        request.add_text("group", group)
+        resp = self._broker_request(request)
+        self._group_subs.discard(group)
+        return resp.msg_type == gc.GROUP_UNSUB_OK
+
+    def _fn_group_deliver(self, message: Message, src: str) -> None:
+        """One broker-fanned group frame (group-cast delivery path).
+
+        Decrypts under the epoch ring — refreshing once if the frame
+        names a *newer* epoch than we hold — then runs the same §4.3.1
+        acceptance tail as the legacy pipe path, so both modes share one
+        accept/reject taxonomy.
+        """
+        try:
+            frame = wire.decode(message)
+            group = str(frame["group"])
+            seq = int(frame["seq"])
+            env = frame["envelope"]
+        except (JxtaError, KeyError, TypeError, ValueError):
+            self.metrics.incr("client.group_deliver_malformed")
+            return
+        ring = self._group_ring(group)
+        try:
+            try:
+                opened = sm.open_group_payload(env, ring)
+            except UnknownEpochError:
+                # We lag the rotation schedule: one refresh, one retry.
+                self._refresh_group_epochs(group)
+                opened = sm.open_group_payload(env, ring)
+        except (SecurityError, OverlayError, DiscoveryError,
+                NetworkError) as exc:
+            self.metrics.incr("client.secure_chat_rejected")
+            self.events.emit("message_rejected", peer_id=src,
+                             reason=str(exc))
+            obs.emit("on_msg_rejected", peer=str(self.peer_id),
+                     from_peer=src, reason=str(exc))
+            return
+        if self._accept_opened_chat(opened, src) and seq > self._group_seq.get(group, 0):
+            self._group_seq[group] = seq
 
     # -- resumption re-keying (resume_reset notices) ---------------------------
 
@@ -779,6 +1013,33 @@ class SecureClientPeer(ClientPeer):
             opened = sm.open_message(inner, self.keystore.keys.private,
                                      resume_store=self.resume_store,
                                      now=self.clock.now)
+        except UnknownSessionError as exc:
+            # A resumed frame on a session we do not hold: undecryptable
+            # for us, but the sender can recover — ask it to re-key.
+            self._send_resume_reset(src, exc.sid)
+            self.metrics.incr("client.secure_chat_rejected")
+            self.events.emit("message_rejected", peer_id=src, reason=str(exc))
+            obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
+                     reason=str(exc))
+            return
+        except (SecurityError, OverlayError, DiscoveryError) as exc:
+            self.metrics.incr("client.secure_chat_rejected")
+            self.events.emit("message_rejected", peer_id=src, reason=str(exc))
+            obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
+                     reason=str(exc))
+            return
+        self._accept_opened_chat(opened, src)
+
+    def _accept_opened_chat(self, opened: sm.OpenedMessage, src: str) -> bool:
+        """The shared §4.3.1 acceptance tail: nonce freshness, group
+        membership, sender verification against the validated pipe
+        advertisement, then the accept counters/events.
+
+        Both delivery paths — direct pipe frames and broker-fanned
+        group-cast frames — converge here, so acceptance and rejection
+        carry the exact same taxonomy in either mode.
+        """
+        try:
             if not self._nonce_fresh(opened.nonce):
                 obs.emit("on_replay_blocked", peer=str(self.peer_id),
                          kind="nonce")
@@ -800,21 +1061,12 @@ class SecureClientPeer(ClientPeer):
                     self.resume_store.register(
                         opened.resume_seed, opened.suite, sender.credential,
                         self.clock.now)
-        except UnknownSessionError as exc:
-            # A resumed frame on a session we do not hold: undecryptable
-            # for us, but the sender can recover — ask it to re-key.
-            self._send_resume_reset(src, exc.sid)
-            self.metrics.incr("client.secure_chat_rejected")
-            self.events.emit("message_rejected", peer_id=src, reason=str(exc))
-            obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
-                     reason=str(exc))
-            return
         except (SecurityError, OverlayError, DiscoveryError) as exc:
             self.metrics.incr("client.secure_chat_rejected")
             self.events.emit("message_rejected", peer_id=src, reason=str(exc))
             obs.emit("on_msg_rejected", peer=str(self.peer_id), from_peer=src,
                      reason=str(exc))
-            return
+            return False
         self.metrics.incr("client.secure_chat_accepted")
         self.events.emit(
             "secure_message_received",
@@ -826,6 +1078,7 @@ class SecureClientPeer(ClientPeer):
         obs.emit("on_msg_received", peer=str(self.peer_id),
                  from_peer=opened.from_peer, group=opened.group,
                  n_bytes=len(opened.text.encode("utf-8")), secure=True)
+        return True
 
     # ======================================================================
     # secure file sharing (further work, §6)

@@ -62,6 +62,10 @@ class SecureFederation(Federation):
         if not broker.keystore.chain:
             raise CredentialError(
                 "secure federation requires the broker credential chain")
+        #: leaf public keys of peer brokers whose frames authorized here,
+        #: keyed by address — lets responses (e.g. epoch-secret hand-out)
+        #: be envelope-sealed back to a requester without a directory
+        self.peer_keys: dict[str, object] = {}
 
     def seal(self, message: Message) -> Message:
         """Sign an outgoing frame under ``Cred_Br^Adm`` (idempotent)."""
@@ -120,6 +124,7 @@ class SecureFederation(Federation):
         except InvalidSignatureError:
             fed_metric("fed.reject.bad_signature")
             return False
+        self.peer_keys[sender] = leaf.public_key
         if link:
             return True
         return super().authorize(message, src, link=link, sync=sync)

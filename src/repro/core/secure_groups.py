@@ -28,15 +28,21 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import PublicKey
 from repro.errors import JxtaError, SecurityError
 from repro.jxta.messages import Message
-from repro.utils.encoding import b64encode
+from repro.utils.encoding import b64decode, b64encode
 from repro.xmllib import Element
 
 GROUP_OP_REQ = "secure_group_op_req"
 GROUP_OP_RESP = "secure_group_op_resp"
 GROUP_OP_FAIL = "secure_group_op_fail"
 
+EPOCH_REQ = "group_epoch_req"
+EPOCH_OK = "group_epoch_ok"
+EPOCH_FAIL = "group_epoch_fail"
+
 _AAD_REQ = b"jxta-overlay-secure-group-req"
 _AAD_RESP = b"jxta-overlay-secure-group-resp"
+_AAD_EPOCH_REQ = b"jxta-overlay-group-epoch-req"
+_AAD_EPOCH_RESP = b"jxta-overlay-group-epoch-resp"
 
 VALID_OPS = ("create", "join", "leave")
 
@@ -110,6 +116,7 @@ def handle_group_op(message: Message, broker) -> Message:
         broker.database.register_group(group_name)
         broker.database.assign_group(session.username, group_name)
         group.add_member(subject)
+        broker._group_membership_changed(group_name, joined=subject)
         adv = GroupAdvertisement(
             peer_id=broker.peer_id, group_id=group.group_id,
             name=group_name, description=body.findtext("Description"))
@@ -117,10 +124,21 @@ def handle_group_op(message: Message, broker) -> Message:
         members = sorted(group.members)
     elif op == "join":
         group = broker.groups.get_or_none(group_name)
+        if (group is None and broker.policy.enable_group_cast
+                and group_name in broker.database.known_groups()):
+            # Shard-aware membership: the group exists network-wide (the
+            # shared admin database registered it at creation), so
+            # materialize this broker's local shard of it — the cast
+            # relay then reaches members joined through any broker.
+            from repro.jxta.ids import random_group_id
+
+            group = broker.groups.create(
+                random_group_id(broker.control.drbg), group_name)
         if group is None:
             return fail(f"unknown group {group_name!r}")
         group.add_member(subject)
         broker.database.assign_group(session.username, group_name)
+        broker._group_membership_changed(group_name, joined=subject)
         joined = Message("peer_joined")
         joined.add_text("group", group_name)
         joined.add_text("peer_id", subject)
@@ -133,6 +151,7 @@ def handle_group_op(message: Message, broker) -> Message:
             return fail(f"unknown group {group_name!r}")
         group.remove_member(subject)
         broker.database.revoke_group(session.username, group_name)
+        broker._group_membership_changed(group_name, left=subject)
         left = Message("peer_left")
         left.add_text("group", group_name)
         left.add_text("peer_id", subject)
@@ -153,6 +172,102 @@ def handle_group_op(message: Message, broker) -> Message:
     out = Message(GROUP_OP_RESP)
     out.add_json("envelope", env)
     return out
+
+
+def build_epoch_fetch(group: str, keystore: Keystore, broker_key: PublicKey,
+                      policy: SecurityPolicy, drbg: HmacDrbg,
+                      now: float) -> tuple[Message, str]:
+    """Signed request for the group's epoch keys (group-cast path).
+
+    Returns (request message, nonce); the nonce binds the response.
+    """
+    nonce = b64encode(drbg.generate(16))
+    body = Element("GroupEpochFetch")
+    body.add("Group", text=group)
+    body.add("RequesterId", text=str(keystore.cbid))
+    body.add("Nonce", text=nonce)
+    body.add("Timestamp", text=repr(now))
+    env = seal_signed_request(body, keystore, broker_key, policy, drbg,
+                              _AAD_EPOCH_REQ)
+    msg = Message(EPOCH_REQ)
+    msg.add_json("envelope", env)
+    return msg, nonce
+
+
+def handle_epoch_fetch(message: Message, broker) -> Message:
+    """Broker side: hand an *entitled* member its epoch secrets.
+
+    The checks mirror :func:`handle_group_op` — validated chain, live
+    session, revocation — plus group membership; the secrets handed out
+    start at the member's join epoch (never earlier), enforced by the
+    broker's :class:`~repro.overlay.groupcast.Groupcast` state.
+    """
+    import json
+
+    metrics = broker.metrics
+
+    def fail(reason: str) -> Message:
+        metrics.incr("fn.group_epoch.refused")
+        out = Message(EPOCH_FAIL)
+        out.add_text("reason", reason)
+        return out
+
+    if not broker.policy.enable_group_cast:
+        return fail("group cast is disabled")
+    try:
+        opened = open_signed_request(
+            wire.decode(message)["envelope"], broker.keystore,
+            broker.clock.now, _AAD_EPOCH_REQ, "GroupEpochFetch")
+    except (SecurityError, JxtaError) as exc:
+        return fail(f"request rejected: {exc}")
+    subject = str(opened.requester.subject_id)
+    if broker.revocations.is_revoked(subject):
+        return fail("subject credential is revoked")
+    session = broker.connected.get(subject)
+    if session is None or session.username != opened.requester.subject_name:
+        return fail("no matching authenticated session")
+    body = opened.body
+    group_name = body.findtext("Group")
+    record = broker.groups.get_or_none(group_name)
+    if record is None or not record.has_member(subject):
+        return fail(f"not a member of {group_name!r}")
+    secrets = broker.groupcast.secrets_for(group_name, subject)
+    if not secrets:
+        return fail(f"no epoch established for {group_name!r}")
+    metrics.incr("fn.group_epoch.served")
+    resp_body = Element("GroupEpochKeys")
+    resp_body.add("Group", text=group_name)
+    resp_body.add("Epoch", text=str(max(secrets)))
+    resp_body.add("Nonce", text=body.findtext("Nonce"))
+    resp_body.add("Secrets", text=json.dumps(
+        {str(epoch): b64encode(secret) for epoch, secret in secrets.items()}))
+    env = seal_signed_response(resp_body, broker.keystore.keys.private,
+                               opened.requester.public_key, broker.policy,
+                               broker.control.drbg, _AAD_EPOCH_RESP)
+    out = Message(EPOCH_OK)
+    out.add_json("envelope", env)
+    return out
+
+
+def parse_epoch_response(message: Message, keystore: Keystore,
+                         broker_key: PublicKey, expected_nonce: str,
+                         policy: SecurityPolicy) -> dict[int, bytes]:
+    """Client side: unseal the epoch keys; returns {epoch: secret}."""
+    import json
+
+    if message.msg_type == EPOCH_FAIL:
+        raise SecurityError(
+            f"group epoch fetch refused: "
+            f"{wire.decode(message).get('reason', '')}")
+    if message.msg_type != EPOCH_OK:
+        raise SecurityError(f"unexpected response {message.msg_type!r}")
+    body = open_signed_response(
+        wire.decode(message)["envelope"], keystore.keys.private, broker_key,
+        _AAD_EPOCH_RESP, "GroupEpochKeys")
+    if body.findtext("Nonce") != expected_nonce:
+        raise SecurityError("group epoch response nonce mismatch")
+    return {int(epoch): b64decode(secret)
+            for epoch, secret in json.loads(body.findtext("Secrets")).items()}
 
 
 def parse_group_op_response(message: Message, keystore: Keystore,

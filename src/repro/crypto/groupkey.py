@@ -1,0 +1,218 @@
+"""Per-group epoch keys: the symmetric layer of broker-mediated fan-out.
+
+The paper's ``secureMsgPeerGroup`` (§4.3) makes the *sender* pay for the
+whole group: one resolve + seal + push per member.  Broker-mediated
+group-cast inverts that: the sender seals **once** under the group's
+current *epoch key* and its home broker relays the ciphertext along the
+federation.  This module holds the key machinery; the relay logic lives
+in :mod:`repro.overlay.groupcast`.
+
+* An **epoch** is a monotonically increasing integer per group.  Every
+  membership change (create/join/leave/disconnect) bumps it, so a
+  departed member's key material stops opening new traffic immediately
+  and a joining member cannot read frames from before it joined (the
+  broker only hands out epochs from the member's join onward).
+* Each epoch has a random 16-byte **secret** minted by the group's
+  shard-owner broker.  Cipher and MAC keys are HKDF-derived from it
+  with the group name *and* epoch number baked into the info string, so
+  a key from one (group, epoch) is useless for any other.
+* Frames carry a **random nonce** drawn from the sender's DRBG.  Unlike
+  resumption sessions (one sender, derived nonces), an epoch key is
+  shared by *every* member — counter- or derivation-based nonces would
+  collide across senders, so each frame ships its own.
+* :class:`GroupKeyRing` holds a bounded history of epochs per group and
+  maps the two failure modes onto distinct taxonomy errors: a frame
+  under a *rotated-out* epoch raises :class:`StaleEpochError`, a frame
+  under an epoch we never held (or one newer than we know) raises
+  :class:`UnknownEpochError` — the latter is the receiver's cue to
+  refresh keys from its broker and retry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.crypto import aead
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.envelope import DEFAULT_SUITE, SUITES
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.modes import CBC
+from repro.crypto.resume import hkdf_sha256
+from repro.errors import DecryptionError, StaleEpochError, UnknownEpochError
+from repro.utils.bytesutil import constant_time_eq
+from repro.utils.encoding import b64decode, b64encode
+
+_EPOCH_KEY_INFO = b"jxta-overlay-groupkey|key|"
+_EPOCH_MAC_INFO = b"jxta-overlay-groupkey|mac|"
+_TAG_LEN = 16
+
+#: length of the random per-epoch secret the shard owner mints
+EPOCH_SECRET_LEN = 16
+
+#: default AAD binding group-cast frames to their protocol context
+GROUP_AAD = b"jxta-overlay-group-msg"
+
+
+@dataclass(frozen=True)
+class EpochKey:
+    """Derived key material for one (group, epoch)."""
+
+    group: str
+    epoch: int
+    suite: str
+    key: bytes
+    mac_key: bytes
+
+
+def derive_epoch_key(group: str, epoch: int, secret: bytes,
+                     suite: str = DEFAULT_SUITE) -> EpochKey:
+    """Expand an epoch secret into cipher + MAC keys.
+
+    The info string binds group name and epoch number, so the same
+    secret (never reused in practice) would still yield unrelated keys
+    for different groups or epochs.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown envelope suite {suite!r}")
+    if len(secret) != EPOCH_SECRET_LEN:
+        raise ValueError("epoch secret has the wrong length")
+    scope = group.encode("utf-8") + b"|" + epoch.to_bytes(8, "big")
+    key_len, _ = SUITES[suite]
+    key = hkdf_sha256(secret,
+                      info=_EPOCH_KEY_INFO + suite.encode("utf-8") + b"|" + scope,
+                      length=key_len)
+    mac_key = hkdf_sha256(secret, info=_EPOCH_MAC_INFO + scope, length=32)
+    return EpochKey(group=group, epoch=epoch, suite=suite, key=key,
+                    mac_key=mac_key)
+
+
+def _bound_aad(ek: EpochKey, aad: bytes) -> bytes:
+    return (aad + b"|group|" + ek.group.encode("utf-8")
+            + b"|epoch|" + ek.epoch.to_bytes(8, "big"))
+
+
+_M_GROUP_SEAL = obs.InternedCounter("crypto.groupkey.seal")
+_M_GROUP_OPEN = obs.InternedCounter("crypto.groupkey.open")
+
+
+def seal_epoch(ek: EpochKey, plaintext: bytes, drbg: HmacDrbg,
+               aad: bytes = GROUP_AAD) -> dict[str, Any]:
+    """Seal one group frame under an epoch key.  Zero RSA operations.
+
+    The nonce is random (every member shares this key — derived nonces
+    would collide across senders) and travels in the envelope.
+    """
+    _M_GROUP_SEAL.incr()
+    _, nonce_len = SUITES[ek.suite]
+    nonce = drbg.generate(nonce_len)
+    bound = _bound_aad(ek, aad)
+    env: dict[str, Any] = {"group": ek.group, "epoch": ek.epoch,
+                           "suite": ek.suite, "nonce": b64encode(nonce)}
+    if ek.suite == "chacha20poly1305":
+        body = aead.seal(ek.key, nonce, plaintext, aad=bound)
+    else:
+        body = CBC(ek.key).encrypt(plaintext, nonce)
+        tag = hmac_sha256(ek.mac_key, bound + nonce + body)[:_TAG_LEN]
+        env["tag"] = b64encode(tag)
+    env["body"] = b64encode(body)
+    return env
+
+
+def open_epoch(ek: EpochKey, env: dict[str, Any],
+               aad: bytes = GROUP_AAD) -> bytes:
+    """Authenticate + decrypt one epoch-sealed frame."""
+    try:
+        nonce = b64decode(env["nonce"])
+        body = b64decode(env["body"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DecryptionError(f"malformed group frame: {exc!r}") from exc
+    if env.get("suite") != ek.suite:
+        raise DecryptionError("group frame suite does not match the epoch key")
+    bound = _bound_aad(ek, aad)
+    if ek.suite == "chacha20poly1305":
+        plaintext = aead.open_(ek.key, nonce, body, aad=bound)
+    else:
+        try:
+            tag = b64decode(env["tag"])
+        except (KeyError, TypeError) as exc:
+            raise DecryptionError("group CBC frame carries no tag") from exc
+        expected = hmac_sha256(ek.mac_key, bound + nonce + body)[:_TAG_LEN]
+        if not constant_time_eq(tag, expected):
+            raise DecryptionError("group frame failed authentication")
+        plaintext = CBC(ek.key).decrypt(body, nonce)
+    _M_GROUP_OPEN.incr()
+    return plaintext
+
+
+class GroupKeyRing:
+    """Bounded per-group epoch-key history for one holder.
+
+    Brokers keep one ring per locally-subscribed group; clients keep one
+    per joined group.  ``history`` bounds how many past epochs stay
+    openable — anything older is *stale* (rotated out for forward
+    secrecy), anything newer than the latest installed epoch is
+    *unknown* (the holder should refresh from its broker).
+    """
+
+    def __init__(self, group: str, suite: str = DEFAULT_SUITE,
+                 history: int = 8) -> None:
+        if history < 1:
+            raise ValueError("epoch history must retain at least one epoch")
+        self.group = group
+        self.suite = suite
+        self.history = history
+        self._epochs: OrderedDict[int, EpochKey] = OrderedDict()
+        self._floor = 0  # highest epoch ever trimmed or skipped past
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    @property
+    def epoch(self) -> int:
+        """The newest installed epoch number (0 = no key yet)."""
+        return next(reversed(self._epochs)) if self._epochs else 0
+
+    def install(self, epoch: int, secret: bytes) -> EpochKey:
+        """Derive and retain the key for ``epoch``, trimming old history."""
+        if epoch < 1:
+            raise ValueError("epochs start at 1")
+        ek = derive_epoch_key(self.group, epoch, secret, self.suite)
+        newest_before = self.epoch
+        self._epochs[epoch] = ek
+        # Keep numeric order: re-sorting only matters when a replay
+        # back-fills an older epoch after a newer one arrived.
+        if newest_before and epoch < newest_before:
+            for key in sorted(self._epochs):
+                self._epochs.move_to_end(key)
+        while len(self._epochs) > self.history:
+            trimmed, _ = self._epochs.popitem(last=False)
+            self._floor = max(self._floor, trimmed)
+            obs.get_registry().incr("crypto.groupkey.trimmed")
+        return ek
+
+    def get(self, epoch: int) -> EpochKey:
+        """The key for ``epoch``; raises the taxonomy error otherwise."""
+        ek = self._epochs.get(epoch)
+        if ek is not None:
+            return ek
+        registry = obs.get_registry()
+        if epoch <= self._floor or (self._epochs and epoch < self.epoch):
+            registry.incr("crypto.groupkey.reject.stale")
+            raise StaleEpochError(
+                f"group {self.group!r} epoch {epoch} was rotated out "
+                f"(current {self.epoch})")
+        registry.incr("crypto.groupkey.reject.unknown")
+        raise UnknownEpochError(
+            f"group {self.group!r} has no key for epoch {epoch} "
+            f"(current {self.epoch})")
+
+    def open(self, env: dict[str, Any], aad: bytes = GROUP_AAD) -> bytes:
+        """Open a frame using the epoch named in its envelope."""
+        try:
+            epoch = int(env["epoch"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DecryptionError(f"group frame names no epoch: {exc!r}") from exc
+        return open_epoch(self.get(epoch), env, aad=aad)

@@ -212,3 +212,11 @@ class TamperedMessageError(SecurityError):
 
 class PolicyError(SecurityError):
     """Operation forbidden by the active security policy."""
+
+
+class StaleEpochError(SecurityError):
+    """A group frame is sealed under a rotated-out epoch key."""
+
+
+class UnknownEpochError(SecurityError):
+    """A group frame names an epoch this holder has no key for."""

@@ -16,21 +16,41 @@ from repro.jxta.ids import JxtaID
 
 @dataclass
 class PeerGroup:
-    """One group: identity plus current member peer ids."""
+    """One group: identity plus current member peer ids.
+
+    In a federated deployment each broker's :class:`GroupTable` holds
+    the *local shard* of a group — the members homed on that broker —
+    so ``members`` here is shard-local, not global.  ``epoch`` tracks
+    the group-cast key epoch this shard has observed (bumped on every
+    membership change, see :mod:`repro.crypto.groupkey`);
+    ``member_since`` records the epoch at which each member joined so
+    key hand-out and store-and-forward replay never reach back before a
+    member's join.
+    """
 
     group_id: JxtaID
     name: str
     description: str = ""
     members: set[str] = field(default_factory=set)  # peer id URNs
+    epoch: int = 0
+    member_since: dict[str, int] = field(default_factory=dict)
 
     def add_member(self, peer_id: JxtaID | str) -> None:
-        self.members.add(str(peer_id))
+        pid = str(peer_id)
+        self.members.add(pid)
+        self.member_since.setdefault(pid, self.epoch)
 
     def remove_member(self, peer_id: JxtaID | str) -> None:
-        self.members.discard(str(peer_id))
+        pid = str(peer_id)
+        self.members.discard(pid)
+        self.member_since.pop(pid, None)
 
     def has_member(self, peer_id: JxtaID | str) -> bool:
         return str(peer_id) in self.members
+
+    def joined_epoch(self, peer_id: JxtaID | str) -> int:
+        """Epoch at which a member joined (0 for pre-epoch members)."""
+        return self.member_since.get(str(peer_id), 0)
 
     def __len__(self) -> int:
         return len(self.members)

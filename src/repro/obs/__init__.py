@@ -98,6 +98,11 @@ METRIC_PATTERNS: tuple[str, ...] = (
     "crypto.envelope.recipients",
     "crypto.envelope.open",
     "crypto.envelope.plaintext_bytes",
+    # per-group epoch keys (crypto/groupkey.py)
+    "crypto.groupkey.seal",
+    "crypto.groupkey.open",
+    "crypto.groupkey.trimmed",
+    "crypto.groupkey.reject.<reason>",
     # fast-path caches (crypto/resume.py, crypto/sigcache.py,
     # core/signed_advertisement.py)
     "crypto.resume.<event>",
@@ -114,6 +119,25 @@ METRIC_PATTERNS: tuple[str, ...] = (
     "fed.reject.<reason>",
     "fed.sync.<event>",
     "fed.presence.<event>",
+    # broker-mediated group cast (overlay/groupcast.py)
+    "groupcast.rotate",
+    "groupcast.rotate.degraded",
+    "groupcast.sub",
+    "groupcast.unsub",
+    "groupcast.cast",
+    "groupcast.delivered",
+    "groupcast.relayed",
+    "groupcast.replayed",
+    "groupcast.relay.received",
+    "groupcast.relay.ignored",
+    "groupcast.epoch.pull",
+    "groupcast.epoch.pull_failed",
+    "groupcast.epoch.serve",
+    "groupcast.epoch.bad_secret",
+    "groupcast.store.evicted",
+    "groupcast.store.expired",
+    "groupcast.reject.<code>",
+    "groupcast.fed.unauthorized",
     # hook-bus accounting (obs/events.py)
     "events.<hook>",
     "events.listener_errors",

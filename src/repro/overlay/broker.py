@@ -162,6 +162,18 @@ class Broker(LinkCapsMixin):
                 pushed += 1
         return pushed
 
+    def _group_membership_changed(self, group_name: str,
+                                  joined: str | None = None,
+                                  left: str | None = None,
+                                  churn: bool = False) -> None:
+        """Hook: a member joined/left a local group shard.
+
+        ``churn`` marks a dropped session (the member's database
+        membership persists) as opposed to an explicit leave.  The plain
+        broker has no group-cast state; the secure broker overrides this
+        to rotate the group's epoch key.
+        """
+
     # -- federation frame delegates ------------------------------------------
 
     def fn_fed_link_req(self, message: Message, src: str) -> Message | None:
@@ -236,6 +248,7 @@ class Broker(LinkCapsMixin):
         self.federation.presence_up(peer_id, username, address, self.clock.now)
         for group_name in groups:
             self._ensure_group(group_name).add_member(peer_id)
+            self._group_membership_changed(group_name, joined=peer_id)
             joined = Message("peer_joined")
             joined.add_text("group", group_name)
             joined.add_text("peer_id", peer_id)
@@ -276,6 +289,8 @@ class Broker(LinkCapsMixin):
             left.add_text("group", group.name)
             left.add_text("peer_id", session.peer_id)
             self._push_to_group_members(group.name, left, exclude_peer=session.peer_id)
+            self._group_membership_changed(group.name, left=session.peer_id,
+                                           churn=True)
         self.groups.drop_member_everywhere(session.peer_id)
         self.control.cache.remove_peer(session.peer_id)
         self.database.mark_inactive(session.username)
@@ -450,6 +465,7 @@ class Broker(LinkCapsMixin):
         self.database.register_group(name)
         self.database.assign_group(session.username, name)
         group.add_member(session.peer_id)
+        self._group_membership_changed(name, joined=session.peer_id)
         adv = GroupAdvertisement(
             peer_id=self.peer_id, group_id=group.group_id,
             name=name, description=description)
@@ -470,6 +486,7 @@ class Broker(LinkCapsMixin):
             return self._fail("join_group_fail", f"unknown group {name!r}")
         group.add_member(session.peer_id)
         self.database.assign_group(session.username, name)
+        self._group_membership_changed(name, joined=session.peer_id)
         joined = Message("peer_joined")
         joined.add_text("group", name)
         joined.add_text("peer_id", session.peer_id)
@@ -491,6 +508,7 @@ class Broker(LinkCapsMixin):
             return self._fail("leave_group_fail", f"unknown group {name!r}")
         group.remove_member(session.peer_id)
         self.database.revoke_group(session.username, name)
+        self._group_membership_changed(name, left=session.peer_id)
         left = Message("peer_left")
         left.add_text("group", name)
         left.add_text("peer_id", session.peer_id)

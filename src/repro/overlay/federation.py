@@ -285,6 +285,27 @@ class Federation:
     def _request(self, dst: str, message: Message) -> Message:
         return self.endpoint.request(dst, self.seal(message))
 
+    def broadcast(self, message: Message, *, exclude: tuple = ()) -> int:
+        """Seal once, datagram every federation member, inside one cork.
+
+        The relay fan-out of group-cast: the frame is sealed a single
+        time and reused verbatim for every member, and the sends ride
+        the link queues as coalesced datagrams on batching transports
+        (mirroring :meth:`_ship_deltas`).  Returns how many members the
+        frame was handed to the transport for.
+        """
+        targets = [a for a in self.members if a not in exclude]
+        if not targets:
+            return 0
+        sealed = self.seal(message)
+        sent = 0
+        with self.endpoint.corked():
+            for address in sorted(targets):
+                if self.endpoint.send(address, sealed):
+                    sent += 1
+        fed_metric("fed.broadcast.sent", sent)
+        return sent
+
     def _gauges(self) -> None:
         registry = obs.get_registry()
         if registry.enabled:

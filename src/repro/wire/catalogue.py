@@ -227,6 +227,32 @@ _SPECS: tuple[FrameSpec, ...] = (
     FrameSpec("fed_redirect",
               (_ident("owner"),) + _seal_quad(),
               "federation", "ask the client to retry at the owning shard"),
+    # -- federation: group-cast relay + epoch distribution --------------------
+    FrameSpec("fed_group_cast",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32),
+               Field("seq", "text", numeric=True, max_size=32),
+               _ident("from_peer"),
+               _ident("origin"),
+               _envelope()) + _seal_quad(),
+              "federation", "relay one epoch-sealed group frame ring-wide"),
+    FrameSpec("fed_group_epoch",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32))
+              + _seal_quad(),
+              "federation", "epoch owner announces a rotation (no secret)"),
+    FrameSpec("fed_group_epoch_req",
+              (_ident("group", sample="students"),
+               _ident("rotate", required=False, sample="1"))
+              + _seal_quad(),
+              "federation", "pull epoch secrets from the shard owner"),
+    FrameSpec("fed_group_epoch_ok",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32),
+               Field("secrets", "json", json_type="dict")) + _seal_quad(),
+              "federation", "epoch secrets, each sealed to the asker"),
+    FrameSpec("fed_group_epoch_fail", (_reason(),) + _seal_quad(),
+              "federation", "epoch pull refused"),
     # -- secure extension: connection and login (§4.1, §4.2) ------------------
     FrameSpec("secure_connect_req",
               (Field("chall", "bytes", max_size=1024),),
@@ -272,6 +298,52 @@ _SPECS: tuple[FrameSpec, ...] = (
               "secure", "sealed group-operation result"),
     FrameSpec("secure_group_op_fail", (_reason(),),
               "secure", "sealed group operation refused"),
+    # -- secure extension: broker-mediated group cast -------------------------
+    FrameSpec("group_epoch_req", (_envelope(),),
+              "secure", "sealed request for a group's epoch secrets"),
+    FrameSpec("group_epoch_ok", (_envelope(),),
+              "secure", "sealed epoch secrets (entitled epochs only)"),
+    FrameSpec("group_epoch_fail", (_reason(),),
+              "secure", "epoch fetch refused"),
+    FrameSpec("group_sub",
+              (_ident("group", sample="students"),
+               Field("since", "text", numeric=True, required=False,
+                     max_size=32)),
+              "secure", "register group-cast delivery interest"),
+    FrameSpec("group_sub_ok",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32),
+               Field("replayed", "text", numeric=True, max_size=32)),
+              "secure", "subscribed; backlog replay scheduled"),
+    FrameSpec("group_sub_fail",
+              (_reason(),
+               _ident("code", required=False, sample="not_member")),
+              "secure", "subscription refused"),
+    FrameSpec("group_unsub", (_ident("group", sample="students"),),
+              "secure", "withdraw group-cast delivery interest"),
+    FrameSpec("group_unsub_ok", (_ident("group", sample="students"),),
+              "secure", "unsubscribed"),
+    FrameSpec("group_cast",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32),
+               _envelope()),
+              "secure", "one epoch-sealed frame for the whole group"),
+    FrameSpec("group_cast_ok",
+              (Field("seq", "text", numeric=True, max_size=32),
+               Field("delivered", "text", numeric=True, max_size=32),
+               Field("relayed", "text", numeric=True, max_size=32)),
+              "secure", "cast accepted: local deliveries + relay count"),
+    FrameSpec("group_cast_fail",
+              (_reason(),
+               _ident("code", required=False, sample="stale_epoch")),
+              "secure", "cast refused (stale_epoch asks for a refresh)"),
+    FrameSpec("group_deliver",
+              (_ident("group", sample="students"),
+               Field("epoch", "text", numeric=True, max_size=32),
+               Field("seq", "text", numeric=True, max_size=32),
+               _ident("from_peer"),
+               _envelope()),
+              "secure", "broker fans one sealed group frame to a subscriber"),
     # -- secure extension: revocation and renewal (§6) ------------------------
     FrameSpec("revocation_push", (Field("rl", "xml"),),
               "secure", "broker pushes the signed revocation list"),

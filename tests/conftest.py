@@ -144,6 +144,16 @@ class SecureWorld:
             client.secure_login(user, pw)
 
 
+#: TEST_POLICY with broker-mediated group fan-out switched on
+CAST_POLICY = TEST_POLICY.with_(enable_group_cast=True)
+
+
+class CastWorld(SecureWorld):
+    """SecureWorld whose brokers and clients run the group-cast path."""
+
+    POLICY = CAST_POLICY
+
+
 @pytest.fixture()
 def secure_world() -> SecureWorld:
     return SecureWorld()
@@ -152,5 +162,12 @@ def secure_world() -> SecureWorld:
 @pytest.fixture()
 def joined_secure_world() -> SecureWorld:
     world = SecureWorld()
+    world.join_all()
+    return world
+
+
+@pytest.fixture()
+def cast_world() -> CastWorld:
+    world = CastWorld()
     world.join_all()
     return world
