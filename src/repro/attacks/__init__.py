@@ -4,6 +4,16 @@ Each module implements one of the paper's stated JXTA-Overlay
 vulnerabilities as executable code, so the test suite can demonstrate
 that (a) the plain primitives really are vulnerable and (b) the secure
 primitives really close the hole.
+
+Every adversary runs on the :class:`~repro.net.base.Transport`
+contract: taps and interceptors install through
+:func:`repro.net.adversary.adversary_surface`, active endpoints ride
+:class:`~repro.jxta.endpoint.Endpoint`, so the same attack code drives
+the simulator and real TCP sockets identically
+(``tests/attacks/test_transport_parity.py``).  The population-scale
+adversaries (sybil flood, eclipse, frame storm) live in
+:mod:`repro.scenario.adversaries` and compose with these through the
+scenario engine.
 """
 
 from repro.attacks.eavesdropper import Eavesdropper

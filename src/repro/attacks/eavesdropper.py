@@ -1,16 +1,24 @@
 """Passive eavesdropper (§2.3 threat 1: "transmitted data may be easily
 eavesdropped, since no data privacy is provided").
 
-A network tap that records every frame and scans the observed bytes for
-plaintext strings.  Against the plain primitives it harvests passwords
-and chat text; against the secure primitives it sees only envelopes.
+A transport tap that records every frame and scans the observed bytes
+for plaintext strings.  Against the plain primitives it harvests
+passwords and chat text; against the secure primitives it sees only
+envelopes.
+
+The tap installs on any :class:`~repro.net.adversary.AdversarySurface`:
+hand :meth:`attach` a :class:`~repro.sim.network.SimNetwork`, a
+:class:`~repro.net.sim.SimTransport` or a
+:class:`~repro.net.tcp.TcpTransport` and the same eavesdropper observes
+the same frames (``tests/attacks/test_transport_parity.py`` pins this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.network import Frame, SimNetwork
+from repro.net.adversary import adversary_surface
+from repro.net.base import Frame
 
 
 @dataclass
@@ -22,12 +30,13 @@ class Eavesdropper:
     def observe(self, frame: Frame) -> None:
         self.frames.append(frame)
 
-    def attach(self, network: SimNetwork) -> "Eavesdropper":
-        network.add_tap(self)
+    def attach(self, backend) -> "Eavesdropper":
+        """Start observing ``backend`` (a network or any transport)."""
+        adversary_surface(backend).add_tap(self)
         return self
 
-    def detach(self, network: SimNetwork) -> None:
-        network.remove_tap(self)
+    def detach(self, backend) -> None:
+        adversary_surface(backend).remove_tap(self)
 
     # -- analysis -------------------------------------------------------------
 

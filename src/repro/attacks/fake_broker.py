@@ -26,13 +26,19 @@ from repro.core.keystore import Keystore
 from repro.crypto.drbg import HmacDrbg
 from repro.jxta.endpoint import Endpoint
 from repro.jxta.messages import Message
-from repro.sim.network import Frame, Interceptor, SimNetwork
+from repro.net.adversary import Interceptor
+from repro.net.base import Frame
 
 
 class FakeBroker:
-    """Impersonates a broker; records every credential clients leak."""
+    """Impersonates a broker; records every credential clients leak.
 
-    def __init__(self, network: SimNetwork, address: str, drbg: HmacDrbg,
+    ``network`` is any endpoint backend — a
+    :class:`~repro.sim.network.SimNetwork` or a transport; the fake
+    broker is an ordinary endpoint and needs no simulator internals.
+    """
+
+    def __init__(self, network, address: str, drbg: HmacDrbg,
                  name: str = "totally-legit-broker",
                  stolen_credential: Credential | None = None) -> None:
         self.endpoint = Endpoint(network, address)

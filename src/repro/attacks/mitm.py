@@ -4,13 +4,18 @@ Complements the passive eavesdropper: interceptors that rewrite message
 content in flight.  Against plain chat the victim receives the altered
 text with no way to notice; against secureMsgPeer the envelope/signature
 checks reject the tampered message.
+
+Interceptors are pure frame functions, so they install on any
+:class:`~repro.net.adversary.AdversarySurface` — the simulator or the
+TCP transport — through :class:`TamperCampaign`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.sim.network import Frame, Interceptor, SimNetwork
+from repro.net.adversary import Interceptor, adversary_surface
+from repro.net.base import Frame
 
 
 def byte_substitution(needle: bytes, replacement: bytes) -> Interceptor:
@@ -54,20 +59,24 @@ class DroppingInterceptor:
 
 
 class TamperCampaign:
-    """Convenience wrapper: install interceptors, count effects, remove."""
+    """Convenience wrapper: install interceptors, count effects, remove.
 
-    def __init__(self, network: SimNetwork) -> None:
-        self.network = network
+    Accepts whatever the attacker sits on — a
+    :class:`~repro.sim.network.SimNetwork` or any transport backend.
+    """
+
+    def __init__(self, backend) -> None:
+        self.surface = adversary_surface(backend)
         self._installed: list[Interceptor] = []
 
     def install(self, interceptor: Interceptor) -> Interceptor:
-        self.network.add_interceptor(interceptor)
+        self.surface.add_interceptor(interceptor)
         self._installed.append(interceptor)
         return interceptor
 
     def teardown(self) -> None:
         for interceptor in self._installed:
-            self.network.remove_interceptor(interceptor)
+            self.surface.remove_interceptor(interceptor)
         self._installed.clear()
 
     def __enter__(self) -> "TamperCampaign":

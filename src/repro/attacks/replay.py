@@ -11,6 +11,11 @@ and replays them verbatim from its own address.  Against a hypothetical
 sid-less secure login this would succeed; against the paper's protocol
 the broker consumed the sid during the victim's login, so the replay is
 rejected.
+
+Capture and replay both run on the transport contract: the tap attaches
+to any :class:`~repro.net.adversary.AdversarySurface` and the replays
+go out through the backend's own ``request``, so the attack works
+unchanged over the simulator and real sockets.
 """
 
 from __future__ import annotations
@@ -19,7 +24,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import NetworkError, ReproError
 from repro.jxta.messages import Message
-from repro.sim.network import Frame, SimNetwork
+from repro.net.adversary import adversary_surface
+from repro.net.base import Frame
 
 
 @dataclass
@@ -38,14 +44,16 @@ class LoginReplayer:
         if msg.msg_type in self.login_types:
             self.captured.append(frame)
 
-    def attach(self, network: SimNetwork) -> "LoginReplayer":
-        network.add_tap(self)
+    def attach(self, backend) -> "LoginReplayer":
+        adversary_surface(backend).add_tap(self)
         return self
 
-    def replay_all(self, network: SimNetwork) -> list[Message]:
+    def replay_all(self, backend) -> list[Message]:
         """Resend every captured login blob from the attacker's address.
 
-        Returns the broker's responses (the attacker's haul: a
+        ``backend`` is whatever carries frames — a SimNetwork or any
+        transport; both expose ``request(src, dst, payload)``.  Returns
+        the broker's responses (the attacker's haul: a
         ``login_ok``/``secure_login_ok`` here would mean impersonation).
         """
         responses = []
@@ -53,7 +61,7 @@ class LoginReplayer:
         # get captured — iterating the live list would never terminate
         for frame in list(self.captured):
             try:
-                raw = network.request(self.attacker_address, frame.dst,
+                raw = backend.request(self.attacker_address, frame.dst,
                                       frame.payload)
             except NetworkError:
                 continue

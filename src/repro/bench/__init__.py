@@ -49,6 +49,12 @@ from repro.bench.group import (
     group_report,
     write_bench_group,
 )
+from repro.bench.scale import (
+    check_scale_regression,
+    format_scale,
+    scale_report,
+    write_bench_scale,
+)
 from repro.bench.experiments import (
     OBS_PRIMITIVES,
     PAPER_JOIN_OVERHEAD_PCT,
@@ -95,6 +101,10 @@ __all__ = [
     "format_group",
     "group_report",
     "write_bench_group",
+    "check_scale_regression",
+    "format_scale",
+    "scale_report",
+    "write_bench_scale",
     "OBS_PRIMITIVES",
     "PAPER_JOIN_OVERHEAD_PCT",
     "crash_recovery_scenario",

@@ -15,6 +15,9 @@ every experiment for CI smoke runs.
 * ``hotpath`` — E-HOTPATH: per-stage hot-path profile, the legacy-vs-
   optimized steady-state A/B and the layer-cost ladder,
   ``BENCH_HOTPATH.json``.
+* ``scale`` — E-SCALE: the scenario-engine population experiment
+  (churn storm + Sybil flood + eclipse + frame storm over an 8-broker
+  ring), ``BENCH_SCALE.json``.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.bench import (
     format_msgfast,
     format_obs,
     format_policy_ablation,
+    format_scale,
     group_report,
     group_scaling,
     hotpath_report,
@@ -44,12 +48,14 @@ from repro.bench import (
     msgfast_report,
     obs_bench,
     policy_ablation,
+    scale_report,
     write_bench_fault,
     write_bench_fed,
     write_bench_group,
     write_bench_hotpath,
     write_bench_msgfast,
     write_bench_obs,
+    write_bench_scale,
 )
 
 
@@ -85,6 +91,14 @@ def run_group(quick: bool) -> int:
     return 0 if data["checks"]["all_passed"] else 1
 
 
+def run_scale(quick: bool) -> int:
+    data = scale_report(quick=quick)
+    print(format_scale(data))
+    out = write_bench_scale(data)
+    print(f"  wrote {out}")
+    return 0 if data["checks"]["all_passed"] else 1
+
+
 def run_hotpath(quick: bool) -> int:
     data = hotpath_report(quick=quick)
     print(format_hotpath(data))
@@ -102,13 +116,20 @@ EXPERIMENTS = {
     "group": run_group,
     "hotpath": run_hotpath,
     "msgfast": run_msgfast,
+    "scale": run_scale,
 }
 
 
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     if "--experiment" in argv:
-        which = argv[argv.index("--experiment") + 1]
+        at = argv.index("--experiment") + 1
+        if at >= len(argv):
+            known = ", ".join(sorted(EXPERIMENTS))
+            print(f"--experiment needs a name; known: {known}",
+                  file=sys.stderr)
+            return 2
+        which = argv[at]
         runner = EXPERIMENTS.get(which)
         if runner is None:
             known = ", ".join(sorted(EXPERIMENTS))

@@ -189,6 +189,15 @@ class Endpoint:
     def on_default(self, handler: MessageHandler) -> None:
         self._default_handler = handler
 
+    def handled_types(self) -> tuple[str, ...]:
+        """The message types this endpoint dispatches, sorted.
+
+        Public so protocol-aware tooling (the scenario engine's
+        frame-storm adversary, catalogue drift checks) can target only
+        frames the endpoint will actually route.
+        """
+        return tuple(sorted(self._handlers))
+
     # -- lifecycle hook plumbing ---------------------------------------------
 
     def _fire_connect(self, peer: str) -> None:

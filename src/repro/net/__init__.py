@@ -16,6 +16,7 @@ The backend classes are exported lazily: ``repro.sim.network`` imports
 the sim backend here would cycle through ``repro.sim``.
 """
 
+from repro.net.adversary import AdversarySurface, adversary_surface
 from repro.net.base import (
     Frame,
     FrameHandler,
@@ -27,6 +28,8 @@ from repro.net.base import (
 from repro.net.clock import WallClock
 
 __all__ = [
+    "AdversarySurface",
+    "adversary_surface",
     "Frame",
     "FrameHandler",
     "LinkPolicy",

@@ -137,6 +137,22 @@ class SimTransport:
     def is_registered(self, address: str) -> bool:
         return self.network.is_registered(address)
 
+    # -- adversary surface ---------------------------------------------------
+    # Delegated: on the simulator, frames cross the network mid-wire, so
+    # the hooks live there (see repro.net.adversary for the contract).
+
+    def add_tap(self, tap) -> None:
+        self.network.add_tap(tap)
+
+    def remove_tap(self, tap) -> None:
+        self.network.remove_tap(tap)
+
+    def add_interceptor(self, interceptor) -> None:
+        self.network.add_interceptor(interceptor)
+
+    def remove_interceptor(self, interceptor) -> None:
+        self.network.remove_interceptor(interceptor)
+
     # -- delivery ------------------------------------------------------------
 
     def send(self, src: str, dst: str, payload: bytes) -> bool:

@@ -98,6 +98,8 @@ class TcpTransport:
         self._req_ids = itertools.count(1)
         self._closed = False
         self.scheduler: linkq.LinkScheduler | None = None
+        self._taps: list = []
+        self._interceptors: list = []
 
     # -- loop plumbing -----------------------------------------------------
 
@@ -388,6 +390,33 @@ class TcpTransport:
         if kind == framing.KIND_REQUEST:
             conn.pending.add(req_id)
 
+    # -- adversary surface ---------------------------------------------------
+    # The tap/interceptor hooks of repro.net.adversary.  On sockets there
+    # is no mid-wire vantage point, so the chain runs on the outbound
+    # path of this transport object: every send() datagram, the request
+    # leg before the write and the response leg after it.  When the
+    # endpoints under attack share the transport (the in-process
+    # evaluation setup) that is every frame, matching the simulator.
+
+    def add_tap(self, tap) -> None:
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        self._taps.remove(tap)
+
+    def add_interceptor(self, interceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    def _through_adversaries(self, frame: Frame) -> Frame | None:
+        if not self._taps and not self._interceptors:
+            return frame
+        from repro.net.adversary import run_chain
+
+        return run_chain(self._taps, self._interceptors, frame)
+
     # -- transport contract ------------------------------------------------
 
     def _wire_send(self, src: str, dst: str, kind: int, payload: bytes) -> bool:
@@ -406,6 +435,15 @@ class TcpTransport:
     def send(self, src: str, dst: str, payload: bytes) -> bool:
         """Best-effort datagram; ``False`` when the connection fails."""
         self.location(dst)  # unknown destination raises, like the sim
+        out = self._through_adversaries(
+            Frame(src=src, dst=dst, payload=bytes(payload),
+                  sent_at=self.clock.now))
+        if out is None or out.dst not in self._directory:
+            # Adversarial drop (or redirect into the void): best-effort
+            # loss, exactly the simulator's answer.
+            obs.get_registry().incr("net.tcp.frames_dropped")
+            return False
+        src, dst, payload = out.src, out.dst, out.payload
         scheduler = self.scheduler
         if scheduler is None or not linkq.FLAGS.frame_batching:
             return self._wire_send(src, dst, framing.KIND_DATA, payload)
@@ -416,6 +454,12 @@ class TcpTransport:
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
         """Round-trip exchange; raises :class:`NetworkError` on failure."""
         self.location(dst)
+        out = self._through_adversaries(
+            Frame(src=src, dst=dst, payload=bytes(payload),
+                  sent_at=self.clock.now))
+        if out is None or out.dst not in self._directory:
+            raise NetworkError(f"request from {src!r} to {dst!r} was dropped")
+        dst, payload = out.dst, out.payload
         if self.scheduler is not None and linkq.FLAGS.frame_batching:
             # Ordering barrier: datagrams queued to this link must hit
             # the wire before the request does.
@@ -435,12 +479,22 @@ class TcpTransport:
         registry.incr("net.tcp.frames_sent")
         registry.incr("net.tcp.bytes_sent", len(payload))
         try:
-            return future.result(self.request_timeout)
+            response = future.result(self.request_timeout)
         except concurrent.futures.TimeoutError as exc:
             self._pending.pop(req_id, None)
             raise NetworkError(
                 f"request from {src!r} to {dst!r} timed out after "
                 f"{self.request_timeout}s") from exc
+        # Response leg through the same chain: taps see the answer,
+        # interceptors may tamper with or drop it, like the simulator's
+        # second _through_adversaries pass inside request().
+        back = self._through_adversaries(
+            Frame(src=dst, dst=src, payload=response,
+                  sent_at=self.clock.now))
+        if back is None:
+            raise NetworkError(
+                f"response from {dst!r} to {src!r} was dropped")
+        return back.payload
 
     def unregister(self, address: str) -> None:
         """Drop an endpoint and drain everything attached to it.

@@ -256,6 +256,44 @@ class Broker(LinkCapsMixin):
             self._push_to_group_members(group_name, joined, exclude_peer=peer_id)
         return groups
 
+    def bulk_admit(self, peer_id: str, username: str, address: str) -> list[str]:
+        """Install an authenticated session without the join broadcast.
+
+        The population-scale admission path used by the scenario
+        engine's actor pool: it produces the same session, address-index
+        and group-roster state as :meth:`register_session`, but models a
+        peer whose join has already converged — no ``peer_joined``
+        fan-out, no presence gossip, no group-cast epoch rotation.  With
+        a hundred thousand scripted actors those per-member broadcasts
+        are quadratic; scenario *wire* joins still exercise the full
+        ``fn_login`` path for the sampled fraction of the population.
+        """
+        groups = sorted(self.database.groups_of(username))
+        self.connected[peer_id] = ConnectedPeer(
+            peer_id=peer_id, username=username, address=address,
+            last_seen=self.clock.now)
+        self._addr_index[address] = peer_id
+        self.database.mark_active(username, self.address)
+        for group_name in groups:
+            self._ensure_group(group_name).add_member(peer_id)
+        self.metrics.incr("fn.bulk_admit")
+        return groups
+
+    def bulk_evict(self, address: str) -> bool:
+        """Drop a session installed by :meth:`bulk_admit` (or any session)
+        without the leave broadcast — the converse of bulk admission,
+        modelling churn whose departure gossip already settled."""
+        session = self._session_for_address(address)
+        if session is None:
+            return False
+        self.groups.drop_member_everywhere(session.peer_id)
+        self.database.mark_inactive(session.username)
+        self.connected.pop(session.peer_id, None)
+        if self._addr_index.get(session.address) == session.peer_id:
+            del self._addr_index[session.address]
+        self.metrics.incr("fn.bulk_evict")
+        return True
+
     def fn_logout(self, message: Message, src: str) -> Message:
         self.metrics.incr("fn.logout")
         session = self._session_for_address(src)

@@ -10,16 +10,17 @@ cost.  :class:`PrimitiveResult` carries all of that.
 
 The explicit accessors are the API: ``result.ok`` answers "did the
 primitive succeed", ``result.value`` is the payload (delivery count,
-file bytes, sent flag), ``result.unwrap()`` is value-or-raise.  The
-``__bool__`` / ``__int__`` shims that made the object a drop-in
-stand-in for the legacy bare returns are **deprecated** and now emit a
-:class:`DeprecationWarning`; they will be removed one release after
-every known caller has migrated.
+file bytes, sent flag), ``result.unwrap()`` is value-or-raise.
+The ``__bool__`` / ``__int__`` shims that once made the object a
+drop-in stand-in for the legacy bare returns went through their
+deprecation cycle and are gone — truth-testing would collapse the
+attempts/degraded story into one bit, which is exactly what this type
+exists to avoid.  Sequence access (``len``/iteration/indexing) still
+delegates to ``value`` for payload-carrying results.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -56,23 +57,6 @@ class PrimitiveResult:
     elapsed_ms: float = 0.0
     degraded: bool = False
     error: Exception | None = field(default=None, compare=False)
-
-    # -- compatibility shims: behave like the legacy bare return ----------
-    # Deprecated: truth-testing silently collapses the attempts/degraded
-    # story into one bit, which is exactly what this type exists to avoid.
-
-    def __bool__(self) -> bool:
-        warnings.warn(
-            "truth-testing a PrimitiveResult is deprecated; use result.ok",
-            DeprecationWarning, stacklevel=2)
-        return self.ok
-
-    def __int__(self) -> int:
-        warnings.warn(
-            "int(PrimitiveResult) is deprecated; use result.value "
-            "(or result.attempts / result.unwrap() as appropriate)",
-            DeprecationWarning, stacklevel=2)
-        return int(self.value) if self.value is not None else int(self.ok)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, PrimitiveResult):

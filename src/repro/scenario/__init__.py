@@ -1,0 +1,70 @@
+"""Composable scenario engine: populations, faults and adversaries.
+
+One DSL assembles everything the experiments used to wire by hand:
+
+* :class:`Scenario` / :class:`BuiltScenario` — the deterministic
+  deployment substrate (network, admin, brokers, peers), unchanged from
+  the original one-call builder;
+* :mod:`repro.scenario.population` — cohorts with arrival processes
+  (ramp, Poisson, flash crowd, diurnal), Zipf group assignment and
+  lightweight scripted actors so six-figure populations over a
+  federated broker ring stay tractable in one process;
+* :mod:`repro.scenario.adversaries` — population-scale attacks
+  (Sybil flood, eclipse, malformed-frame storm) on top of the
+  :mod:`repro.attacks` transport-contract primitives;
+* :mod:`repro.scenario.engine` — phases composing load, a
+  :class:`~repro.sim.faults.FaultPlan` and adversaries, reported
+  phase-by-phase through :mod:`repro.obs` (goodput, reject taxonomy,
+  post-disruption convergence).
+
+>>> from repro.scenario import Scenario
+>>> scn = (Scenario(seed=b"pkg-doc")
+...        .with_user("alice", "pw", groups={"lab"})
+...        .with_broker("broker:0")
+...        .with_secure_peer("alice")
+...        .build(join=True))
+>>> sorted(scn.brokers)
+['broker:0']
+"""
+
+from repro.scenario.adversaries import (
+    Adversary,
+    EclipseAttack,
+    FrameStorm,
+    SybilFlood,
+)
+from repro.scenario.builder import BuiltScenario, Scenario
+from repro.scenario.engine import Phase, ScenarioEngine
+from repro.scenario.population import (
+    ActorPool,
+    ArrivalProcess,
+    ChurnStorm,
+    Cohort,
+    DiurnalCurve,
+    FlashCrowd,
+    PoissonArrivals,
+    ScriptedActor,
+    UniformRamp,
+    zipf_group_sizes,
+)
+
+__all__ = [
+    "Scenario",
+    "BuiltScenario",
+    "ArrivalProcess",
+    "UniformRamp",
+    "PoissonArrivals",
+    "FlashCrowd",
+    "DiurnalCurve",
+    "zipf_group_sizes",
+    "Cohort",
+    "ScriptedActor",
+    "ChurnStorm",
+    "ActorPool",
+    "Adversary",
+    "SybilFlood",
+    "EclipseAttack",
+    "FrameStorm",
+    "Phase",
+    "ScenarioEngine",
+]

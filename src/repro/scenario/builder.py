@@ -40,6 +40,9 @@ class BuiltScenario:
     brokers: dict[str, Broker]
     peers: dict[str, ClientPeer]
     passwords: dict[str, str] = field(default_factory=dict)
+    #: the security policy the deployment was built under (scenario
+    #: adversaries forge material against the same parameters)
+    policy: SecurityPolicy = DEFAULT_POLICY
 
     @property
     def clock(self) -> VirtualClock:
@@ -155,7 +158,8 @@ class Scenario:
 
         scenario = BuiltScenario(
             network=network, scheduler=scheduler, admin=admin,
-            brokers=brokers, peers=peers, passwords=passwords)
+            brokers=brokers, peers=peers, passwords=passwords,
+            policy=self.policy)
         if join:
             scenario.join_all()
         return scenario

@@ -27,6 +27,7 @@ from typing import Callable, Protocol
 
 from repro import obs
 from repro.errors import NetworkError
+from repro.net import adversary
 from repro.net.base import Frame
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LAN_2009, LinkModel
@@ -190,14 +191,7 @@ class SimNetwork:
     # -- delivery -------------------------------------------------------------
 
     def _through_adversaries(self, frame: Frame) -> Frame | None:
-        for tap in self._taps:
-            tap.observe(frame)
-        for interceptor in self._interceptors:
-            maybe = interceptor(frame)
-            if maybe is None:
-                return None
-            frame = maybe
-        return frame
+        return adversary.run_chain(self._taps, self._interceptors, frame)
 
     def _transit(self, frame: Frame) -> bool:
         """Model the link crossing; returns False when the frame is lost."""

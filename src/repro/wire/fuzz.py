@@ -1,0 +1,118 @@
+"""Mutation fuzzing over the frame catalogue.
+
+Promoted from the wire test suite so runtime adversaries can reuse it:
+given any :class:`~repro.wire.schema.FrameSpec`, :func:`build` emits a
+valid sample instance and :func:`mutations` emits a family of
+malformed variants, each labelled with the reject reason the wire
+boundary must classify it under.  Everything works from the spec
+alone, so the generated corpus automatically tracks catalogue changes.
+
+Consumers:
+
+* ``tests/wire/`` — per-spec fuzz against live broker/client endpoints;
+* :class:`repro.scenario.adversaries.FrameStorm` — the scenario
+  engine's malformed-frame adversary, which replays these mutations at
+  population scale and checks the ``wire.reject.<msg_type>.<reason>``
+  taxonomy accounts for every one of them.
+"""
+
+from __future__ import annotations
+
+from repro.jxta.messages import Message
+from repro.wire.schema import Field, FrameSpec
+
+__all__ = ["add_field", "build", "mutations"]
+
+
+def add_field(message: Message, field: Field, value) -> None:
+    """Append one element of the field's declared kind."""
+    if field.kind == "bytes":
+        message.add_bytes(field.name, value)
+    elif field.kind == "xml":
+        message.add_xml(field.name, value)
+    elif field.kind == "json":
+        message.add_json(field.name, value)
+    else:
+        message.add_text(field.name, value)
+
+
+def build(spec: FrameSpec, *, skip: str | None = None,
+          mutate: dict | None = None) -> Message:
+    """A sample instance of ``spec`` with one field dropped or corrupted.
+
+    ``mutate`` maps field name to a ``(message, field)`` callable that
+    appends the corrupted element itself.
+    """
+    message = Message(spec.msg_type)
+    for field in spec.fields:
+        if field.name == skip:
+            continue
+        if mutate is not None and field.name in mutate:
+            mutate[field.name](message, field)
+            continue
+        add_field(message, field, field.sample_value())
+    return message
+
+
+def _wrong_kind(message: Message, field: Field) -> None:
+    if field.kind in ("bytes", "xml"):
+        message.add_text(field.name, "not-the-declared-encoding")
+    else:
+        message.add_bytes(field.name, b"\xff\xfe")
+
+
+def _oversized(message: Message, field: Field) -> None:
+    if field.kind == "bytes":
+        message.add_bytes(field.name, b"\x00" * (field.max_size + 1))
+    else:
+        message.add_text(field.name, "x" * (field.max_size + 1))
+
+
+def _junk_json(message: Message, field: Field) -> None:
+    message.add_text(field.name, '{"unterminated')
+
+
+def _bad_number(message: Message, field: Field) -> None:
+    message.add_text(field.name, "three")
+
+
+def mutations(spec: FrameSpec) -> list[tuple[str, Message, str]]:
+    """``(label, malformed message, expected reject reason)`` triples.
+
+    Every spec yields at least one mutation (the forged rider element);
+    the others apply where the schema has a field of the right shape.
+    """
+    muts: list[tuple[str, Message, str]] = []
+    for field in spec.required_fields():
+        muts.append((f"drop-{field.name}",
+                     build(spec, skip=field.name), "missing_field"))
+    if spec.fields:
+        first = spec.fields[0]
+        muts.append((f"wrong-kind-{first.name}",
+                     build(spec, mutate={first.name: _wrong_kind}),
+                     "wrong_kind"))
+        dup = build(spec)
+        add_field(dup, first, first.sample_value())
+        muts.append((f"duplicate-{first.name}", dup, "duplicate_field"))
+    for field in spec.fields:
+        if field.kind != "xml" and field.max_size is not None:
+            muts.append((f"oversized-{field.name}",
+                         build(spec, mutate={field.name: _oversized}),
+                         "too_large"))
+            break
+    for field in spec.fields:
+        if field.kind == "json":
+            muts.append((f"junk-json-{field.name}",
+                         build(spec, mutate={field.name: _junk_json}),
+                         "bad_json"))
+            break
+    for field in spec.fields:
+        if field.numeric:
+            muts.append((f"bad-number-{field.name}",
+                         build(spec, mutate={field.name: _bad_number}),
+                         "bad_number"))
+            break
+    rider = build(spec)
+    rider.add_text("bogus_rider", "1")
+    muts.append(("forged-rider", rider, "unknown_field"))
+    return muts

@@ -188,14 +188,6 @@ class TestCircuitBreaker:
 
 
 class TestPrimitiveResult:
-    def test_bool_and_int_shims_warn(self):
-        ok = PrimitiveResult(ok=True, value=True)
-        failed = PrimitiveResult(ok=False, value=False)
-        with pytest.warns(DeprecationWarning, match="use result.ok"):
-            assert bool(ok) and not bool(failed)
-        with pytest.warns(DeprecationWarning, match="use result.value"):
-            assert int(PrimitiveResult(ok=True, value=3)) == 3
-
     def test_eq_delegates_to_value(self):
         assert PrimitiveResult(ok=True, value=2) == 2
         assert PrimitiveResult(ok=True, value=b"data") == b"data"

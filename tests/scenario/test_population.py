@@ -1,0 +1,130 @@
+"""Population models: determinism, arrival shapes, actor lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.scenario import (
+    ActorPool,
+    Cohort,
+    DiurnalCurve,
+    FlashCrowd,
+    PoissonArrivals,
+    Scenario,
+    UniformRamp,
+    zipf_group_sizes,
+)
+
+PROCESSES = [UniformRamp(), PoissonArrivals(), FlashCrowd(),
+             DiurnalCurve(peaks=2)]
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("process", PROCESSES,
+                             ids=lambda p: type(p).__name__)
+    def test_offsets_sorted_in_range_and_exact_count(self, process):
+        offsets = process.offsets(50, 30.0, HmacDrbg(b"arrivals"))
+        assert len(offsets) == 50
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= t <= 30.0 for t in offsets)
+
+    @pytest.mark.parametrize("process", PROCESSES,
+                             ids=lambda p: type(p).__name__)
+    def test_deterministic_from_seed(self, process):
+        a = process.offsets(20, 10.0, HmacDrbg(b"same-seed"))
+        b = process.offsets(20, 10.0, HmacDrbg(b"same-seed"))
+        assert a == b
+
+    def test_flash_crowd_concentrates(self):
+        offsets = FlashCrowd(at=0.5, width=0.1).offsets(
+            100, 100.0, HmacDrbg(b"flash"))
+        assert all(44.0 <= t <= 56.0 for t in offsets)
+
+    def test_uniform_ramp_is_evenly_paced(self):
+        assert UniformRamp().offsets(4, 8.0, HmacDrbg(b"x")) == \
+            [1.0, 3.0, 5.0, 7.0]
+
+
+class TestZipfGroups:
+    def test_sizes_heavy_tailed_and_bounded(self):
+        sizes = zipf_group_sizes(10_000, 50, exponent=1.2, cap=300)
+        assert len(sizes) == 50
+        assert sizes == sorted(sizes, reverse=True)
+        assert max(sizes) <= 300
+        assert sum(sizes) <= 10_000
+
+    def test_degenerate_inputs(self):
+        assert zipf_group_sizes(0, 5) == []
+        assert zipf_group_sizes(100, 0) == []
+
+
+def build_world(n_brokers: int = 2):
+    scn = Scenario(seed=b"pop-test")
+    for i in range(n_brokers):
+        scn.with_broker(f"broker:{i}", secure=False)
+    return scn.build()
+
+
+class TestActorPool:
+    def make_pool(self, scn):
+        return ActorPool(scn.network, scn.brokers.values(), scn.admin,
+                         HmacDrbg(b"pool-test"))
+
+    def test_provision_is_deterministic(self):
+        cohort = Cohort("c", 30, groups=("g0", "g1"), wire_fraction=0.3)
+        snapshots = []
+        for _ in range(2):
+            scn = build_world()
+            pool = self.make_pool(scn)
+            actors = pool.provision(cohort)
+            snapshots.append([(a.username, a.peer_id, a.home, a.wire)
+                              for a in actors])
+        assert snapshots[0] == snapshots[1]
+
+    def test_actors_spread_over_brokers(self):
+        scn = build_world(n_brokers=3)
+        pool = self.make_pool(scn)
+        actors = pool.provision(Cohort("c", 30))
+        homes = {a.home for a in actors}
+        assert homes == set(scn.brokers)
+
+    def test_bulk_join_installs_real_session_state(self):
+        scn = build_world()
+        pool = self.make_pool(scn)
+        actor = pool.provision(Cohort("c", 4, groups=("lab",),
+                                      group_cap=4))[0]
+        assert pool.join(actor)
+        broker = scn.brokers[actor.home]
+        session = broker.connected[actor.peer_id]
+        assert session.username == actor.username
+        assert session.address == actor.address
+        groups = scn.admin.database.groups_of(actor.username)
+        for group in groups:
+            assert actor.peer_id in broker.groups.get_or_none(group).members
+        assert pool.leave(actor)
+        assert actor.peer_id not in broker.connected
+
+    def test_wire_join_runs_the_full_login_path(self):
+        scn = build_world()
+        pool = self.make_pool(scn)
+        cohort = Cohort("w", 3, wire_fraction=1.1)  # every member wires in
+        actors = pool.provision(cohort)
+        assert all(a.wire for a in actors)
+        broker = scn.brokers[actors[0].home]
+        before = broker.metrics.count("fn.login")
+        assert pool.join(actors[0])
+        assert broker.metrics.count("fn.login") == before + 1
+        assert actors[0].peer_id in broker.connected
+        # wire logout resolves the session by source address
+        assert pool.leave(actors[0])
+        assert actors[0].peer_id not in broker.connected
+
+    def test_join_failure_counted_not_raised(self):
+        scn = build_world()
+        pool = self.make_pool(scn)
+        actor = pool.provision(Cohort("w", 1, wire_fraction=1.1))[0]
+        actor.password = "wrong"
+        assert not pool.join(actor)
+        assert pool.stats["join_failures"] == 1
+        assert not actor.joined

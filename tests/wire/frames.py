@@ -1,7 +1,9 @@
-"""Shared builders for the wire suite: valid samples and mutations.
+"""Shared helpers for the wire suite.
 
-Everything here works from the registry alone, so the fuzz and
-handler-coverage suites automatically track catalogue changes.
+The valid-sample and mutation builders were promoted to
+:mod:`repro.wire.fuzz` (the scenario engine's FrameStorm adversary
+replays the same corpus); they are re-exported here so the suite keeps
+one import point.  Only the registry plumbing is test-local.
 """
 
 from __future__ import annotations
@@ -9,8 +11,10 @@ from __future__ import annotations
 import contextlib
 
 from repro import obs
-from repro.jxta.messages import Message
-from repro.wire.schema import Field, FrameSpec
+from repro.wire.fuzz import add_field, build, mutations  # noqa: F401
+
+__all__ = ["add_field", "build", "fresh_registry", "mutations",
+           "wire_reject_counts"]
 
 
 @contextlib.contextmanager
@@ -29,97 +33,3 @@ def wire_reject_counts(registry) -> dict[str, int]:
     return {name: registry.count(name)
             for name in registry.metric_names()
             if name.startswith("wire.reject.")}
-
-
-def add_field(message: Message, field: Field, value) -> None:
-    """Append one element of the field's declared kind."""
-    if field.kind == "bytes":
-        message.add_bytes(field.name, value)
-    elif field.kind == "xml":
-        message.add_xml(field.name, value)
-    elif field.kind == "json":
-        message.add_json(field.name, value)
-    else:
-        message.add_text(field.name, value)
-
-
-def build(spec: FrameSpec, *, skip: str | None = None,
-          mutate: dict | None = None) -> Message:
-    """A sample instance of ``spec`` with one field dropped or corrupted.
-
-    ``mutate`` maps field name to a ``(message, field)`` callable that
-    appends the corrupted element itself.
-    """
-    message = Message(spec.msg_type)
-    for field in spec.fields:
-        if field.name == skip:
-            continue
-        if mutate is not None and field.name in mutate:
-            mutate[field.name](message, field)
-            continue
-        add_field(message, field, field.sample_value())
-    return message
-
-
-def _wrong_kind(message: Message, field: Field) -> None:
-    if field.kind in ("bytes", "xml"):
-        message.add_text(field.name, "not-the-declared-encoding")
-    else:
-        message.add_bytes(field.name, b"\xff\xfe")
-
-
-def _oversized(message: Message, field: Field) -> None:
-    if field.kind == "bytes":
-        message.add_bytes(field.name, b"\x00" * (field.max_size + 1))
-    else:
-        message.add_text(field.name, "x" * (field.max_size + 1))
-
-
-def _junk_json(message: Message, field: Field) -> None:
-    message.add_text(field.name, '{"unterminated')
-
-
-def _bad_number(message: Message, field: Field) -> None:
-    message.add_text(field.name, "three")
-
-
-def mutations(spec: FrameSpec) -> list[tuple[str, Message, str]]:
-    """``(label, malformed message, expected reject reason)`` triples.
-
-    Every spec yields at least one mutation (the forged rider element);
-    the others apply where the schema has a field of the right shape.
-    """
-    muts: list[tuple[str, Message, str]] = []
-    for field in spec.required_fields():
-        muts.append((f"drop-{field.name}",
-                     build(spec, skip=field.name), "missing_field"))
-    if spec.fields:
-        first = spec.fields[0]
-        muts.append((f"wrong-kind-{first.name}",
-                     build(spec, mutate={first.name: _wrong_kind}),
-                     "wrong_kind"))
-        dup = build(spec)
-        add_field(dup, first, first.sample_value())
-        muts.append((f"duplicate-{first.name}", dup, "duplicate_field"))
-    for field in spec.fields:
-        if field.kind != "xml" and field.max_size is not None:
-            muts.append((f"oversized-{field.name}",
-                         build(spec, mutate={field.name: _oversized}),
-                         "too_large"))
-            break
-    for field in spec.fields:
-        if field.kind == "json":
-            muts.append((f"junk-json-{field.name}",
-                         build(spec, mutate={field.name: _junk_json}),
-                         "bad_json"))
-            break
-    for field in spec.fields:
-        if field.numeric:
-            muts.append((f"bad-number-{field.name}",
-                         build(spec, mutate={field.name: _bad_number}),
-                         "bad_number"))
-            break
-    rider = build(spec)
-    rider.add_text("bogus_rider", "1")
-    muts.append(("forged-rider", rider, "unknown_field"))
-    return muts
